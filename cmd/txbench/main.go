@@ -1,0 +1,157 @@
+// Command txbench regenerates the paper's evaluation artifacts. Each table
+// and figure of §8 has an experiment id:
+//
+//	txbench -exp table1            # Table 1: stats + overheads, all apps
+//	txbench -exp table2            # Table 2: cost-effectiveness
+//	txbench -exp fig7              # overhead breakdown
+//	txbench -exp fig8              # scalability (2/4/8 threads)
+//	txbench -exp fig9              # loop-cut optimization schemes
+//	txbench -exp fig10             # distinct races across runs (vips)
+//	txbench -exp fig11             # cost-effectiveness vs sampling
+//	txbench -exp fig12 / fig13     # bodytrack overhead/recall vs sampling
+//	txbench -exp precision         # extension: lockset (Eraser) vs TSan
+//	txbench -exp shadow            # extension: bounded TSan shadow cells (§5)
+//	txbench -exp detectability     # extension: per-race detection frequency
+//	txbench -exp all               # everything
+//
+// Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
+// enlarge the workloads, -trials to average over seeds, and -seed to move
+// the whole experiment to a different schedule.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "table1", "experiment id (table1, table2, fig7..fig13, all)")
+		app     = flag.String("app", "", "restrict to one application")
+		threads = flag.Int("threads", 4, "worker threads")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		seed    = flag.Uint64("seed", 1, "base scheduler seed")
+		trials  = flag.Int("trials", 1, "trials to average over")
+		format  = flag.String("format", "text", "output format: text | json")
+	)
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	cfg.Threads = *threads
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Trials = *trials
+
+	apps := workload.All()
+	if *app != "" {
+		w, err := workload.ByName(*app)
+		if err != nil {
+			fatal(err)
+		}
+		apps = []*workload.Workload{w}
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability"}
+	}
+
+	for _, id := range ids {
+		if err := run(id, cfg, apps, *format); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(id string, cfg experiment.Config, apps []*workload.Workload, format string) error {
+	var text func()
+	var data any
+	switch id {
+	case "table1":
+		t, err := experiment.RunTable1(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { t.WriteTable1(os.Stdout) }, t.JSON()
+	case "table2":
+		t, err := experiment.RunTable1(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { t.WriteTable2(os.Stdout) }, t.JSON()
+	case "fig7":
+		f, err := experiment.RunFig7(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "fig8":
+		f, err := experiment.RunFig8(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "fig9":
+		f, err := experiment.RunFig9(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "fig10":
+		f, err := experiment.RunFig10(cfg)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "fig11":
+		f, err := experiment.RunFig11(cfg)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "fig12", "fig13":
+		f, err := experiment.RunFig1213(cfg)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "precision":
+		f, err := experiment.RunPrecision(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "detectability":
+		f, err := experiment.RunDetectability(cfg, apps, 5)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "shadow":
+		f, err := experiment.RunShadow(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"experiment": id, "data": data})
+	}
+	text()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "txbench:", err)
+	os.Exit(1)
+}

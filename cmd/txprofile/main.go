@@ -1,0 +1,69 @@
+// Command txprofile performs the paper's offline loop-cut profiling run
+// (§4.3) for one application and prints the learned per-loop thresholds —
+// the input TxRace-ProfLoopcut consumes. On the paper's toolchain this role
+// was played by Last Branch Record profiling; here the runtime attributes
+// capacity aborts to loops directly.
+//
+//	txprofile -app swaptions
+//	txprofile -app swaptions -threads 8 -scale 2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application to profile")
+		threads = flag.Int("threads", 4, "worker threads")
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		seed    = flag.Uint64("seed", 1, "scheduler seed (the 'representative input')")
+	)
+	flag.Parse()
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "txprofile: missing -app")
+		os.Exit(1)
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txprofile:", err)
+		os.Exit(1)
+	}
+
+	built := w.Build(*threads, *scale)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	if w.InterruptEvery != 0 {
+		cfg.InterruptEvery = w.InterruptEvery
+	}
+	prof, err := instrument.Profile(built.Prog, cfg, core.Options{SlowScale: w.SlowScale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txprofile:", err)
+		os.Exit(1)
+	}
+
+	if len(prof) == 0 {
+		fmt.Printf("%s: no capacity-aborting loops found; ProfLoopcut has nothing to do\n", w.Name)
+		return
+	}
+	ids := make([]sim.LoopID, 0, len(prof))
+	for id := range prof {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Printf("%s: loop-cut thresholds from profiling run (seed %d)\n", w.Name, *seed)
+	tb := &report.Table{Header: []string{"loop", "threshold (iterations per transaction)"}}
+	for _, id := range ids {
+		tb.Add(uint32(id), prof[id])
+	}
+	tb.Write(os.Stdout)
+}

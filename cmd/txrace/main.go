@@ -1,0 +1,134 @@
+// Command txrace runs one evaluation application under a chosen detector
+// and prints what it found and what it cost:
+//
+//	txrace -app vips                      # two-phase TxRace (default)
+//	txrace -app vips -detector tsan       # full happens-before detection
+//	txrace -app vips -detector sampling -rate 0.5
+//	txrace -app vips -detector none       # uninstrumented baseline
+//
+// The -cut flag selects TxRace's capacity-abort handling: none (NoOpt),
+// dyn (DynLoopcut), or prof (ProfLoopcut, the default — runs the profiling
+// pass first, as the paper does).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/experiment"
+	"repro/internal/instrument"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application to run (see -list)")
+		detector = flag.String("detector", "txrace", "none | tsan | sampling | txrace")
+		rate     = flag.Float64("rate", 0.1, "sampling rate for -detector sampling")
+		cut      = flag.String("cut", "prof", "TxRace loop-cut scheme: none | dyn | prof")
+		threads  = flag.Int("threads", 4, "worker threads")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "scheduler seed")
+		list     = flag.Bool("list", false, "list applications and exit")
+		dump     = flag.Bool("dump", false, "print the instrumented IR instead of running")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *app == "" {
+		fatal(fmt.Errorf("missing -app (use -list to see applications)"))
+	}
+	w, err := workload.ByName(*app)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dump {
+		w, err := workload.ByName(*app)
+		if err != nil {
+			fatal(err)
+		}
+		built := w.Build(*threads, *scale)
+		sim.Dump(os.Stdout, instrument.ForTxRace(built.Prog, instrument.DefaultOptions()))
+		return
+	}
+
+	cfg := experiment.DefaultConfig()
+	cfg.Threads = *threads
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	switch *cut {
+	case "none":
+		cfg.LoopCut = core.NoCut
+	case "dyn":
+		cfg.LoopCut = core.DynCut
+	case "prof":
+		cfg.LoopCut = core.ProfCut
+	default:
+		fatal(fmt.Errorf("unknown -cut %q", *cut))
+	}
+
+	base, err := experiment.RunBaseline(w, cfg, cfg.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: baseline %d cycles (%d threads, scale %d, seed %d)\n",
+		w.Name, base.Makespan, cfg.Threads, cfg.Scale, cfg.Seed)
+
+	switch *detector {
+	case "none":
+		return
+	case "tsan":
+		r, err := experiment.RunTSan(w, cfg, cfg.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("TSan: %d cycles (%.2fx), %d shadow checks, %d races\n",
+			r.Makespan, float64(r.Makespan)/float64(base.Makespan), r.Checks, len(r.Races))
+		printRaces(r.Races)
+	case "sampling":
+		r, err := experiment.RunSampling(w, cfg, cfg.Seed, *rate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("TSan+Sampling %.0f%%: %d cycles (%.2fx), %d races\n",
+			*rate*100, r.Makespan, float64(r.Makespan)/float64(base.Makespan), len(r.Races))
+		printRaces(r.Races)
+	case "txrace":
+		r, err := experiment.RunTxRace(w, cfg, cfg.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		st := r.Stats
+		fmt.Printf("TxRace (%v): %d cycles (%.2fx), %d races\n",
+			cfg.LoopCut, r.Makespan, float64(r.Makespan)/float64(base.Makespan), len(r.Races))
+		tb := &report.Table{Header: []string{"committed", "conflict", "artificial", "capacity", "unknown", "retries", "loop cuts"}}
+		tb.Add(st.CommittedTxns, st.ConflictAborts, st.ArtificialAborts,
+			st.CapacityAborts, st.UnknownAborts, st.Retries, st.LoopCuts)
+		tb.Write(os.Stdout)
+		printRaces(r.Races)
+	default:
+		fatal(fmt.Errorf("unknown -detector %q", *detector))
+	}
+}
+
+func printRaces(keys []detect.PairKey) {
+	for _, k := range keys {
+		fmt.Printf("  race: sites %d and %d\n", k.A, k.B)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "txrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command txtrace records an execution trace of an evaluation application
+// and analyzes traces offline — the record-now-analyze-later workflow of the
+// offline-analysis detectors the paper's related work surveys (§9).
+//
+//	txtrace -app vips -out vips.trace            # record
+//	txtrace -in vips.trace                       # offline happens-before
+//	txtrace -in vips.trace -detector lockset     # offline Eraser
+//	txtrace -in vips.trace -detector both        # precision comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application to record")
+		out      = flag.String("out", "", "write the recorded trace here")
+		in       = flag.String("in", "", "analyze this trace offline")
+		detector = flag.String("detector", "hb", "offline detector: hb | lockset | both")
+		threads  = flag.Int("threads", 4, "worker threads")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		seed     = flag.Uint64("seed", 1, "scheduler seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *app != "":
+		if err := recordApp(*app, *out, *threads, *scale, *seed); err != nil {
+			fatal(err)
+		}
+	case *in != "":
+		if err := analyze(*in, *detector); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -app (record) or -in (analyze)"))
+	}
+}
+
+func recordApp(name, out string, threads, scale int, seed uint64) error {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	built := w.Build(threads, scale)
+	rec := trace.NewRecorder(name)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	if w.InterruptEvery != 0 {
+		cfg.InterruptEvery = w.InterruptEvery
+	}
+	res, err := sim.NewEngine(cfg).Run(instrument.ForTSan(built.Prog), rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d events from %d instructions\n",
+		name, len(rec.T.Events), res.Instructions)
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := rec.T.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", out, n)
+	return nil
+}
+
+func analyze(path, detector string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadFrom(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %q: %d events\n", tr.Name, len(tr.Events))
+
+	if detector == "hb" || detector == "both" {
+		d := trace.Replay(tr)
+		fmt.Printf("happens-before: %d races\n", d.RaceCount())
+		for _, r := range d.Races() {
+			fmt.Printf("  %v\n", r)
+		}
+	}
+	if detector == "lockset" || detector == "both" {
+		d := trace.ReplayLockset(tr)
+		fmt.Printf("lockset (Eraser): %d violations (may include false positives)\n",
+			d.ViolationCount())
+		for _, v := range d.Violations() {
+			fmt.Printf("  %v\n", v)
+		}
+	}
+	if detector != "hb" && detector != "lockset" && detector != "both" {
+		return fmt.Errorf("unknown detector %q", detector)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "txtrace:", err)
+	os.Exit(1)
+}

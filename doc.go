@@ -1,0 +1,30 @@
+// Package txrace is a Go reproduction of "TxRace: Efficient Data Race
+// Detection Using Commodity Hardware Transactional Memory" (Zhang, Lee,
+// Jung — ASPLOS 2016).
+//
+// The paper's system instruments C/C++ programs with LLVM and detects data
+// races in two phases: a fast path that repurposes Intel TSX's conflict
+// detection to flag potential races at near-zero cost, and an on-demand
+// slow path that rolls conflicting regions back and re-executes them under
+// a software happens-before detector to pinpoint racy instructions and
+// discard cache-line false sharing.
+//
+// Since portable Go exposes neither raw threads nor TSX intrinsics, this
+// reproduction rebuilds the entire stack as a deterministic simulation —
+// see DESIGN.md for the substitution table and internal/... for the
+// packages:
+//
+//	internal/sim         multithreaded-program IR + discrete-event engine
+//	internal/htm         best-effort RTM model (conflicts, capacity, aborts)
+//	internal/cache       set-associative tracking structures
+//	internal/clock       vector clocks / FastTrack epochs
+//	internal/shadow      shadow memory (exact and TSan-style bounded)
+//	internal/detect      happens-before detector + sampling baseline
+//	internal/instrument  the compile-time transactionalization pass
+//	internal/core        the TxRace runtime and comparison runtimes
+//	internal/workload    synthetic PARSEC + Apache stand-ins
+//	internal/experiment  drivers for every table and figure of §8
+//
+// bench_test.go exposes one benchmark per table/figure plus ablations;
+// cmd/txbench regenerates the paper's artifacts from the command line.
+package txrace

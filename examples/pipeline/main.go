@@ -1,0 +1,88 @@
+// Pipeline: a ferret-style staged pipeline whose middle stage rebuilds a
+// large index in a hot loop — the capacity-abort pathology the loop-cut
+// optimization (§4.3) exists for. The example runs the same program under
+// TxRace-NoOpt, TxRace-DynLoopcut, and TxRace-ProfLoopcut (profiling first,
+// as the paper does) and prints the Fig. 9-style comparison.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func buildPipeline() *sim.Program {
+	b := workload.NewB()
+	const stages = 3
+	sems := make([]sim.SyncID, stages)
+	for i := range sems {
+		sems[i] = b.Sync()
+	}
+	items := 20
+
+	workers := make([][]sim.Instr, stages)
+	for s := 0; s < stages; s++ {
+		table := b.Al.AllocWords(1024)
+		work := b.LoopN(10,
+			b.Read(sim.Random(table, 1024)),
+			b.Write(sim.Random(table, 1024)),
+			workload.Work(3),
+		)
+		var item []sim.Instr
+		if s > 0 {
+			item = append(item, &sim.Wait{C: sems[s]})
+		}
+		item = append(item, work)
+		if s == 1 {
+			// The hot spot: a 700-line index rebuild per item — well past
+			// the 512-line transactional write set.
+			item = append(item, b.ChurnRandom(b.AllocLines(720), 700, 750, 0))
+		}
+		if s < stages-1 {
+			item = append(item, &sim.Signal{C: sems[s+1]})
+		} else {
+			item = append(item, &sim.Syscall{Name: "emit", Cycles: 60})
+		}
+		workers[s] = []sim.Instr{b.LoopN(items, item...)}
+	}
+	return &sim.Program{Name: "pipeline", Workers: workers}
+}
+
+func main() {
+	cfg := sim.DefaultConfig()
+
+	base, err := sim.NewEngine(cfg).Run(buildPipeline(), &core.Baseline{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("baseline: %d cycles\n\n", base.Makespan)
+	fmt.Printf("%-22s %10s %10s %10s %10s\n", "scheme", "cycles", "overhead", "capacity", "cuts")
+
+	run := func(label string, opts core.Options) {
+		rt := core.NewTxRace(opts)
+		res, err := sim.NewEngine(cfg).Run(
+			instrument.ForTxRace(buildPipeline(), instrument.DefaultOptions()), rt)
+		if err != nil {
+			panic(err)
+		}
+		st := rt.Stats()
+		fmt.Printf("%-22s %10d %9.2fx %10d %10d\n",
+			label, res.Makespan, float64(res.Makespan)/float64(base.Makespan),
+			st.CapacityAborts, st.LoopCuts)
+	}
+
+	run("TxRace-NoOpt", core.Options{LoopCut: core.NoCut})
+	run("TxRace-DynLoopcut", core.Options{LoopCut: core.DynCut})
+
+	// ProfLoopcut needs the offline profiling run first (§4.3).
+	prof, err := instrument.Profile(buildPipeline(), cfg, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	run("TxRace-ProfLoopcut", core.Options{LoopCut: core.ProfCut, Thresholds: prof})
+}

@@ -1,0 +1,124 @@
+// Webserver: an Apache-style request-serving workload (the paper's second
+// benchmark suite, §8.1) compared under three detectors. A listener thread
+// feeds connections to server workers over a semaphore queue; request
+// handling updates a lock-protected scoreboard — and, in the buggy build,
+// a hit counter with the lock forgotten.
+//
+// The example prints the baseline/TSan/TxRace cost of both builds, showing
+// the two-phase detector finding the same bug at a fraction of the cost.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func buildServer(buggy bool) (*sim.Program, workload.RacyVar) {
+	b := workload.NewB()
+	const servers = 3
+	connQ := b.Sync()
+	statsMu := b.Sync()
+	scoreboard := b.Al.AllocWords(64)
+	hits := b.NewRacyVar() // the counter someone forgot to lock
+	perServer := 40
+
+	workers := make([][]sim.Instr, servers+1)
+	// The accept loop is much faster than request handling, so the queue
+	// stays full and the servers run truly concurrently.
+	workers[0] = []sim.Instr{b.LoopN(perServer*servers,
+		&sim.Syscall{Name: "accept", Cycles: 20},
+		workload.Work(2),
+		&sim.Signal{C: connQ},
+	)}
+	for s := 1; s <= servers; s++ {
+		buf := b.Al.AllocWords(512)
+		handle := []sim.Instr{
+			&sim.Wait{C: connQ},
+			&sim.Syscall{Name: "read", Cycles: 110},
+		}
+		if buggy {
+			// Lock-free counter bump at the start of the parse region: the
+			// conflict window spans the whole parse.
+			var bump sim.Instr
+			if s == 1 {
+				bump = hits.WriteA()
+			} else {
+				bump = hits.WriteB()
+			}
+			handle = append(handle, bump)
+		}
+		handle = append(handle,
+			b.LoopN(12,
+				b.Read(sim.AddrExpr{Base: buf, Mode: sim.AddrLoop, Stride: 1, Wrap: 512}),
+				b.Write(sim.AddrExpr{Base: buf, Mode: sim.AddrLoop, Stride: 1, Off: 1, Wrap: 512}),
+				workload.Work(3),
+			))
+		handle = append(handle, workload.Locked(statsMu,
+			b.Write(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Wrap: 64}),
+			b.Read(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 1, Wrap: 64}),
+			b.Write(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 2, Wrap: 64}),
+			b.Read(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 3, Wrap: 64}),
+			b.Write(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 4, Wrap: 64}),
+		)...)
+		handle = append(handle, &sim.Syscall{Name: "write", Cycles: 130})
+		workers[s] = []sim.Instr{b.LoopN(perServer, handle...)}
+	}
+	return &sim.Program{Name: "webserver", Workers: workers}, hits
+}
+
+func main() {
+	for _, buggy := range []bool{false, true} {
+		label := "correct build"
+		if buggy {
+			label = "buggy build (unlocked hit counter)"
+		}
+		fmt.Printf("== %s ==\n", label)
+		prog, hits := buildServer(buggy)
+		cfg := sim.DefaultConfig()
+
+		base, err := sim.NewEngine(cfg).Run(prog, &core.Baseline{})
+		if err != nil {
+			panic(err)
+		}
+
+		prog2, _ := buildServer(buggy)
+		ts := core.NewTSan()
+		tsRes, err := sim.NewEngine(cfg).Run(instrument.ForTSan(prog2), ts)
+		if err != nil {
+			panic(err)
+		}
+
+		prog3, _ := buildServer(buggy)
+		tx := core.NewTxRace(core.Options{})
+		txRes, err := sim.NewEngine(cfg).Run(
+			instrument.ForTxRace(prog3, instrument.DefaultOptions()), tx)
+		if err != nil {
+			panic(err)
+		}
+
+		fmt.Printf("baseline: %8d cycles\n", base.Makespan)
+		fmt.Printf("TSan:     %8d cycles (%.2fx), %d races\n",
+			tsRes.Makespan, float64(tsRes.Makespan)/float64(base.Makespan),
+			ts.Detector().RaceCount())
+		fmt.Printf("TxRace:   %8d cycles (%.2fx), %d races\n",
+			txRes.Makespan, float64(txRes.Makespan)/float64(base.Makespan),
+			tx.Detector().RaceCount())
+		if buggy {
+			if tx.Detector().RaceCount() > 0 {
+				a, bb := hits.Key()
+				fmt.Printf("TxRace pinpointed the unlocked counter (sites %d/%d) at a fraction of TSan's cost\n", a, bb)
+			}
+			if tx.Detector().RaceCount() < ts.Detector().RaceCount() {
+				fmt.Println("note: overlap-based detection is schedule-sensitive — different -seed runs")
+				fmt.Println("accumulate the remaining pairs, exactly the paper's Fig. 10 observation")
+			}
+		}
+		fmt.Println()
+	}
+}

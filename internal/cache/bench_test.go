@@ -1,0 +1,26 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func BenchmarkTouchHit(b *testing.B) {
+	c := New(64, 8)
+	for l := memmodel.Line(0); l < 512; l++ {
+		c.Touch(l)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(memmodel.Line(i & 511))
+	}
+}
+
+func BenchmarkTouchEvicting(b *testing.B) {
+	c := New(64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(memmodel.Line(i))
+	}
+}

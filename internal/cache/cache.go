@@ -1,0 +1,112 @@
+// Package cache implements a set-associative cache model with LRU
+// replacement. The HTM simulator uses one instance per transaction side
+// (write set tracked in an L1-sized cache, read set in a larger structure)
+// so that capacity aborts arise from the same mechanism as on real TSX
+// hardware: a transactionally accessed line being evicted because its set
+// fills up. Whether a given working set overflows therefore depends on the
+// access pattern, not only on its total size — exactly the behaviour the
+// paper's loop-cut optimization (§4.3) is designed around.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// Cache is a set-associative cache of cache-line tags with per-set LRU
+// replacement. It tracks presence only; there are no data payloads.
+type Cache struct {
+	sets  int
+	ways  int
+	lines [][]memmodel.Line // lines[set] ordered MRU-first, len <= ways
+	count int
+}
+
+// New returns a cache with the given geometry. sets must be a power of two.
+func New(sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets %d must be a positive power of two", sets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache: ways %d must be positive", ways))
+	}
+	c := &Cache{sets: sets, ways: ways, lines: make([][]memmodel.Line, sets)}
+	for i := range c.lines {
+		c.lines[i] = make([]memmodel.Line, 0, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the total number of lines the cache can hold.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+// Len returns the number of lines currently resident.
+func (c *Cache) Len() int { return c.count }
+
+func (c *Cache) setOf(l memmodel.Line) int { return int(uint64(l) & uint64(c.sets-1)) }
+
+// Contains reports whether line l is resident. It does not update LRU order.
+func (c *Cache) Contains(l memmodel.Line) bool {
+	for _, x := range c.lines[c.setOf(l)] {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch inserts line l (or refreshes it to MRU if already resident). If the
+// insertion evicts a line, Touch returns that line and true. For the HTM
+// this is the capacity-abort trigger: a transactional line falling out of
+// the tracking structure means the transaction can no longer be validated.
+func (c *Cache) Touch(l memmodel.Line) (evicted memmodel.Line, ok bool) {
+	s := c.setOf(l)
+	set := c.lines[s]
+	for i, x := range set {
+		if x == l {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			return 0, false
+		}
+	}
+	if len(set) < c.ways {
+		set = append(set, 0)
+		copy(set[1:], set)
+		set[0] = l
+		c.lines[s] = set
+		c.count++
+		return 0, false
+	}
+	evicted = set[len(set)-1]
+	copy(set[1:], set)
+	set[0] = l
+	return evicted, true
+}
+
+// Reset empties the cache. The HTM resets its tracking structures at every
+// transaction begin.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = c.lines[i][:0]
+	}
+	c.count = 0
+}
+
+// Resident returns all resident lines in unspecified order. Used by the HTM
+// to enumerate a transaction's read/write set when checking strong-isolation
+// conflicts from non-transactional code.
+func (c *Cache) Resident() []memmodel.Line {
+	out := make([]memmodel.Line, 0, c.count)
+	for _, set := range c.lines {
+		out = append(out, set...)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memmodel"
+)
+
+func TestTouchFillsWithoutEviction(t *testing.T) {
+	c := New(4, 2)
+	for l := memmodel.Line(0); l < 8; l++ {
+		if _, ev := c.Touch(l); ev {
+			t.Fatalf("eviction while filling at line %d", l)
+		}
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", c.Len())
+	}
+	for l := memmodel.Line(0); l < 8; l++ {
+		if !c.Contains(l) {
+			t.Fatalf("line %d missing after fill", l)
+		}
+	}
+}
+
+func TestEvictionIsLRUWithinSet(t *testing.T) {
+	c := New(1, 2) // single set, two ways
+	c.Touch(10)
+	c.Touch(20)
+	c.Touch(10) // refresh 10 → 20 becomes LRU
+	ev, ok := c.Touch(30)
+	if !ok || ev != 20 {
+		t.Fatalf("evicted %d,%v, want 20,true", ev, ok)
+	}
+	if !c.Contains(10) || !c.Contains(30) || c.Contains(20) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	c := New(4, 1)
+	// Lines 0 and 4 map to set 0; line 1 to set 1. Touching 1 must not
+	// evict anything from set 0.
+	c.Touch(0)
+	if _, ev := c.Touch(1); ev {
+		t.Fatal("cross-set touch evicted")
+	}
+	ev, ok := c.Touch(4)
+	if !ok || ev != 0 {
+		t.Fatalf("same-set conflict: evicted %d,%v, want 0,true", ev, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(4, 2)
+	c.Touch(1)
+	c.Touch(2)
+	c.Reset()
+	if c.Len() != 0 || c.Contains(1) || c.Contains(2) {
+		t.Fatal("Reset did not empty the cache")
+	}
+	// Reusable after reset.
+	if _, ev := c.Touch(3); ev {
+		t.Fatal("eviction right after reset")
+	}
+}
+
+func TestResident(t *testing.T) {
+	c := New(2, 2)
+	lines := []memmodel.Line{3, 8, 5}
+	for _, l := range lines {
+		c.Touch(l)
+	}
+	got := c.Resident()
+	if len(got) != 3 {
+		t.Fatalf("Resident len = %d, want 3", len(got))
+	}
+	set := map[memmodel.Line]bool{}
+	for _, l := range got {
+		set[l] = true
+	}
+	for _, l := range lines {
+		if !set[l] {
+			t.Fatalf("line %d missing from Resident", l)
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range []struct{ sets, ways int }{{0, 1}, {3, 1}, {4, 0}, {-4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) must panic", g.sets, g.ways)
+				}
+			}()
+			New(g.sets, g.ways)
+		}()
+	}
+}
+
+// TestPropertyResidencyBound checks that under random access streams the
+// cache never exceeds capacity, every reported eviction was resident, and a
+// just-touched line is always resident.
+func TestPropertyResidencyBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(8, 4)
+		resident := map[memmodel.Line]bool{}
+		for i := 0; i < 2000; i++ {
+			l := memmodel.Line(rng.Intn(200))
+			ev, ok := c.Touch(l)
+			if ok {
+				if !resident[ev] {
+					return false // evicted something not resident
+				}
+				delete(resident, ev)
+			}
+			resident[l] = true
+			if !c.Contains(l) {
+				return false
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+			if c.Len() != len(resident) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := New(16, 8)
+	if c.Sets() != 16 || c.Ways() != 8 || c.Capacity() != 128 {
+		t.Fatalf("geometry accessors wrong: %d %d %d", c.Sets(), c.Ways(), c.Capacity())
+	}
+}

@@ -1,0 +1,41 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// FuzzCacheOps drives the set-associative cache with an arbitrary operation
+// stream and checks the structural invariants the HTM depends on: a touched
+// line is resident, occupancy never exceeds capacity, evictions only report
+// previously resident lines.
+func FuzzCacheOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 250, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		c := New(8, 2)
+		resident := map[memmodel.Line]bool{}
+		for _, b := range ops {
+			l := memmodel.Line(b)
+			if b%7 == 0 {
+				c.Reset()
+				resident = map[memmodel.Line]bool{}
+				continue
+			}
+			ev, ok := c.Touch(l)
+			if ok {
+				if !resident[ev] {
+					t.Fatalf("evicted non-resident line %d", ev)
+				}
+				delete(resident, ev)
+			}
+			resident[l] = true
+			if !c.Contains(l) {
+				t.Fatalf("touched line %d not resident", l)
+			}
+			if c.Len() > c.Capacity() || c.Len() != len(resident) {
+				t.Fatalf("occupancy invariant broken: %d vs %d", c.Len(), len(resident))
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package clock provides the vector clocks and FastTrack epochs used by the
+// slow-path happens-before race detector (§5 of the paper; algorithm after
+// Flanagan & Freund's FastTrack and Google's ThreadSanitizer).
+//
+// A vector clock VC maps each thread to the count of that thread's completed
+// synchronization intervals. An Epoch c@t is the lightweight scalar FastTrack
+// uses for the overwhelmingly common same-thread and totally-ordered cases.
+package clock
+
+import "fmt"
+
+// TID identifies a simulated thread. Thread ids are small dense integers
+// assigned in spawn order, so vector clocks are slices indexed by TID.
+type TID int32
+
+// Time is one component of a vector clock.
+type Time uint32
+
+// Epoch packs a (thread, time) pair: the scalar clock FastTrack stores for
+// a variable's last write and, in the common case, its last read.
+type Epoch uint64
+
+// NoEpoch is the zero epoch, meaning "never accessed".
+const NoEpoch Epoch = 0
+
+// MakeEpoch builds the epoch t@tid. Time zero is reserved so that NoEpoch is
+// distinguishable; thread clocks start at 1.
+func MakeEpoch(tid TID, t Time) Epoch {
+	return Epoch(uint64(tid)<<32 | uint64(t))
+}
+
+// TID returns the thread component of e.
+func (e Epoch) TID() TID { return TID(e >> 32) }
+
+// Time returns the clock component of e.
+func (e Epoch) Time() Time { return Time(e & 0xffffffff) }
+
+// String renders e in FastTrack's c@t notation.
+func (e Epoch) String() string {
+	if e == NoEpoch {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d@%d", e.Time(), e.TID())
+}
+
+// VC is a grow-on-demand vector clock. The zero value is the all-zeros clock.
+type VC struct {
+	t []Time
+}
+
+// New returns a vector clock with capacity for n threads.
+func New(n int) *VC { return &VC{t: make([]Time, n)} }
+
+// Get returns the component for tid (zero if beyond current length).
+func (v *VC) Get(tid TID) Time {
+	if int(tid) >= len(v.t) {
+		return 0
+	}
+	return v.t[tid]
+}
+
+// Set assigns component tid, growing the clock as needed.
+func (v *VC) Set(tid TID, t Time) {
+	v.grow(int(tid) + 1)
+	v.t[tid] = t
+}
+
+// Tick increments component tid and returns the new value. A thread ticks
+// its own component at every lock release / signal / fork, opening a new
+// synchronization interval.
+func (v *VC) Tick(tid TID) Time {
+	v.grow(int(tid) + 1)
+	v.t[tid]++
+	return v.t[tid]
+}
+
+func (v *VC) grow(n int) {
+	for len(v.t) < n {
+		v.t = append(v.t, 0)
+	}
+}
+
+// Len returns the number of components currently materialized.
+func (v *VC) Len() int { return len(v.t) }
+
+// Join sets v to the component-wise maximum of v and o: the happens-before
+// transfer performed at lock acquire / wait / join.
+func (v *VC) Join(o *VC) {
+	v.grow(len(o.t))
+	for i, t := range o.t {
+		if t > v.t[i] {
+			v.t[i] = t
+		}
+	}
+}
+
+// Assign copies o into v.
+func (v *VC) Assign(o *VC) {
+	v.t = v.t[:0]
+	v.t = append(v.t, o.t...)
+}
+
+// Clone returns an independent copy of v.
+func (v *VC) Clone() *VC {
+	c := &VC{t: make([]Time, len(v.t))}
+	copy(c.t, v.t)
+	return c
+}
+
+// Epoch returns tid's current epoch in v.
+func (v *VC) Epoch(tid TID) Epoch { return MakeEpoch(tid, v.Get(tid)) }
+
+// LeqEpoch reports e ⊑ v: whether the event stamped e happens before (or is)
+// the point whose clock is v. This is FastTrack's O(1) ordering test.
+func (v *VC) LeqEpoch(e Epoch) bool {
+	if e == NoEpoch {
+		return true
+	}
+	return e.Time() <= v.Get(e.TID())
+}
+
+// Leq reports whether v ⊑ o component-wise.
+func (v *VC) Leq(o *VC) bool {
+	for i, t := range v.t {
+		if t > o.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock is ordered before the other.
+func (v *VC) Concurrent(o *VC) bool { return !v.Leq(o) && !o.Leq(v) }
+
+// String renders the clock as [t0 t1 ...].
+func (v *VC) String() string { return fmt.Sprint(v.t) }

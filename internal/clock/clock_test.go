@@ -1,0 +1,150 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPacking(t *testing.T) {
+	e := MakeEpoch(7, 123)
+	if e.TID() != 7 || e.Time() != 123 {
+		t.Fatalf("epoch round trip failed: %v", e)
+	}
+	if NoEpoch.String() != "⊥" {
+		t.Fatalf("NoEpoch string = %q", NoEpoch.String())
+	}
+	if e.String() != "123@7" {
+		t.Fatalf("epoch string = %q", e.String())
+	}
+}
+
+func TestTickAndGet(t *testing.T) {
+	v := New(0)
+	if v.Get(3) != 0 {
+		t.Fatal("unset component must read 0")
+	}
+	if v.Tick(3) != 1 || v.Tick(3) != 2 {
+		t.Fatal("Tick must increment")
+	}
+	if v.Get(3) != 2 || v.Get(0) != 0 {
+		t.Fatal("components independent")
+	}
+}
+
+func TestJoinIsComponentwiseMax(t *testing.T) {
+	a, b := New(3), New(3)
+	a.Set(0, 5)
+	a.Set(2, 1)
+	b.Set(0, 3)
+	b.Set(1, 7)
+	a.Join(b)
+	if a.Get(0) != 5 || a.Get(1) != 7 || a.Get(2) != 1 {
+		t.Fatalf("join wrong: %v", a)
+	}
+}
+
+func TestLeqEpoch(t *testing.T) {
+	v := New(2)
+	v.Set(1, 10)
+	if !v.LeqEpoch(MakeEpoch(1, 10)) || !v.LeqEpoch(MakeEpoch(1, 3)) {
+		t.Fatal("ordered epochs must be ⊑")
+	}
+	if v.LeqEpoch(MakeEpoch(1, 11)) || v.LeqEpoch(MakeEpoch(0, 1)) {
+		t.Fatal("unordered epochs must not be ⊑")
+	}
+	if !v.LeqEpoch(NoEpoch) {
+		t.Fatal("⊥ is below everything")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a, b := New(2), New(2)
+	a.Set(0, 1)
+	b.Set(1, 1)
+	if !a.Concurrent(b) {
+		t.Fatal("disjoint clocks are concurrent")
+	}
+	c := a.Clone()
+	c.Join(b)
+	if a.Concurrent(c) || !a.Leq(c) {
+		t.Fatal("a ⊑ a⊔b")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1)
+	a.Set(0, 4)
+	c := a.Clone()
+	c.Tick(0)
+	if a.Get(0) != 4 || c.Get(0) != 5 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAssign(t *testing.T) {
+	a, b := New(1), New(3)
+	b.Set(2, 9)
+	a.Assign(b)
+	if a.Get(2) != 9 || a.Len() != 3 {
+		t.Fatalf("assign failed: %v", a)
+	}
+}
+
+func fromPairs(pairs []uint16) *VC {
+	v := New(0)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v.Set(TID(pairs[i]%8), Time(pairs[i+1]%100))
+	}
+	return v
+}
+
+// Join laws: idempotent, commutative, associative, monotone.
+func TestPropertyJoinLaws(t *testing.T) {
+	f := func(ps, qs, rs []uint16) bool {
+		p, q, r := fromPairs(ps), fromPairs(qs), fromPairs(rs)
+
+		// Idempotence.
+		a := p.Clone()
+		a.Join(p)
+		if !a.Leq(p) || !p.Leq(a) {
+			return false
+		}
+		// Commutativity.
+		pq := p.Clone()
+		pq.Join(q)
+		qp := q.Clone()
+		qp.Join(p)
+		if !pq.Leq(qp) || !qp.Leq(pq) {
+			return false
+		}
+		// Associativity.
+		pqr := pq.Clone()
+		pqr.Join(r)
+		qr := q.Clone()
+		qr.Join(r)
+		pqr2 := p.Clone()
+		pqr2.Join(qr)
+		if !pqr.Leq(pqr2) || !pqr2.Leq(pqr) {
+			return false
+		}
+		// Upper bound.
+		return p.Leq(pq) && q.Leq(pq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Epoch test agrees with full vector comparison.
+func TestPropertyEpochAgreesWithVector(t *testing.T) {
+	f := func(ps []uint16, tid uint8, tm uint8) bool {
+		v := fromPairs(ps)
+		e := MakeEpoch(TID(tid%8), Time(tm%100)+1)
+		single := New(0)
+		single.Set(e.TID(), e.Time())
+		return v.LeqEpoch(e) == single.Leq(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/clock"
+	"repro/internal/detect"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// TSanBounded is stock ThreadSanitizer's memory-bounded configuration: N
+// shadow cells per 8 application bytes with random replacement (§5). The
+// paper explicitly configured TSan with "enough shadow cells to be sound";
+// this runtime exists to measure what that choice buys — see the shadow
+// experiment and TestShadowEvictionUnsoundness.
+type TSanBounded struct {
+	sim.NopRuntime
+	det *detect.CellDetector
+	eng *sim.Engine
+
+	// SlowScale as in TSan.
+	SlowScale float64
+}
+
+// NewTSanBounded returns a bounded-shadow runtime with n cells per granule.
+func NewTSanBounded(n int, seed int64) *TSanBounded {
+	return &TSanBounded{det: detect.NewCellDetector(n, seed), SlowScale: 1}
+}
+
+// Detector exposes the underlying bounded detector.
+func (r *TSanBounded) Detector() *detect.CellDetector { return r.det }
+
+// Init implements sim.Runtime.
+func (r *TSanBounded) Init(e *sim.Engine) { r.eng = e }
+
+// Fork implements sim.Runtime.
+func (r *TSanBounded) Fork(p, c *sim.Thread) { r.det.Fork(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// Joined implements sim.Runtime.
+func (r *TSanBounded) Joined(p, c *sim.Thread) { r.det.Join(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// SyncAcquire implements sim.Runtime.
+func (r *TSanBounded) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	switch kind {
+	case sim.SyncWrite:
+		r.det.Acquire(clock.TID(t.ID), detect.SyncID(s))
+		r.det.Acquire(clock.TID(t.ID), detect.SyncID(s)|1<<31)
+	default:
+		r.det.Acquire(clock.TID(t.ID), detect.SyncID(s))
+	}
+}
+
+// SyncRelease implements sim.Runtime.
+func (r *TSanBounded) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	switch kind {
+	case sim.SyncRead:
+		r.det.Release(clock.TID(t.ID), detect.SyncID(s)|1<<31)
+	default:
+		r.det.Release(clock.TID(t.ID), detect.SyncID(s))
+	}
+}
+
+// Access implements sim.Runtime.
+func (r *TSanBounded) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
+	if !m.Hooked {
+		return
+	}
+	r.eng.Charge(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale))
+	r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
+}

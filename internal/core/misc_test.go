@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/instrument"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// TestNoHardwareContextFallback reproduces §6 reason 4: more threads than
+// hardware transaction contexts means the surplus regions run under the
+// software detector (CauseNoHW) — races there are still caught.
+func TestNoHardwareContextFallback(t *testing.T) {
+	al := memmodel.NewAllocator(1 << 20)
+	x := al.AllocLine()
+	workers := make([][]sim.Instr, 6)
+	for w := range workers {
+		site := sim.SiteID(1000 + w)
+		body := []sim.Instr{&sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: site}}
+		workers[w] = append(body, padWork(al, 40, sim.SiteID(2000+w*100))...)
+	}
+	p := &sim.Program{Name: "nohw", Workers: workers}
+	opts := core.Options{}
+	opts.HTM = htm.DefaultConfig()
+	opts.HTM.MaxConcurrent = 2 // only two hardware contexts
+	rt, _ := runTxRace(t, p, opts, quietConfig())
+	st := rt.Stats()
+	if st.SlowRegions[core.CauseNoHW] == 0 {
+		t.Fatalf("no CauseNoHW fallbacks with 6 threads on 2 contexts: %+v", st)
+	}
+	if rt.Detector().RaceCount() == 0 {
+		t.Fatal("the shared-write race must still be caught (software-covered regions)")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, c := range []struct {
+		got, want string
+	}{
+		{core.ModeNone.String(), "none"},
+		{core.ModeIdle.String(), "idle"},
+		{core.ModeFast.String(), "fast"},
+		{core.ModeSlow.String(), "slow"},
+		{core.CauseConflict.String(), "conflict"},
+		{core.CauseCapacity.String(), "capacity"},
+		{core.CauseUnknown.String(), "unknown"},
+		{core.CauseSmall.String(), "small"},
+		{core.CauseNoHW.String(), "nohw"},
+		{core.NoCut.String(), "TxRace-NoOpt"},
+		{core.DynCut.String(), "TxRace-DynLoopcut"},
+		{core.ProfCut.String(), "TxRace-ProfLoopcut"},
+	} {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+	if !strings.Contains(core.Mode(99).String(), "?") {
+		t.Error("unknown mode should render as ?")
+	}
+}
+
+// TestThresholdsSurviveCloning: profiles are reusable across runs.
+func TestThresholdsSurviveCloning(t *testing.T) {
+	lt := core.LoopThresholds{1: 100, 2: 200}
+	cl := lt.Clone()
+	cl[1] = 5
+	if lt[1] != 100 {
+		t.Fatal("Clone aliases the original map")
+	}
+}
+
+// TestTxRaceReusableAcrossPrograms: one runtime instance is NOT meant to be
+// reused, but two runs with fresh runtimes over the same program must agree.
+func TestFreshRuntimesAgree(t *testing.T) {
+	build := func() *sim.Program {
+		al := memmodel.NewAllocator(1 << 20)
+		x := al.AllocLine()
+		mk := func(site sim.SiteID, pad sim.SiteID) []sim.Instr {
+			body := []sim.Instr{&sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: site}}
+			return append(body, padWork(al, 30, pad)...)
+		}
+		return &sim.Program{Name: "agree", Workers: [][]sim.Instr{mk(1, 100), mk(2, 500)}}
+	}
+	rt1, res1 := runTxRace(t, build(), core.Options{}, quietConfig())
+	rt2, res2 := runTxRace(t, build(), core.Options{}, quietConfig())
+	if res1.Makespan != res2.Makespan {
+		t.Fatalf("makespans diverged: %d vs %d", res1.Makespan, res2.Makespan)
+	}
+	if rt1.Detector().RaceCount() != rt2.Detector().RaceCount() {
+		t.Fatal("race counts diverged across identical runs")
+	}
+}
+
+// TestInstrumentedProgramRunsUnderBaseline: the instrumented build is inert
+// without the TxRace runtime (marks are no-ops), so misconfigured pipelines
+// fail soft rather than corrupting results.
+func TestInstrumentedProgramRunsUnderBaseline(t *testing.T) {
+	al := memmodel.NewAllocator(1 << 20)
+	p := &sim.Program{Name: "inert", Workers: [][]sim.Instr{
+		padWork(al, 20, 100), padWork(al, 20, 500),
+	}}
+	ip := instrument.ForTxRace(p, instrument.DefaultOptions())
+	if _, err := sim.NewEngine(quietConfig()).Run(ip, &core.Baseline{}); err != nil {
+		t.Fatalf("instrumented program failed under baseline: %v", err)
+	}
+}

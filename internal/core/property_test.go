@@ -1,0 +1,159 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/instrument"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// genRaceFree builds a random multithreaded program whose only sharing is
+// (a) read-only data, (b) data protected by a single global lock, and
+// (c) barrier-phase-partitioned data — by construction race-free.
+func genRaceFree(rng *rand.Rand, threads int) *sim.Program {
+	al := memmodel.NewAllocator(1 << 20)
+	roShared := al.AllocWords(512)
+	locked := al.AllocWords(64)
+	mu := sim.SyncID(1)
+	bar := sim.SyncID(2)
+	site := sim.SiteID(100)
+	nextSite := func() sim.SiteID { site++; return site }
+
+	workers := make([][]sim.Instr, threads)
+	nphases := 2 + rng.Intn(3) // uniform: every worker hits every barrier
+	for w := 0; w < threads; w++ {
+		private := al.AllocWords(256)
+		var body []sim.Instr
+		for ph := 0; ph < nphases; ph++ {
+			body = append(body, &sim.Barrier{B: bar, N: threads})
+			nops := 3 + rng.Intn(6)
+			for i := 0; i < nops; i++ {
+				switch rng.Intn(5) {
+				case 0: // private churn
+					body = append(body, &sim.Loop{ID: sim.LoopID(1 + rng.Intn(1000) + w*1000),
+						Count: 3 + rng.Intn(10),
+						Body: []sim.Instr{
+							&sim.MemAccess{Write: true, Addr: sim.Random(private, 256), Site: nextSite()},
+						}})
+				case 1: // read-only shared
+					body = append(body, &sim.MemAccess{Addr: sim.Random(roShared, 512), Site: nextSite()})
+				case 2: // locked shared update
+					body = append(body, sim.Instr(&sim.Lock{M: mu}),
+						&sim.MemAccess{Write: true, Addr: sim.Random(locked, 64), Site: nextSite()},
+						&sim.MemAccess{Addr: sim.Random(locked, 64), Site: nextSite()},
+						&sim.Unlock{M: mu})
+				case 3: // compute / jitter
+					body = append(body, &sim.Delay{Max: int64(1 + rng.Intn(200))})
+				case 4: // syscall boundary
+					body = append(body, &sim.Syscall{Name: "s", Cycles: int64(20 + rng.Intn(60))})
+				}
+			}
+		}
+		workers[w] = body
+	}
+	return &sim.Program{Name: "randfree", Workers: workers}
+}
+
+// TestPropertyNoFalsePositives: TxRace is complete — on randomly generated
+// race-free programs it must never report a race, under interrupts,
+// capacity pressure, and conflict episodes alike.
+func TestPropertyNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := genRaceFree(rng, 2+rng.Intn(3))
+		cfg := quietConfig()
+		cfg.Seed = uint64(seed) + 1
+		cfg.InterruptEvery = 5_000 // exercise unknown aborts too
+		rt := core.NewTxRace(core.Options{})
+		ip := instrument.ForTxRace(p, instrument.DefaultOptions())
+		if _, err := sim.NewEngine(cfg).Run(ip, rt); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := rt.Detector().RaceCount(); n != 0 {
+			t.Fatalf("seed %d: TxRace reported %d false positives: %v",
+				seed, n, rt.Detector().Races())
+		}
+	}
+}
+
+// TestPropertyTSanNoFalsePositives: the ground-truth detector is complete
+// on the same random programs.
+func TestPropertyTSanNoFalsePositives(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := genRaceFree(rng, 2+rng.Intn(3))
+		cfg := quietConfig()
+		cfg.Seed = uint64(seed)
+		rt := core.NewTSan()
+		if _, err := sim.NewEngine(cfg).Run(instrument.ForTSan(p), rt); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := rt.Detector().RaceCount(); n != 0 {
+			t.Fatalf("seed %d: TSan reported %d false positives: %v",
+				seed, n, rt.Detector().Races())
+		}
+	}
+}
+
+// TestPropertyTxRaceSubsetOfTSan: on programs with injected races, every
+// race TxRace reports must also be reported by TSan on the same schedule
+// seed — TxRace trades recall, never precision (§6).
+func TestPropertyTxRaceSubsetOfTSan(t *testing.T) {
+	for seed := int64(200); seed < 215; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		threads := 2 + rng.Intn(3)
+		p := genRaceFree(rng, threads)
+		// Inject 1-3 racy pairs at random positions of two workers.
+		al := memmodel.NewAllocator(1 << 30)
+		var truth []detect.PairKey
+		nraces := 1 + rng.Intn(3)
+		for i := 0; i < nraces; i++ {
+			x := al.AllocLine()
+			sa := sim.SiteID(5000 + i*2)
+			sb := sa + 1
+			wa, wb := rng.Intn(threads), rng.Intn(threads)
+			for wb == wa {
+				wb = rng.Intn(threads)
+			}
+			// Append in the final phase of both workers: no barrier between
+			// the two accesses, so the pair is genuinely racy.
+			p.Workers[wa] = append(p.Workers[wa], &sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: sa})
+			p.Workers[wb] = append(p.Workers[wb], &sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: sb})
+			truth = append(truth, detect.PairKey{A: sa, B: sb})
+		}
+
+		cfg := quietConfig()
+		cfg.Seed = uint64(seed)
+		ts := core.NewTSan()
+		if _, err := sim.NewEngine(cfg).Run(instrument.ForTSan(p), ts); err != nil {
+			t.Fatal(err)
+		}
+		tsSet := map[detect.PairKey]bool{}
+		for _, k := range ts.Detector().RaceKeys() {
+			tsSet[k] = true
+		}
+		// TSan must find exactly the injected set.
+		if len(tsSet) != len(truth) {
+			t.Fatalf("seed %d: TSan found %d races, injected %d", seed, len(tsSet), len(truth))
+		}
+		for _, k := range truth {
+			if !tsSet[k] {
+				t.Fatalf("seed %d: TSan missed injected race %v", seed, k)
+			}
+		}
+
+		tx := core.NewTxRace(core.Options{})
+		if _, err := sim.NewEngine(cfg).Run(instrument.ForTxRace(p, instrument.DefaultOptions()), tx); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range tx.Detector().RaceKeys() {
+			if !tsSet[k] {
+				t.Fatalf("seed %d: TxRace invented race %v", seed, k)
+			}
+		}
+	}
+}

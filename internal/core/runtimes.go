@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/clock"
+	"repro/internal/detect"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// Baseline is the uninstrumented runtime: no hooks, no detector, no HTM.
+// Running the original program under it yields the "original time" column of
+// Table 1 that all overheads are normalized against.
+type Baseline struct{ sim.NopRuntime }
+
+// TSan is the always-on happens-before runtime, standing in for Google's
+// ThreadSanitizer: every hooked access pays the shadow-check cost and goes
+// to the detector; every sync operation pays the vector-clock cost. Run it
+// on a program instrumented by instrument.ForTSan.
+type TSan struct {
+	sim.NopRuntime
+	det *detect.Detector
+	eng *sim.Engine
+
+	// SlowScale multiplies the per-access hook cost; see Options.SlowScale.
+	SlowScale float64
+}
+
+// NewTSan returns a TSan runtime.
+func NewTSan() *TSan { return &TSan{det: detect.New(), SlowScale: 1} }
+
+// Detector exposes the underlying detector.
+func (r *TSan) Detector() *detect.Detector { return r.det }
+
+// Init implements sim.Runtime.
+func (r *TSan) Init(e *sim.Engine) { r.eng = e }
+
+// Fork implements sim.Runtime.
+func (r *TSan) Fork(p, c *sim.Thread) { r.det.Fork(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// Joined implements sim.Runtime.
+func (r *TSan) Joined(p, c *sim.Thread) { r.det.Join(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// SyncAcquire implements sim.Runtime.
+func (r *TSan) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	detect.AcquireKind(r.det, clock.TID(t.ID), detect.SyncID(s), kind)
+}
+
+// SyncRelease implements sim.Runtime.
+func (r *TSan) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	detect.ReleaseKind(r.det, clock.TID(t.ID), detect.SyncID(s), kind)
+}
+
+// Atomic implements sim.Runtime.
+func (r *TSan) Atomic(t *sim.Thread, m *sim.AtomicRMW, addr memmodel.Addr) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	detect.AtomicOp(r.det, clock.TID(t.ID), addr, m.Site)
+}
+
+// Access implements sim.Runtime.
+func (r *TSan) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
+	if !m.Hooked {
+		return
+	}
+	r.eng.Charge(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale))
+	r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
+}
+
+// Sampling is TSan with per-access sampling at a fixed rate — the
+// cost-effectiveness baseline of Figures 11–13.
+type Sampling struct {
+	sim.NopRuntime
+	s   *detect.Sampler
+	eng *sim.Engine
+
+	// SlowScale as in TSan.
+	SlowScale float64
+}
+
+// NewSampling returns a sampling runtime at the given rate.
+func NewSampling(rate float64, seed int64) *Sampling {
+	return &Sampling{s: detect.NewSampler(rate, seed), SlowScale: 1}
+}
+
+// Sampler exposes the underlying sampler.
+func (r *Sampling) Sampler() *detect.Sampler { return r.s }
+
+// Detector exposes the underlying detector.
+func (r *Sampling) Detector() *detect.Detector { return r.s.D }
+
+// Init implements sim.Runtime.
+func (r *Sampling) Init(e *sim.Engine) { r.eng = e }
+
+// Fork implements sim.Runtime.
+func (r *Sampling) Fork(p, c *sim.Thread) { r.s.Fork(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// Joined implements sim.Runtime.
+func (r *Sampling) Joined(p, c *sim.Thread) { r.s.Join(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// SyncAcquire implements sim.Runtime.
+func (r *Sampling) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	detect.AcquireKind(r.s.D, clock.TID(t.ID), detect.SyncID(s), kind)
+}
+
+// SyncRelease implements sim.Runtime.
+func (r *Sampling) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	detect.ReleaseKind(r.s.D, clock.TID(t.ID), detect.SyncID(s), kind)
+}
+
+// Atomic implements sim.Runtime. Atomics are synchronization, so they are
+// never sampled away.
+func (r *Sampling) Atomic(t *sim.Thread, m *sim.AtomicRMW, addr memmodel.Addr) {
+	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	detect.AtomicOp(r.s.D, clock.TID(t.ID), addr, m.Site)
+}
+
+// Access implements sim.Runtime.
+func (r *Sampling) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
+	if !m.Hooked {
+		return
+	}
+	cost := r.eng.Config().Cost
+	if r.s.Access(clock.TID(t.ID), addr, m.Write, m.Site) {
+		r.eng.Charge(t, int64(float64(cost.SlowAccessHook)*r.SlowScale))
+	} else {
+		r.eng.Charge(t, cost.SampleGate)
+	}
+}

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// futureHTMOptions enables the §9 extension: conflict-address exposure plus
+// the targeted slow path built on it.
+func futureHTMOptions() core.Options {
+	opts := core.Options{TargetedSlowPath: true}
+	opts.HTM = htm.DefaultConfig()
+	opts.HTM.ExposeConflictAddress = true
+	return opts
+}
+
+func buildTargetedProg() (*sim.Program, sim.SiteID, sim.SiteID) {
+	al := memmodel.NewAllocator(1 << 20)
+	x := al.AllocLine()
+	const siteA, siteB = 1000, 1001
+	mk := func(site sim.SiteID, pad sim.SiteID) []sim.Instr {
+		body := []sim.Instr{&sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: site}}
+		return append(body, padWork(al, 200, pad)...)
+	}
+	return &sim.Program{Name: "targeted", Workers: [][]sim.Instr{mk(siteA, 2000), mk(siteB, 5000)}}, siteA, siteB
+}
+
+// TestTargetedSlowPathStillFindsTheRace: with the future HTM the conflicting
+// line is known, the episode only monitors that line, and the race is still
+// pinpointed.
+func TestTargetedSlowPathStillFindsTheRace(t *testing.T) {
+	p, a, b := buildTargetedProg()
+	rt, _ := runTxRace(t, p, futureHTMOptions(), quietConfig())
+	if !hasRace(rt, a, b) {
+		t.Fatalf("targeted slow path lost the conflict-line race: %v", rt.Detector().Races())
+	}
+}
+
+// TestTargetedSlowPathIsCheaper: the targeted episode re-executes the same
+// region but pays hooks only on the conflicting line, so the detector's
+// check count collapses while plain TxRace checks the whole region.
+func TestTargetedSlowPathIsCheaper(t *testing.T) {
+	p, _, _ := buildTargetedProg()
+	full, _ := runTxRace(t, p, core.Options{}, quietConfig())
+
+	p, _, _ = buildTargetedProg()
+	targeted, _ := runTxRace(t, p, futureHTMOptions(), quietConfig())
+
+	if full.Detector().Checks == 0 {
+		t.Fatal("baseline episode performed no checks?")
+	}
+	if targeted.Detector().Checks*4 > full.Detector().Checks {
+		t.Fatalf("targeted checks %d not well below full %d",
+			targeted.Detector().Checks, full.Detector().Checks)
+	}
+}
+
+// TestTargetedSlowPathMissesOffLineRaces documents the trade-off: a second
+// race on a different line inside the same conflicting regions is invisible
+// to the targeted episode, while full TxRace finds it.
+func TestTargetedSlowPathMissesOffLineRaces(t *testing.T) {
+	build := func() (*sim.Program, [2]sim.SiteID, [2]sim.SiteID) {
+		al := memmodel.NewAllocator(1 << 20)
+		x := al.AllocLine()
+		y := al.AllocLine() // second racy variable, different line
+		mk := func(sx, sy sim.SiteID, pad sim.SiteID) []sim.Instr {
+			body := []sim.Instr{
+				&sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: sx},
+			}
+			body = append(body, padWork(al, 100, pad)...)
+			// y is written mid-region: when the episode fires on x's
+			// conflict, the replay still *executes* y's write but the
+			// targeted detector never checks it.
+			body = append(body, &sim.MemAccess{Write: true, Addr: sim.Fixed(y), Site: sy})
+			body = append(body, padWork(al, 100, pad+500)...)
+			return body
+		}
+		p := &sim.Program{Name: "offline", Workers: [][]sim.Instr{
+			mk(1000, 1100, 2000), mk(1001, 1101, 5000),
+		}}
+		return p, [2]sim.SiteID{1000, 1001}, [2]sim.SiteID{1100, 1101}
+	}
+
+	p, onLine, offLine := build()
+	full, _ := runTxRace(t, p, core.Options{}, quietConfig())
+	if !hasRace(full, onLine[0], onLine[1]) || !hasRace(full, offLine[0], offLine[1]) {
+		t.Fatalf("full TxRace should find both races: %v", full.Detector().Races())
+	}
+
+	p, onLine, offLine = build()
+	targeted, _ := runTxRace(t, p, futureHTMOptions(), quietConfig())
+	if !hasRace(targeted, onLine[0], onLine[1]) {
+		t.Fatal("targeted slow path must keep the conflict-line race")
+	}
+	if hasRace(targeted, offLine[0], offLine[1]) {
+		t.Fatal("off-line race found — targeting is not filtering")
+	}
+}
+
+// TestConflictLineHiddenOnCommodityHTM: without ExposeConflictAddress the
+// hardware never reports an address (§2.2 challenge 1), so TargetedSlowPath
+// silently degrades to the full slow path.
+func TestConflictLineHiddenOnCommodityHTM(t *testing.T) {
+	h := htm.New(htm.DefaultConfig())
+	h.Begin(0)
+	h.Access(0, 64, true)
+	h.Access(1, 64, true) // dooms txn 0
+	if _, ok := h.ConflictLine(0); ok {
+		t.Fatal("commodity RTM exposed a conflict address")
+	}
+
+	cfg := htm.DefaultConfig()
+	cfg.ExposeConflictAddress = true
+	h = htm.New(cfg)
+	h.Begin(0)
+	h.Access(0, 64, true)
+	h.Access(1, 64+8, true)
+	line, ok := h.ConflictLine(0)
+	if !ok || line != memmodel.LineOf(64) {
+		t.Fatalf("future HTM conflict line = %v,%v", line, ok)
+	}
+}

@@ -1,0 +1,561 @@
+package core
+
+import (
+	"repro/internal/clock"
+	"repro/internal/detect"
+	"repro/internal/htm"
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// Options configures the TxRace runtime.
+type Options struct {
+	// HTM is the transactional hardware model; zero value means
+	// htm.DefaultConfig.
+	HTM htm.Config
+	// LoopCut selects the capacity-abort optimization (Fig. 9).
+	LoopCut CutMode
+	// Thresholds preloads loop-cut thresholds for ProfCut.
+	Thresholds LoopThresholds
+	// RetryBudget bounds fast-path retries of pure-retry aborts before
+	// falling back to the slow path, guaranteeing forward progress.
+	RetryBudget int
+	// RetryOnlyFraction is the fraction of interrupt aborts that report
+	// only the retry bit rather than an unknown status, exercising the
+	// retry policy of §4.2.
+	RetryOnlyFraction float64
+	// SlowScale multiplies the per-access slow-path hook cost, modelling
+	// per-application detector pathologies (contended shadow words, report
+	// storms) that make real TSan arbitrarily slower on some programs.
+	SlowScale float64
+	// DisableTxFail turns off the global-abort protocol (§3): on a
+	// conflict abort only the aborted thread re-executes on the slow path;
+	// concurrent transactions run to completion. This is the ablation for
+	// the paper's design choice of artificially aborting all in-flight
+	// transactions — without it the conflicting partner's accesses are
+	// usually never re-examined and the race is missed.
+	DisableTxFail bool
+	// TargetedSlowPath is the §9 "future HTM" extension the paper closes
+	// on: with an HTM that exposes the conflicting address
+	// (HTM.ExposeConflictAddress), a conflict episode's slow-path
+	// re-execution only pays detector hooks for accesses on the conflicting
+	// line instead of the whole region. Races on other lines of the same
+	// region can then slip through, but episodes get drastically cheaper.
+	// Capacity and unknown aborts still re-execute fully monitored.
+	TargetedSlowPath bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTM.MaxConcurrent == 0 {
+		o.HTM = htm.DefaultConfig()
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 3
+	}
+	if o.SlowScale == 0 {
+		o.SlowScale = 1
+	}
+	if o.Thresholds == nil {
+		o.Thresholds = LoopThresholds{}
+	} else {
+		o.Thresholds = o.Thresholds.Clone()
+	}
+	return o
+}
+
+// threadCtx is the runtime's per-thread state.
+type threadCtx struct {
+	mode         Mode
+	snap         sim.Snapshot
+	genAtBegin   uint64
+	clockAtBegin int64
+	retries      int
+	slowCause    Cause
+	slowStart    int64
+	// Targeted slow path (future-HTM extension): when set, only accesses on
+	// targetLine reach the detector during this slow region.
+	targetLine memmodel.Line
+	hasTarget  bool
+	// Loop-cut bookkeeping: LoopCheck hits per loop within the current
+	// transaction, and the most recent LoopCheck (the LBR stand-in used to
+	// attribute capacity aborts, §4.3).
+	iterInTx    map[sim.LoopID]int
+	lastLoop    sim.LoopID
+	hasLastLoop bool
+}
+
+// TxRace is the two-phase runtime. Create with NewTxRace and pass to
+// sim.Engine.Run with a program instrumented by instrument.ForTxRace.
+type TxRace struct {
+	sim.NopRuntime
+
+	opts Options
+	eng  *sim.Engine
+	hw   *htm.HTM
+	det  *detect.Detector
+
+	txFail    memmodel.Addr
+	txFailGen uint64
+	// episodeLine publishes the genuine conflict line of the current TxFail
+	// episode so artificially aborted threads can target it too (they only
+	// ever see TxFail itself as their hardware conflict address).
+	episodeLine    memmodel.Line
+	hasEpisodeLine bool
+
+	ctx []*threadCtx
+
+	thresholds LoopThresholds
+	cutActive  map[sim.LoopID]bool
+
+	stats Stats
+}
+
+// NewTxRace returns a runtime with the given options.
+func NewTxRace(opts Options) *TxRace {
+	opts = opts.withDefaults()
+	r := &TxRace{
+		opts:       opts,
+		hw:         htm.New(opts.HTM),
+		det:        detect.New(),
+		txFail:     txFailBase,
+		thresholds: opts.Thresholds,
+		cutActive:  make(map[sim.LoopID]bool),
+	}
+	r.stats.SlowRegions = make(map[Cause]uint64)
+	if opts.LoopCut == ProfCut {
+		for id := range r.thresholds {
+			r.cutActive[id] = true
+		}
+	}
+	return r
+}
+
+// Detector exposes the slow-path detector (race reports, recall inputs).
+func (r *TxRace) Detector() *detect.Detector { return r.det }
+
+// Stats returns the runtime statistics collected so far.
+func (r *TxRace) Stats() Stats { return r.stats }
+
+// Thresholds returns the live loop-cut thresholds (after adaptation), which
+// a profiling run harvests to build a ProfCut profile.
+func (r *TxRace) Thresholds() LoopThresholds { return r.thresholds }
+
+// Init implements sim.Runtime.
+func (r *TxRace) Init(e *sim.Engine) { r.eng = e }
+
+func (r *TxRace) tctx(t *sim.Thread) *threadCtx {
+	for t.ID >= len(r.ctx) {
+		r.ctx = append(r.ctx, nil)
+	}
+	if r.ctx[t.ID] == nil {
+		r.ctx[t.ID] = &threadCtx{iterInTx: make(map[sim.LoopID]int)}
+	}
+	return r.ctx[t.ID]
+}
+
+// multithreaded reports whether HTM monitoring is worthwhile: at least two
+// worker threads are live (§4.3, optimization 1).
+func (r *TxRace) multithreaded() bool { return r.eng.LiveWorkers() >= 2 }
+
+func (r *TxRace) slowHookCost() int64 {
+	return int64(float64(r.eng.Config().Cost.SlowAccessHook) * r.opts.SlowScale)
+}
+
+// chargeFast charges c cycles to t and attributes them to pure fast-path
+// overhead (the black "xbegin/xend" bar of Fig. 7).
+func (r *TxRace) chargeFast(t *sim.Thread, c int64) {
+	r.eng.Charge(t, c)
+	r.stats.CyclesFastPath += c
+}
+
+// Fork, Joined: thread-lifetime happens-before edges are always tracked.
+func (r *TxRace) Fork(parent, child *sim.Thread) {
+	r.det.Fork(clock.TID(parent.ID), clock.TID(child.ID))
+}
+
+// Joined implements sim.Runtime.
+func (r *TxRace) Joined(parent, child *sim.Thread) {
+	r.det.Join(clock.TID(parent.ID), clock.TID(child.ID))
+}
+
+// SyncAcquire tracks the happens-before edge on both paths (§5, Fig. 6).
+func (r *TxRace) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	c := r.tctx(t)
+	if c.mode == ModeNone && !r.multithreaded() {
+		return
+	}
+	r.chargeFast(t, r.eng.Config().Cost.FastSyncHook)
+	detect.AcquireKind(r.det, clock.TID(t.ID), detect.SyncID(s), kind)
+}
+
+// SyncRelease tracks the happens-before edge on both paths (§5, Fig. 6).
+func (r *TxRace) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	c := r.tctx(t)
+	if c.mode == ModeNone && !r.multithreaded() {
+		return
+	}
+	r.chargeFast(t, r.eng.Config().Cost.FastSyncHook)
+	detect.ReleaseKind(r.det, clock.TID(t.ID), detect.SyncID(s), kind)
+}
+
+// TxBeginMark opens a region: a hardware transaction on the fast path, a
+// software-monitored region for small regions, a no-op in single-threaded
+// mode, and — when the thread was just rolled back here — the entry point of
+// a slow-path re-execution.
+func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
+	c := r.tctx(t)
+	if c.mode == ModeSlow {
+		// Re-executing the region on the slow path after a rollback.
+		return
+	}
+	if !r.multithreaded() {
+		c.mode = ModeNone
+		return
+	}
+	if m.Small {
+		// §4.3: regions with fewer than K memory operations skip the HTM;
+		// the software detector covers them.
+		c.mode = ModeSlow
+		c.slowCause = CauseSmall
+		c.slowStart = t.Clock
+		r.stats.SlowRegions[CauseSmall]++
+		return
+	}
+	st, err := r.hw.Begin(t.ID)
+	if st != 0 {
+		// A nested begin means runtime mode tracking went wrong; fail loudly
+		// rather than silently running unmonitored.
+		panic("txrace: nested transaction begin")
+	}
+	if err != nil {
+		// No free hardware context (§6 reason 4): software detection.
+		c.mode = ModeSlow
+		c.slowCause = CauseNoHW
+		c.slowStart = t.Clock
+		r.stats.SlowRegions[CauseNoHW]++
+		return
+	}
+	cost := r.eng.Config().Cost
+	r.chargeFast(t, cost.XBegin)
+	c.mode = ModeFast
+	c.snap = r.eng.Checkpoint(t)
+	c.genAtBegin = r.txFailGen
+	c.clockAtBegin = t.Clock
+	c.hasLastLoop = false
+	clearLoopIters(c.iterInTx)
+	// Instrumented prologue: read the TxFail flag transactionally so a
+	// later non-transactional write to it aborts this transaction (§4.1).
+	r.hw.Access(t.ID, r.txFail, false)
+}
+
+func clearLoopIters(m map[sim.LoopID]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Atomic handles an atomic read-modify-write: a synchronization operation,
+// tracked on both paths like every other sync (§5). Instrumentation has
+// already cut the region around it, so no transaction is open here.
+func (r *TxRace) Atomic(t *sim.Thread, m *sim.AtomicRMW, addr memmodel.Addr) {
+	c := r.tctx(t)
+	if c.mode == ModeNone && !r.multithreaded() {
+		return
+	}
+	r.chargeFast(t, r.eng.Config().Cost.FastSyncHook)
+	// The atomic still participates in HTM conflict detection (coherence
+	// traffic) like any access.
+	r.hw.Access(t.ID, addr, true)
+	detect.AtomicOp(r.det, clock.TID(t.ID), addr, m.Site)
+}
+
+// Access handles one memory access according to the thread's mode. All
+// accesses participate in HTM conflict detection (hardware tracks every
+// byte a transaction touches, hooked or not, and strong isolation makes
+// non-transactional accesses conflict too); only hooked accesses reach the
+// software detector on the slow path.
+func (r *TxRace) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
+	c := r.tctx(t)
+	switch c.mode {
+	case ModeNone:
+		return
+	case ModeFast, ModeIdle:
+		r.hw.Access(t.ID, addr, m.Write)
+	case ModeSlow:
+		// Strong isolation: this non-transactional access aborts any
+		// conflicting in-flight transaction (Fig. 5's fast/slow mixed
+		// detection — in the one direction the hardware supports).
+		r.hw.Access(t.ID, addr, m.Write)
+		if c.hasTarget && memmodel.LineOf(addr) != c.targetLine {
+			// Targeted slow path: off-line accesses skip the detector.
+			return
+		}
+		if m.Hooked {
+			hc := r.slowHookCost()
+			r.eng.Charge(t, hc)
+			r.attributeSlow(c, hc)
+			r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
+		}
+	}
+}
+
+// attributeSlow adds hook cycles to the Fig. 7 bucket for the current
+// slow-region cause. (For abort-caused regions the whole re-execution time
+// is attributed at TxEndMark; hook cycles are folded in there, so this
+// only needs to handle causes that do not re-execute.)
+func (r *TxRace) attributeSlow(c *threadCtx, cycles int64) {
+	switch c.slowCause {
+	case CauseSmall, CauseNoHW:
+		r.stats.CyclesSmall += cycles
+	}
+}
+
+// SyscallEvent fires for every system call. Instrumentation cuts
+// transactions around every syscall it knows about, so reaching here in
+// ModeFast means a *hidden* syscall (the paper's misprofiled third-party
+// library case, §7): the privilege-level change aborts the transaction with
+// an unknown status.
+func (r *TxRace) SyscallEvent(t *sim.Thread, sc *sim.Syscall) {
+	c := r.tctx(t)
+	if c.mode == ModeFast {
+		r.hw.InjectInterrupt(t.ID)
+	}
+}
+
+// Interrupt delivers a timer interrupt / context switch: an open transaction
+// aborts, usually with an unknown status, occasionally retry-only.
+func (r *TxRace) Interrupt(t *sim.Thread) {
+	c := r.tctx(t)
+	if c.mode != ModeFast {
+		return
+	}
+	if r.opts.RetryOnlyFraction > 0 && t.RNG.Bool(r.opts.RetryOnlyFraction) {
+		r.hw.InjectAbort(t.ID, htm.StatusRetry)
+		return
+	}
+	r.hw.InjectInterrupt(t.ID)
+}
+
+// PreStep is the abort-delivery point: a transaction doomed by a remote
+// access or interrupt takes effect before the thread's next instruction.
+func (r *TxRace) PreStep(t *sim.Thread) {
+	c := r.tctx(t)
+	if c.mode != ModeFast {
+		return
+	}
+	if _, ok := r.hw.Pending(t.ID); !ok {
+		return
+	}
+	st := r.hw.Resolve(t.ID)
+	r.handleAbort(t, c, st)
+}
+
+// handleAbort implements the §4.2 policy table.
+func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
+	cost := r.eng.Config().Cost
+	r.eng.Charge(t, cost.AbortPenalty)
+	wasted := t.Clock - c.clockAtBegin
+
+	var cause Cause
+	switch {
+	case st.Is(htm.StatusConflict):
+		// Conflict (or conflict+retry, treated as conflict per §4.2).
+		r.stats.ConflictAborts++
+		cause = CauseConflict
+		if r.opts.TargetedSlowPath {
+			if line, ok := r.hw.ConflictLine(t.ID); ok {
+				if memmodel.LineBase(line) == r.txFail || memmodel.LineOf(r.txFail) == line {
+					// Artificial abort: the hardware address is TxFail
+					// itself; the initiator published the real line.
+					c.targetLine, c.hasTarget = r.episodeLine, r.hasEpisodeLine
+				} else {
+					c.targetLine, c.hasTarget = line, true
+				}
+			}
+		}
+		if r.opts.DisableTxFail {
+			// Ablation: no artificial aborts; partners keep running.
+		} else if c.genAtBegin == r.txFailGen {
+			// First abort of this episode: write TxFail. Strong isolation
+			// plus every transaction's prologue read of TxFail aborts all
+			// concurrent in-flight transactions (§3 steps 3–4).
+			r.txFailGen++
+			r.episodeLine, r.hasEpisodeLine = c.targetLine, c.hasTarget
+			r.eng.Charge(t, cost.TxFailWrite)
+			r.hw.Access(t.ID, r.txFail, true)
+		} else {
+			// Artificially aborted by another thread's TxFail write.
+			r.stats.ArtificialAborts++
+		}
+	case st.Is(htm.StatusCapacity):
+		r.stats.CapacityAborts++
+		cause = CauseCapacity
+		r.noteCapacityAbort(c)
+	case st == 0:
+		r.stats.UnknownAborts++
+		cause = CauseUnknown
+	case st.Is(htm.StatusRetry):
+		// Pure retry status: retry the transaction on the fast path within
+		// budget (§4.2 "Retry").
+		if c.retries < r.opts.RetryBudget {
+			c.retries++
+			r.stats.Retries++
+			r.stats.CyclesFastPath += wasted
+			c.mode = ModeIdle
+			r.eng.Restore(t, c.snap) // re-executes TxBegin → new transaction
+			return
+		}
+		r.stats.UnknownAborts++
+		cause = CauseUnknown
+	default:
+		// Debug/nested cannot arise from our instrumentation (§4.2); treat
+		// defensively as unknown so progress is guaranteed.
+		r.stats.UnknownAborts++
+		cause = CauseUnknown
+	}
+
+	c.retries = 0
+	c.mode = ModeSlow
+	c.slowCause = cause
+	r.stats.SlowRegions[cause]++
+	r.eng.Restore(t, c.snap)
+	c.slowStart = t.Clock
+	// The wasted attempt is part of this cause's overhead.
+	r.addCauseCycles(cause, wasted+cost.AbortPenalty)
+}
+
+func (r *TxRace) addCauseCycles(cause Cause, cycles int64) {
+	switch cause {
+	case CauseConflict:
+		r.stats.CyclesConflict += cycles
+	case CauseCapacity:
+		r.stats.CyclesCapacity += cycles
+	case CauseUnknown:
+		r.stats.CyclesUnknown += cycles
+	}
+}
+
+// noteCapacityAbort attributes a capacity abort to the innermost loop whose
+// LoopCheck executed most recently inside the transaction — the simulator's
+// stand-in for Last Branch Record profiling (§4.3) — and adjusts the
+// loop-cut threshold downward (commit raises it, abort lowers it).
+func (r *TxRace) noteCapacityAbort(c *threadCtx) {
+	if r.opts.LoopCut == NoCut || !c.hasLastLoop {
+		return
+	}
+	id := c.lastLoop
+	if !r.cutActive[id] {
+		r.cutActive[id] = true
+		if _, ok := r.thresholds[id]; !ok {
+			r.thresholds[id] = 2 // DynLoopcut's small initial estimate
+		}
+		return
+	}
+	// Threshold adaptation, scaled: the paper adjusts by ±1 per event; at
+	// this simulator's run lengths (hundreds of loop executions rather than
+	// millions) proportional steps reproduce the same walk-to-the-boundary
+	// dynamics — climb slowly on commits, back off harder on aborts.
+	if th := r.thresholds[id]; th > 1 {
+		r.thresholds[id] = max(1, th-max(1, th/4))
+	}
+}
+
+// LoopCheckMark fires at the end of each cut-candidate loop body iteration.
+// On the fast path it both records abort-attribution state and, when the
+// loop's threshold is reached, splits the transaction (commit + begin) to
+// preempt a capacity abort.
+func (r *TxRace) LoopCheckMark(t *sim.Thread, m *sim.LoopCheck) {
+	c := r.tctx(t)
+	if c.mode != ModeFast {
+		return
+	}
+	c.lastLoop, c.hasLastLoop = m.ID, true
+	c.iterInTx[m.ID]++
+	if r.opts.LoopCut == NoCut || !r.cutActive[m.ID] {
+		return
+	}
+	th := r.thresholds[m.ID]
+	if th <= 0 || c.iterInTx[m.ID] < th {
+		return
+	}
+	// Cut: end the transaction here and start a new one, moving the
+	// rollback point to this loop iteration.
+	cost := r.eng.Config().Cost
+	st, ok := r.hw.Commit(t.ID)
+	r.chargeFast(t, cost.XEnd)
+	if !ok {
+		r.handleAbort(t, c, st)
+		return
+	}
+	r.stats.CommittedTxns++
+	r.stats.LoopCuts++
+	// A successful cut commit raises the estimate (§4.3) — proportional
+	// step, matching the scaled adaptation in noteCapacityAbort.
+	if th := r.thresholds[m.ID]; th < 1<<20 {
+		r.thresholds[m.ID] = th + max(1, th/32)
+	}
+	if _, err := r.hw.Begin(t.ID); err != nil {
+		c.mode = ModeSlow
+		c.slowCause = CauseNoHW
+		c.slowStart = t.Clock
+		r.stats.SlowRegions[CauseNoHW]++
+		return
+	}
+	r.chargeFast(t, cost.XBegin)
+	c.snap = r.eng.Checkpoint(t)
+	c.genAtBegin = r.txFailGen
+	c.clockAtBegin = t.Clock
+	clearLoopIters(c.iterInTx)
+	c.hasLastLoop = false
+	r.hw.Access(t.ID, r.txFail, false)
+}
+
+// TxEndMark closes the current region: commit on the fast path, switch back
+// to the fast path after a slow region (§3: "TxRace switches back to the
+// fast path ... for the next program regions").
+func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
+	c := r.tctx(t)
+	switch c.mode {
+	case ModeNone:
+		c.mode = ModeIdle
+		if !r.multithreaded() {
+			c.mode = ModeNone
+		}
+		return
+	case ModeIdle:
+		return
+	case ModeSlow:
+		if c.slowCause == CauseConflict || c.slowCause == CauseCapacity || c.slowCause == CauseUnknown {
+			// The whole re-execution is overhead attributable to the abort.
+			r.addCauseCycles(c.slowCause, t.Clock-c.slowStart)
+		}
+		c.slowCause = CauseNone
+		c.hasTarget = false
+		c.mode = ModeIdle
+		return
+	case ModeFast:
+		cost := r.eng.Config().Cost
+		st, ok := r.hw.Commit(t.ID)
+		r.chargeFast(t, cost.XEnd)
+		if !ok {
+			r.handleAbort(t, c, st)
+			return
+		}
+		r.stats.CommittedTxns++
+		c.retries = 0
+		c.mode = ModeIdle
+	}
+}
+
+// ThreadExit releases any open state (a transaction cannot be open here —
+// instrumentation places a TxEnd at thread exit — but be defensive).
+func (r *TxRace) ThreadExit(t *sim.Thread) {
+	c := r.tctx(t)
+	if c.mode == ModeFast && r.hw.InTxn(t.ID) {
+		r.hw.AbortExplicit(t.ID, 0xff)
+		if _, ok := r.hw.Pending(t.ID); ok {
+			r.hw.Resolve(t.ID)
+		}
+	}
+	c.mode = ModeNone
+}

@@ -1,0 +1,66 @@
+// Package cost defines the cycle-accounting model that stands in for
+// wall-clock time on the paper's Haswell testbed. Every simulated
+// instruction and every detector action charges cycles to the executing
+// thread's virtual clock; reported "runtime overhead" is the ratio of final
+// virtual makespans, matching the paper's relative measurements (Table 1,
+// Figures 7–9, 12).
+//
+// Absolute values are arbitrary; only ratios matter. The defaults are chosen
+// so that an access-dense workload under full happens-before detection slows
+// down by roughly an order of magnitude (the paper's TSan geomean is 11.68x)
+// while transactional execution costs a small fraction of that.
+package cost
+
+// Model is the table of per-event cycle charges.
+type Model struct {
+	// Application-level base costs (uninstrumented execution).
+	Access      int64 // one load or store
+	LoopBranch  int64 // loop back-edge
+	LockOp      int64 // lock or unlock
+	SignalOp    int64 // signal (semaphore post)
+	WaitOp      int64 // wait (semaphore pend), excluding blocked time
+	BarrierOp   int64 // barrier arrival/departure bookkeeping
+	SyscallMin  int64 // floor for any system call
+	WakeLatency int64 // scheduler latency added when a blocked thread wakes
+
+	// Slow-path (ThreadSanitizer-equivalent) instrumentation costs.
+	SlowAccessHook int64 // shadow lookup + happens-before comparison
+	SlowSyncHook   int64 // vector-clock work at a sync operation
+
+	// Fast-path (HTM) costs.
+	XBegin         int64 // xbegin + reading the TxFail flag
+	XEnd           int64 // xend
+	FastAccessHook int64 // the instrumented hook that "does nothing" on fast path
+	FastSyncHook   int64 // happens-before tracking kept on during fast path (§5)
+	AbortPenalty   int64 // pipeline flush + register restore on any abort
+	TxFailWrite    int64 // the non-transactional store that kills in-flight txns
+
+	// Sampling baseline.
+	SampleGate int64 // cost of the sampling decision for a skipped access
+}
+
+// Default returns the calibrated model used by all experiments.
+func Default() Model {
+	return Model{
+		Access:      1,
+		LoopBranch:  1,
+		LockOp:      15,
+		SignalOp:    20,
+		WaitOp:      20,
+		BarrierOp:   40,
+		SyscallMin:  20,
+		WakeLatency: 25,
+
+		SlowAccessHook: 11,
+		SlowSyncHook:   60,
+
+		XBegin:         55,
+		XEnd:           45,
+		FastAccessHook: 0, // folded into xbegin/xend; hooks are branches the predictor eats
+		FastSyncHook:   25,
+		AbortPenalty:   160,
+		TxFailWrite:    25,
+
+		SampleGate: 1,
+	}
+}

@@ -1,0 +1,38 @@
+package cost
+
+import "testing"
+
+// The cost model only needs to satisfy relative-order invariants: the
+// absolute numbers are arbitrary, but the relations below are what the
+// evaluation's shape rests on.
+func TestDefaultModelInvariants(t *testing.T) {
+	m := Default()
+
+	if m.Access <= 0 || m.LoopBranch <= 0 {
+		t.Fatal("base costs must be positive")
+	}
+	if m.SlowAccessHook < 5*m.Access {
+		t.Error("shadow checks must dwarf a plain access, or TSan overheads collapse")
+	}
+	if m.XBegin+m.XEnd <= m.SlowAccessHook {
+		t.Error("transaction management must cost more than one shadow check (the short-transaction pathology needs it)")
+	}
+	if m.FastSyncHook >= m.SlowSyncHook {
+		t.Error("fast-path HB tracking must be cheaper than full slow-path sync instrumentation (§8.2)")
+	}
+	if m.AbortPenalty <= m.XBegin {
+		t.Error("an abort (pipeline flush + restore) must cost more than a begin")
+	}
+	if m.SyscallMin <= m.Access {
+		t.Error("a kernel crossing must dwarf a user-space access")
+	}
+	if m.SampleGate >= m.SlowAccessHook {
+		t.Error("the sampling gate must be near-free or sampling cannot save anything")
+	}
+	if m.LockOp <= 0 || m.SignalOp <= 0 || m.WaitOp <= 0 || m.BarrierOp <= 0 {
+		t.Fatal("sync base costs must be positive")
+	}
+	if m.WakeLatency <= 0 || m.TxFailWrite <= 0 {
+		t.Fatal("latencies must be positive")
+	}
+}

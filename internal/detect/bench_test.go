@@ -1,0 +1,53 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// BenchmarkFastTrackSameEpochRead is FastTrack's common case: the O(1)
+// same-epoch check that makes it faster than Djit⁺.
+func BenchmarkFastTrackSameEpochRead(b *testing.B) {
+	d := New()
+	d.Write(0, x, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Read(0, x, 2)
+	}
+}
+
+func BenchmarkFastTrackCrossThreadOrdered(b *testing.B) {
+	d := New()
+	for i := 0; i < b.N; i++ {
+		tid := int32(i & 3)
+		d.Acquire(clockTID(tid), 1)
+		d.Write(clockTID(tid), x, 1)
+		d.Release(clockTID(tid), 1)
+	}
+}
+
+func BenchmarkDjitWrite(b *testing.B) {
+	d := NewVC()
+	for t := int32(0); t < 8; t++ {
+		d.Acquire(clockTID(t), 1)
+		d.Write(clockTID(t), x, 1)
+		d.Release(clockTID(t), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := int32(i & 7)
+		d.Acquire(clockTID(tid), 1)
+		d.Write(clockTID(tid), x, 1)
+		d.Release(clockTID(tid), 1)
+	}
+}
+
+func BenchmarkLocksetAccess(b *testing.B) {
+	d := NewLockset()
+	d.Acquire(0, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(0, memmodel.Addr(uint64(i%64)*8), true, 1)
+	}
+}

@@ -1,0 +1,253 @@
+// Package detect implements the slow-path software race detector: a
+// FastTrack-style happens-before algorithm over shadow memory, equivalent in
+// role to the Google ThreadSanitizer instance TxRace invokes on demand (§5).
+//
+// The detector is complete (reports only true happens-before races of the
+// monitored trace) and — when every access is fed to it — sound for that
+// trace. TxRace's unsoundness comes from feeding it only the re-executed
+// regions, never from the algorithm itself.
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/memmodel"
+	"repro/internal/shadow"
+)
+
+// SyncID identifies a synchronization object (mutex, condvar, barrier).
+type SyncID uint32
+
+// Race is one detected happens-before violation. Prev is the access already
+// recorded in shadow memory, Cur the access that completed the race.
+type Race struct {
+	Addr      memmodel.Addr
+	PrevSite  shadow.SiteID
+	CurSite   shadow.SiteID
+	PrevWrite bool
+	CurWrite  bool
+	PrevTID   clock.TID
+	CurTID    clock.TID
+}
+
+// Key returns the normalized static instruction pair identifying the race.
+// The paper counts "static instances" (§8.3): a racy pair of source
+// locations, regardless of how many dynamic occurrences it has.
+func (r Race) Key() PairKey {
+	a, b := r.PrevSite, r.CurSite
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{A: a, B: b}
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race @%#x: site %d (tid %d, write=%v) vs site %d (tid %d, write=%v)",
+		uint64(r.Addr), r.PrevSite, r.PrevTID, r.PrevWrite, r.CurSite, r.CurTID, r.CurWrite)
+}
+
+// PairKey is a normalized static race identity.
+type PairKey struct{ A, B shadow.SiteID }
+
+// Detector holds the full happens-before state: one vector clock per thread,
+// one per sync object, and FastTrack shadow words.
+type Detector struct {
+	threads []*clock.VC
+	syncs   map[SyncID]*clock.VC
+	mem     *shadow.Memory
+	races   map[PairKey]Race
+	order   []PairKey // insertion order for deterministic reporting
+	onRace  func(Race)
+
+	// Checks counts memory accesses actually analyzed; the cost model uses
+	// it and the sampling comparison reports it.
+	Checks uint64
+}
+
+// New returns an empty detector.
+func New() *Detector {
+	return &Detector{
+		syncs: make(map[SyncID]*clock.VC),
+		mem:   shadow.NewMemory(),
+		races: make(map[PairKey]Race),
+	}
+}
+
+// OnRace registers a callback invoked once per distinct static race.
+func (d *Detector) OnRace(f func(Race)) { d.onRace = f }
+
+func (d *Detector) thread(tid clock.TID) *clock.VC {
+	for int(tid) >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[tid] == nil {
+		v := clock.New(int(tid) + 1)
+		v.Tick(tid) // a thread's own component starts at 1
+		d.threads[tid] = v
+	}
+	return d.threads[tid]
+}
+
+func (d *Detector) sync(s SyncID) *clock.VC {
+	v := d.syncs[s]
+	if v == nil {
+		v = clock.New(0)
+		d.syncs[s] = v
+	}
+	return v
+}
+
+// ThreadVC exposes tid's current clock (read-only use expected). The TxRace
+// runtime consults it when attributing fast/slow overlap.
+func (d *Detector) ThreadVC(tid clock.TID) *clock.VC { return d.thread(tid) }
+
+// Fork records that parent spawned child: the child inherits everything the
+// parent has seen so far.
+func (d *Detector) Fork(parent, child clock.TID) {
+	p, c := d.thread(parent), d.thread(child)
+	c.Join(p)
+	c.Tick(child)
+	p.Tick(parent)
+}
+
+// Join records that parent observed child's termination.
+func (d *Detector) Join(parent, child clock.TID) {
+	p, c := d.thread(parent), d.thread(child)
+	p.Join(c)
+	c.Tick(child)
+}
+
+// Acquire records tid synchronizing-with prior releases of s (lock acquire,
+// condition wait return, barrier departure).
+func (d *Detector) Acquire(tid clock.TID, s SyncID) {
+	d.thread(tid).Join(d.sync(s))
+}
+
+// Release records tid publishing its history through s (lock release,
+// signal, barrier arrival). The sync clock joins rather than assigns so the
+// same primitive serves mutexes, semaphore-style condvars, and barriers
+// without manufacturing false happens-before edges.
+func (d *Detector) Release(tid clock.TID, s SyncID) {
+	t := d.thread(tid)
+	d.sync(s).Join(t)
+	t.Tick(tid)
+}
+
+func (d *Detector) report(r Race) {
+	k := r.Key()
+	if _, dup := d.races[k]; dup {
+		return
+	}
+	d.races[k] = r
+	d.order = append(d.order, k)
+	if d.onRace != nil {
+		d.onRace(r)
+	}
+}
+
+// Read analyzes a read of addr by tid at static site, following FastTrack's
+// adaptive read representation.
+func (d *Detector) Read(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) {
+	d.Checks++
+	c := d.thread(tid)
+	w := d.mem.Word(addr)
+	e := c.Epoch(tid)
+
+	if w.ReadShared() {
+		if w.RVC.Get(tid) == e.Time() {
+			return // same-epoch read
+		}
+	} else if w.R == e {
+		return
+	}
+
+	if !c.LeqEpoch(w.W) {
+		d.report(Race{Addr: addr, PrevSite: w.WSite, CurSite: site,
+			PrevWrite: true, CurWrite: false, PrevTID: w.W.TID(), CurTID: tid})
+	}
+
+	if w.ReadShared() {
+		w.RecordSharedRead(tid, e.Time(), site)
+		return
+	}
+	if w.R == clock.NoEpoch || c.LeqEpoch(w.R) {
+		w.R, w.RSite = e, site // exclusive: new read supersedes ordered old one
+		return
+	}
+	// Two concurrent readers: inflate to vector mode.
+	w.Inflate(len(d.threads))
+	w.RecordSharedRead(tid, e.Time(), site)
+}
+
+// Write analyzes a write of addr by tid at static site.
+func (d *Detector) Write(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) {
+	d.Checks++
+	c := d.thread(tid)
+	w := d.mem.Word(addr)
+	e := c.Epoch(tid)
+
+	if w.W == e {
+		w.WSite = site
+		return // same-epoch write
+	}
+	if !c.LeqEpoch(w.W) {
+		d.report(Race{Addr: addr, PrevSite: w.WSite, CurSite: site,
+			PrevWrite: true, CurWrite: true, PrevTID: w.W.TID(), CurTID: tid})
+	}
+	if w.ReadShared() {
+		for t := clock.TID(0); int(t) < w.RVC.Len(); t++ {
+			rt := w.RVC.Get(t)
+			if rt > 0 && rt > c.Get(t) {
+				d.report(Race{Addr: addr, PrevSite: w.RSiteOf(t), CurSite: site,
+					PrevWrite: false, CurWrite: true, PrevTID: t, CurTID: tid})
+			}
+		}
+	} else if w.R != clock.NoEpoch && !c.LeqEpoch(w.R) {
+		d.report(Race{Addr: addr, PrevSite: w.RSite, CurSite: site,
+			PrevWrite: false, CurWrite: true, PrevTID: w.R.TID(), CurTID: tid})
+	}
+	// FastTrack write-clears-reads: any later access ordered after this
+	// write is ordered after all reads it superseded; any unordered later
+	// access will race with this write instead.
+	w.W, w.WSite = e, site
+	w.R, w.RVC, w.RSites = clock.NoEpoch, nil, nil
+}
+
+// Access dispatches to Read or Write.
+func (d *Detector) Access(tid clock.TID, addr memmodel.Addr, isWrite bool, site shadow.SiteID) {
+	if isWrite {
+		d.Write(tid, addr, site)
+	} else {
+		d.Read(tid, addr, site)
+	}
+}
+
+// RaceCount returns the number of distinct static races found.
+func (d *Detector) RaceCount() int { return len(d.races) }
+
+// Races returns the distinct races in first-detection order.
+func (d *Detector) Races() []Race {
+	out := make([]Race, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, d.races[k])
+	}
+	return out
+}
+
+// RaceKeys returns the normalized static pairs, sorted, for set comparisons
+// between detector runs (recall computation in Table 2 / Fig. 10).
+func (d *Detector) RaceKeys() []PairKey {
+	out := make([]PairKey, 0, len(d.races))
+	for k := range d.races {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

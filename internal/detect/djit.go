@@ -1,0 +1,185 @@
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/clock"
+	"repro/internal/memmodel"
+	"repro/internal/shadow"
+)
+
+// VCDetector is a Djit⁺-style happens-before detector (Pozniansky &
+// Schuster's MultiRace lineage, [58] in the paper): it keeps a full vector
+// clock per variable for reads and writes instead of FastTrack's adaptive
+// epochs. Detection power is identical to Detector — both implement exact
+// happens-before — but every access pays O(threads) vector work where
+// FastTrack usually pays O(1). BenchmarkDetectorAlgorithms quantifies the
+// gap, which is the optimization FastTrack (and hence TSan, and hence this
+// reproduction's slow path) is built on.
+type VCDetector struct {
+	threads []*clock.VC
+	syncs   map[SyncID]*clock.VC
+	vars    map[uint64]*vcVar
+	races   map[PairKey]Race
+	order   []PairKey
+
+	Checks uint64
+}
+
+type vcVar struct {
+	w      *clock.VC
+	r      *clock.VC
+	wSites []shadow.SiteID // per-thread last write site
+	rSites []shadow.SiteID
+}
+
+// NewVC returns an empty Djit⁺-style detector.
+func NewVC() *VCDetector {
+	return &VCDetector{
+		syncs: make(map[SyncID]*clock.VC),
+		vars:  make(map[uint64]*vcVar),
+		races: make(map[PairKey]Race),
+	}
+}
+
+func (d *VCDetector) thread(tid clock.TID) *clock.VC {
+	for int(tid) >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[tid] == nil {
+		v := clock.New(int(tid) + 1)
+		v.Tick(tid)
+		d.threads[tid] = v
+	}
+	return d.threads[tid]
+}
+
+func (d *VCDetector) sync(s SyncID) *clock.VC {
+	v := d.syncs[s]
+	if v == nil {
+		v = clock.New(0)
+		d.syncs[s] = v
+	}
+	return v
+}
+
+// Fork, Join, Acquire, Release mirror Detector's happens-before transfer.
+func (d *VCDetector) Fork(parent, child clock.TID) {
+	p, c := d.thread(parent), d.thread(child)
+	c.Join(p)
+	c.Tick(child)
+	p.Tick(parent)
+}
+
+// Join records child's termination.
+func (d *VCDetector) Join(parent, child clock.TID) {
+	d.thread(parent).Join(d.thread(child))
+	d.thread(child).Tick(child)
+}
+
+// Acquire joins the sync object's clock into the thread.
+func (d *VCDetector) Acquire(tid clock.TID, s SyncID) { d.thread(tid).Join(d.sync(s)) }
+
+// Release publishes the thread's clock through the sync object.
+func (d *VCDetector) Release(tid clock.TID, s SyncID) {
+	t := d.thread(tid)
+	d.sync(s).Join(t)
+	t.Tick(tid)
+}
+
+func (d *VCDetector) varOf(a memmodel.Addr) *vcVar {
+	g := memmodel.WordOf(a)
+	v := d.vars[g]
+	if v == nil {
+		v = &vcVar{w: clock.New(0), r: clock.New(0)}
+		d.vars[g] = v
+	}
+	return v
+}
+
+func setSite(sites *[]shadow.SiteID, tid clock.TID, site shadow.SiteID) {
+	for int(tid) >= len(*sites) {
+		*sites = append(*sites, 0)
+	}
+	(*sites)[tid] = site
+}
+
+func siteOf(sites []shadow.SiteID, tid clock.TID) shadow.SiteID {
+	if int(tid) >= len(sites) {
+		return 0
+	}
+	return sites[tid]
+}
+
+func (d *VCDetector) report(r Race) {
+	k := r.Key()
+	if _, dup := d.races[k]; dup {
+		return
+	}
+	d.races[k] = r
+	d.order = append(d.order, k)
+}
+
+// scan reports every component of prev that is not covered by cur: a full
+// O(threads) vector comparison per access — Djit⁺'s cost profile.
+func (d *VCDetector) scan(prev *clock.VC, sites []shadow.SiteID, prevWrite bool,
+	cur *clock.VC, tid clock.TID, isWrite bool, addr memmodel.Addr, site shadow.SiteID) {
+	for t := clock.TID(0); int(t) < prev.Len(); t++ {
+		if t == tid {
+			continue
+		}
+		pt := prev.Get(t)
+		if pt > 0 && pt > cur.Get(t) {
+			d.report(Race{Addr: addr, PrevSite: siteOf(sites, t), CurSite: site,
+				PrevWrite: prevWrite, CurWrite: isWrite, PrevTID: t, CurTID: tid})
+		}
+	}
+}
+
+// Read analyzes a read.
+func (d *VCDetector) Read(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) {
+	d.Checks++
+	c := d.thread(tid)
+	v := d.varOf(addr)
+	d.scan(v.w, v.wSites, true, c, tid, false, addr, site)
+	v.r.Set(tid, c.Get(tid))
+	setSite(&v.rSites, tid, site)
+}
+
+// Write analyzes a write.
+func (d *VCDetector) Write(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) {
+	d.Checks++
+	c := d.thread(tid)
+	v := d.varOf(addr)
+	d.scan(v.w, v.wSites, true, c, tid, true, addr, site)
+	d.scan(v.r, v.rSites, false, c, tid, true, addr, site)
+	v.w.Set(tid, c.Get(tid))
+	setSite(&v.wSites, tid, site)
+}
+
+// Access dispatches to Read or Write.
+func (d *VCDetector) Access(tid clock.TID, addr memmodel.Addr, isWrite bool, site shadow.SiteID) {
+	if isWrite {
+		d.Write(tid, addr, site)
+	} else {
+		d.Read(tid, addr, site)
+	}
+}
+
+// RaceCount returns the number of distinct static races.
+func (d *VCDetector) RaceCount() int { return len(d.races) }
+
+// RaceKeys returns the sorted normalized race pairs.
+func (d *VCDetector) RaceKeys() []PairKey {
+	out := make([]PairKey, 0, len(d.races))
+	for k := range d.races {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,51 @@
+package detect
+
+import (
+	"math/rand"
+
+	"repro/internal/clock"
+	"repro/internal/memmodel"
+	"repro/internal/shadow"
+)
+
+// Sampler wraps a Detector and analyzes each memory access only with
+// probability Rate, in the style of LiteRace/Pacer. Synchronization events
+// are always tracked (dropping them would corrupt the happens-before
+// relation rather than merely lose coverage). This is the "TSan+Sampling"
+// baseline of Figures 11–13.
+type Sampler struct {
+	D    *Detector
+	Rate float64
+	rng  *rand.Rand
+
+	Sampled uint64
+	Skipped uint64
+}
+
+// NewSampler returns a sampler at the given rate in [0,1].
+func NewSampler(rate float64, seed int64) *Sampler {
+	if rate < 0 || rate > 1 {
+		panic("detect: sampling rate out of [0,1]")
+	}
+	return &Sampler{D: New(), Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Access analyzes the access with probability Rate and reports whether it
+// was analyzed. A skipped access leaves no shadow state, so both halves of a
+// race must be sampled for the race to be found — the source of the recall
+// loss the paper plots in Figure 13.
+func (s *Sampler) Access(tid clock.TID, addr memmodel.Addr, isWrite bool, site shadow.SiteID) bool {
+	if s.Rate < 1 && s.rng.Float64() >= s.Rate {
+		s.Skipped++
+		return false
+	}
+	s.Sampled++
+	s.D.Access(tid, addr, isWrite, site)
+	return true
+}
+
+// Fork, Join, Acquire and Release forward to the underlying detector.
+func (s *Sampler) Fork(p, c clock.TID)             { s.D.Fork(p, c) }
+func (s *Sampler) Join(p, c clock.TID)             { s.D.Join(p, c) }
+func (s *Sampler) Acquire(tid clock.TID, o SyncID) { s.D.Acquire(tid, o) }
+func (s *Sampler) Release(tid clock.TID, o SyncID) { s.D.Release(tid, o) }

@@ -1,0 +1,45 @@
+package detect
+
+import (
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// rwReaderBit namespaces the auxiliary clock a reader-writer lock needs: the
+// detector keeps one vector clock for the write side of rwlock s (the plain
+// SyncID) and one for the read side (SyncID with this bit set).
+const rwReaderBit SyncID = 1 << 31
+
+// AcquireKind applies the happens-before semantics of a synchronization
+// acquire according to its kind:
+//
+//   - mutex / semaphore / barrier: join the object's clock;
+//   - rwlock read hold: join only the writer-side clock (readers are ordered
+//     after previous writers but not after each other);
+//   - rwlock write hold: join both sides (a writer is ordered after all
+//     previous writers and readers).
+func AcquireKind(d *Detector, tid clock.TID, s SyncID, kind sim.SyncKind) {
+	switch kind {
+	case sim.SyncRead:
+		d.Acquire(tid, s)
+	case sim.SyncWrite:
+		d.Acquire(tid, s)
+		d.Acquire(tid, s|rwReaderBit)
+	default:
+		d.Acquire(tid, s)
+	}
+}
+
+// ReleaseKind applies the release-side semantics (see AcquireKind):
+// read-unlocks publish into the reader-side clock only; write-unlocks into
+// the writer-side clock.
+func ReleaseKind(d *Detector, tid clock.TID, s SyncID, kind sim.SyncKind) {
+	switch kind {
+	case sim.SyncRead:
+		d.Release(tid, s|rwReaderBit)
+	case sim.SyncWrite:
+		d.Release(tid, s)
+	default:
+		d.Release(tid, s)
+	}
+}

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/detect"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// DetectabilityRow classifies one application's races by how reliably
+// TxRace's overlap-based detection finds them across schedules.
+type DetectabilityRow struct {
+	App *workload.Workload
+
+	TrueRaces int
+	Always    int // found in every run
+	Sometimes int // found in ≥1 but not all runs
+	Never     int // found in no run
+	// NeverAreDeferred reports whether every never-found race is one of the
+	// injected initialize-then-publish pairs — the structural misses §8.3
+	// predicts, as opposed to accidental calibration artifacts.
+	NeverAreDeferred bool
+	MeanPerRun       float64
+	UnionAllRuns     int
+}
+
+// Detectability generalizes Figure 10 to the whole suite: per race, the
+// probability (over scheduler seeds) that a TxRace run detects it. The
+// paper's taxonomy falls out: always-found races (frequently manifesting,
+// e.g. canneal's temperature), sometimes-found races (vips' 112,
+// schedule-sensitive), never-found races (deferred publication).
+type Detectability struct {
+	Seeds int
+	Rows  []DetectabilityRow
+}
+
+// RunDetectability executes `seeds` TxRace runs per race-bearing
+// application.
+func RunDetectability(cfg Config, apps []*workload.Workload, seeds int) (*Detectability, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	if seeds <= 0 {
+		seeds = 5
+	}
+	d := &Detectability{Seeds: seeds}
+	for _, w := range apps {
+		built := w.Build(cfg.Threads, cfg.Scale)
+		truth := built.AllRaceKeys()
+		if len(truth) == 0 {
+			continue
+		}
+		deferredSet := map[detect.PairKey]bool{}
+		for _, r := range built.Deferred {
+			a, b := r.Key()
+			deferredSet[detect.PairKey{A: a, B: b}] = true
+		}
+
+		found := map[detect.PairKey]int{}
+		total := 0
+		for s := 0; s < seeds; s++ {
+			tx, err := RunTxRace(w, cfg, cfg.Seed+uint64(s)*0x33)
+			if err != nil {
+				return nil, err
+			}
+			total += len(tx.Races)
+			for _, k := range tx.Races {
+				found[k]++
+			}
+		}
+
+		row := DetectabilityRow{App: w, TrueRaces: len(truth),
+			MeanPerRun: float64(total) / float64(seeds), NeverAreDeferred: true}
+		for _, k := range truth {
+			switch n := found[k]; {
+			case n == seeds:
+				row.Always++
+			case n > 0:
+				row.Sometimes++
+			default:
+				row.Never++
+				if !deferredSet[k] {
+					row.NeverAreDeferred = false
+				}
+			}
+		}
+		row.UnionAllRuns = len(found)
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// Write renders the detectability taxonomy.
+func (d *Detectability) Write(w io.Writer) {
+	report.Section(w, fmt.Sprintf("Race detectability across %d schedules (generalized Fig. 10)", d.Seeds))
+	tb := &report.Table{Header: []string{
+		"application", "races", "always", "sometimes", "never", "never=deferred?",
+		"mean/run", "union",
+	}}
+	for _, r := range d.Rows {
+		tb.Add(r.App.Name, r.TrueRaces, r.Always, r.Sometimes, r.Never,
+			r.NeverAreDeferred, r.MeanPerRun, r.UnionAllRuns)
+	}
+	tb.Write(w)
+}
+
+// JSON returns the detectability taxonomy as plain data.
+func (d *Detectability) JSON() any {
+	type row struct {
+		App              string  `json:"app"`
+		TrueRaces        int     `json:"true_races"`
+		Always           int     `json:"always"`
+		Sometimes        int     `json:"sometimes"`
+		Never            int     `json:"never"`
+		NeverAreDeferred bool    `json:"never_are_deferred"`
+		MeanPerRun       float64 `json:"mean_per_run"`
+		UnionAllRuns     int     `json:"union_all_runs"`
+	}
+	var rows []row
+	for _, r := range d.Rows {
+		rows = append(rows, row{r.App.Name, r.TrueRaces, r.Always, r.Sometimes,
+			r.Never, r.NeverAreDeferred, r.MeanPerRun, r.UnionAllRuns})
+	}
+	return struct {
+		Seeds int   `json:"seeds"`
+		Rows  []row `json:"rows"`
+	}{d.Seeds, rows}
+}

@@ -1,0 +1,250 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Trials = 1
+	return cfg
+}
+
+func apps(t *testing.T, names ...string) []*workload.Workload {
+	t.Helper()
+	out := make([]*workload.Workload, len(names))
+	for i, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// TestTable1ShapeInvariants runs a representative subset and checks the
+// paper's headline claims: TxRace beats TSan on every application, recall
+// is high, and recall losses are confined to the deferred-publication apps.
+func TestTable1ShapeInvariants(t *testing.T) {
+	subset := apps(t, "fluidanimate", "swaptions", "raytrace", "bodytrack", "streamcluster")
+	tab, err := RunTable1(testCfg(), subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row.TxRaceOverhead >= row.TSanOverhead {
+			t.Errorf("%s: TxRace %.2fx not faster than TSan %.2fx",
+				row.App.Name, row.TxRaceOverhead, row.TSanOverhead)
+		}
+		if row.TSanOverhead <= 1 {
+			t.Errorf("%s: TSan overhead %.2fx <= 1", row.App.Name, row.TSanOverhead)
+		}
+		switch row.App.Name {
+		case "bodytrack":
+			if row.Recall > 0.99 {
+				t.Errorf("bodytrack: deferred races not missed (recall %.2f)", row.Recall)
+			}
+			if row.Recall < 0.5 {
+				t.Errorf("bodytrack: recall %.2f too low", row.Recall)
+			}
+		default:
+			if row.Recall != 1 {
+				t.Errorf("%s: recall %.2f, want 1", row.App.Name, row.Recall)
+			}
+		}
+		if row.CostEff <= 1 {
+			t.Errorf("%s: TxRace not more cost-effective than TSan: %.2f",
+				row.App.Name, row.CostEff)
+		}
+	}
+	if tab.GeoNormOverhead >= 1 {
+		t.Errorf("geomean normalized overhead %.2f >= 1", tab.GeoNormOverhead)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	tab, err := RunTable1(testCfg(), apps(t, "raytrace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tab.WriteTable1(&sb)
+	tab.WriteTable2(&sb)
+	out := sb.String()
+	for _, want := range []string{"raytrace", "geo.mean", "Table 1", "Table 2", "recall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+// TestFig7BreakdownSumsToOverhead: the stacked components must add up to
+// the measured extra time.
+func TestFig7BreakdownSumsToOverhead(t *testing.T) {
+	f, err := RunFig7(testCfg(), apps(t, "swaptions", "bodytrack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Rows {
+		sum := 1 + r.XbeginXend + r.Conflict + r.Capacity + r.Unknown
+		if diff := sum - r.Overhead; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: components sum to %.3f, overhead %.3f", r.App.Name, sum, r.Overhead)
+		}
+	}
+	var sb strings.Builder
+	f.Write(&sb)
+	if !strings.Contains(sb.String(), "xbegin/xend") {
+		t.Error("fig7 rendering incomplete")
+	}
+}
+
+// TestFig8UnknownAbortsRiseAtEightThreads reproduces the paper's 8-thread
+// observation on an interrupt-sensitive application.
+func TestFig8UnknownAbortsRiseAtEightThreads(t *testing.T) {
+	f, err := RunFig8(testCfg(), apps(t, "canneal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Rows[0]
+	if r.Unknowns[8] <= r.Unknowns[4] {
+		t.Errorf("unknown aborts at 8 threads (%d) not above 4 threads (%d)",
+			r.Unknowns[8], r.Unknowns[4])
+	}
+	for _, n := range f.Threads {
+		if r.Overheads[n] <= 1 {
+			t.Errorf("overhead at %d threads = %.2f", n, r.Overheads[n])
+		}
+	}
+	var sb strings.Builder
+	f.Write(&sb)
+	if !strings.Contains(sb.String(), "8 threads") {
+		t.Error("fig8 rendering incomplete")
+	}
+}
+
+// TestFig9LoopCutOrdering: for the capacity-dominated application the
+// optimization order must hold: NoOpt slowest, both loop-cut schemes below,
+// and all below TSan... with Prof ≤ NoOpt and Dyn ≤ NoOpt.
+func TestFig9LoopCutOrdering(t *testing.T) {
+	f, err := RunFig9(testCfg(), apps(t, "swaptions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Rows[0]
+	if r.CapNo == 0 {
+		t.Fatalf("NoOpt shows no capacity aborts: %+v", r)
+	}
+	if r.Dyn >= r.NoOpt || r.Prof >= r.NoOpt {
+		t.Errorf("loop-cut not beneficial: TSan %.2f NoOpt %.2f Dyn %.2f Prof %.2f",
+			r.TSan, r.NoOpt, r.Dyn, r.Prof)
+	}
+	if r.CapDyn >= r.CapNo {
+		t.Errorf("DynLoopcut capacity aborts %d not below NoOpt %d", r.CapDyn, r.CapNo)
+	}
+	var sb strings.Builder
+	f.Write(&sb)
+	if !strings.Contains(sb.String(), "DynLoopcut") {
+		t.Error("fig9 rendering incomplete")
+	}
+}
+
+// TestFig10CumulativeMonotone: per-run counts below the TSan total,
+// cumulative non-decreasing and converging towards it.
+func TestFig10CumulativeMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vips × 7 runs is the slowest experiment")
+	}
+	f, err := RunFig10(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TSanRaces != 112 {
+		t.Fatalf("vips ground truth = %d, want 112", f.TSanRaces)
+	}
+	prev := 0
+	for i, c := range f.Cumulative {
+		if c < prev {
+			t.Fatalf("cumulative decreased at %d", i)
+		}
+		if f.PerRun[i] > c {
+			t.Fatalf("per-run exceeds cumulative at %d", i)
+		}
+		prev = c
+	}
+	if first := f.PerRun[0]; first < 55 || first > 105 {
+		t.Errorf("first-run races = %d, want roughly the paper's ~79", first)
+	}
+	if last := f.Cumulative[len(f.Cumulative)-1]; last < 105 {
+		t.Errorf("cumulative after 7 runs = %d, want near 112", last)
+	}
+}
+
+// TestFig1213OperatingPoint: overhead grows monotonically with the sampling
+// rate; recall grows overall; TxRace's point beats its overhead-equivalent
+// sampling rate on recall (the cost-effectiveness argument of §8.4).
+func TestFig1213OperatingPoint(t *testing.T) {
+	f, err := RunFig1213(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(f.Overheads); i++ {
+		if f.Overheads[i] < f.Overheads[i-1]-0.02 {
+			t.Fatalf("overhead not monotone at %d%%: %v", f.Rates[i], f.Overheads)
+		}
+	}
+	if f.Recalls[10] != 1 {
+		t.Fatalf("recall at 100%% sampling = %v, want 1", f.Recalls[10])
+	}
+	if f.TxRaceRecall < 0.5 || f.TxRaceRecall > 0.99 {
+		t.Errorf("TxRace recall = %.2f, want the paper's partial-recall band", f.TxRaceRecall)
+	}
+	// Interpolate sampling recall at TxRace's overhead: TxRace must win.
+	var sampleRecallAtSameCost float64
+	for i := 1; i < len(f.Overheads); i++ {
+		if f.Overheads[i] >= f.TxRaceOverhead {
+			sampleRecallAtSameCost = f.Recalls[i]
+			break
+		}
+	}
+	if f.TxRaceRecall <= sampleRecallAtSameCost {
+		t.Errorf("TxRace (recall %.2f at %.2f overhead) not better than sampling (%.2f)",
+			f.TxRaceRecall, f.TxRaceOverhead, sampleRecallAtSameCost)
+	}
+	var sb strings.Builder
+	f.Write(&sb)
+	if !strings.Contains(sb.String(), "operating point") {
+		t.Error("fig12/13 rendering incomplete")
+	}
+}
+
+// TestTrialsAveraging: multiple trials must still produce a sane table.
+func TestTrialsAveraging(t *testing.T) {
+	cfg := testCfg()
+	cfg.Trials = 3
+	tab, err := RunTable1(cfg, apps(t, "raytrace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[0].TSanRaces != 2 {
+		t.Errorf("raytrace TSan races over trials = %d, want 2", tab.Rows[0].TSanRaces)
+	}
+}
+
+// TestLoopCutConfigRespected: NoCut config must reach the runner.
+func TestLoopCutConfigRespected(t *testing.T) {
+	w := apps(t, "swaptions")[0]
+	cfg := testCfg()
+	cfg.LoopCut = core.NoCut
+	tx, err := RunTxRace(w, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Stats.LoopCuts != 0 {
+		t.Fatalf("NoCut performed %d cuts", tx.Stats.LoopCuts)
+	}
+}

@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Fig7Row is one application's overhead breakdown (Figure 7): the measured
+// TxRace overhead decomposed into pure fast-path cost (xbegin/xend, TxFail
+// reads, fast-path sync tracking, small-region hooks) and the slow-path
+// episodes attributable to each abort cause.
+type Fig7Row struct {
+	App      *workload.Workload
+	Overhead float64 // total TxRace overhead (x)
+	// The components below sum to Overhead - 1 (the extra time over
+	// baseline). Raw cycle attributions from the runtime are rescaled onto
+	// the measured makespan difference, since per-thread cycle sums and the
+	// parallel makespan are related but not identical.
+	XbeginXend float64
+	Conflict   float64
+	Capacity   float64
+	Unknown    float64
+}
+
+// Fig7 is the overhead-breakdown figure.
+type Fig7 struct{ Rows []Fig7Row }
+
+// RunFig7 reproduces Figure 7.
+func RunFig7(cfg Config, apps []*workload.Workload) (*Fig7, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	f := &Fig7{}
+	for _, w := range apps {
+		b, err := RunBaseline(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := RunTxRace(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ovh := float64(tx.Makespan) / float64(b.Makespan)
+		st := tx.Stats
+		raw := []float64{
+			float64(st.CyclesFastPath + st.CyclesSmall),
+			float64(st.CyclesConflict),
+			float64(st.CyclesCapacity),
+			float64(st.CyclesUnknown),
+		}
+		sum := raw[0] + raw[1] + raw[2] + raw[3]
+		extra := ovh - 1
+		row := Fig7Row{App: w, Overhead: ovh}
+		if sum > 0 && extra > 0 {
+			row.XbeginXend = raw[0] / sum * extra
+			row.Conflict = raw[1] / sum * extra
+			row.Capacity = raw[2] / sum * extra
+			row.Unknown = raw[3] / sum * extra
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Write renders Figure 7 with the paper's stacked-column look: '.' is the
+// baseline, '#' the pure fast-path cost, then c/C/u for the slow-path
+// episodes of each abort cause. Bars are clipped at 12x as in the figure.
+func (f *Fig7) Write(w io.Writer) {
+	report.Section(w, "Figure 7: Breakdown of runtime overhead (baseline = 1.0)")
+	tb := &report.Table{Header: []string{
+		"application", "total", "baseline", "xbegin/xend", "conflict", "capacity", "unknown", "(.=base #=tx c=conflict C=capacity u=unknown)",
+	}}
+	const clip = 12.0
+	for _, r := range f.Rows {
+		tb.Add(r.App.Name, fmt.Sprintf("%.2fx", r.Overhead),
+			1.0, r.XbeginXend, r.Conflict, r.Capacity, r.Unknown,
+			report.StackedBar([]float64{1, r.XbeginXend, r.Conflict, r.Capacity, r.Unknown},
+				".#cCu", clip, 48))
+	}
+	tb.Write(w)
+}
+
+// Fig8Row is one application's TxRace overhead at each worker-thread count,
+// each normalized to the original execution at the same thread count.
+type Fig8Row struct {
+	App       *workload.Workload
+	Overheads map[int]float64
+	Unknowns  map[int]uint64
+	Conflicts map[int]uint64
+	Capacity  map[int]uint64
+}
+
+// Fig8 is the scalability figure.
+type Fig8 struct {
+	Threads []int
+	Rows    []Fig8Row
+}
+
+// RunFig8 reproduces Figure 8: 2, 4, and 8 worker threads.
+func RunFig8(cfg Config, apps []*workload.Workload) (*Fig8, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	f := &Fig8{Threads: []int{2, 4, 8}}
+	for _, w := range apps {
+		row := Fig8Row{App: w,
+			Overheads: map[int]float64{},
+			Unknowns:  map[int]uint64{},
+			Conflicts: map[int]uint64{},
+			Capacity:  map[int]uint64{},
+		}
+		for _, n := range f.Threads {
+			c := cfg
+			c.Threads = n
+			b, err := RunBaseline(w, c, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tx, err := RunTxRace(w, c, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row.Overheads[n] = float64(tx.Makespan) / float64(b.Makespan)
+			row.Unknowns[n] = tx.Stats.UnknownAborts
+			row.Conflicts[n] = tx.Stats.ConflictAborts
+			row.Capacity[n] = tx.Stats.CapacityAborts
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Write renders Figure 8.
+func (f *Fig8) Write(w io.Writer) {
+	report.Section(w, "Figure 8: Scalability of TxRace (overhead normalized per thread count)")
+	tb := &report.Table{Header: []string{
+		"application", "2 threads", "4 threads", "8 threads",
+		"unknown@2", "unknown@4", "unknown@8",
+	}}
+	for _, r := range f.Rows {
+		tb.Add(r.App.Name,
+			fmt.Sprintf("%.2fx", r.Overheads[2]),
+			fmt.Sprintf("%.2fx", r.Overheads[4]),
+			fmt.Sprintf("%.2fx", r.Overheads[8]),
+			r.Unknowns[2], r.Unknowns[4], r.Unknowns[8],
+		)
+	}
+	tb.Write(w)
+}
+
+// Fig9Row compares the loop-cut schemes for one application.
+type Fig9Row struct {
+	App    *workload.Workload
+	TSan   float64
+	NoOpt  float64
+	Dyn    float64
+	Prof   float64
+	CapNo  uint64 // capacity aborts under NoOpt
+	CapDyn uint64
+	CapPro uint64
+}
+
+// Fig9 is the loop-cut effectiveness figure.
+type Fig9 struct{ Rows []Fig9Row }
+
+// RunFig9 reproduces Figure 9: TSan vs TxRace-NoOpt vs TxRace-DynLoopcut vs
+// TxRace-ProfLoopcut.
+func RunFig9(cfg Config, apps []*workload.Workload) (*Fig9, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	f := &Fig9{}
+	for _, w := range apps {
+		b, err := RunBaseline(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := RunTSan(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9Row{App: w, TSan: float64(ts.Makespan) / float64(b.Makespan)}
+		for _, mode := range []core.CutMode{core.NoCut, core.DynCut, core.ProfCut} {
+			c := cfg
+			c.LoopCut = mode
+			tx, err := RunTxRace(w, c, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ovh := float64(tx.Makespan) / float64(b.Makespan)
+			switch mode {
+			case core.NoCut:
+				row.NoOpt, row.CapNo = ovh, tx.Stats.CapacityAborts
+			case core.DynCut:
+				row.Dyn, row.CapDyn = ovh, tx.Stats.CapacityAborts
+			case core.ProfCut:
+				row.Prof, row.CapPro = ovh, tx.Stats.CapacityAborts
+			}
+		}
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Write renders Figure 9.
+func (f *Fig9) Write(w io.Writer) {
+	report.Section(w, "Figure 9: Effectiveness of loop-cut optimization")
+	tb := &report.Table{Header: []string{
+		"application", "TSan", "NoOpt", "DynLoopcut", "ProfLoopcut",
+		"capacity NoOpt", "capacity Dyn", "capacity Prof",
+	}}
+	for _, r := range f.Rows {
+		tb.Add(r.App.Name,
+			fmt.Sprintf("%.2fx", r.TSan), fmt.Sprintf("%.2fx", r.NoOpt),
+			fmt.Sprintf("%.2fx", r.Dyn), fmt.Sprintf("%.2fx", r.Prof),
+			r.CapNo, r.CapDyn, r.CapPro,
+		)
+	}
+	tb.Write(w)
+}

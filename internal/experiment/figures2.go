@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/detect"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig10 is the cumulative distinct-race experiment for vips (§8.3):
+// overlap-based detection is scheduler-sensitive, so each run finds a
+// different subset of the 112 races; the union converges to TSan's set.
+type Fig10 struct {
+	TSanRaces  int
+	PerRun     []int // distinct races found in run i
+	Cumulative []int // distinct races found in runs 0..i
+}
+
+// RunFig10 reproduces Figure 10: seven TxRace runs of vips under different
+// seeds.
+func RunFig10(cfg Config) (*Fig10, error) {
+	cfg = cfg.withDefaults()
+	w, err := workload.ByName("vips")
+	if err != nil {
+		return nil, err
+	}
+	ts, err := RunTSan(w, cfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig10{TSanRaces: len(ts.Races)}
+	var union []detect.PairKey
+	for run := 0; run < 7; run++ {
+		tx, err := RunTxRace(w, cfg, cfg.Seed+uint64(run)*0x5151)
+		if err != nil {
+			return nil, err
+		}
+		f.PerRun = append(f.PerRun, len(tx.Races))
+		union = stats.Union(union, tx.Races)
+		f.Cumulative = append(f.Cumulative, len(union))
+	}
+	return f, nil
+}
+
+// Write renders Figure 10.
+func (f *Fig10) Write(w io.Writer) {
+	report.Section(w, "Figure 10: Distinct data races detected across runs (vips)")
+	fmt.Fprintf(w, "TSan (ground truth): %d races\n\n", f.TSanRaces)
+	tb := &report.Table{Header: []string{"iteration", "this run", "cumulative", ""}}
+	for i := range f.PerRun {
+		tb.Add(i+1, f.PerRun[i], f.Cumulative[i],
+			report.Bar(float64(f.Cumulative[i]), float64(f.TSanRaces), 40))
+	}
+	tb.Write(w)
+}
+
+// Fig11Row is one application's cost-effectiveness comparison.
+type Fig11Row struct {
+	App        *workload.Workload
+	Sampling10 float64
+	Sampling50 float64
+	Sampling   float64 // 100%
+	TxRace     float64
+}
+
+// Fig11 compares TxRace with TSan+Sampling over the applications in which
+// at least one race is detected (nine in the paper).
+type Fig11 struct{ Rows []Fig11Row }
+
+// RunFig11 reproduces Figure 11.
+func RunFig11(cfg Config) (*Fig11, error) {
+	cfg = cfg.withDefaults()
+	f := &Fig11{}
+	for _, w := range workload.All() {
+		b, err := RunBaseline(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		full, err := RunTSan(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if len(full.Races) == 0 {
+			continue // Fig. 11 covers only race-bearing applications
+		}
+		fullOvh := float64(full.Makespan) / float64(b.Makespan)
+		ce := func(makespan int64, races []detect.PairKey) float64 {
+			rec := stats.Recall(races, full.Races)
+			norm := (float64(makespan) / float64(b.Makespan)) / fullOvh
+			return stats.CostEffectiveness(rec, norm)
+		}
+		row := Fig11Row{App: w, Sampling: 1} // 100% sampling ≡ TSan ≡ 1... by definition
+		for _, rate := range []float64{0.10, 0.50} {
+			s, err := RunSampling(w, cfg, cfg.Seed, rate)
+			if err != nil {
+				return nil, err
+			}
+			v := ce(s.Makespan, s.Races)
+			if rate == 0.10 {
+				row.Sampling10 = v
+			} else {
+				row.Sampling50 = v
+			}
+		}
+		tx, err := RunTxRace(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.TxRace = ce(tx.Makespan, tx.Races)
+		f.Rows = append(f.Rows, row)
+	}
+	return f, nil
+}
+
+// Write renders Figure 11.
+func (f *Fig11) Write(w io.Writer) {
+	report.Section(w, "Figure 11: Cost-effectiveness of TxRace vs TSan+Sampling")
+	tb := &report.Table{Header: []string{
+		"application", "sampling 10%", "sampling 50%", "sampling 100%", "TxRace",
+	}}
+	for _, r := range f.Rows {
+		tb.Add(r.App.Name, r.Sampling10, r.Sampling50, r.Sampling, r.TxRace)
+	}
+	tb.Write(w)
+}
+
+// Fig1213 is the bodytrack sampling sweep: runtime overhead (Fig. 12) and
+// recall (Fig. 13) as functions of the sampling rate, with TxRace's
+// operating point marked.
+type Fig1213 struct {
+	Rates     []int // percent
+	Overheads []float64
+	Recalls   []float64
+
+	TxRaceOverhead float64 // normalized to 100% sampling
+	TxRaceRecall   float64
+}
+
+// RunFig1213 reproduces Figures 12 and 13 on bodytrack.
+func RunFig1213(cfg Config) (*Fig1213, error) {
+	cfg = cfg.withDefaults()
+	w, err := workload.ByName("bodytrack")
+	if err != nil {
+		return nil, err
+	}
+	b, err := RunBaseline(w, cfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	full, err := RunTSan(w, cfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	fullOvh := float64(full.Makespan) / float64(b.Makespan)
+	trials := cfg.Trials
+	if trials < 5 {
+		trials = 5 // sampling is stochastic; smooth the recall curve
+	}
+	f := &Fig1213{}
+	for pct := 0; pct <= 100; pct += 10 {
+		var makespan int64
+		// Average overhead and recall over trials: sampling is stochastic.
+		recSum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			s, err := RunSampling(w, cfg, cfg.Seed+uint64(trial)*0x77, float64(pct)/100)
+			if err != nil {
+				return nil, err
+			}
+			makespan += s.Makespan
+			recSum += stats.Recall(s.Races, full.Races)
+		}
+		makespan /= int64(trials)
+		f.Rates = append(f.Rates, pct)
+		f.Overheads = append(f.Overheads, (float64(makespan)/float64(b.Makespan))/fullOvh)
+		f.Recalls = append(f.Recalls, recSum/float64(trials))
+	}
+	tx, err := RunTxRace(w, cfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	f.TxRaceOverhead = (float64(tx.Makespan) / float64(b.Makespan)) / fullOvh
+	f.TxRaceRecall = stats.Recall(tx.Races, full.Races)
+	return f, nil
+}
+
+// Write renders Figures 12 and 13.
+func (f *Fig1213) Write(w io.Writer) {
+	report.Section(w, "Figures 12-13: bodytrack under TSan+Sampling (normalized to 100% sampling)")
+	tb := &report.Table{Header: []string{"sampling rate", "overhead (Fig.12)", "recall (Fig.13)"}}
+	for i, pct := range f.Rates {
+		tb.Add(fmt.Sprintf("%d%%", pct), f.Overheads[i], f.Recalls[i])
+	}
+	tb.Write(w)
+	fmt.Fprintf(w, "\nTxRace operating point: overhead %.2f (paper 0.69), recall %.2f (paper 0.75)\n",
+		f.TxRaceOverhead, f.TxRaceRecall)
+}

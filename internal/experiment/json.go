@@ -1,0 +1,174 @@
+package experiment
+
+// JSON views: every experiment exposes a JSON() method returning plain data
+// (workload pointers flattened to names) so cmd/txbench -format json can
+// emit machine-readable results for external plotting.
+
+// JSON returns Table 1 (and the Table 2 columns) as plain data.
+func (t *Table1) JSON() any {
+	type row struct {
+		App            string  `json:"app"`
+		Committed      uint64  `json:"committed"`
+		Conflict       uint64  `json:"conflict_aborts"`
+		Capacity       uint64  `json:"capacity_aborts"`
+		Unknown        uint64  `json:"unknown_aborts"`
+		TSanRaces      int     `json:"tsan_races"`
+		TxRaceRaces    int     `json:"txrace_races"`
+		TSanOverhead   float64 `json:"tsan_overhead"`
+		TxRaceOverhead float64 `json:"txrace_overhead"`
+		NormOverhead   float64 `json:"normalized_overhead"`
+		Recall         float64 `json:"recall"`
+		CostEff        float64 `json:"cost_effectiveness"`
+	}
+	out := struct {
+		Rows              []row   `json:"rows"`
+		GeoTSanOverhead   float64 `json:"geomean_tsan_overhead"`
+		GeoTxRaceOverhead float64 `json:"geomean_txrace_overhead"`
+		GeoNormOverhead   float64 `json:"geomean_normalized_overhead"`
+		GeoRecall         float64 `json:"geomean_recall"`
+		GeoCostEff        float64 `json:"geomean_cost_effectiveness"`
+	}{
+		GeoTSanOverhead:   t.GeoTSanOverhead,
+		GeoTxRaceOverhead: t.GeoTxRaceOverhead,
+		GeoNormOverhead:   t.GeoNormOverhead,
+		GeoRecall:         t.GeoRecall,
+		GeoCostEff:        t.GeoCostEff,
+	}
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, row{
+			App: r.App.Name, Committed: r.Committed, Conflict: r.Conflict,
+			Capacity: r.Capacity, Unknown: r.Unknown,
+			TSanRaces: r.TSanRaces, TxRaceRaces: r.TxRaceRaces,
+			TSanOverhead: r.TSanOverhead, TxRaceOverhead: r.TxRaceOverhead,
+			NormOverhead: r.NormOverhead, Recall: r.Recall, CostEff: r.CostEff,
+		})
+	}
+	return out
+}
+
+// JSON returns the Fig. 7 breakdown as plain data.
+func (f *Fig7) JSON() any {
+	type row struct {
+		App        string  `json:"app"`
+		Overhead   float64 `json:"overhead"`
+		XbeginXend float64 `json:"xbegin_xend"`
+		Conflict   float64 `json:"conflict"`
+		Capacity   float64 `json:"capacity"`
+		Unknown    float64 `json:"unknown"`
+	}
+	var rows []row
+	for _, r := range f.Rows {
+		rows = append(rows, row{r.App.Name, r.Overhead, r.XbeginXend, r.Conflict, r.Capacity, r.Unknown})
+	}
+	return rows
+}
+
+// JSON returns the Fig. 8 scalability sweep as plain data.
+func (f *Fig8) JSON() any {
+	type row struct {
+		App       string          `json:"app"`
+		Overheads map[int]float64 `json:"overheads"`
+		Unknowns  map[int]uint64  `json:"unknown_aborts"`
+	}
+	var rows []row
+	for _, r := range f.Rows {
+		rows = append(rows, row{r.App.Name, r.Overheads, r.Unknowns})
+	}
+	return struct {
+		Threads []int `json:"threads"`
+		Rows    []row `json:"rows"`
+	}{f.Threads, rows}
+}
+
+// JSON returns the Fig. 9 loop-cut comparison as plain data.
+func (f *Fig9) JSON() any {
+	type row struct {
+		App   string  `json:"app"`
+		TSan  float64 `json:"tsan"`
+		NoOpt float64 `json:"noopt"`
+		Dyn   float64 `json:"dynloopcut"`
+		Prof  float64 `json:"profloopcut"`
+		CapNo uint64  `json:"capacity_noopt"`
+		CapDy uint64  `json:"capacity_dyn"`
+		CapPr uint64  `json:"capacity_prof"`
+	}
+	var rows []row
+	for _, r := range f.Rows {
+		rows = append(rows, row{r.App.Name, r.TSan, r.NoOpt, r.Dyn, r.Prof, r.CapNo, r.CapDyn, r.CapPro})
+	}
+	return rows
+}
+
+// JSON returns the Fig. 10 cumulative-race series as plain data.
+func (f *Fig10) JSON() any {
+	return struct {
+		TSanRaces  int   `json:"tsan_races"`
+		PerRun     []int `json:"per_run"`
+		Cumulative []int `json:"cumulative"`
+	}{f.TSanRaces, f.PerRun, f.Cumulative}
+}
+
+// JSON returns the Fig. 11 cost-effectiveness rows as plain data.
+func (f *Fig11) JSON() any {
+	type row struct {
+		App        string  `json:"app"`
+		Sampling10 float64 `json:"sampling_10"`
+		Sampling50 float64 `json:"sampling_50"`
+		Sampling   float64 `json:"sampling_100"`
+		TxRace     float64 `json:"txrace"`
+	}
+	var rows []row
+	for _, r := range f.Rows {
+		rows = append(rows, row{r.App.Name, r.Sampling10, r.Sampling50, r.Sampling, r.TxRace})
+	}
+	return rows
+}
+
+// JSON returns the Figs. 12–13 sweep as plain data.
+func (f *Fig1213) JSON() any {
+	return struct {
+		Rates          []int     `json:"rates_percent"`
+		Overheads      []float64 `json:"overheads"`
+		Recalls        []float64 `json:"recalls"`
+		TxRaceOverhead float64   `json:"txrace_overhead"`
+		TxRaceRecall   float64   `json:"txrace_recall"`
+	}{f.Rates, f.Overheads, f.Recalls, f.TxRaceOverhead, f.TxRaceRecall}
+}
+
+// JSON returns the precision comparison as plain data.
+func (p *Precision) JSON() any {
+	type row struct {
+		App             string  `json:"app"`
+		TrueRaces       int     `json:"true_races"`
+		Violations      int     `json:"lockset_reports"`
+		TruePositives   int     `json:"true_positives"`
+		FalseAlarms     int     `json:"false_alarms"`
+		LocksetOverhead float64 `json:"lockset_overhead"`
+		TSanOverhead    float64 `json:"tsan_overhead"`
+	}
+	var rows []row
+	for _, r := range p.Rows {
+		rows = append(rows, row{r.App.Name, r.TrueRaces, r.Violations, r.TruePositives,
+			r.FalseAlarms, r.LocksetOverhead, r.TSanOverhead})
+	}
+	return rows
+}
+
+// JSON returns the shadow-cell comparison as plain data.
+func (sh *Shadow) JSON() any {
+	type row struct {
+		App       string          `json:"app"`
+		Sound     int             `json:"sound_races"`
+		Bounded   map[int]int     `json:"bounded_races"`
+		Recall    map[int]float64 `json:"bounded_recall"`
+		Evictions map[int]uint64  `json:"evictions"`
+	}
+	var rows []row
+	for _, r := range sh.Rows {
+		rows = append(rows, row{r.App.Name, r.Sound, r.Bounded, r.Recall, r.Evictions})
+	}
+	return struct {
+		Cells []int `json:"cells"`
+		Rows  []row `json:"rows"`
+	}{sh.Ns, rows}
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/instrument"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PrecisionRow compares detector families on one application: the
+// happens-before ground truth (TSan), the Eraser-style lockset detector's
+// violations, and how many of those violations are real.
+type PrecisionRow struct {
+	App *workload.Workload
+
+	TrueRaces     int // happens-before (ground truth)
+	Violations    int // lockset reports
+	TruePositives int // violations that are real races
+	FalseAlarms   int // violations with no happens-before race behind them
+
+	LocksetOverhead float64
+	TSanOverhead    float64
+}
+
+// Precision is the detector-precision experiment: the quantitative version
+// of the paper's §9 argument for building the slow path on happens-before
+// (FastTrack/TSan) rather than on lock-discipline inference (Eraser) —
+// lockset detectors flag fork/join, condition-variable, and barrier
+// synchronization as violations.
+type Precision struct{ Rows []PrecisionRow }
+
+// RunPrecision executes the comparison over the given applications (all by
+// default).
+func RunPrecision(cfg Config, apps []*workload.Workload) (*Precision, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	p := &Precision{}
+	for _, w := range apps {
+		built := w.Build(cfg.Threads, cfg.Scale)
+		ec := cfg.engineConfig(w, cfg.Seed)
+
+		base, err := RunBaseline(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := RunTSan(w, cfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+
+		ls := core.NewLockset()
+		ls.SlowScale = w.SlowScale
+		res, err := sim.NewEngine(ec).Run(instrument.ForTSan(built.Prog), ls)
+		if err != nil {
+			return nil, fmt.Errorf("%s lockset: %w", w.Name, err)
+		}
+
+		row := PrecisionRow{
+			App:             w,
+			TrueRaces:       len(ts.Races),
+			Violations:      ls.Detector().ViolationCount(),
+			LocksetOverhead: float64(res.Makespan) / float64(base.Makespan),
+			TSanOverhead:    float64(ts.Makespan) / float64(base.Makespan),
+		}
+		// A violation is a true positive when its static pair is a real
+		// race; everything else is a lock-discipline false alarm.
+		var keys []detect.PairKey
+		for _, v := range ls.Detector().Violations() {
+			keys = append(keys, v.Key())
+		}
+		row.TruePositives = stats.Intersect(keys, ts.Races)
+		row.FalseAlarms = row.Violations - row.TruePositives
+		p.Rows = append(p.Rows, row)
+	}
+	return p, nil
+}
+
+// Write renders the precision comparison.
+func (p *Precision) Write(w io.Writer) {
+	report.Section(w, "Detector precision: lockset (Eraser) vs happens-before (TSan)")
+	tb := &report.Table{Header: []string{
+		"application", "true races", "lockset reports", "true positives", "false alarms",
+		"lockset ovh", "TSan ovh",
+	}}
+	for _, r := range p.Rows {
+		tb.Add(r.App.Name, r.TrueRaces, r.Violations, r.TruePositives, r.FalseAlarms,
+			fmt.Sprintf("%.2fx", r.LocksetOverhead), fmt.Sprintf("%.2fx", r.TSanOverhead))
+	}
+	tb.Write(w)
+}

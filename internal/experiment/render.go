@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// WriteTable1 renders Table 1 with the paper's published values interleaved
+// for comparison ("paper" columns).
+func (t *Table1) WriteTable1(w io.Writer) {
+	report.Section(w, "Table 1: TxRace Execution Statistics and Performance")
+	tb := &report.Table{Header: []string{
+		"application", "committed", "conflict", "capacity", "unknown",
+		"TSan races", "TxRace races",
+		"TSan ovh", "(paper)", "TxRace ovh", "(paper)",
+	}}
+	for _, r := range t.Rows {
+		mark := ""
+		if r.TxRaceRaces < r.TSanRaces {
+			mark = "(*)"
+		}
+		tb.Add(r.App.Name,
+			r.Committed, r.Conflict, r.Capacity, r.Unknown,
+			r.TSanRaces, fmt.Sprintf("%d%s", r.TxRaceRaces, mark),
+			fmt.Sprintf("%.2fx", r.TSanOverhead), fmt.Sprintf("%.2fx", r.App.Paper.TSanOverhead),
+			fmt.Sprintf("%.2fx", r.TxRaceOverhead), fmt.Sprintf("%.2fx", r.App.Paper.TxRaceOverhead),
+		)
+	}
+	tb.Add("geo.mean", "", "", "", "", "", "",
+		fmt.Sprintf("%.2fx", t.GeoTSanOverhead), "11.68x",
+		fmt.Sprintf("%.2fx", t.GeoTxRaceOverhead), "4.65x")
+	tb.Write(w)
+}
+
+// WriteTable2 renders Table 2 (cost-effectiveness of TxRace vs TSan).
+func (t *Table1) WriteTable2(w io.Writer) {
+	report.Section(w, "Table 2: Cost-Effectiveness of TxRace vs TSan")
+	tb := &report.Table{Header: []string{
+		"application", "overhead", "(paper)", "recall", "(paper)", "cost-eff", "(paper)",
+	}}
+	for _, r := range t.Rows {
+		tb.Add(r.App.Name,
+			r.NormOverhead, r.App.Paper.TxRaceOverhead/r.App.Paper.TSanOverhead,
+			r.Recall, r.App.Paper.Recall,
+			r.CostEff, r.App.Paper.CostEffectiveness,
+		)
+	}
+	tb.Add("geo.mean",
+		t.GeoNormOverhead, 0.38,
+		t.GeoRecall, 0.95,
+		t.GeoCostEff, 2.38,
+	)
+	tb.Write(w)
+}

@@ -1,0 +1,164 @@
+// Package experiment drives the paper's evaluation (§8): one driver per
+// table and figure, built on a shared runner that executes a workload under
+// the baseline, TSan, sampling, and TxRace runtimes and extracts uniform
+// measurements. cmd/txbench regenerates any artifact by id; bench_test.go
+// exposes the same drivers as testing.B benchmarks.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config fixes one experimental setup.
+type Config struct {
+	Threads int
+	Scale   int
+	Seed    uint64
+	// LoopCut selects TxRace's capacity-abort scheme; Table 1 uses the
+	// paper's best configuration, ProfLoopcut.
+	LoopCut core.CutMode
+	// Trials averages measurements over this many seeds (paper: 5).
+	Trials int
+	// ProfileSkew models the profile-transfer error of ProfLoopcut: the
+	// profiling run uses a representative input, not the measured one, so
+	// transferred thresholds overshoot by this factor and the runtime's
+	// threshold adaptation (§4.3) has to walk them back down. 0 means the
+	// default of 1.10; 1.0 disables the skew.
+	ProfileSkew float64
+}
+
+// DefaultConfig mirrors §8.1: four worker threads, five trials.
+func DefaultConfig() Config {
+	return Config{Threads: 4, Scale: 1, Seed: 1, LoopCut: core.ProfCut, Trials: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.ProfileSkew == 0 {
+		c.ProfileSkew = 1.05
+	}
+	return c
+}
+
+func (c Config) engineConfig(w *workload.Workload, seed uint64) sim.Config {
+	ec := sim.DefaultConfig()
+	ec.Seed = seed
+	if w.InterruptEvery != 0 {
+		ec.InterruptEvery = w.InterruptEvery
+	}
+	ec.MaxSteps = 1 << 32
+	return ec
+}
+
+// BaselineRun holds one uninstrumented execution.
+type BaselineRun struct {
+	Makespan int64
+	Result   *sim.Result
+}
+
+// TSanRun holds one full-detection execution.
+type TSanRun struct {
+	Makespan int64
+	Races    []detect.PairKey
+	Checks   uint64
+}
+
+// TxRaceRun holds one two-phase execution.
+type TxRaceRun struct {
+	Makespan int64
+	Races    []detect.PairKey
+	Stats    core.Stats
+}
+
+// RunBaseline executes the original program.
+func RunBaseline(w *workload.Workload, cfg Config, seed uint64) (*BaselineRun, error) {
+	cfg = cfg.withDefaults()
+	built := w.Build(cfg.Threads, cfg.Scale)
+	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(built.Prog, &core.Baseline{})
+	if err != nil {
+		return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+	}
+	return &BaselineRun{Makespan: res.Makespan, Result: res}, nil
+}
+
+// RunTSan executes under full happens-before detection.
+func RunTSan(w *workload.Workload, cfg Config, seed uint64) (*TSanRun, error) {
+	cfg = cfg.withDefaults()
+	built := w.Build(cfg.Threads, cfg.Scale)
+	rt := core.NewTSan()
+	rt.SlowScale = w.SlowScale
+	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(instrument.ForTSan(built.Prog), rt)
+	if err != nil {
+		return nil, fmt.Errorf("%s tsan: %w", w.Name, err)
+	}
+	return &TSanRun{
+		Makespan: res.Makespan,
+		Races:    rt.Detector().RaceKeys(),
+		Checks:   rt.Detector().Checks,
+	}, nil
+}
+
+// RunTxRace executes under the two-phase runtime. For ProfCut it first runs
+// the paper's profiling pass to collect loop-cut thresholds.
+func RunTxRace(w *workload.Workload, cfg Config, seed uint64) (*TxRaceRun, error) {
+	cfg = cfg.withDefaults()
+	built := w.Build(cfg.Threads, cfg.Scale)
+	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale}
+	if cfg.LoopCut == core.ProfCut {
+		// Profile with a different seed: representative input, not the
+		// measured run.
+		prof, err := instrument.Profile(built.Prog, cfg.engineConfig(w, seed^0x9a0f), core.Options{SlowScale: w.SlowScale})
+		if err != nil {
+			return nil, fmt.Errorf("%s profile: %w", w.Name, err)
+		}
+		for id, th := range prof {
+			prof[id] = int(float64(th)*cfg.ProfileSkew) + 1
+		}
+		opts.Thresholds = prof
+	}
+	rt := core.NewTxRace(opts)
+	ip := instrument.ForTxRace(built.Prog, instrument.DefaultOptions())
+	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(ip, rt)
+	if err != nil {
+		return nil, fmt.Errorf("%s txrace: %w", w.Name, err)
+	}
+	return &TxRaceRun{
+		Makespan: res.Makespan,
+		Races:    rt.Detector().RaceKeys(),
+		Stats:    rt.Stats(),
+	}, nil
+}
+
+// RunSampling executes under TSan with per-access sampling.
+func RunSampling(w *workload.Workload, cfg Config, seed uint64, rate float64) (*TSanRun, error) {
+	cfg = cfg.withDefaults()
+	built := w.Build(cfg.Threads, cfg.Scale)
+	rt := core.NewSampling(rate, int64(seed)+7)
+	rt.SlowScale = w.SlowScale
+	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(instrument.ForTSan(built.Prog), rt)
+	if err != nil {
+		return nil, fmt.Errorf("%s sampling(%.0f%%): %w", w.Name, rate*100, err)
+	}
+	return &TSanRun{
+		Makespan: res.Makespan,
+		Races:    rt.Detector().RaceKeys(),
+		Checks:   rt.Detector().Checks,
+	}, nil
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"sync"
+
+	"repro/internal/detect"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Table1Row is one application's line of Table 1 plus the Table 2 columns
+// that derive from the same runs.
+type Table1Row struct {
+	App *workload.Workload
+
+	Committed uint64
+	Conflict  uint64
+	Capacity  uint64
+	Unknown   uint64
+
+	TSanRaces   int
+	TxRaceRaces int
+
+	BaseCycles   int64
+	TSanCycles   int64
+	TxRaceCycles int64
+
+	TSanOverhead   float64
+	TxRaceOverhead float64
+
+	// Table 2 columns.
+	NormOverhead float64 // TxRace overhead / TSan overhead
+	Recall       float64
+	CostEff      float64
+}
+
+// Table1 reproduces the paper's Table 1 (and the per-app inputs of Table 2):
+// for every application, transaction statistics, race counts, execution
+// times and overheads for TSan and TxRace, averaged over cfg.Trials seeds.
+type Table1 struct {
+	Rows []Table1Row
+
+	GeoTSanOverhead   float64
+	GeoTxRaceOverhead float64
+	GeoNormOverhead   float64
+	GeoRecall         float64
+	GeoCostEff        float64
+}
+
+// RunTable1 executes the Table 1 experiment over all (or the given)
+// workloads. Applications are measured in parallel — every run is its own
+// engine and detector, so results are identical to the serial order.
+func RunTable1(cfg Config, apps []*workload.Workload) (*Table1, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	rows := make([]*Table1Row, len(apps))
+	errs := make([]error, len(apps))
+	var wg sync.WaitGroup
+	for i, w := range apps {
+		wg.Add(1)
+		go func(i int, w *workload.Workload) {
+			defer wg.Done()
+			rows[i], errs[i] = runTable1Row(w, cfg)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t := &Table1{}
+	var tsanOv, txOv, normOv, recalls, ces []float64
+	for _, row := range rows {
+		t.Rows = append(t.Rows, *row)
+		tsanOv = append(tsanOv, row.TSanOverhead)
+		txOv = append(txOv, row.TxRaceOverhead)
+		normOv = append(normOv, row.NormOverhead)
+		recalls = append(recalls, row.Recall)
+		ces = append(ces, row.CostEff)
+	}
+	t.GeoTSanOverhead = stats.Geomean(tsanOv)
+	t.GeoTxRaceOverhead = stats.Geomean(txOv)
+	t.GeoNormOverhead = stats.Geomean(normOv)
+	t.GeoRecall = stats.Geomean(recalls)
+	t.GeoCostEff = stats.Geomean(ces)
+	return t, nil
+}
+
+func runTable1Row(w *workload.Workload, cfg Config) (*Table1Row, error) {
+	row := &Table1Row{App: w}
+	var base, tsan, tx float64
+	tsanRaces := map[detect.PairKey]struct{}{}
+	txRaces := map[detect.PairKey]struct{}{}
+	var tsanKeys, txKeys []detect.PairKey
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed + uint64(trial)*0x1000
+
+		b, err := RunBaseline(w, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := RunTSan(w, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		txr, err := RunTxRace(w, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+
+		base += float64(b.Makespan)
+		tsan += float64(ts.Makespan)
+		tx += float64(txr.Makespan)
+		for _, k := range ts.Races {
+			if _, ok := tsanRaces[k]; !ok {
+				tsanRaces[k] = struct{}{}
+				tsanKeys = append(tsanKeys, k)
+			}
+		}
+		for _, k := range txr.Races {
+			if _, ok := txRaces[k]; !ok {
+				txRaces[k] = struct{}{}
+				txKeys = append(txKeys, k)
+			}
+		}
+		st := txr.Stats
+		row.Committed += st.CommittedTxns
+		row.Conflict += st.ConflictAborts
+		row.Capacity += st.CapacityAborts
+		row.Unknown += st.UnknownAborts
+	}
+
+	n := uint64(cfg.Trials)
+	row.Committed /= n
+	row.Conflict /= n
+	row.Capacity /= n
+	row.Unknown /= n
+	row.BaseCycles = int64(base) / int64(n)
+	row.TSanCycles = int64(tsan) / int64(n)
+	row.TxRaceCycles = int64(tx) / int64(n)
+	row.TSanRaces = len(tsanKeys)
+	row.TxRaceRaces = len(txKeys)
+	row.TSanOverhead = tsan / base
+	row.TxRaceOverhead = tx / base
+	row.NormOverhead = tx / tsan
+	row.Recall = stats.Recall(txKeys, tsanKeys)
+	row.CostEff = stats.CostEffectiveness(row.Recall, row.NormOverhead)
+	return row, nil
+}

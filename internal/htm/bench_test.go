@@ -1,0 +1,34 @@
+package htm
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// BenchmarkTxnAccess is the fast path's inner loop: a transactional access
+// with conflict scan over the other hardware contexts.
+func BenchmarkTxnAccess(b *testing.B) {
+	h := New(DefaultConfig())
+	for tid := 0; tid < 4; tid++ {
+		h.Begin(tid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tid := i & 3
+		h.Access(tid, memmodel.Addr(uint64(tid)<<20|uint64(i&0xfff)<<6), i&1 == 0)
+		if _, ok := h.Pending(tid); ok {
+			h.Resolve(tid)
+			h.Begin(tid)
+		}
+	}
+}
+
+func BenchmarkBeginCommit(b *testing.B) {
+	h := New(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		h.Begin(0)
+		h.Access(0, 0x1000, true)
+		h.Commit(0)
+	}
+}

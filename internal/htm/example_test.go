@@ -1,0 +1,42 @@
+package htm_test
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+)
+
+// Two transactions collide on one cache line: requester wins, the holder is
+// doomed and discovers the abort asynchronously. The status word says
+// "conflict" — and nothing else, which is challenge 1 of §2.2.
+func ExampleHTM() {
+	h := htm.New(htm.DefaultConfig())
+	h.Begin(0)
+	h.Access(0, 0x1000, true) // thread 0 writes the line transactionally
+	h.Begin(1)
+	h.Access(1, 0x1008, true) // thread 1 writes another word of the same line
+
+	if st, ok := h.Pending(0); ok {
+		fmt.Println("thread 0 aborts with:", h.Resolve(0), "(retry bit:", st.Is(htm.StatusRetry), ")")
+	}
+	if st, ok := h.Commit(1); ok && st == 0 {
+		fmt.Println("thread 1 commits")
+	}
+	// Output:
+	// thread 0 aborts with: retry|conflict (retry bit: true )
+	// thread 1 commits
+}
+
+// Strong isolation: a plain (non-transactional) store kills a transaction
+// that has the line in its read set — the property the TxFail global-abort
+// protocol is built on (§3, §4.1).
+func ExampleHTM_strongIsolation() {
+	h := htm.New(htm.DefaultConfig())
+	h.Begin(0)
+	h.Access(0, 0x40, false) // transactional read of the TxFail flag
+	h.Access(1, 0x40, true)  // another thread's plain write to it
+	_, pending := h.Pending(0)
+	fmt.Println("transaction doomed:", pending)
+	// Output:
+	// transaction doomed: true
+}

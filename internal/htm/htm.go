@@ -1,0 +1,414 @@
+// Package htm simulates a best-effort hardware transactional memory modelled
+// on Intel's Restricted Transactional Memory (TSX RTM) as characterized in
+// §2 of the paper. The properties the TxRace design depends on are all
+// reproduced:
+//
+//   - Conflict detection at 64-byte cache-line granularity, piggybacked on
+//     coherence: two different words on one line conflict (false sharing).
+//   - Requester-wins resolution: the thread issuing the conflicting access
+//     proceeds; every transaction it conflicts with is aborted.
+//   - Strong isolation: non-transactional accesses participate in conflict
+//     detection, aborting transactions they collide with. (This is what the
+//     TxFail global-abort protocol and fast/slow mixed detection build on.)
+//   - Bounded capacity: transactional footprints are tracked in
+//     set-associative structures; evicting a transactional line aborts the
+//     transaction with a capacity status.
+//   - Asynchronous aborts: a transaction doomed by a remote access discovers
+//     the abort at its next instruction boundary, and interrupts/context
+//     switches abort with an *unknown* status (no bits set), as on Haswell.
+//   - An abort reports a status word only — never the faulting address or
+//     instruction, which is the first challenge (§2.2) TxRace works around.
+//
+// The one deliberate departure from silicon: Diagnostics retains the last
+// conflict's line and threads so tests can assert the machinery, but it is
+// explicitly unavailable to the TxRace runtime, mirroring real hardware.
+package htm
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memmodel"
+)
+
+// Status is the RTM abort status word (the EAX layout of XBEGIN). A zero
+// Status after an abort means the cause is unknown (§2.2 challenge 4).
+type Status uint32
+
+// Abort status bits, matching Intel's RTM encoding.
+const (
+	StatusExplicit Status = 1 << 0 // XABORT executed; code in bits 31:24
+	StatusRetry    Status = 1 << 1 // the transaction may succeed on retry
+	StatusConflict Status = 1 << 2 // memory conflict with another agent
+	StatusCapacity Status = 1 << 3 // transactional footprint overflowed
+	StatusDebug    Status = 1 << 4 // debug breakpoint hit
+	StatusNested   Status = 1 << 5 // abort occurred in a nested transaction
+)
+
+// Is reports whether all bits in b are set.
+func (s Status) Is(b Status) bool { return s&b == b }
+
+// ExplicitCode extracts the XABORT immediate.
+func (s Status) ExplicitCode() uint8 { return uint8(s >> 24) }
+
+// WithCode attaches an XABORT immediate to an explicit status.
+func (s Status) WithCode(code uint8) Status { return s | Status(uint32(code)<<24) }
+
+func (s Status) String() string {
+	if s == 0 {
+		return "unknown"
+	}
+	out := ""
+	add := func(c string) {
+		if out != "" {
+			out += "|"
+		}
+		out += c
+	}
+	if s.Is(StatusExplicit) {
+		add(fmt.Sprintf("explicit(%d)", s.ExplicitCode()))
+	}
+	if s.Is(StatusRetry) {
+		add("retry")
+	}
+	if s.Is(StatusConflict) {
+		add("conflict")
+	}
+	if s.Is(StatusCapacity) {
+		add("capacity")
+	}
+	if s.Is(StatusDebug) {
+		add("debug")
+	}
+	if s.Is(StatusNested) {
+		add("nested")
+	}
+	return out
+}
+
+// Config fixes the simulated machine's transactional resources.
+type Config struct {
+	// Write-set tracking: the L1 data cache. Haswell: 32 KiB, 8-way,
+	// 64 sets — a transaction's store footprint must fit here.
+	WriteSets, WriteWays int
+	// Read-set tracking is larger on real TSX (L2-assisted); modelled as a
+	// bigger set-associative structure.
+	ReadSets, ReadWays int
+	// MaxConcurrent caps simultaneously open transactions, the
+	// hardware-thread limit of §6 (4 cores, 8 with hyper-threading).
+	MaxConcurrent int
+	// GranularityShift sets the conflict-detection granularity as a power
+	// of two (log2 bytes). Zero means the cache-line default
+	// (memmodel.LineShift = 6). Setting it to 3 (word granularity) models
+	// the idealized HTM of the false-sharing ablation: conflicts only on
+	// true word overlap, no false sharing.
+	GranularityShift int
+	// ResponderWins flips the conflict-resolution policy: instead of Intel
+	// RTM's requester-wins (the paper's §2.1, after Bobba et al.'s
+	// performance-pathologies taxonomy, their "eager/committed" designs),
+	// the transaction that already holds the line survives and the
+	// *requesting* transaction aborts. Non-transactional requesters cannot
+	// be refused (strong isolation still dooms the holder). TxRace's TxFail
+	// protocol was designed against requester-wins; the ablation shows what
+	// changes under the other policy.
+	ResponderWins bool
+	// ExposeConflictAddress models the future hardware the paper's §9
+	// closes on (after TxIntro): an HTM that reports the conflicting
+	// address alongside the abort. Commodity RTM does not (§2.2 challenge
+	// 1); with this enabled, ConflictLine returns the line that doomed a
+	// conflict-aborted transaction, letting the runtime build a cheaper,
+	// targeted slow path.
+	ExposeConflictAddress bool
+}
+
+// DefaultConfig mirrors the paper's quad-core Haswell i7-4790.
+func DefaultConfig() Config {
+	return Config{
+		WriteSets: 64, WriteWays: 8, // 512 lines = 32 KiB write set
+		ReadSets: 512, ReadWays: 8, // 4096 lines = 256 KiB read set
+		MaxConcurrent: 8,
+	}
+}
+
+// ErrNoHardwareContext is returned by Begin when every hardware transaction
+// slot is busy; the caller (TxRace) falls back to its slow path.
+var ErrNoHardwareContext = fmt.Errorf("htm: no free hardware transaction context")
+
+type txn struct {
+	active bool
+	doomed bool
+	status Status
+	reads  *cache.Cache
+	writes *cache.Cache
+
+	// conflictLine is the address unit that doomed this transaction, kept
+	// only when Config.ExposeConflictAddress is set (future-HTM mode).
+	conflictLine    memmodel.Line
+	hasConflictLine bool
+}
+
+// HTM is the transactional machine shared by all simulated threads.
+type HTM struct {
+	cfg  Config
+	txns []*txn
+
+	stats Stats
+	diag  Diagnostics
+}
+
+// Stats counts machine-level transactional events.
+type Stats struct {
+	Begins         uint64
+	Commits        uint64
+	ConflictAborts uint64
+	CapacityAborts uint64
+	UnknownAborts  uint64
+	ExplicitAborts uint64
+}
+
+// Diagnostics exposes the last conflict for tests and experiment plumbing.
+// Real RTM provides none of this (§2.2 challenge 1); the TxRace runtime must
+// never read it, and the runtime package does not.
+type Diagnostics struct {
+	LastConflictLine   memmodel.Line
+	LastConflictWinner int
+	LastConflictLoser  int
+}
+
+// New returns an HTM with the given configuration.
+func New(cfg Config) *HTM {
+	if cfg.MaxConcurrent <= 0 {
+		panic("htm: MaxConcurrent must be positive")
+	}
+	if cfg.GranularityShift == 0 {
+		cfg.GranularityShift = memmodel.LineShift
+	}
+	return &HTM{cfg: cfg}
+}
+
+// lineOf maps an address to a conflict-detection unit at the configured
+// granularity.
+func (h *HTM) lineOf(a memmodel.Addr) memmodel.Line {
+	return memmodel.Line(a >> h.cfg.GranularityShift)
+}
+
+func (h *HTM) txnOf(tid int) *txn {
+	for tid >= len(h.txns) {
+		h.txns = append(h.txns, nil)
+	}
+	if h.txns[tid] == nil {
+		h.txns[tid] = &txn{
+			reads:  cache.New(h.cfg.ReadSets, h.cfg.ReadWays),
+			writes: cache.New(h.cfg.WriteSets, h.cfg.WriteWays),
+		}
+	}
+	return h.txns[tid]
+}
+
+func (h *HTM) activeCount() int {
+	n := 0
+	for _, t := range h.txns {
+		if t != nil && t.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Begin opens a transaction for tid. A nested Begin aborts the transaction
+// with the nested status (delivered immediately).
+func (h *HTM) Begin(tid int) (Status, error) {
+	t := h.txnOf(tid)
+	if t.active {
+		h.doom(tid, StatusNested)
+		return h.Resolve(tid), nil
+	}
+	if h.activeCount() >= h.cfg.MaxConcurrent {
+		return 0, ErrNoHardwareContext
+	}
+	t.active = true
+	t.doomed = false
+	t.status = 0
+	t.hasConflictLine = false
+	t.reads.Reset()
+	t.writes.Reset()
+	h.stats.Begins++
+	return 0, nil
+}
+
+// InTxn reports whether tid has an open (possibly doomed) transaction.
+func (h *HTM) InTxn(tid int) bool {
+	if tid >= len(h.txns) || h.txns[tid] == nil {
+		return false
+	}
+	return h.txns[tid].active
+}
+
+// doom marks tid's transaction aborted. Its tracked lines are released at
+// once (the hardware restores cache state immediately), so a doomed
+// transaction no longer conflicts with anyone.
+func (h *HTM) doom(tid int, s Status) {
+	t := h.txnOf(tid)
+	if !t.active || t.doomed {
+		return
+	}
+	t.doomed = true
+	t.status = s
+	t.hasConflictLine = false
+	t.reads.Reset()
+	t.writes.Reset()
+	switch {
+	case s.Is(StatusConflict):
+		h.stats.ConflictAborts++
+	case s.Is(StatusCapacity):
+		h.stats.CapacityAborts++
+	case s.Is(StatusExplicit):
+		h.stats.ExplicitAborts++
+	case s == 0:
+		h.stats.UnknownAborts++
+	}
+}
+
+// Pending returns the abort status awaiting delivery to tid, plus whether
+// one exists. The runtime polls at instruction boundaries, modelling the
+// asynchronous abort of real hardware.
+func (h *HTM) Pending(tid int) (Status, bool) {
+	if tid >= len(h.txns) || h.txns[tid] == nil {
+		return 0, false
+	}
+	t := h.txns[tid]
+	if t.active && t.doomed {
+		return t.status, true
+	}
+	return 0, false
+}
+
+// Resolve delivers a pending abort: the transaction rolls back and tid's
+// context leaves transactional mode. It panics if nothing is pending —
+// callers must check Pending first.
+func (h *HTM) Resolve(tid int) Status {
+	t := h.txnOf(tid)
+	if !t.active || !t.doomed {
+		panic("htm: Resolve without pending abort")
+	}
+	t.active = false
+	t.doomed = false
+	return t.status
+}
+
+// Access performs a memory access by tid to the line containing addr.
+// If tid is inside a transaction the access is transactional: the line joins
+// its read or write set and an overflow dooms the transaction with a
+// capacity status, reported back immediately. Whether transactional or not,
+// conflicting transactions of *other* threads are doomed (requester wins +
+// strong isolation). The requester itself never blocks or fails here.
+func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
+	line := h.lineOf(addr)
+	// Conflict resolution. Under requester-wins (Intel RTM), every other
+	// active transaction holding a conflicting claim on the line aborts and
+	// the requester proceeds. Under responder-wins, a *transactional*
+	// requester colliding with a holder aborts itself instead; a
+	// non-transactional requester cannot be refused, so strong isolation
+	// still dooms the holder. A write conflicts with reads and writes; a
+	// read conflicts with writes only.
+	requesterTx := tid < len(h.txns) && h.txns[tid] != nil &&
+		h.txns[tid].active && !h.txns[tid].doomed
+	for other, t := range h.txns {
+		if other == tid || t == nil || !t.active || t.doomed {
+			continue
+		}
+		if t.writes.Contains(line) || (isWrite && t.reads.Contains(line)) {
+			if h.cfg.ResponderWins && requesterTx {
+				h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: other, LastConflictLoser: tid}
+				h.doom(tid, StatusConflict|StatusRetry)
+				if h.cfg.ExposeConflictAddress {
+					t2 := h.txnOf(tid)
+					t2.conflictLine, t2.hasConflictLine = line, true
+				}
+				return
+			}
+			h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: tid, LastConflictLoser: other}
+			h.doom(other, StatusConflict|StatusRetry)
+			if h.cfg.ExposeConflictAddress {
+				t2 := h.txnOf(other)
+				t2.conflictLine, t2.hasConflictLine = line, true
+			}
+		}
+	}
+	// Track the requester's own footprint if transactional.
+	if tid < len(h.txns) && h.txns[tid] != nil {
+		t := h.txns[tid]
+		if t.active && !t.doomed {
+			var set *cache.Cache
+			if isWrite {
+				set = t.writes
+			} else {
+				set = t.reads
+			}
+			if _, evicted := set.Touch(line); evicted {
+				h.doom(tid, StatusCapacity)
+			}
+		}
+	}
+}
+
+// InjectInterrupt models an OS interrupt/exception/context switch hitting
+// tid: an open transaction aborts with a fully unspecified status (§2.2
+// challenge 4 — no bits set, no explanation).
+func (h *HTM) InjectInterrupt(tid int) { h.InjectAbort(tid, 0) }
+
+// InjectAbort dooms tid's open transaction (if any) with an arbitrary
+// status, modelling micro-architectural abort conditions beyond conflicts
+// and capacity (e.g. the occasional retry-only abort).
+func (h *HTM) InjectAbort(tid int, s Status) {
+	if h.InTxn(tid) {
+		h.doom(tid, s)
+	}
+}
+
+// AbortExplicit executes XABORT with the given code.
+func (h *HTM) AbortExplicit(tid int, code uint8) {
+	if h.InTxn(tid) {
+		h.doom(tid, (StatusExplicit | StatusRetry).WithCode(code))
+	}
+}
+
+// Commit attempts to commit tid's transaction. It returns (0, true) on
+// success; if the transaction was doomed in flight the pending status is
+// delivered instead and Commit returns (status, false).
+func (h *HTM) Commit(tid int) (Status, bool) {
+	t := h.txnOf(tid)
+	if !t.active {
+		panic("htm: Commit outside transaction")
+	}
+	if t.doomed {
+		return h.Resolve(tid), false
+	}
+	t.active = false
+	t.reads.Reset()
+	t.writes.Reset()
+	h.stats.Commits++
+	return 0, true
+}
+
+// ConflictLine returns the address unit that doomed tid's last
+// conflict-aborted transaction. It only ever reports when the machine was
+// configured with ExposeConflictAddress (the future-HTM mode of §9);
+// commodity RTM always answers false.
+func (h *HTM) ConflictLine(tid int) (memmodel.Line, bool) {
+	if !h.cfg.ExposeConflictAddress || tid >= len(h.txns) || h.txns[tid] == nil {
+		return 0, false
+	}
+	t := h.txns[tid]
+	return t.conflictLine, t.hasConflictLine
+}
+
+// ReadSetSize and WriteSetSize expose tid's current footprint in lines.
+func (h *HTM) ReadSetSize(tid int) int  { return h.txnOf(tid).reads.Len() }
+func (h *HTM) WriteSetSize(tid int) int { return h.txnOf(tid).writes.Len() }
+
+// Stats returns machine-level counters.
+func (h *HTM) Stats() Stats { return h.stats }
+
+// Diag returns test-only diagnostics; see the Diagnostics doc comment.
+func (h *HTM) Diag() Diagnostics { return h.diag }

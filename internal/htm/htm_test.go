@@ -1,0 +1,252 @@
+package htm
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func addrOfLine(l int) memmodel.Addr { return memmodel.Addr(l * memmodel.LineSize) }
+
+func TestCommitEmptyTxn(t *testing.T) {
+	h := New(DefaultConfig())
+	if _, err := h.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := h.Commit(0); !ok || st != 0 {
+		t.Fatalf("commit = %v,%v", st, ok)
+	}
+	if s := h.Stats(); s.Commits != 1 || s.Begins != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRequesterWinsWriteWrite(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Begin(1)
+	h.Access(0, addrOfLine(5), true)
+	// Thread 1 writes the same line: thread 0's txn must be doomed.
+	h.Access(1, addrOfLine(5)+8, true) // different word, same line
+	if _, ok := h.Pending(1); ok {
+		t.Fatal("requester must not be doomed")
+	}
+	st, ok := h.Pending(0)
+	if !ok || !st.Is(StatusConflict) || !st.Is(StatusRetry) {
+		t.Fatalf("victim pending = %v,%v", st, ok)
+	}
+	if st, ok := h.Commit(1); !ok || st != 0 {
+		t.Fatalf("winner commit = %v,%v", st, ok)
+	}
+	if st, ok := h.Commit(0); ok || !st.Is(StatusConflict) {
+		t.Fatalf("loser commit = %v,%v; want delivered conflict", st, ok)
+	}
+}
+
+func TestReadReadNoConflict(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Begin(1)
+	h.Access(0, addrOfLine(3), false)
+	h.Access(1, addrOfLine(3), false)
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("read-read must not conflict")
+	}
+	if _, ok := h.Pending(1); ok {
+		t.Fatal("read-read must not conflict")
+	}
+}
+
+func TestWriteDoomsReader(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Access(0, addrOfLine(3), false)
+	h.Begin(1)
+	h.Access(1, addrOfLine(3), true)
+	if st, ok := h.Pending(0); !ok || !st.Is(StatusConflict) {
+		t.Fatalf("reader must be doomed, got %v,%v", st, ok)
+	}
+}
+
+func TestStrongIsolationNonTxWrite(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Access(0, addrOfLine(9), false)
+	// Thread 1 is NOT in a transaction; its write must doom thread 0.
+	h.Access(1, addrOfLine(9), true)
+	if st, ok := h.Pending(0); !ok || !st.Is(StatusConflict) {
+		t.Fatalf("strong isolation violated: %v,%v", st, ok)
+	}
+}
+
+func TestStrongIsolationNonTxReadOfWriteSet(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Access(0, addrOfLine(9), true)
+	h.Access(1, addrOfLine(9), false) // non-tx read of tx write set
+	if st, ok := h.Pending(0); !ok || !st.Is(StatusConflict) {
+		t.Fatalf("non-tx read of write set must conflict: %v,%v", st, ok)
+	}
+}
+
+func TestNonTxReadOfReadSetNoConflict(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Access(0, addrOfLine(9), false)
+	h.Access(1, addrOfLine(9), false) // non-tx read of tx read set: fine
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("read of read set must not conflict")
+	}
+}
+
+func TestCapacityAbortOnWriteOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	h.Begin(0)
+	capLines := cfg.WriteSets * cfg.WriteWays
+	for l := 0; l <= capLines; l++ {
+		h.Access(0, addrOfLine(l), true)
+		if st, ok := h.Pending(0); ok {
+			if !st.Is(StatusCapacity) {
+				t.Fatalf("expected capacity, got %v", st)
+			}
+			if l < capLines {
+				t.Fatalf("capacity abort too early at line %d of %d", l, capLines)
+			}
+			return
+		}
+	}
+	t.Fatalf("no capacity abort after %d lines", capLines+1)
+}
+
+func TestCapacityAbortSetAssociative(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	h.Begin(0)
+	// Hammer a single set: lines that all map to set 0.
+	for i := 0; i <= cfg.WriteWays; i++ {
+		h.Access(0, addrOfLine(i*cfg.WriteSets), true)
+	}
+	if st, ok := h.Pending(0); !ok || !st.Is(StatusCapacity) {
+		t.Fatalf("conflict-miss overflow must abort: %v,%v", st, ok)
+	}
+}
+
+func TestDoomReleasesLines(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Access(0, addrOfLine(4), true)
+	h.InjectInterrupt(0) // dooms; lines released
+	h.Begin(1)
+	h.Access(1, addrOfLine(4), true)
+	if _, ok := h.Pending(1); ok {
+		t.Fatal("doomed txn's lines must not conflict")
+	}
+	if st := h.Resolve(0); st != 0 {
+		t.Fatalf("interrupt abort status = %v, want unknown", st)
+	}
+}
+
+func TestExplicitAbortCode(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.AbortExplicit(0, 42)
+	st, ok := h.Pending(0)
+	if !ok || !st.Is(StatusExplicit) || st.ExplicitCode() != 42 {
+		t.Fatalf("explicit abort = %v,%v", st, ok)
+	}
+}
+
+func TestNestedBeginAborts(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	st, err := h.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Is(StatusNested) {
+		t.Fatalf("nested begin = %v", st)
+	}
+	if h.InTxn(0) {
+		t.Fatal("nested abort must close the transaction")
+	}
+}
+
+func TestMaxConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxConcurrent = 2
+	h := New(cfg)
+	if _, err := h.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Begin(2); err != ErrNoHardwareContext {
+		t.Fatalf("third begin err = %v", err)
+	}
+	h.Commit(0)
+	if _, err := h.Begin(2); err != nil {
+		t.Fatalf("after commit: %v", err)
+	}
+}
+
+func TestAbortStatusString(t *testing.T) {
+	if s := Status(0).String(); s != "unknown" {
+		t.Fatalf("zero status = %q", s)
+	}
+	st := (StatusConflict | StatusRetry).String()
+	if st != "retry|conflict" && st != "conflict|retry" {
+		t.Fatalf("conflict status = %q", st)
+	}
+	if got := (StatusExplicit.WithCode(7)).ExplicitCode(); got != 7 {
+		t.Fatalf("explicit code = %d", got)
+	}
+}
+
+func TestDiagnosticsRecordConflict(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Begin(0)
+	h.Access(0, addrOfLine(11), true)
+	h.Access(1, addrOfLine(11), true)
+	d := h.Diag()
+	if d.LastConflictLine != memmodel.LineOf(addrOfLine(11)) ||
+		d.LastConflictWinner != 1 || d.LastConflictLoser != 0 {
+		t.Fatalf("diag %+v", d)
+	}
+}
+
+func TestResponderWinsPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponderWins = true
+	h := New(cfg)
+	h.Begin(0)
+	h.Access(0, addrOfLine(5), true)
+	h.Begin(1)
+	h.Access(1, addrOfLine(5), true)
+	// Under responder-wins the holder (txn 0) survives; the requester
+	// (txn 1) aborts.
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("holder doomed under responder-wins")
+	}
+	if st, ok := h.Pending(1); !ok || !st.Is(StatusConflict) {
+		t.Fatalf("requester must abort: %v,%v", st, ok)
+	}
+	if st, ok := h.Commit(0); !ok || st != 0 {
+		t.Fatalf("holder commit = %v,%v", st, ok)
+	}
+}
+
+func TestResponderWinsStrongIsolationUnchanged(t *testing.T) {
+	// A non-transactional requester cannot be refused: the holder still
+	// aborts, whatever the policy.
+	cfg := DefaultConfig()
+	cfg.ResponderWins = true
+	h := New(cfg)
+	h.Begin(0)
+	h.Access(0, addrOfLine(5), false)
+	h.Access(1, addrOfLine(5), true) // non-tx write
+	if st, ok := h.Pending(0); !ok || !st.Is(StatusConflict) {
+		t.Fatalf("strong isolation must doom the holder: %v,%v", st, ok)
+	}
+}

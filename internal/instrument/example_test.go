@@ -1,0 +1,56 @@
+package instrument_test
+
+import (
+	"os"
+
+	"repro/internal/instrument"
+	"repro/internal/sim"
+)
+
+// Transactionalization (§4.1) on a tiny worker: the span before the lock
+// becomes one transaction; the critical section becomes another; the final
+// two accesses are below the K threshold and are marked Small, so the
+// runtime will route them to the software detector (§4.3).
+func ExampleForTxRace() {
+	body := []sim.Instr{
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x100), Site: 1},
+		&sim.MemAccess{Addr: sim.Fixed(0x140), Site: 2},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x180), Site: 3},
+		&sim.MemAccess{Addr: sim.Fixed(0x1c0), Site: 4},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x200), Site: 5},
+		&sim.Lock{M: 1},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x240), Site: 6},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x248), Site: 7},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x250), Site: 8},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x258), Site: 9},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x260), Site: 10},
+		&sim.Unlock{M: 1},
+		&sim.MemAccess{Write: true, Addr: sim.Fixed(0x280), Site: 11},
+		&sim.MemAccess{Addr: sim.Fixed(0x2c0), Site: 12},
+	}
+	p := &sim.Program{Name: "example", Workers: [][]sim.Instr{body}}
+	sim.Dump(os.Stdout, instrument.ForTxRace(p, instrument.DefaultOptions()))
+	// Output:
+	// program "example" (1 workers)
+	// worker 0:
+	//   xbegin (5 accesses)
+	//   store  [0x100] @site 1 hooked
+	//   load   [0x140] @site 2 hooked
+	//   store  [0x180] @site 3 hooked
+	//   load   [0x1c0] @site 4 hooked
+	//   store  [0x200] @site 5 hooked
+	//   xend
+	//   lock m1
+	//   xbegin (5 accesses)
+	//   store  [0x240] @site 6 hooked
+	//   store  [0x248] @site 7 hooked
+	//   store  [0x250] @site 8 hooked
+	//   store  [0x258] @site 9 hooked
+	//   store  [0x260] @site 10 hooked
+	//   xend
+	//   unlock m1
+	//   xbegin (2 accesses small)
+	//   store  [0x280] @site 11 hooked
+	//   load   [0x2c0] @site 12 hooked
+	//   xend
+}

@@ -1,0 +1,221 @@
+// Package instrument is the compile-time half of TxRace (§4.1, §4.3, §7): a
+// transformation pass over the sim IR that plays the role of the paper's
+// LLVM pass. It
+//
+//   - hooks memory accesses for the detector, skipping accesses the static
+//     analysis proves race-free (thread-local data), as TSan does;
+//   - transforms synchronization-free regions into transactions, inserting
+//     TxBegin at thread entry and after every synchronization operation or
+//     known system call, and TxEnd before them and at thread exit;
+//   - leaves the single-threaded Setup/Teardown phases of the program
+//     uninstrumented — the effect of the paper's function-cloning
+//     optimization for code invoked only in single-threaded mode;
+//   - marks regions with fewer than K static memory operations as Small so
+//     the runtime routes them to the slow path;
+//   - inserts LoopCheck marks at the end of cut-candidate loop bodies for
+//     the loop-cut optimization and its capacity-abort attribution.
+//
+// Hidden system calls (Syscall.Hidden) model third-party library calls the
+// profiler missed (§7): no transaction cut is inserted, so on the fast path
+// they surface as unknown aborts at runtime, which is precisely the paper's
+// stated failure mode for misprofiling.
+package instrument
+
+import "repro/internal/sim"
+
+// Options configures the pass.
+type Options struct {
+	// K is the small-region threshold: regions with fewer than K static
+	// memory operations are marked Small. The paper uses K = 5.
+	K int
+	// LoopChecks controls insertion of LoopCheck marks into boundary-free
+	// loops (required by both loop-cut schemes).
+	LoopChecks bool
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options { return Options{K: 5, LoopChecks: true} }
+
+// ForTSan returns a copy of p with every non-local memory access hooked, in
+// all phases — the always-on ThreadSanitizer build.
+func ForTSan(p *sim.Program) *sim.Program {
+	return &sim.Program{
+		Name:     p.Name,
+		Setup:    hookBody(p.Setup),
+		Workers:  hookWorkers(p.Workers),
+		Teardown: hookBody(p.Teardown),
+	}
+}
+
+func hookWorkers(ws [][]sim.Instr) [][]sim.Instr {
+	out := make([][]sim.Instr, len(ws))
+	for i, w := range ws {
+		out[i] = hookBody(w)
+	}
+	return out
+}
+
+// hookBody clones body, setting Hooked on every non-local access.
+func hookBody(body []sim.Instr) []sim.Instr {
+	out := make([]sim.Instr, 0, len(body))
+	for _, in := range body {
+		switch in := in.(type) {
+		case *sim.MemAccess:
+			cp := *in
+			cp.Hooked = !cp.Local
+			out = append(out, &cp)
+		case *sim.Loop:
+			out = append(out, &sim.Loop{ID: in.ID, Count: in.Count, Body: hookBody(in.Body)})
+		default:
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// ForTxRace returns a copy of p instrumented for the TxRace runtime: hooked
+// accesses plus transaction marks in the worker bodies. Setup and Teardown
+// stay uninstrumented (single-threaded clones).
+func ForTxRace(p *sim.Program, opts Options) *sim.Program {
+	if opts.K <= 0 {
+		opts.K = 5
+	}
+	ws := make([][]sim.Instr, len(p.Workers))
+	for i, w := range p.Workers {
+		ws[i] = transactionalize(hookBody(w), opts)
+	}
+	return &sim.Program{
+		Name:     p.Name,
+		Setup:    cloneBody(p.Setup),
+		Workers:  ws,
+		Teardown: cloneBody(p.Teardown),
+	}
+}
+
+func cloneBody(body []sim.Instr) []sim.Instr {
+	out := make([]sim.Instr, 0, len(body))
+	for _, in := range body {
+		switch in := in.(type) {
+		case *sim.MemAccess:
+			cp := *in
+			out = append(out, &cp)
+		case *sim.Loop:
+			out = append(out, &sim.Loop{ID: in.ID, Count: in.Count, Body: cloneBody(in.Body)})
+		default:
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// isBoundary reports whether in ends the current synchronization-free region
+// (§4.1): sync operations, and system calls the instrumenter knows about.
+func isBoundary(in sim.Instr) bool {
+	switch in := in.(type) {
+	case *sim.Lock, *sim.Unlock, *sim.RLock, *sim.RUnlock, *sim.WLock,
+		*sim.WUnlock, *sim.Signal, *sim.Wait, *sim.Barrier,
+		*sim.CondWait, *sim.CondSignal, *sim.CondBroadcast, *sim.AtomicRMW:
+		return true
+	case *sim.Syscall:
+		return !in.Hidden
+	default:
+		return false
+	}
+}
+
+// containsBoundary reports whether body (recursively) contains a region
+// boundary.
+func containsBoundary(body []sim.Instr) bool {
+	for _, in := range body {
+		if isBoundary(in) {
+			return true
+		}
+		if l, ok := in.(*sim.Loop); ok && containsBoundary(l.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// transactionalize inserts TxBegin/TxEnd around maximal boundary-free spans
+// and recurses into loops that contain boundaries (each iteration then
+// manages its own regions). Spans without any hooked memory access get no
+// transaction at all — the paper's reuse of TSan's static race-free results
+// (§4.3, optimization 2).
+func transactionalize(body []sim.Instr, opts Options) []sim.Instr {
+	var out []sim.Instr
+	var run []sim.Instr
+
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		n := countHooked(run)
+		if n == 0 {
+			out = append(out, run...)
+		} else {
+			out = append(out, &sim.TxBegin{Small: n < opts.K, StaticAccesses: n})
+			out = append(out, run...)
+			out = append(out, &sim.TxEnd{})
+		}
+		run = nil
+	}
+
+	for _, in := range body {
+		switch in := in.(type) {
+		case *sim.Loop:
+			if containsBoundary(in.Body) {
+				// The loop body manages its own regions; the loop itself
+				// separates the surrounding spans.
+				flush()
+				out = append(out, &sim.Loop{ID: in.ID, Count: in.Count,
+					Body: transactionalize(in.Body, opts)})
+				continue
+			}
+			run = append(run, withLoopChecks(in, opts))
+		default:
+			if isBoundary(in) {
+				flush()
+				out = append(out, in)
+				continue
+			}
+			run = append(run, in)
+		}
+	}
+	flush()
+	return out
+}
+
+// withLoopChecks appends a LoopCheck to the end of a boundary-free loop's
+// body (and, recursively, its nested loops) when enabled.
+func withLoopChecks(l *sim.Loop, opts Options) *sim.Loop {
+	nb := make([]sim.Instr, 0, len(l.Body)+1)
+	for _, in := range l.Body {
+		if nl, ok := in.(*sim.Loop); ok {
+			nb = append(nb, withLoopChecks(nl, opts))
+			continue
+		}
+		nb = append(nb, in)
+	}
+	if opts.LoopChecks {
+		nb = append(nb, &sim.LoopCheck{ID: l.ID})
+	}
+	return &sim.Loop{ID: l.ID, Count: l.Count, Body: nb}
+}
+
+// countHooked returns the static hooked-access count of a span, loop bodies
+// multiplied by trip count (the region-size estimate for the K threshold).
+func countHooked(body []sim.Instr) int {
+	n := 0
+	for _, in := range body {
+		switch in := in.(type) {
+		case *sim.MemAccess:
+			if in.Hooked {
+				n++
+			}
+		case *sim.Loop:
+			n += countHooked(in.Body) * in.Count
+		}
+	}
+	return n
+}

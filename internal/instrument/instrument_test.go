@@ -1,0 +1,286 @@
+package instrument
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+func acc(a memmodel.Addr, site sim.SiteID) *sim.MemAccess {
+	return &sim.MemAccess{Addr: sim.Fixed(a), Site: site}
+}
+
+func localAcc(a memmodel.Addr) *sim.MemAccess {
+	return &sim.MemAccess{Addr: sim.Fixed(a), Site: 99, Local: true}
+}
+
+func manyAccs(n int) []sim.Instr {
+	out := make([]sim.Instr, n)
+	for i := range out {
+		out[i] = acc(memmodel.Addr(64*(i+1)), sim.SiteID(i+1))
+	}
+	return out
+}
+
+func TestForTSanHooksNonLocal(t *testing.T) {
+	p := &sim.Program{
+		Setup:   []sim.Instr{acc(64, 1), localAcc(128)},
+		Workers: [][]sim.Instr{{acc(192, 2)}},
+	}
+	ip := ForTSan(p)
+	hooked, local := 0, 0
+	check := func(body []sim.Instr) {
+		sim.ForEachInstr(body, func(in sim.Instr) {
+			if m, ok := in.(*sim.MemAccess); ok {
+				if m.Hooked {
+					hooked++
+				}
+				if m.Local && m.Hooked {
+					local++
+				}
+			}
+		})
+	}
+	check(ip.Setup)
+	check(ip.Workers[0])
+	if hooked != 2 {
+		t.Fatalf("hooked = %d, want 2", hooked)
+	}
+	if local != 0 {
+		t.Fatal("local access hooked")
+	}
+}
+
+func TestForTSanDoesNotMutateOriginal(t *testing.T) {
+	orig := acc(64, 1)
+	p := &sim.Program{Workers: [][]sim.Instr{{orig}}}
+	ForTSan(p)
+	if orig.Hooked {
+		t.Fatal("instrumentation mutated the input program")
+	}
+}
+
+func TestForTxRaceDoesNotMutateOriginal(t *testing.T) {
+	orig := acc(64, 1)
+	l := &sim.Loop{ID: 1, Count: 3, Body: []sim.Instr{acc(128, 2)}}
+	p := &sim.Program{Workers: [][]sim.Instr{{orig, l}}}
+	ForTxRace(p, DefaultOptions())
+	if orig.Hooked {
+		t.Fatal("mutated original access")
+	}
+	if len(l.Body) != 1 {
+		t.Fatal("mutated original loop body (LoopCheck inserted in place)")
+	}
+}
+
+// markBalance walks a worker body and checks TxBegin/TxEnd alternation for
+// any dynamic execution: since regions never span loop back-edges in the
+// instrumented IR (loops containing boundaries are recursively
+// instrumented), static alternation per nesting level implies dynamic
+// balance.
+func markBalance(t *testing.T, body []sim.Instr) {
+	t.Helper()
+	open := false
+	for _, in := range body {
+		switch in := in.(type) {
+		case *sim.TxBegin:
+			if open {
+				t.Fatal("TxBegin while region open")
+			}
+			open = true
+		case *sim.TxEnd:
+			if !open {
+				t.Fatal("TxEnd without open region")
+			}
+			open = false
+		case *sim.Lock, *sim.Unlock, *sim.Signal, *sim.Wait, *sim.Barrier:
+			if open {
+				t.Fatalf("sync instruction %T inside a region", in)
+			}
+		case *sim.Syscall:
+			if open && !in.Hidden {
+				t.Fatal("visible syscall inside a region")
+			}
+		case *sim.Loop:
+			if containsBoundary(in.Body) {
+				if open {
+					t.Fatal("boundary-carrying loop inside a region")
+				}
+				markBalance(t, in.Body)
+			}
+		}
+	}
+	if open {
+		t.Fatal("unclosed region at body end")
+	}
+}
+
+func TestTransactionalizeBalancedMarks(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{
+		append(append(manyAccs(6),
+			&sim.Lock{M: 1}, acc(8, 50), &sim.Unlock{M: 1}),
+			&sim.Loop{ID: 1, Count: 4, Body: []sim.Instr{
+				acc(16, 51),
+				&sim.Syscall{Name: "s", Cycles: 30},
+				acc(24, 52),
+			}},
+			&sim.Signal{C: 2},
+			&sim.Syscall{Name: "t", Cycles: 30},
+		),
+	}}
+	ip := ForTxRace(p, DefaultOptions())
+	markBalance(t, ip.Workers[0])
+}
+
+func TestSmallRegionFlag(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{
+		append(append([]sim.Instr{}, manyAccs(3)...),
+			append([]sim.Instr{&sim.Syscall{Name: "s", Cycles: 30}}, manyAccs(6)...)...),
+	}}
+	ip := ForTxRace(p, Options{K: 5, LoopChecks: true})
+	var begins []*sim.TxBegin
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if b, ok := in.(*sim.TxBegin); ok {
+			begins = append(begins, b)
+		}
+	})
+	if len(begins) != 2 {
+		t.Fatalf("regions = %d, want 2", len(begins))
+	}
+	if !begins[0].Small || begins[0].StaticAccesses != 3 {
+		t.Fatalf("first region: %+v, want Small with 3 accesses", begins[0])
+	}
+	if begins[1].Small || begins[1].StaticAccesses != 6 {
+		t.Fatalf("second region: %+v, want non-Small with 6 accesses", begins[1])
+	}
+}
+
+func TestLoopCountWeighsRegionSize(t *testing.T) {
+	// A loop of 3 iterations with 2 accesses counts as 6 ≥ K.
+	p := &sim.Program{Workers: [][]sim.Instr{{
+		&sim.Loop{ID: 1, Count: 3, Body: []sim.Instr{acc(8, 1), acc(16, 2)}},
+	}}}
+	ip := ForTxRace(p, Options{K: 5, LoopChecks: false})
+	var begins []*sim.TxBegin
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if b, ok := in.(*sim.TxBegin); ok {
+			begins = append(begins, b)
+		}
+	})
+	if len(begins) != 1 || begins[0].Small {
+		t.Fatalf("begins = %+v, want one non-Small", begins)
+	}
+}
+
+func TestAccessFreeSpanNotTransactionalized(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{{
+		&sim.Compute{Cycles: 100},
+		&sim.Syscall{Name: "s", Cycles: 30},
+		localAcc(8), // local-only: no hooks → no region
+	}}}
+	ip := ForTxRace(p, DefaultOptions())
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if _, ok := in.(*sim.TxBegin); ok {
+			t.Fatal("region created for hook-free span")
+		}
+	})
+}
+
+func TestLoopChecksInserted(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{{
+		&sim.Loop{ID: 7, Count: 100, Body: []sim.Instr{acc(8, 1)}},
+	}}}
+	ip := ForTxRace(p, DefaultOptions())
+	found := 0
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if lc, ok := in.(*sim.LoopCheck); ok {
+			if lc.ID != 7 {
+				t.Fatalf("LoopCheck id = %d, want 7", lc.ID)
+			}
+			found++
+		}
+	})
+	if found != 1 {
+		t.Fatalf("LoopChecks = %d, want 1", found)
+	}
+}
+
+func TestLoopChecksNested(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{{
+		&sim.Loop{ID: 1, Count: 10, Body: []sim.Instr{
+			&sim.Loop{ID: 2, Count: 10, Body: []sim.Instr{acc(8, 1)}},
+		}},
+	}}}
+	ip := ForTxRace(p, DefaultOptions())
+	ids := map[sim.LoopID]bool{}
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if lc, ok := in.(*sim.LoopCheck); ok {
+			ids[lc.ID] = true
+		}
+	})
+	if !ids[1] || !ids[2] {
+		t.Fatalf("nested LoopChecks missing: %v", ids)
+	}
+}
+
+func TestNoLoopChecksWhenDisabled(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{{
+		&sim.Loop{ID: 7, Count: 100, Body: []sim.Instr{acc(8, 1)}},
+	}}}
+	ip := ForTxRace(p, Options{K: 5, LoopChecks: false})
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if _, ok := in.(*sim.LoopCheck); ok {
+			t.Fatal("LoopCheck inserted with LoopChecks=false")
+		}
+	})
+}
+
+func TestSetupTeardownLeftUninstrumented(t *testing.T) {
+	p := &sim.Program{
+		Setup:    []sim.Instr{acc(8, 1)},
+		Workers:  [][]sim.Instr{manyAccs(6)},
+		Teardown: []sim.Instr{acc(16, 2)},
+	}
+	ip := ForTxRace(p, DefaultOptions())
+	for _, body := range [][]sim.Instr{ip.Setup, ip.Teardown} {
+		sim.ForEachInstr(body, func(in sim.Instr) {
+			switch in := in.(type) {
+			case *sim.TxBegin, *sim.TxEnd:
+				t.Fatal("single-threaded phase transactionalized")
+			case *sim.MemAccess:
+				if in.Hooked {
+					t.Fatal("single-threaded phase hooked")
+				}
+			}
+		})
+	}
+}
+
+func TestHiddenSyscallNotABoundary(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{
+		append(append(manyAccs(3),
+			&sim.Syscall{Name: "lib", Cycles: 10, Hidden: true}),
+			manyAccs(3)...),
+	}}
+	ip := ForTxRace(p, DefaultOptions())
+	begins := 0
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if _, ok := in.(*sim.TxBegin); ok {
+			begins++
+		}
+	})
+	if begins != 1 {
+		t.Fatalf("hidden syscall split the region: %d begins", begins)
+	}
+}
+
+func TestKDefaultApplied(t *testing.T) {
+	p := &sim.Program{Workers: [][]sim.Instr{manyAccs(4)}}
+	ip := ForTxRace(p, Options{}) // zero K → default 5
+	sim.ForEachInstr(ip.Workers[0], func(in sim.Instr) {
+		if b, ok := in.(*sim.TxBegin); ok && !b.Small {
+			t.Fatal("4-access region not Small under default K=5")
+		}
+	})
+}

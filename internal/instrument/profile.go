@@ -1,0 +1,27 @@
+package instrument
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Profile performs the paper's offline profiling run (§4.3): it executes the
+// program once under the TxRace runtime in DynLoopcut mode — which learns,
+// per loop, the largest iteration count that commits without a capacity
+// abort — and harvests the learned thresholds. Feeding the result into
+// Options.Thresholds with CutMode ProfCut gives TxRace-ProfLoopcut, which
+// avoids even the very first capacity abort of each hot loop.
+//
+// On the paper's toolchain the capacity-abort→loop attribution came from the
+// Last Branch Record; here it comes from the runtime's LoopCheck tracking,
+// which the DESIGN.md substitution table documents.
+func Profile(p *sim.Program, cfg sim.Config, opts core.Options) (core.LoopThresholds, error) {
+	ip := ForTxRace(p, DefaultOptions())
+	opts.LoopCut = core.DynCut
+	rt := core.NewTxRace(opts)
+	eng := sim.NewEngine(cfg)
+	if _, err := eng.Run(ip, rt); err != nil {
+		return nil, err
+	}
+	return rt.Thresholds().Clone(), nil
+}

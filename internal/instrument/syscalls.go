@@ -1,0 +1,97 @@
+package instrument
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// SyscallProfile is the result of profiling a program for system calls made
+// by third-party libraries whose sources the instrumenter cannot see (§7).
+// The paper runs such libraries under a dynamic binary instrumentation tool
+// (Pin/Valgrind/DynamoRIO) with representative input to identify the library
+// functions that enter the kernel, then cuts transactions around them.
+type SyscallProfile struct {
+	// Found are the names of hidden syscalls the profiler observed.
+	Found map[string]bool
+	// Missed counts hidden-syscall sites the profiling input never reached —
+	// these stay invisible and keep causing unknown aborts at runtime, the
+	// misprofiling cost §7 bounds ("misprofiling only adds runtime overhead,
+	// and does not harm detection coverage").
+	Missed int
+}
+
+// ProfileHiddenSyscalls models the §7 binary-instrumentation profiling run:
+// each hidden syscall site is exercised by the representative input with
+// probability coverage, independently per site. A coverage of 1 models a
+// perfect profile; lower values model inputs that miss code paths.
+func ProfileHiddenSyscalls(p *sim.Program, coverage float64, seed int64) *SyscallProfile {
+	rng := rand.New(rand.NewSource(seed))
+	prof := &SyscallProfile{Found: make(map[string]bool)}
+	visit := func(body []sim.Instr) {
+		sim.ForEachInstr(body, func(in sim.Instr) {
+			sc, ok := in.(*sim.Syscall)
+			if !ok || !sc.Hidden {
+				return
+			}
+			if prof.Found[sc.Name] {
+				return
+			}
+			if rng.Float64() < coverage {
+				prof.Found[sc.Name] = true
+			} else {
+				prof.Missed++
+			}
+		})
+	}
+	visit(p.Setup)
+	for _, w := range p.Workers {
+		visit(w)
+	}
+	visit(p.Teardown)
+	return prof
+}
+
+// ApplySyscallProfile returns a copy of p in which every hidden syscall the
+// profile identified is promoted to a known (visible) syscall, so the
+// transactionalization pass cuts regions around it instead of letting it
+// abort transactions with an unknown status at runtime.
+func ApplySyscallProfile(p *sim.Program, prof *SyscallProfile) *sim.Program {
+	var promote func(body []sim.Instr) []sim.Instr
+	promote = func(body []sim.Instr) []sim.Instr {
+		out := make([]sim.Instr, 0, len(body))
+		for _, in := range body {
+			switch in := in.(type) {
+			case *sim.Syscall:
+				if in.Hidden && prof.Found[in.Name] {
+					cp := *in
+					cp.Hidden = false
+					out = append(out, &cp)
+					continue
+				}
+				out = append(out, in)
+			case *sim.Loop:
+				out = append(out, &sim.Loop{ID: in.ID, Count: in.Count, Body: nil})
+				l := out[len(out)-1].(*sim.Loop)
+				l.Body = promote(in.Body)
+			default:
+				out = append(out, in)
+			}
+		}
+		return out
+	}
+	return &sim.Program{
+		Name:     p.Name,
+		Setup:    promote(p.Setup),
+		Workers:  promoteAll(p.Workers, promote),
+		Teardown: promote(p.Teardown),
+	}
+}
+
+func promoteAll(ws [][]sim.Instr, f func([]sim.Instr) []sim.Instr) [][]sim.Instr {
+	out := make([][]sim.Instr, len(ws))
+	for i, w := range ws {
+		out[i] = f(w)
+	}
+	return out
+}

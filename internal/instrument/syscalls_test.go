@@ -1,0 +1,101 @@
+package instrument
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func hiddenProg() *sim.Program {
+	b := []sim.Instr{}
+	b = append(b, manyAccs(6)...)
+	b = append(b, &sim.Syscall{Name: "libA", Cycles: 30, Hidden: true})
+	b = append(b, manyAccs(6)...)
+	b = append(b, &sim.Syscall{Name: "libB", Cycles: 30, Hidden: true})
+	b = append(b, manyAccs(6)...)
+	other := append(manyAccs(8), &sim.Compute{Cycles: 50})
+	return &sim.Program{Name: "hiddenprog", Workers: [][]sim.Instr{b, other}}
+}
+
+func TestProfileFullCoverageFindsAll(t *testing.T) {
+	p := hiddenProg()
+	prof := ProfileHiddenSyscalls(p, 1.0, 1)
+	if len(prof.Found) != 2 || prof.Missed != 0 {
+		t.Fatalf("profile = %+v", prof)
+	}
+}
+
+func TestProfileZeroCoverageFindsNone(t *testing.T) {
+	prof := ProfileHiddenSyscalls(hiddenProg(), 0, 1)
+	if len(prof.Found) != 0 || prof.Missed != 2 {
+		t.Fatalf("profile = %+v", prof)
+	}
+}
+
+func TestApplyProfileEliminatesUnknownAborts(t *testing.T) {
+	run := func(p *sim.Program) core.Stats {
+		rt := core.NewTxRace(core.Options{})
+		cfg := sim.DefaultConfig()
+		cfg.InterruptEvery = 0
+		cfg.SpawnJitter = 0
+		cfg.WakeJitter = 0
+		if _, err := sim.NewEngine(cfg).Run(ForTxRace(p, DefaultOptions()), rt); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats()
+	}
+
+	// Unprofiled: the whole body is one region (hidden calls are not
+	// boundaries); its first hidden syscall aborts it, and the slow-path
+	// re-execution sails past the second one — a single unknown abort.
+	st := run(hiddenProg())
+	if st.UnknownAborts != 1 {
+		t.Fatalf("unprofiled unknown aborts = %d, want 1", st.UnknownAborts)
+	}
+
+	// Fully profiled: the syscalls become region boundaries; no unknowns.
+	p := hiddenProg()
+	prof := ProfileHiddenSyscalls(p, 1.0, 1)
+	st = run(ApplySyscallProfile(p, prof))
+	if st.UnknownAborts != 0 {
+		t.Fatalf("profiled unknown aborts = %d, want 0", st.UnknownAborts)
+	}
+	if st.CommittedTxns < 3 {
+		t.Fatalf("promoted syscalls should split regions: %+v", st)
+	}
+}
+
+func TestApplyProfileDoesNotMutateOriginal(t *testing.T) {
+	p := hiddenProg()
+	prof := ProfileHiddenSyscalls(p, 1.0, 1)
+	ApplySyscallProfile(p, prof)
+	hidden := 0
+	sim.ForEachInstr(p.Workers[0], func(in sim.Instr) {
+		if sc, ok := in.(*sim.Syscall); ok && sc.Hidden {
+			hidden++
+		}
+	})
+	if hidden != 2 {
+		t.Fatalf("original program mutated: %d hidden left", hidden)
+	}
+}
+
+func TestPartialProfileLeavesResidualUnknowns(t *testing.T) {
+	// With the profiler finding only one of the two library calls, exactly
+	// the missed one keeps aborting — §7's bounded misprofiling cost.
+	p := hiddenProg()
+	prof := &SyscallProfile{Found: map[string]bool{"libA": true}, Missed: 1}
+	promoted := ApplySyscallProfile(p, prof)
+	rt := core.NewTxRace(core.Options{})
+	cfg := sim.DefaultConfig()
+	cfg.InterruptEvery = 0
+	cfg.SpawnJitter = 0
+	cfg.WakeJitter = 0
+	if _, err := sim.NewEngine(cfg).Run(ForTxRace(promoted, DefaultOptions()), rt); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Stats().UnknownAborts; got != 1 {
+		t.Fatalf("unknown aborts = %d, want 1 (only the missed call)", got)
+	}
+}

@@ -1,0 +1,95 @@
+// Package memmodel defines the simulated address space used throughout the
+// TxRace reproduction: plain 64-bit byte addresses, 64-byte cache lines
+// (matching the Intel Haswell line size the paper's conflict-granularity
+// discussion depends on), and a bump allocator for carving the space into
+// named regions (shared heap, per-thread stacks, detector-private data).
+//
+// Memory in the simulator carries no values: data races are a property of
+// which addresses are touched and in what happens-before order, never of the
+// bytes stored there, so the entire model reduces to address arithmetic.
+package memmodel
+
+import "fmt"
+
+// Addr is a simulated byte address.
+type Addr uint64
+
+// Line identifies a 64-byte cache line: Addr >> LineShift.
+type Line uint64
+
+const (
+	// LineSize is the conflict-detection granularity of the simulated HTM,
+	// matching the 64-byte lines of the Haswell L1 described in §2.2.
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// WordSize is the granularity at which the slow-path detector tracks
+	// accesses (8 application bytes per shadow granule, as in TSan).
+	WordSize = 8
+)
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// LineBase returns the first address of line l.
+func LineBase(l Line) Addr { return Addr(l) << LineShift }
+
+// WordOf returns the 8-byte-granule index containing a, the unit keyed by
+// slow-path shadow memory.
+func WordOf(a Addr) uint64 { return uint64(a) / WordSize }
+
+// SameLine reports whether a and b fall on the same cache line. Two
+// different words on the same line are exactly the false-sharing case that
+// makes fast-path conflicts only *potential* races (§2.2 challenge 2).
+func SameLine(a, b Addr) bool { return LineOf(a) == LineOf(b) }
+
+// LinesSpanned returns how many cache lines the size-byte access at a touches.
+func LinesSpanned(a Addr, size uint64) int {
+	if size == 0 {
+		return 0
+	}
+	first := LineOf(a)
+	last := LineOf(a + Addr(size) - 1)
+	return int(last-first) + 1
+}
+
+// Allocator hands out non-overlapping address ranges. The zero value is not
+// usable; construct with NewAllocator so the zero address stays reserved
+// (it doubles as "no address" in a few data structures).
+type Allocator struct {
+	next Addr
+}
+
+// NewAllocator returns an allocator whose first allocation begins at base.
+// base must be non-zero.
+func NewAllocator(base Addr) *Allocator {
+	if base == 0 {
+		panic("memmodel: allocator base must be non-zero")
+	}
+	return &Allocator{next: base}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two)
+// and returns the first address.
+func (al *Allocator) Alloc(size, align uint64) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("memmodel: alignment %d is not a power of two", align))
+	}
+	a := (uint64(al.next) + align - 1) &^ (align - 1)
+	al.next = Addr(a + size)
+	return Addr(a)
+}
+
+// AllocWords reserves n words (8 bytes each), line-aligned, so a fresh
+// allocation never false-shares with a previous one unless the workload
+// arranges it deliberately.
+func (al *Allocator) AllocWords(n int) Addr {
+	return al.Alloc(uint64(n)*WordSize, LineSize)
+}
+
+// AllocLine reserves one whole cache line and returns its base address.
+// Workloads use it for variables that must not false-share.
+func (al *Allocator) AllocLine() Addr { return al.Alloc(LineSize, LineSize) }
+
+// Mark returns the high-water mark: the next address that would be handed out.
+func (al *Allocator) Mark() Addr { return al.next }

@@ -1,0 +1,125 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line Line
+	}{
+		{0, 0}, {1, 0}, {63, 0}, {64, 1}, {65, 1}, {127, 1}, {128, 2},
+		{1 << 20, 1 << 14},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%d) = %d, want %d", c.addr, got, c.line)
+		}
+	}
+}
+
+func TestLineBaseRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		l := LineOf(a)
+		base := LineBase(l)
+		return base <= a && a < base+LineSize && LineOf(base) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	if !SameLine(100, 101) {
+		t.Error("adjacent bytes on one line must share it")
+	}
+	if SameLine(63, 64) {
+		t.Error("addresses across a line boundary must differ")
+	}
+}
+
+func TestWordOf(t *testing.T) {
+	if WordOf(0) != 0 || WordOf(7) != 0 || WordOf(8) != 1 || WordOf(16) != 2 {
+		t.Errorf("word granule math wrong: %d %d %d %d",
+			WordOf(0), WordOf(7), WordOf(8), WordOf(16))
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		size uint64
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 64, 1}, {0, 65, 2},
+		{63, 1, 1}, {63, 2, 2}, {60, 8, 2}, {64, 64, 1},
+	}
+	for _, c := range cases {
+		if got := LinesSpanned(c.addr, c.size); got != c.want {
+			t.Errorf("LinesSpanned(%d, %d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+func TestAllocatorNonOverlapping(t *testing.T) {
+	al := NewAllocator(1 << 20)
+	var prevEnd Addr = 0
+	for i := 0; i < 100; i++ {
+		a := al.AllocWords(10)
+		if a < prevEnd {
+			t.Fatalf("allocation %d at %#x overlaps previous end %#x", i, a, prevEnd)
+		}
+		prevEnd = a + 10*WordSize
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	al := NewAllocator(1 << 20)
+	al.Alloc(3, 1) // misalign the bump pointer
+	a := al.AllocLine()
+	if uint64(a)%LineSize != 0 {
+		t.Fatalf("AllocLine returned unaligned %#x", a)
+	}
+	b := al.Alloc(16, 8)
+	if uint64(b)%8 != 0 {
+		t.Fatalf("Alloc align=8 returned %#x", b)
+	}
+}
+
+func TestAllocatorLineIsolation(t *testing.T) {
+	// Line-aligned word allocations must never false-share.
+	al := NewAllocator(1 << 20)
+	a := al.AllocWords(1)
+	b := al.AllocWords(1)
+	if SameLine(a, b) {
+		t.Fatalf("AllocWords results %#x and %#x share a cache line", a, b)
+	}
+}
+
+func TestAllocatorBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two alignment must panic")
+		}
+	}()
+	NewAllocator(64).Alloc(8, 3)
+}
+
+func TestNewAllocatorZeroBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero base must panic")
+		}
+	}()
+	NewAllocator(0)
+}
+
+func TestMark(t *testing.T) {
+	al := NewAllocator(1024)
+	al.Alloc(100, 1)
+	if al.Mark() != 1124 {
+		t.Fatalf("Mark = %d, want 1124", al.Mark())
+	}
+}

@@ -1,0 +1,136 @@
+// Package report renders experiment results as the text analogues of the
+// paper's tables and figures: aligned columns for tables, labelled series
+// (and simple ASCII bars) for figures, each alongside the published values
+// so shape agreement is visible at a glance.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: two decimals, trimming trailing
+// zeros for whole numbers.
+func FormatFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders value as a proportional ASCII bar against max, width chars.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// StackedBar renders proportional segments as one bar, each segment drawn
+// with its own glyph — the text analogue of Fig. 7's stacked columns. The
+// bar is scaled so that `max` fills `width` characters; a non-empty segment
+// always gets at least one glyph.
+func StackedBar(segments []float64, glyphs string, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, v := range segments {
+		if v <= 0 {
+			continue
+		}
+		n := int(v / max * float64(width))
+		if n == 0 {
+			n = 1
+		}
+		g := byte('#')
+		if i < len(glyphs) {
+			g = glyphs[i]
+		}
+		sb.Write(bytesRepeat(g, n))
+	}
+	out := sb.String()
+	if len(out) > width {
+		out = out[:width]
+	}
+	return out
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Section prints a titled separator.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n\n", title)
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 123456)
+	var sb strings.Builder
+	tb.Write(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+sep+2 rows", len(lines))
+	}
+	// The value column must start at the same offset in every row.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[3][idx:], "123456") {
+		t.Fatalf("misaligned columns:\n%s", sb.String())
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		1.5:     "1.5",
+		1.25:    "1.25",
+		1.256:   "1.26",
+		0:       "0",
+		-2.5:    "-2.5",
+		100.004: "100",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####" {
+		t.Fatalf("Bar(5,10,10) = %q", b)
+	}
+	if b := Bar(20, 10, 10); b != "##########" {
+		t.Fatalf("overflow bar = %q", b)
+	}
+	if Bar(0, 10, 10) != "" || Bar(5, 0, 10) != "" {
+		t.Fatal("degenerate bars must be empty")
+	}
+}
+
+func TestSection(t *testing.T) {
+	var sb strings.Builder
+	Section(&sb, "Table 1")
+	if !strings.Contains(sb.String(), "== Table 1 ==") {
+		t.Fatalf("section = %q", sb.String())
+	}
+}
+
+func TestTableFloatsFormatted(t *testing.T) {
+	tb := &Table{Header: []string{"v"}}
+	tb.Add(3.14159)
+	var sb strings.Builder
+	tb.Write(&sb)
+	if !strings.Contains(sb.String(), "3.14") || strings.Contains(sb.String(), "3.14159") {
+		t.Fatalf("float formatting: %q", sb.String())
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	b := StackedBar([]float64{1, 1, 2}, ".#c", 4, 8)
+	if b != "..##cccc" {
+		t.Fatalf("bar = %q", b)
+	}
+	// A tiny non-zero segment still shows up.
+	b = StackedBar([]float64{3.9, 0.01}, ".#", 4, 8)
+	if !strings.Contains(b, "#") {
+		t.Fatalf("tiny segment dropped: %q", b)
+	}
+	// Clipped to width.
+	if got := StackedBar([]float64{100}, "#", 4, 8); len(got) != 8 {
+		t.Fatalf("bar not clipped: %q", got)
+	}
+	if StackedBar(nil, "", 0, 8) != "" {
+		t.Fatal("degenerate bar")
+	}
+}

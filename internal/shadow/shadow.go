@@ -1,0 +1,163 @@
+// Package shadow provides the per-word detector state ("shadow memory") used
+// by the slow-path happens-before race detector.
+//
+// Two representations are provided, mirroring the two configurations the
+// paper discusses in §5:
+//
+//   - Word: full FastTrack state (last-write epoch plus adaptive last-read
+//     epoch/vector). With this representation the detector is sound and
+//     complete for the monitored trace. This is the "enough shadow cells"
+//     configuration the paper says it ran TSan in.
+//
+//   - CellStore: a bounded store of the last N access records per 8-byte
+//     granule with random replacement, reproducing stock TSan's
+//     memory-bounding design (N = 4 by default) and its resulting
+//     unsoundness: evicting a cell can hide one half of a race.
+package shadow
+
+import (
+	"math/rand"
+
+	"repro/internal/clock"
+	"repro/internal/memmodel"
+)
+
+// SiteID identifies a static program location (one instruction in the
+// workload IR). Races are reported and de-duplicated as pairs of SiteIDs,
+// matching the paper's counting of static race instances (§8.3).
+type SiteID uint32
+
+// Word is the FastTrack state for one 8-byte granule.
+type Word struct {
+	// W is the epoch of the last write; WSite its static site.
+	W     clock.Epoch
+	WSite SiteID
+	// Reads are adaptive: while all reads are totally ordered, only the
+	// epoch R/RSite is kept. Once two unordered reads are seen, the state
+	// inflates to the vector RVC with per-thread sites in RSites.
+	R      clock.Epoch
+	RSite  SiteID
+	RVC    *clock.VC
+	RSites []SiteID
+}
+
+// ReadShared reports whether the word is in vector (read-shared) mode.
+func (w *Word) ReadShared() bool { return w.RVC != nil }
+
+// Inflate switches the word to read-shared mode, seeding the vector with the
+// existing read epoch.
+func (w *Word) Inflate(threads int) {
+	if w.RVC != nil {
+		return
+	}
+	w.RVC = clock.New(threads)
+	w.RSites = make([]SiteID, threads)
+	if w.R != clock.NoEpoch {
+		w.RVC.Set(w.R.TID(), w.R.Time())
+		w.setRSite(w.R.TID(), w.RSite)
+	}
+}
+
+// RecordSharedRead stores a read at tid/site in read-shared mode.
+func (w *Word) RecordSharedRead(tid clock.TID, t clock.Time, site SiteID) {
+	w.RVC.Set(tid, t)
+	w.setRSite(tid, site)
+}
+
+func (w *Word) setRSite(tid clock.TID, site SiteID) {
+	for int(tid) >= len(w.RSites) {
+		w.RSites = append(w.RSites, 0)
+	}
+	w.RSites[tid] = site
+}
+
+// RSiteOf returns the site of tid's last read in read-shared mode.
+func (w *Word) RSiteOf(tid clock.TID) SiteID {
+	if int(tid) >= len(w.RSites) {
+		return 0
+	}
+	return w.RSites[tid]
+}
+
+// Memory maps 8-byte granules to FastTrack state, created on first touch.
+type Memory struct {
+	words map[uint64]*Word
+}
+
+// NewMemory returns an empty shadow memory.
+func NewMemory() *Memory { return &Memory{words: make(map[uint64]*Word)} }
+
+// Word returns the state for the granule containing a, allocating if needed.
+func (m *Memory) Word(a memmodel.Addr) *Word {
+	g := memmodel.WordOf(a)
+	w := m.words[g]
+	if w == nil {
+		w = &Word{}
+		m.words[g] = w
+	}
+	return w
+}
+
+// Peek returns the state for a's granule or nil if never accessed.
+func (m *Memory) Peek(a memmodel.Addr) *Word { return m.words[memmodel.WordOf(a)] }
+
+// Len returns the number of granules with state.
+func (m *Memory) Len() int { return len(m.words) }
+
+// Reset discards all state.
+func (m *Memory) Reset() { m.words = make(map[uint64]*Word) }
+
+// Cell is one bounded-mode access record.
+type Cell struct {
+	E     clock.Epoch
+	Site  SiteID
+	Write bool
+}
+
+// CellStore keeps at most N cells per granule with random replacement,
+// modelling stock TSan's bounded shadow (§5: "TSan maintains N (default 4)
+// shadow cells per 8 application bytes, and replaces one random shadow cell
+// when all shadow cells are filled").
+type CellStore struct {
+	n     int
+	cells map[uint64][]Cell
+	rng   *rand.Rand
+}
+
+// NewCellStore returns a store with n cells per granule and the given
+// replacement seed.
+func NewCellStore(n int, seed int64) *CellStore {
+	if n <= 0 {
+		panic("shadow: cell count must be positive")
+	}
+	return &CellStore{n: n, cells: make(map[uint64][]Cell), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Cells returns the current records for a's granule.
+func (s *CellStore) Cells(a memmodel.Addr) []Cell {
+	return s.cells[memmodel.WordOf(a)]
+}
+
+// Add records c for a's granule, evicting a random cell if full. It returns
+// true when an eviction happened (a potential lost race).
+func (s *CellStore) Add(a memmodel.Addr, c Cell) (evicted bool) {
+	g := memmodel.WordOf(a)
+	cs := s.cells[g]
+	// Refresh an existing record from the same thread and access kind
+	// rather than burning a cell, as TSan does.
+	for i := range cs {
+		if cs[i].E.TID() == c.E.TID() && cs[i].Write == c.Write {
+			cs[i] = c
+			return false
+		}
+	}
+	if len(cs) < s.n {
+		s.cells[g] = append(cs, c)
+		return false
+	}
+	cs[s.rng.Intn(len(cs))] = c
+	return true
+}
+
+// Reset discards all records.
+func (s *CellStore) Reset() { s.cells = make(map[uint64][]Cell) }

@@ -1,0 +1,135 @@
+package shadow
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/memmodel"
+)
+
+func TestMemoryGranularity(t *testing.T) {
+	m := NewMemory()
+	w1 := m.Word(0)
+	w2 := m.Word(7) // same 8-byte granule
+	w3 := m.Word(8) // next granule
+	if w1 != w2 {
+		t.Fatal("addresses within one granule must share state")
+	}
+	if w1 == w3 {
+		t.Fatal("different granules must not share state")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	m := NewMemory()
+	if m.Peek(64) != nil {
+		t.Fatal("Peek must not allocate")
+	}
+	m.Word(64)
+	if m.Peek(64) == nil {
+		t.Fatal("Peek must find allocated state")
+	}
+}
+
+func TestInflate(t *testing.T) {
+	w := &Word{R: clock.MakeEpoch(2, 5), RSite: 42}
+	w.Inflate(4)
+	if !w.ReadShared() {
+		t.Fatal("not read-shared after inflate")
+	}
+	if w.RVC.Get(2) != 5 {
+		t.Fatalf("seed read epoch lost: %v", w.RVC)
+	}
+	if w.RSiteOf(2) != 42 {
+		t.Fatalf("seed read site lost: %d", w.RSiteOf(2))
+	}
+	// Idempotent.
+	w.Inflate(4)
+	if w.RVC.Get(2) != 5 {
+		t.Fatal("second inflate clobbered state")
+	}
+}
+
+func TestRecordSharedRead(t *testing.T) {
+	w := &Word{}
+	w.Inflate(2)
+	w.RecordSharedRead(5, 9, 77) // beyond initial size: must grow
+	if w.RVC.Get(5) != 9 || w.RSiteOf(5) != 77 {
+		t.Fatal("shared read not recorded")
+	}
+	if w.RSiteOf(9) != 0 {
+		t.Fatal("unknown tid must read zero site")
+	}
+}
+
+func TestCellStoreRefreshSameThreadKind(t *testing.T) {
+	s := NewCellStore(4, 1)
+	a := memmodel.Addr(128)
+	s.Add(a, Cell{E: clock.MakeEpoch(1, 1), Site: 10, Write: true})
+	s.Add(a, Cell{E: clock.MakeEpoch(1, 2), Site: 11, Write: true})
+	cells := s.Cells(a)
+	if len(cells) != 1 {
+		t.Fatalf("same thread+kind must refresh, got %d cells", len(cells))
+	}
+	if cells[0].E.Time() != 2 || cells[0].Site != 11 {
+		t.Fatalf("refresh kept stale record: %+v", cells[0])
+	}
+}
+
+func TestCellStoreKeepsDistinctKinds(t *testing.T) {
+	s := NewCellStore(4, 1)
+	a := memmodel.Addr(128)
+	s.Add(a, Cell{E: clock.MakeEpoch(1, 1), Write: true})
+	s.Add(a, Cell{E: clock.MakeEpoch(1, 1), Write: false})
+	s.Add(a, Cell{E: clock.MakeEpoch(2, 1), Write: true})
+	if len(s.Cells(a)) != 3 {
+		t.Fatalf("distinct (thread,kind) records must coexist, got %d", len(s.Cells(a)))
+	}
+}
+
+func TestCellStoreEvictsWhenFull(t *testing.T) {
+	s := NewCellStore(2, 1)
+	a := memmodel.Addr(0)
+	if s.Add(a, Cell{E: clock.MakeEpoch(0, 1), Write: true}) {
+		t.Fatal("no eviction while filling")
+	}
+	if s.Add(a, Cell{E: clock.MakeEpoch(1, 1), Write: true}) {
+		t.Fatal("no eviction while filling")
+	}
+	if !s.Add(a, Cell{E: clock.MakeEpoch(2, 1), Write: true}) {
+		t.Fatal("third distinct record must evict")
+	}
+	if len(s.Cells(a)) != 2 {
+		t.Fatalf("bounded at N=2, got %d", len(s.Cells(a)))
+	}
+}
+
+func TestCellStoreReset(t *testing.T) {
+	s := NewCellStore(2, 1)
+	s.Add(0, Cell{E: clock.MakeEpoch(0, 1)})
+	s.Reset()
+	if len(s.Cells(0)) != 0 {
+		t.Fatal("Reset did not clear records")
+	}
+}
+
+func TestCellStoreBadNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N<=0 must panic")
+		}
+	}()
+	NewCellStore(0, 1)
+}
+
+func TestMemoryReset(t *testing.T) {
+	m := NewMemory()
+	m.Word(0)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatal("Reset did not clear words")
+	}
+}

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+func TestCondWaitSignalRoundTrip(t *testing.T) {
+	// Consumer: lock; wait for the "ready" signal; unlock.
+	// Producer: long work; lock; signal; unlock.
+	consumer := []Instr{
+		&Lock{M: 1},
+		&CondWait{C: 2, M: 1},
+		&Compute{Cycles: 5},
+		&Unlock{M: 1},
+	}
+	producer := []Instr{
+		&Compute{Cycles: 10_000},
+		&Lock{M: 1},
+		&CondSignal{C: 2},
+		&Unlock{M: 1},
+	}
+	p := &Program{Workers: [][]Instr{consumer, producer}}
+	res := run(t, p, &NopRuntime{}, quiet())
+	if res.ThreadClocks[1] < 10_000 {
+		t.Fatalf("consumer returned from wait at %d, before the signal", res.ThreadClocks[1])
+	}
+}
+
+func TestCondWaitReleasesMutexWhileBlocked(t *testing.T) {
+	// If CondWait did not release the mutex, the producer could never lock
+	// it to signal and this program would deadlock.
+	consumer := []Instr{
+		&Lock{M: 1},
+		&CondWait{C: 2, M: 1},
+		&Unlock{M: 1},
+	}
+	producer := []Instr{
+		&Compute{Cycles: 50},
+		&Lock{M: 1},
+		&CondSignal{C: 2},
+		&Unlock{M: 1},
+	}
+	p := &Program{Workers: [][]Instr{consumer, producer}}
+	run(t, p, &NopRuntime{}, quiet()) // terminating at all is the assertion
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	waiter := []Instr{
+		&Lock{M: 1},
+		&CondWait{C: 2, M: 1},
+		&Unlock{M: 1},
+	}
+	caster := []Instr{
+		&Compute{Cycles: 200},
+		&Lock{M: 1},
+		&CondBroadcast{C: 2},
+		&Unlock{M: 1},
+	}
+	p := &Program{Workers: [][]Instr{waiter, waiter, waiter, caster}}
+	run(t, p, &NopRuntime{}, quiet())
+}
+
+func TestCondSignalNoWaitersIsNoop(t *testing.T) {
+	p := &Program{Workers: [][]Instr{
+		{&CondSignal{C: 2}, &CondBroadcast{C: 2}, &Compute{Cycles: 1}},
+	}}
+	run(t, p, &NopRuntime{}, quiet())
+}
+
+func TestCondWaitWithoutMutexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CondWait without the mutex must panic")
+		}
+	}()
+	p := &Program{Workers: [][]Instr{{&CondWait{C: 2, M: 1}}}}
+	NewEngine(quiet()).Run(p, &NopRuntime{})
+}
+
+func TestCondLostSignalDeadlocks(t *testing.T) {
+	// The signal fires before the wait starts; POSIX condvars do not
+	// buffer, so the waiter blocks forever → deadlock error.
+	waiter := []Instr{
+		&Compute{Cycles: 10_000},
+		&Lock{M: 1},
+		&CondWait{C: 2, M: 1},
+		&Unlock{M: 1},
+	}
+	early := []Instr{
+		&Lock{M: 1},
+		&CondSignal{C: 2},
+		&Unlock{M: 1},
+	}
+	p := &Program{Workers: [][]Instr{waiter, early}}
+	if _, err := NewEngine(quiet()).Run(p, &NopRuntime{}); err == nil {
+		t.Fatal("lost wakeup did not deadlock — condvar is buffering signals")
+	}
+}
+
+func TestCondWaitHappensBefore(t *testing.T) {
+	// The waiter must observe both the condition edge and the mutex edge.
+	rec := &recorder{}
+	consumer := []Instr{
+		&Lock{M: 1},
+		&CondWait{C: 2, M: 1},
+		&Unlock{M: 1},
+	}
+	producer := []Instr{
+		&Compute{Cycles: 100},
+		&Lock{M: 1},
+		&CondSignal{C: 2},
+		&Unlock{M: 1},
+	}
+	p := &Program{Workers: [][]Instr{consumer, producer}}
+	run(t, p, rec, quiet())
+	// Acquire events: consumer Lock(M), wait's (C then M), producer Lock(M).
+	sawCond := false
+	for _, s := range rec.acquires {
+		if s == 2 {
+			sawCond = true
+		}
+	}
+	if !sawCond {
+		t.Fatalf("no condition acquire edge delivered: %v", rec.acquires)
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump pretty-prints a program's IR, one instruction per line with nesting,
+// in a stable textual form — the reproduction's analogue of dumping LLVM IR
+// after the instrumentation pass. Golden tests and cmd/txrace -dump use it.
+func Dump(w io.Writer, p *Program) {
+	fmt.Fprintf(w, "program %q (%d workers)\n", p.Name, len(p.Workers))
+	if len(p.Setup) > 0 {
+		fmt.Fprintln(w, "setup:")
+		dumpBody(w, p.Setup, 1)
+	}
+	for i, wk := range p.Workers {
+		fmt.Fprintf(w, "worker %d:\n", i)
+		dumpBody(w, wk, 1)
+	}
+	if len(p.Teardown) > 0 {
+		fmt.Fprintln(w, "teardown:")
+		dumpBody(w, p.Teardown, 1)
+	}
+}
+
+func dumpBody(w io.Writer, body []Instr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, in := range body {
+		switch in := in.(type) {
+		case *Loop:
+			fmt.Fprintf(w, "%sloop #%d x%d {\n", ind, in.ID, in.Count)
+			dumpBody(w, in.Body, depth+1)
+			fmt.Fprintf(w, "%s}\n", ind)
+		default:
+			fmt.Fprintf(w, "%s%s\n", ind, InstrString(in))
+		}
+	}
+}
+
+// InstrString renders one (non-loop) instruction.
+func InstrString(in Instr) string {
+	switch in := in.(type) {
+	case *MemAccess:
+		op := "load"
+		if in.Write {
+			op = "store"
+		}
+		attrs := ""
+		if in.Local {
+			attrs += " local"
+		}
+		if in.Hooked {
+			attrs += " hooked"
+		}
+		return fmt.Sprintf("%-6s %s @site %d%s", op, addrString(in.Addr), in.Site, attrs)
+	case *AtomicRMW:
+		return fmt.Sprintf("atomic %s @site %d", addrString(in.Addr), in.Site)
+	case *Compute:
+		return fmt.Sprintf("compute %d", in.Cycles)
+	case *Delay:
+		return fmt.Sprintf("delay ≤%d", in.Max)
+	case *Lock:
+		return fmt.Sprintf("lock m%d", in.M)
+	case *Unlock:
+		return fmt.Sprintf("unlock m%d", in.M)
+	case *RLock:
+		return fmt.Sprintf("rlock m%d", in.M)
+	case *RUnlock:
+		return fmt.Sprintf("runlock m%d", in.M)
+	case *WLock:
+		return fmt.Sprintf("wlock m%d", in.M)
+	case *WUnlock:
+		return fmt.Sprintf("wunlock m%d", in.M)
+	case *Signal:
+		return fmt.Sprintf("signal c%d", in.C)
+	case *Wait:
+		return fmt.Sprintf("wait c%d", in.C)
+	case *CondWait:
+		return fmt.Sprintf("condwait c%d m%d", in.C, in.M)
+	case *CondSignal:
+		return fmt.Sprintf("condsignal c%d", in.C)
+	case *CondBroadcast:
+		return fmt.Sprintf("condbroadcast c%d", in.C)
+	case *Barrier:
+		return fmt.Sprintf("barrier b%d n%d", in.B, in.N)
+	case *Syscall:
+		h := ""
+		if in.Hidden {
+			h = " hidden"
+		}
+		return fmt.Sprintf("syscall %q %d%s", in.Name, in.Cycles, h)
+	case *TxBegin:
+		small := ""
+		if in.Small {
+			small = " small"
+		}
+		return fmt.Sprintf("xbegin (%d accesses%s)", in.StaticAccesses, small)
+	case *TxEnd:
+		return "xend"
+	case *LoopCheck:
+		return fmt.Sprintf("loopcheck #%d", in.ID)
+	case *Loop:
+		return fmt.Sprintf("loop #%d x%d", in.ID, in.Count)
+	default:
+		return fmt.Sprintf("%T", in)
+	}
+}
+
+func addrString(a AddrExpr) string {
+	switch a.Mode {
+	case AddrFixed:
+		return fmt.Sprintf("[%#x]", uint64(a.Base))
+	case AddrLoop:
+		s := fmt.Sprintf("[%#x + i@%d*%d + %d]", uint64(a.Base), a.Depth, a.Stride, a.Off)
+		if a.Wrap != 0 {
+			s += fmt.Sprintf(" %% %d", a.Wrap)
+		}
+		return s
+	case AddrRandom:
+		return fmt.Sprintf("[%#x + rand(%d)]", uint64(a.Base), a.Range)
+	default:
+		return "[?]"
+	}
+}

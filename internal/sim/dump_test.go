@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpRendersAllInstructionKinds(t *testing.T) {
+	p := &Program{
+		Name:  "demo",
+		Setup: []Instr{&Compute{Cycles: 5}},
+		Workers: [][]Instr{{
+			&TxBegin{Small: true, StaticAccesses: 2},
+			&MemAccess{Write: true, Addr: Fixed(64), Site: 1, Hooked: true},
+			&MemAccess{Addr: Indexed(128, 2), Site: 2, Local: true},
+			&MemAccess{Addr: Random(256, 8), Site: 3},
+			&AtomicRMW{Addr: Fixed(512), Site: 4},
+			&TxEnd{},
+			&Loop{ID: 7, Count: 3, Body: []Instr{
+				&Delay{Max: 10},
+				&LoopCheck{ID: 7},
+			}},
+			&Lock{M: 1}, &Unlock{M: 1},
+			&RLock{M: 2}, &RUnlock{M: 2}, &WLock{M: 2}, &WUnlock{M: 2},
+			&Signal{C: 3}, &Wait{C: 3},
+			&CondWait{C: 4, M: 1}, &CondSignal{C: 4}, &CondBroadcast{C: 4},
+			&Barrier{B: 5, N: 4},
+			&Syscall{Name: "read", Cycles: 100},
+			&Syscall{Name: "lib", Cycles: 10, Hidden: true},
+		}},
+		Teardown: []Instr{&Compute{Cycles: 1}},
+	}
+	var sb strings.Builder
+	Dump(&sb, p)
+	out := sb.String()
+	for _, want := range []string{
+		`program "demo"`, "setup:", "worker 0:", "teardown:",
+		"xbegin (2 accesses small)", "xend",
+		"store  [0x40] @site 1 hooked",
+		"load", "local",
+		"rand(8)",
+		"atomic [0x200] @site 4",
+		"loop #7 x3 {", "loopcheck #7", "delay ≤10",
+		"lock m1", "unlock m1", "rlock m2", "wlock m2",
+		"signal c3", "wait c3",
+		"condwait c4 m1", "condsignal c4", "condbroadcast c4",
+		"barrier b5 n4",
+		`syscall "read" 100`, `syscall "lib" 10 hidden`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpStable(t *testing.T) {
+	p := &Program{Name: "x", Workers: [][]Instr{{&Compute{Cycles: 1}}}}
+	var a, b strings.Builder
+	Dump(&a, p)
+	Dump(&b, p)
+	if a.String() != b.String() {
+		t.Fatal("dump output unstable")
+	}
+}

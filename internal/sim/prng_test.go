@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(7), NewPRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPRNGCopyable(t *testing.T) {
+	a := NewPRNG(9)
+	a.Next()
+	saved := a // value copy = snapshot
+	x := a.Next()
+	y := saved.Next()
+	if x != y {
+		t.Fatal("copied PRNG did not replay")
+	}
+}
+
+func TestPRNGRanges(t *testing.T) {
+	p := NewPRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := p.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := p.Uint64n(9); v >= 9 {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+		if f := p.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPRNGBoolProbability(t *testing.T) {
+	p := NewPRNG(5)
+	hits := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if p.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency = %.3f", frac)
+	}
+}
+
+func TestPRNGBadBoundsPanic(t *testing.T) {
+	p := NewPRNG(1)
+	for _, f := range []func(){
+		func() { p.Intn(0) },
+		func() { p.Intn(-3) },
+		func() { p.Uint64n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad bound did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Different seeds produce different streams (overwhelmingly).
+func TestPRNGSeedSensitivity(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, b := NewPRNG(s1), NewPRNG(s2)
+		same := 0
+		for i := 0; i < 8; i++ {
+			if a.Next() == b.Next() {
+				same++
+			}
+		}
+		return same < 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crude uniformity: byte buckets of Uint64n(256) stay within 3x of uniform.
+func TestPRNGRoughUniformity(t *testing.T) {
+	p := NewPRNG(11)
+	var buckets [16]int
+	const n = 16_000
+	for i := 0; i < n; i++ {
+		buckets[p.Uint64n(16)]++
+	}
+	for i, c := range buckets {
+		if c < n/16/2 || c > n/16*2 {
+			t.Fatalf("bucket %d count %d far from uniform %d", i, c, n/16)
+		}
+	}
+}

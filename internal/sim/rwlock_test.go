@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	// Two readers hold the lock across long computes; total runtime must
+	// reflect concurrency (readers overlap), while the writer serializes.
+	readers := func() []Instr {
+		return []Instr{
+			&RLock{M: 1},
+			&Compute{Cycles: 10_000},
+			&RUnlock{M: 1},
+		}
+	}
+	p := &Program{Workers: [][]Instr{readers(), readers()}}
+	res := run(t, p, &NopRuntime{}, quiet())
+	if res.Makespan > 15_000 {
+		t.Fatalf("readers serialized: makespan %d", res.Makespan)
+	}
+
+	writerBody := []Instr{
+		&WLock{M: 1},
+		&Compute{Cycles: 10_000},
+		&WUnlock{M: 1},
+	}
+	p = &Program{Workers: [][]Instr{writerBody, writerBody}}
+	res = run(t, p, &NopRuntime{}, quiet())
+	if res.Makespan < 20_000 {
+		t.Fatalf("writers overlapped: makespan %d", res.Makespan)
+	}
+}
+
+func TestRWLockWriterExcludesReaders(t *testing.T) {
+	// The writer grabs the lock first (the reader starts with a delay);
+	// the reader's post-lock compute must start after the writer's hold.
+	p := &Program{Workers: [][]Instr{
+		{&WLock{M: 1}, &Compute{Cycles: 8_000}, &WUnlock{M: 1}},
+		{&Compute{Cycles: 100}, &RLock{M: 1}, &Compute{Cycles: 10}, &RUnlock{M: 1}},
+	}}
+	res := run(t, p, &NopRuntime{}, quiet())
+	if res.ThreadClocks[2] < 8_000 {
+		t.Fatalf("reader entered during write hold: finished at %d", res.ThreadClocks[2])
+	}
+}
+
+func TestRWLockKindsDelivered(t *testing.T) {
+	kinds := map[SyncKind]int{}
+	rec := &kindRecorder{kinds: kinds}
+	p := &Program{Workers: [][]Instr{{
+		&RLock{M: 1}, &RUnlock{M: 1},
+		&WLock{M: 1}, &WUnlock{M: 1},
+		&Lock{M: 2}, &Unlock{M: 2},
+		&Signal{C: 3}, &Wait{C: 3},
+	}, {&Compute{Cycles: 1}}}}
+	run(t, p, rec, quiet())
+	if kinds[SyncRead] != 2 || kinds[SyncWrite] != 2 || kinds[SyncMutex] != 2 || kinds[SyncSem] != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+type kindRecorder struct {
+	NopRuntime
+	kinds map[SyncKind]int
+}
+
+func (r *kindRecorder) SyncAcquire(_ *Thread, _ SyncID, k SyncKind) { r.kinds[k]++ }
+func (r *kindRecorder) SyncRelease(_ *Thread, _ SyncID, k SyncKind) { r.kinds[k]++ }
+
+func TestRUnlockWithoutHoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read-unlock without hold must panic")
+		}
+	}()
+	p := &Program{Workers: [][]Instr{{&RUnlock{M: 1}}}}
+	NewEngine(quiet()).Run(p, &NopRuntime{})
+}
+
+func TestWUnlockWithoutHoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write-unlock without hold must panic")
+		}
+	}()
+	p := &Program{Workers: [][]Instr{{&WUnlock{M: 1}}}}
+	NewEngine(quiet()).Run(p, &NopRuntime{})
+}
+
+func TestRWLockManyPhases(t *testing.T) {
+	// Mixed readers and writers across many iterations must terminate and
+	// keep the hold counts balanced.
+	reader := []Instr{&Loop{ID: 1, Count: 20, Body: []Instr{
+		&RLock{M: 1}, &Compute{Cycles: 5}, &RUnlock{M: 1}, &Compute{Cycles: 3},
+	}}}
+	writer := []Instr{&Loop{ID: 2, Count: 20, Body: []Instr{
+		&WLock{M: 1}, &Compute{Cycles: 5}, &WUnlock{M: 1}, &Compute{Cycles: 3},
+	}}}
+	p := &Program{Workers: [][]Instr{reader, reader, writer}}
+	res := run(t, p, &NopRuntime{}, quiet())
+	if res.SyncOps != 120 {
+		t.Fatalf("sync ops = %d, want 120", res.SyncOps)
+	}
+}

@@ -1,0 +1,99 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness needs: geometric means (the paper's summary statistic for
+// overheads), recall, and the cost-effectiveness ratio of §8.4.
+package stats
+
+import (
+	"math"
+
+	"repro/internal/detect"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive values
+// (which would be measurement errors for overhead ratios). It returns 0 for
+// an empty input.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Recall computes |reported ∩ truth| / |truth| over static race identities,
+// following §8.4: truth is the race set the sound detector (TSan) reports.
+// With an empty truth set recall is defined as 1 (nothing to find).
+func Recall(reported, truth []detect.PairKey) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[detect.PairKey]struct{}, len(reported))
+	for _, k := range reported {
+		set[k] = struct{}{}
+	}
+	hit := 0
+	for _, k := range truth {
+		if _, ok := set[k]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// Intersect returns |a ∩ b|.
+func Intersect(a, b []detect.PairKey) int {
+	set := make(map[detect.PairKey]struct{}, len(a))
+	for _, k := range a {
+		set[k] = struct{}{}
+	}
+	n := 0
+	for _, k := range b {
+		if _, ok := set[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Union merges race-identity sets, preserving set semantics.
+func Union(sets ...[]detect.PairKey) []detect.PairKey {
+	seen := make(map[detect.PairKey]struct{})
+	var out []detect.PairKey
+	for _, s := range sets {
+		for _, k := range s {
+			if _, ok := seen[k]; !ok {
+				seen[k] = struct{}{}
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// CostEffectiveness computes §8.4's ratio: recall divided by runtime
+// overhead normalized to the reference detector (TSan ≡ 1). A detector with
+// the same recall at half the cost scores 2.
+func CostEffectiveness(recall, normalizedOverhead float64) float64 {
+	if normalizedOverhead <= 0 {
+		return 0
+	}
+	return recall / normalizedOverhead
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detect"
+	"repro/internal/shadow"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if !almost(Geomean([]float64{2, 8}), 4) {
+		t.Fatalf("geomean(2,8) = %v", Geomean([]float64{2, 8}))
+	}
+	if !almost(Geomean([]float64{5}), 5) {
+		t.Fatal("singleton geomean")
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+	// Non-positive values ignored.
+	if !almost(Geomean([]float64{4, 0, -2}), 4) {
+		t.Fatal("non-positive values must be skipped")
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		var pos []float64
+		for _, x := range xs {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 && x > 1e-100 {
+				pos = append(pos, x)
+			}
+		}
+		if len(pos) == 0 {
+			return true
+		}
+		g := Geomean(pos)
+		mn, mx := pos[0], pos[0]
+		for _, x := range pos {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return g >= mn*(1-1e-9) && g <= mx*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) || Mean(nil) != 0 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func keys(pairs ...[2]uint32) []detect.PairKey {
+	out := make([]detect.PairKey, len(pairs))
+	for i, p := range pairs {
+		out[i] = detect.PairKey{A: shadow.SiteID(p[0]), B: shadow.SiteID(p[1])}
+	}
+	return out
+}
+
+func TestRecall(t *testing.T) {
+	truth := keys([2]uint32{1, 2}, [2]uint32{3, 4}, [2]uint32{5, 6}, [2]uint32{7, 8})
+	if !almost(Recall(truth, truth), 1) {
+		t.Fatal("full recall")
+	}
+	if !almost(Recall(truth[:3], truth), 0.75) {
+		t.Fatal("3/4 recall")
+	}
+	if !almost(Recall(nil, truth), 0) {
+		t.Fatal("empty reported")
+	}
+	if !almost(Recall(nil, nil), 1) {
+		t.Fatal("empty truth defines recall 1")
+	}
+	// Extra reported races (there are none in TxRace, it is complete, but
+	// the metric must still be well defined) do not boost recall.
+	extra := append(keys([2]uint32{9, 10}), truth[:2]...)
+	if !almost(Recall(extra, truth), 0.5) {
+		t.Fatal("extras counted")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := keys([2]uint32{1, 2}, [2]uint32{3, 4})
+	b := keys([2]uint32{3, 4}, [2]uint32{5, 6})
+	if Intersect(a, b) != 1 {
+		t.Fatalf("intersect = %d", Intersect(a, b))
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := keys([2]uint32{1, 2}, [2]uint32{3, 4})
+	b := keys([2]uint32{3, 4}, [2]uint32{5, 6})
+	u := Union(a, b)
+	if len(u) != 3 {
+		t.Fatalf("union = %v", u)
+	}
+	// Idempotent.
+	if len(Union(u, u)) != 3 {
+		t.Fatal("union not idempotent")
+	}
+}
+
+func TestCostEffectiveness(t *testing.T) {
+	// §8.4: TSan itself has CE 1 (recall 1 at normalized overhead 1).
+	if !almost(CostEffectiveness(1, 1), 1) {
+		t.Fatal("TSan reference CE")
+	}
+	// The paper's geomean row: recall 0.95 at 0.38 overhead → 2.38... with
+	// rounding, ≈ 2.5 exactly from these inputs.
+	if !almost(CostEffectiveness(0.95, 0.38), 0.95/0.38) {
+		t.Fatal("CE formula")
+	}
+	if CostEffectiveness(1, 0) != 0 {
+		t.Fatal("zero overhead must not divide")
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom hardens the trace deserializer against corrupt and
+// adversarial inputs: it must never panic, and on inputs it accepts, a
+// re-serialization round trip must be stable.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a genuine trace and a few mutations.
+	tr := &Trace{Name: "seed", Events: []Event{
+		{Kind: KAccess, TID: 1, Write: true, Site: 7, Addr: 0x40},
+		{Kind: KAcquire, TID: 2, Sync: 9},
+		{Kind: KFork, TID: 0, Other: 1},
+	}}
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("TXTR"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+		again, err := ReadFrom(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace rejected: %v", err)
+		}
+		if len(again.Events) != len(got.Events) {
+			t.Fatalf("round trip changed event count: %d vs %d",
+				len(again.Events), len(got.Events))
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package trace records a program's detector-relevant events — hooked
+// memory accesses, synchronization, thread lifetime — into a compact,
+// serializable trace that can be analyzed offline by any detector.
+//
+// Offline analysis is the other major overhead-reduction strategy the
+// paper's related work surveys (§9: Lee et al.'s offline symbolic analysis,
+// Wester et al.'s parallelized detection): instead of paying detection cost
+// inline, record cheaply now and analyze later, or analyze the same
+// execution under several detectors without re-running it. cmd/txtrace
+// exposes the workflow.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/detect"
+	"repro/internal/memmodel"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// Kind tags one trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KAccess Kind = iota
+	KAcquire
+	KRelease
+	KFork
+	KJoin
+)
+
+// Event is one recorded runtime event. For KAccess, Addr/Write/Site are
+// meaningful; for KAcquire/KRelease, Sync and SyncKind; for KFork/KJoin,
+// Other is the child thread.
+type Event struct {
+	Kind     Kind
+	TID      int32
+	Write    bool
+	SyncKind sim.SyncKind
+	Site     shadow.SiteID
+	Sync     detect.SyncID
+	Addr     memmodel.Addr
+	Other    int32
+}
+
+// Trace is a recorded execution.
+type Trace struct {
+	Name   string
+	Events []Event
+}
+
+// Recorder is a sim.Runtime that appends every detector-relevant event to a
+// Trace. Run it over an instrument.ForTSan build so accesses carry hooks.
+type Recorder struct {
+	sim.NopRuntime
+	T *Trace
+}
+
+// NewRecorder returns a recorder with an empty trace.
+func NewRecorder(name string) *Recorder { return &Recorder{T: &Trace{Name: name}} }
+
+// Access implements sim.Runtime.
+func (r *Recorder) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
+	if !m.Hooked {
+		return
+	}
+	r.T.Events = append(r.T.Events, Event{
+		Kind: KAccess, TID: int32(t.ID), Write: m.Write, Site: m.Site, Addr: addr,
+	})
+}
+
+// SyncAcquire implements sim.Runtime.
+func (r *Recorder) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.T.Events = append(r.T.Events, Event{
+		Kind: KAcquire, TID: int32(t.ID), Sync: detect.SyncID(s), SyncKind: kind,
+	})
+}
+
+// SyncRelease implements sim.Runtime.
+func (r *Recorder) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
+	r.T.Events = append(r.T.Events, Event{
+		Kind: KRelease, TID: int32(t.ID), Sync: detect.SyncID(s), SyncKind: kind,
+	})
+}
+
+// Fork implements sim.Runtime.
+func (r *Recorder) Fork(p, c *sim.Thread) {
+	r.T.Events = append(r.T.Events, Event{Kind: KFork, TID: int32(p.ID), Other: int32(c.ID)})
+}
+
+// Joined implements sim.Runtime.
+func (r *Recorder) Joined(p, c *sim.Thread) {
+	r.T.Events = append(r.T.Events, Event{Kind: KJoin, TID: int32(p.ID), Other: int32(c.ID)})
+}
+
+// Replay feeds the trace to a happens-before detector and returns it.
+func Replay(t *Trace) *detect.Detector {
+	d := detect.New()
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KAccess:
+			d.Access(clock.TID(e.TID), e.Addr, e.Write, e.Site)
+		case KAcquire:
+			detect.AcquireKind(d, clock.TID(e.TID), e.Sync, e.SyncKind)
+		case KRelease:
+			detect.ReleaseKind(d, clock.TID(e.TID), e.Sync, e.SyncKind)
+		case KFork:
+			d.Fork(clock.TID(e.TID), clock.TID(e.Other))
+		case KJoin:
+			d.Join(clock.TID(e.TID), clock.TID(e.Other))
+		}
+	}
+	return d
+}
+
+// ReplayVC feeds the trace to the Djit⁺-style full-vector-clock detector,
+// for algorithm comparisons against FastTrack (BenchmarkDetectorAlgorithms).
+func ReplayVC(t *Trace) *detect.VCDetector {
+	d := detect.NewVC()
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KAccess:
+			d.Access(clock.TID(e.TID), e.Addr, e.Write, e.Site)
+		case KAcquire:
+			d.Acquire(clock.TID(e.TID), e.Sync)
+			if e.SyncKind == sim.SyncWrite {
+				d.Acquire(clock.TID(e.TID), e.Sync|1<<31)
+			}
+		case KRelease:
+			switch e.SyncKind {
+			case sim.SyncRead:
+				d.Release(clock.TID(e.TID), e.Sync|1<<31)
+			default:
+				d.Release(clock.TID(e.TID), e.Sync)
+			}
+		case KFork:
+			d.Fork(clock.TID(e.TID), clock.TID(e.Other))
+		case KJoin:
+			d.Join(clock.TID(e.TID), clock.TID(e.Other))
+		}
+	}
+	return d
+}
+
+// ReplayLockset feeds the trace to an Eraser-style lockset detector.
+func ReplayLockset(t *Trace) *detect.LocksetDetector {
+	d := detect.NewLockset()
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KAccess:
+			d.Access(clock.TID(e.TID), e.Addr, e.Write, e.Site)
+		case KAcquire:
+			d.Acquire(clock.TID(e.TID), e.Sync, e.SyncKind)
+		case KRelease:
+			d.Release(clock.TID(e.TID), e.Sync, e.SyncKind)
+		}
+	}
+	return d
+}
+
+// Serialization: a small little-endian binary format.
+//
+//	magic "TXTR" | version u16 | name len u16 | name | event count u64
+//	then per event: kind u8 | flags u8 | synckind u8 | pad u8 |
+//	                tid i32 | other i32 | site u32 | sync u32 | addr u64
+const (
+	magic      = "TXTR"
+	version    = 1
+	recordSize = 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 8
+)
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	if err := put([]byte(magic)); err != nil {
+		return n, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(t.Name)))
+	if err := put(hdr[:]); err != nil {
+		return n, err
+	}
+	if err := put([]byte(t.Name)); err != nil {
+		return n, err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Events)))
+	if err := put(cnt[:]); err != nil {
+		return n, err
+	}
+	var rec [recordSize]byte
+	for _, e := range t.Events {
+		rec[0] = byte(e.Kind)
+		rec[1] = 0
+		if e.Write {
+			rec[1] = 1
+		}
+		rec[2] = byte(e.SyncKind)
+		rec[3] = 0
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.TID))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(e.Other))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(e.Site))
+		binary.LittleEndian.PutUint32(rec[16:], uint32(e.Sync))
+		binary.LittleEndian.PutUint64(rec[20:], uint64(e.Addr))
+		if err := put(rec[:]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(head[0:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nameLen := binary.LittleEndian.Uint16(head[2:])
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxEvents = 1 << 30
+	if n > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	}
+	// Never trust the count for allocation: a truncated or hostile header
+	// must not pre-reserve gigabytes. Grow as records actually arrive.
+	prealloc := n
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := &Trace{Name: string(name), Events: make([]Event, 0, prealloc)}
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		t.Events = append(t.Events, Event{
+			Kind:     Kind(rec[0]),
+			Write:    rec[1] == 1,
+			SyncKind: sim.SyncKind(rec[2]),
+			TID:      int32(binary.LittleEndian.Uint32(rec[4:])),
+			Other:    int32(binary.LittleEndian.Uint32(rec[8:])),
+			Site:     shadow.SiteID(binary.LittleEndian.Uint32(rec[12:])),
+			Sync:     detect.SyncID(binary.LittleEndian.Uint32(rec[16:])),
+			Addr:     memmodel.Addr(binary.LittleEndian.Uint64(rec[20:])),
+		})
+	}
+	return t, nil
+}

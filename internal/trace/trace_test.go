@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func record(t *testing.T, name string, seed uint64) *Trace {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := w.Build(4, 1)
+	rec := NewRecorder(name)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	if w.InterruptEvery != 0 {
+		cfg.InterruptEvery = w.InterruptEvery
+	}
+	if _, err := sim.NewEngine(cfg).Run(instrument.ForTSan(built.Prog), rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec.T
+}
+
+// TestReplayMatchesOnline: replaying a recorded trace through the
+// happens-before detector must find exactly what the online TSan runtime
+// found on the same seed.
+func TestReplayMatchesOnline(t *testing.T) {
+	for _, name := range []string{"raytrace", "streamcluster", "freqmine"} {
+		tr := record(t, name, 7)
+
+		w, _ := workload.ByName(name)
+		built := w.Build(4, 1)
+		rt := core.NewTSan()
+		cfg := sim.DefaultConfig()
+		cfg.Seed = 7
+		if w.InterruptEvery != 0 {
+			cfg.InterruptEvery = w.InterruptEvery
+		}
+		if _, err := sim.NewEngine(cfg).Run(instrument.ForTSan(built.Prog), rt); err != nil {
+			t.Fatal(err)
+		}
+
+		offline := Replay(tr)
+		got, want := offline.RaceKeys(), rt.Detector().RaceKeys()
+		if len(got) != len(want) {
+			t.Fatalf("%s: offline %d races, online %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: race %d mismatch: %v vs %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := record(t, "raytrace", 3)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name || len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost shape: %q/%d vs %q/%d",
+			back.Name, len(back.Events), tr.Name, len(tr.Events))
+	}
+	for i := range tr.Events {
+		if back.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, back.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestReplayAfterRoundTripFindsSameRaces(t *testing.T) {
+	tr := record(t, "x264", 5)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Replay(tr).RaceKeys(), Replay(back).RaceKeys()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("replay divergence after serialization: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated: valid header claiming more events than present.
+	tr := &Trace{Name: "t", Events: []Event{{Kind: KAccess, TID: 1}}}
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	cut := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadFrom(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReplayLocksetSeesViolations(t *testing.T) {
+	tr := record(t, "freqmine", 2)
+	ls := ReplayLockset(tr)
+	if ls.ViolationCount() == 0 {
+		t.Fatal("freqmine's init-then-share idiom must trip the lockset detector")
+	}
+	if Replay(tr).RaceCount() != 0 {
+		t.Fatal("freqmine has no real races")
+	}
+}
+
+func TestRecorderSkipsUnhookedAccesses(t *testing.T) {
+	rec := NewRecorder("raw")
+	p := &sim.Program{Workers: [][]sim.Instr{
+		{&sim.MemAccess{Addr: sim.Fixed(64), Site: 1}}, // no hook
+		{&sim.Compute{Cycles: 5}},
+	}}
+	cfg := sim.DefaultConfig()
+	if _, err := sim.NewEngine(cfg).Run(p, rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rec.T.Events {
+		if e.Kind == KAccess {
+			t.Fatal("unhooked access recorded")
+		}
+	}
+}
+
+// TestReplayVCAgreesWithFastTrack: on the workloads' single-pair race
+// patterns, the Djit⁺-style detector and FastTrack report identical sets
+// when replaying the same trace.
+func TestReplayVCAgreesWithFastTrack(t *testing.T) {
+	for _, name := range []string{"raytrace", "x264", "streamcluster"} {
+		tr := record(t, name, 11)
+		ft := Replay(tr).RaceKeys()
+		vc := ReplayVC(tr).RaceKeys()
+		if len(ft) != len(vc) {
+			t.Fatalf("%s: fasttrack %d vs djit %d races", name, len(ft), len(vc))
+		}
+		for i := range ft {
+			if ft[i] != vc[i] {
+				t.Fatalf("%s: race %d: %v vs %v", name, i, ft[i], vc[i])
+			}
+		}
+	}
+}
+
+// TestFastTrackDoesFewerVectorWork is the qualitative FastTrack claim: on
+// the same trace both detectors perform one check per access, but the
+// Djit⁺ detector's checks are O(threads) scans. We can at least assert the
+// check counts agree (the cost difference shows up in
+// BenchmarkDetectorAlgorithms).
+func TestDetectorsCheckSameAccessCount(t *testing.T) {
+	tr := record(t, "facesim", 4)
+	ft := Replay(tr)
+	vc := ReplayVC(tr)
+	if ft.Checks != vc.Checks || ft.Checks == 0 {
+		t.Fatalf("check counts differ: %d vs %d", ft.Checks, vc.Checks)
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"repro/internal/sim"
+)
+
+// newApache models the Apache httpd experiment (§8.1: 300,000 requests from
+// 20 concurrent clients): a listener thread accepts connections and hands
+// them to server workers over a semaphore queue. Request handling is
+// syscall-bracketed parsing over reused buffers plus a lock-protected
+// scoreboard update; the only sharing outside locks is an occasional
+// lock-free counter bump on a packed line (false sharing → the paper's 227
+// conflicts) and an unprofiled logging-library call (hidden syscalls → its
+// 9.8k unknown aborts). No races.
+func newApache() *Workload {
+	wl := &Workload{
+		Name:           "apache",
+		InterruptEvery: 150000,
+		SlowScale:      2.1,
+		Paper: Paper{
+			Committed: 310781, Conflict: 227, Capacity: 446, Unknown: 9793,
+			TSanRaces: 0, TxRaceRaces: 0,
+			OriginalMs: 6916, TSanMs: 21089, TxRaceMs: 13600,
+			TSanOverhead: 3.05, TxRaceOverhead: 1.97,
+			Recall: 1, CostEffectiveness: 1.55,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		if threads < 2 {
+			threads = 2
+		}
+		servers := threads - 1
+		connQ := b.Sync()
+		statsMu := b.Sync()
+		scoreboard := b.Al.AllocWords(64)
+		counters := b.SharedLineWords(8) // lock-free per-worker counters
+		perServer := 30 * scale
+
+		workers := make([][]sim.Instr, threads)
+		// Worker 0: the listener/acceptor.
+		workers[0] = []sim.Instr{
+			b.LoopN(perServer*servers,
+				&sim.Syscall{Name: "accept", Cycles: 90},
+				Work(12),
+				&sim.Signal{C: connQ},
+			),
+		}
+		for s := 1; s <= servers; s++ {
+			buf := b.Al.AllocWords(512)
+			handle := func(withExtras bool) []sim.Instr {
+				req := []sim.Instr{
+					&sim.Wait{C: connQ},
+					&sim.Syscall{Name: "read", Cycles: 110},
+					b.LoopN(10,
+						b.Read(sim.AddrExpr{Base: buf, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 512}),
+						b.Write(sim.AddrExpr{Base: buf, Mode: sim.AddrLoop, Stride: 1, Off: 1, Depth: 0, Wrap: 512}),
+						Work(3),
+					),
+				}
+				if withExtras {
+					// Lock-free counter on a shared line (rare overlap) and
+					// an unprofiled logging call inside the handler region.
+					req = append(req,
+						WriteAt(sim.Fixed(counters[s%len(counters)]), b.Site()),
+						&sim.Syscall{Name: "liblog", Cycles: 35, Hidden: true},
+					)
+				}
+				req = append(req, Locked(statsMu,
+					b.Write(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 64}),
+					b.Read(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 1, Depth: 0, Wrap: 64}),
+					b.Write(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 2, Depth: 0, Wrap: 64}),
+					b.Read(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 3, Depth: 0, Wrap: 64}),
+					b.Write(sim.AddrExpr{Base: scoreboard, Mode: sim.AddrLoop, Stride: 1, Off: 4, Depth: 0, Wrap: 64}),
+				)...)
+				req = append(req, &sim.Syscall{Name: "write", Cycles: 130})
+				return req
+			}
+			workers[s] = []sim.Instr{
+				b.LoopN(perServer/10,
+					Seq(
+						flatten(9, func() []sim.Instr { return handle(false) }),
+						handle(true),
+					)...,
+				),
+			}
+		}
+		return &Built{Prog: &sim.Program{Name: "apache", Workers: workers}}
+	}
+	return wl
+}
+
+// flatten repeats a generated instruction group n times.
+func flatten(n int, gen func() []sim.Instr) []sim.Instr {
+	var out []sim.Instr
+	for i := 0; i < n; i++ {
+		out = append(out, gen()...)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package workload provides synthetic stand-ins for the paper's evaluation
+// programs: the 13 PARSEC benchmarks and the Apache web server (§8.1). Each
+// generator builds a sim.Program whose event mix — region lengths, syscall
+// density, working-set size, sharing intensity, lock/condvar/barrier
+// structure, and injected static race sites — is shaped after the
+// corresponding application's published profile in Table 1, so the TxRace
+// runtime confronts qualitatively the same fast-path/slow-path decisions.
+// DESIGN.md's substitution table records the rationale.
+package workload
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// B is a program builder: an address-space allocator plus id counters for
+// sites, loops, and sync objects.
+type B struct {
+	Al   *memmodel.Allocator
+	site sim.SiteID
+	loop sim.LoopID
+	sync sim.SyncID
+}
+
+// NewB returns a builder with a fresh address space.
+func NewB() *B {
+	return &B{Al: memmodel.NewAllocator(1 << 20), site: 1, loop: 1, sync: 1}
+}
+
+// Site returns a fresh static-site id.
+func (b *B) Site() sim.SiteID {
+	s := b.site
+	b.site++
+	return s
+}
+
+// LoopID returns a fresh loop id.
+func (b *B) LoopID() sim.LoopID {
+	l := b.loop
+	b.loop++
+	return l
+}
+
+// Sync returns a fresh synchronization-object id.
+func (b *B) Sync() sim.SyncID {
+	s := b.sync
+	b.sync++
+	return s
+}
+
+// Read builds a load instruction at a fresh site.
+func (b *B) Read(a sim.AddrExpr) *sim.MemAccess {
+	return &sim.MemAccess{Write: false, Addr: a, Site: b.Site()}
+}
+
+// Write builds a store instruction at a fresh site.
+func (b *B) Write(a sim.AddrExpr) *sim.MemAccess {
+	return &sim.MemAccess{Write: true, Addr: a, Site: b.Site()}
+}
+
+// ReadAt and WriteAt build accesses with caller-chosen sites, for racy pairs
+// whose identity the experiments assert on.
+func ReadAt(a sim.AddrExpr, site sim.SiteID) *sim.MemAccess {
+	return &sim.MemAccess{Write: false, Addr: a, Site: site}
+}
+
+// WriteAt builds a store at a fixed site.
+func WriteAt(a sim.AddrExpr, site sim.SiteID) *sim.MemAccess {
+	return &sim.MemAccess{Write: true, Addr: a, Site: site}
+}
+
+// LocalRead and LocalWrite build accesses the static analysis would prove
+// race-free (never hooked, hence never monitored).
+func (b *B) LocalRead(a sim.AddrExpr) *sim.MemAccess {
+	return &sim.MemAccess{Write: false, Addr: a, Site: b.Site(), Local: true}
+}
+
+// LocalWrite builds a provably race-free store.
+func (b *B) LocalWrite(a sim.AddrExpr) *sim.MemAccess {
+	return &sim.MemAccess{Write: true, Addr: a, Site: b.Site(), Local: true}
+}
+
+// Work is private computation.
+func Work(cycles int64) sim.Instr { return &sim.Compute{Cycles: cycles} }
+
+// Jitter is scheduling-dependent computation in [0, max) cycles.
+func Jitter(max int64) sim.Instr { return &sim.Delay{Max: max} }
+
+// LoopN builds a counted loop with a fresh id.
+func (b *B) LoopN(count int, body ...sim.Instr) *sim.Loop {
+	return &sim.Loop{ID: b.LoopID(), Count: count, Body: body}
+}
+
+// Churn builds a loop sweeping iters words of arr with a write (and a read
+// when alsoRead), plus work cycles of compute per iteration. Sweeping more
+// lines than the HTM write-set tracks is the canonical capacity-abort
+// driver.
+func (b *B) Churn(arr memmodel.Addr, iters int, work int64, alsoRead bool) *sim.Loop {
+	body := []sim.Instr{b.Write(sim.Indexed(arr, memmodel.LineSize/memmodel.WordSize))}
+	if alsoRead {
+		body = append(body, b.Read(sim.Indexed(arr, memmodel.LineSize/memmodel.WordSize)))
+	}
+	if work > 0 {
+		body = append(body, Work(work))
+	}
+	return b.LoopN(iters, body...)
+}
+
+// ChurnRandom builds a loop writing random lines over a range of rangeLines
+// cache lines. Unlike Churn's sequential sweep, the distinct-line footprint
+// is stochastic, so whether a given execution overflows the HTM write set
+// varies run to run — the data-dependent behaviour that keeps capacity
+// aborts trickling in even under a profiled loop-cut threshold.
+func (b *B) ChurnRandom(arr memmodel.Addr, rangeLines, iters int, work int64) *sim.Loop {
+	words := uint64(rangeLines) * (memmodel.LineSize / memmodel.WordSize)
+	body := []sim.Instr{b.Write(sim.Random(arr, words))}
+	if work > 0 {
+		body = append(body, Work(work))
+	}
+	return b.LoopN(iters, body...)
+}
+
+// AllocLines allocates n whole cache lines and returns the base address.
+func (b *B) AllocLines(n int) memmodel.Addr {
+	return b.Al.Alloc(uint64(n)*memmodel.LineSize, memmodel.LineSize)
+}
+
+// RandomReads builds a loop of random loads over a shared array of the given
+// word extent, plus per-iteration compute.
+func (b *B) RandomReads(arr memmodel.Addr, words uint64, iters int, work int64) *sim.Loop {
+	return b.LoopN(iters,
+		b.Read(sim.Random(arr, words)),
+		Work(work),
+	)
+}
+
+// Locked wraps body in lock/unlock of mu.
+func Locked(mu sim.SyncID, body ...sim.Instr) []sim.Instr {
+	out := make([]sim.Instr, 0, len(body)+2)
+	out = append(out, &sim.Lock{M: mu})
+	out = append(out, body...)
+	out = append(out, &sim.Unlock{M: mu})
+	return out
+}
+
+// Seq concatenates instruction groups.
+func Seq(groups ...[]sim.Instr) []sim.Instr {
+	var out []sim.Instr
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// RacyVar is one injected static race: a dedicated word with two fixed
+// sites. Races are counted by the experiments as the pair {SiteA, SiteB}.
+type RacyVar struct {
+	Addr  memmodel.Addr
+	SiteA sim.SiteID
+	SiteB sim.SiteID
+}
+
+// NewRacyVar allocates a line-aligned word (so the race is never a
+// false-sharing artifact) and two sites for it.
+func (b *B) NewRacyVar() RacyVar {
+	return RacyVar{Addr: b.Al.AllocLine(), SiteA: b.Site(), SiteB: b.Site()}
+}
+
+// WriteA and WriteB build the two halves of a write-write race.
+func (r RacyVar) WriteA() *sim.MemAccess { return WriteAt(sim.Fixed(r.Addr), r.SiteA) }
+
+// WriteB builds the second racy store.
+func (r RacyVar) WriteB() *sim.MemAccess { return WriteAt(sim.Fixed(r.Addr), r.SiteB) }
+
+// ReadB builds a racy load (for write-read races).
+func (r RacyVar) ReadB() *sim.MemAccess { return ReadAt(sim.Fixed(r.Addr), r.SiteB) }
+
+// Key returns the normalized race identity used by the detectors.
+func (r RacyVar) Key() (a, bSite sim.SiteID) {
+	if r.SiteA < r.SiteB {
+		return r.SiteA, r.SiteB
+	}
+	return r.SiteB, r.SiteA
+}
+
+// FalseSharePair allocates two *different* words on the *same* cache line.
+// Concurrent writes to them conflict in the HTM (line granularity) but are
+// not a data race — the false-positive source the slow path must filter
+// (§2.2 challenge 2).
+func (b *B) FalseSharePair() (w0, w1 memmodel.Addr) {
+	base := b.Al.AllocLine()
+	return base, base + memmodel.WordSize
+}
+
+// SharedLineWords allocates one cache line and returns the addresses of its
+// first n words (n ≤ 8), for n-way false sharing.
+func (b *B) SharedLineWords(n int) []memmodel.Addr {
+	if n > memmodel.LineSize/memmodel.WordSize {
+		panic("workload: more words than fit a line")
+	}
+	base := b.Al.AllocLine()
+	out := make([]memmodel.Addr, n)
+	for i := range out {
+		out[i] = base + memmodel.Addr(i*memmodel.WordSize)
+	}
+	return out
+}

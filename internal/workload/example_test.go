@@ -1,0 +1,36 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Run one of the evaluation applications under the TxRace runtime and
+// report what the two-phase detection found. raytrace injects the paper's
+// two overlapping races; both are pinpointed via conflict episodes.
+func Example() {
+	w, err := workload.ByName("raytrace")
+	if err != nil {
+		panic(err)
+	}
+	built := w.Build(4, 1)
+
+	cfg := sim.DefaultConfig()
+	cfg.InterruptEvery = w.InterruptEvery
+
+	rt := core.NewTxRace(core.Options{LoopCut: core.DynCut, SlowScale: w.SlowScale})
+	if _, err := sim.NewEngine(cfg).Run(
+		instrument.ForTxRace(built.Prog, instrument.DefaultOptions()), rt); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("injected races:", len(built.Races))
+	fmt.Println("detected races:", rt.Detector().RaceCount())
+	// Output:
+	// injected races: 2
+	// detected races: 2
+}

@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"repro/internal/sim"
+)
+
+// newBodytrack models PARSEC's particle-filter body tracker: barrier-phased
+// frames whose inner loops call into an image library the instrumenter
+// cannot see (§7's misprofiling case). Those hidden system calls are what
+// give bodytrack its outlier unknown-abort count (2M in Table 1) and make
+// the unknown-abort segment dominate its Fig. 7 bar. Its race population is
+// the paper's showcase for initialize-then-publish misses: 8 races, of
+// which TxRace finds 6 — the two deferred-publication pairs never overlap.
+func newBodytrack() *Workload {
+	wl := &Workload{
+		Name:           "bodytrack",
+		InterruptEvery: 300000,
+		SlowScale:      3.2,
+		Paper: Paper{
+			Committed: 9950991, Conflict: 36004, Capacity: 47050, Unknown: 2004723,
+			TSanRaces: 8, TxRaceRaces: 6,
+			OriginalMs: 503, TSanMs: 6429, TxRaceMs: 4479,
+			TSanOverhead: 12.78, TxRaceOverhead: 8.9,
+			Recall: 0.75, CostEffectiveness: 1.08,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		bar := b.Sync()
+		redMu := b.Sync()
+		redBuf := b.Al.AllocWords(64)
+		nbar := threads
+
+		overlapping := make([]RacyVar, 6)
+		for i := range overlapping {
+			overlapping[i] = b.NewRacyVar()
+		}
+		deferred := []RacyVar{b.NewRacyVar(), b.NewRacyVar()}
+
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			particles := b.Al.AllocWords(1024)
+			imgChunk := func(hidden bool) sim.Instr {
+				iters := 12
+				if hidden {
+					iters = 56
+				}
+				body := []sim.Instr{
+					b.LoopN(iters,
+						b.Read(sim.AddrExpr{Base: particles, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 1024}),
+						b.Write(sim.AddrExpr{Base: particles, Mode: sim.AddrLoop, Stride: 1, Off: 2, Depth: 0, Wrap: 1024}),
+						b.Read(sim.AddrExpr{Base: particles, Mode: sim.AddrLoop, Stride: 3, Off: 7, Depth: 0, Wrap: 1024}),
+						Work(2),
+					),
+				}
+				if hidden {
+					// Library call the profiler missed: no transaction cut,
+					// so on the fast path this aborts with unknown status.
+					body = append(body, &sim.Syscall{Name: "libtiff", Cycles: 30, Hidden: true})
+				}
+				body = append(body, &sim.Syscall{Name: "readpix", Cycles: 40})
+				return b.LoopN(1, body...)
+			}
+
+			// Thread-startup initialization: worker 0 publishes two flags
+			// without synchronization in a short startup region; workers 1
+			// and 2 read them only after a long model-load phase. Real
+			// races whose halves never overlap in time — TxRace's expected
+			// false negatives (§8.3).
+			var init []sim.Instr
+			if w == 0 {
+				init = append(init,
+					deferred[0].WriteA(), deferred[1].WriteA(),
+					b.Churn(b.Al.AllocWords(60*8), 60, 1, true))
+			} else {
+				init = append(init, b.Churn(b.Al.AllocWords(400*8), 400, 5, true))
+				switch w {
+				case 1:
+					init = append(init, deferred[0].ReadB())
+				case 2:
+					init = append(init, deferred[1].ReadB())
+				}
+			}
+
+			resample := b.ChurnRandom(b.AllocLines(960), 950, 790, 0)
+			reduction := Locked(redMu,
+				b.Write(sim.AddrExpr{Base: redBuf, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 64}),
+				b.Read(sim.AddrExpr{Base: redBuf, Mode: sim.AddrLoop, Stride: 1, Off: 1, Depth: 0, Wrap: 64}),
+				b.Write(sim.AddrExpr{Base: redBuf, Mode: sim.AddrLoop, Stride: 1, Off: 2, Depth: 0, Wrap: 64}),
+				b.Read(sim.AddrExpr{Base: redBuf, Mode: sim.AddrLoop, Stride: 1, Off: 3, Depth: 0, Wrap: 64}),
+				b.Write(sim.AddrExpr{Base: redBuf, Mode: sim.AddrLoop, Stride: 1, Off: 4, Depth: 0, Wrap: 64}),
+			)
+			weights := b.Al.AllocWords(256)
+			weightsLoop := b.LoopN(100,
+				b.Read(sim.AddrExpr{Base: weights, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 256}),
+				b.Write(sim.AddrExpr{Base: weights, Mode: sim.AddrLoop, Stride: 1, Off: 1, Depth: 0, Wrap: 256}),
+				Work(1),
+			)
+			frames := 6 * scale
+			var body []sim.Instr
+			for f := 0; f < frames; f++ {
+				body = append(body, &sim.Barrier{B: bar, N: nbar}, Jitter(250))
+				// The overlapping races — particle-weight flags shared
+				// between neighbour workers — fire in their own frame only,
+				// opening the weight-normalization region right after the
+				// barrier: the conflict window is the whole loop and no
+				// loop-cut ever commits the racy write away.
+				for i, r := range overlapping {
+					if i%frames != f {
+						continue
+					}
+					if i%threads == w {
+						body = append(body, r.WriteA())
+					}
+					if (i+1)%threads == w {
+						body = append(body, r.WriteB())
+					}
+				}
+				body = append(body, weightsLoop)
+				// One clean image chunk and three that call into the
+				// unprofiled image library: most of the per-frame image
+				// work ends up re-executed on the slow path after unknown
+				// aborts, bodytrack's signature behaviour.
+				body = append(body,
+					imgChunk(false), imgChunk(true), imgChunk(true), imgChunk(true),
+				)
+				body = append(body, resample)
+				body = append(body, &sim.Barrier{B: bar, N: nbar})
+				body = append(body, reduction...)
+			}
+			workers[w] = append(init, body...)
+		}
+		if threads < 3 {
+			deferred = deferred[:1]
+		}
+		return &Built{
+			Prog:     &sim.Program{Name: "bodytrack", Workers: workers},
+			Races:    overlapping,
+			Deferred: deferred,
+		}
+	}
+	return wl
+}
+
+// newFacesim models PARSEC's face simulator: the most access-dense PARSEC
+// member (TSan's 36.6x), barrier-phased with long mesh-update regions.
+// Nine races: eight overlapping on shared force accumulators, one
+// initialize-then-publish pair from the thread-pool startup idiom the paper
+// describes (§8.3), which TxRace misses.
+func newFacesim() *Workload {
+	wl := &Workload{
+		Name:           "facesim",
+		InterruptEvery: 80000,
+		SlowScale:      11,
+		Paper: Paper{
+			Committed: 12827334, Conflict: 1611, Capacity: 3372, Unknown: 38563,
+			TSanRaces: 9, TxRaceRaces: 8,
+			OriginalMs: 2439, TSanMs: 89242, TxRaceMs: 28027,
+			TSanOverhead: 36.59, TxRaceOverhead: 11.49,
+			Recall: 0.89, CostEffectiveness: 2.83,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		bar := b.Sync()
+		nbar := threads
+
+		overlapping := make([]RacyVar, 8)
+		for i := range overlapping {
+			overlapping[i] = b.NewRacyVar()
+		}
+		deferred := []RacyVar{b.NewRacyVar()}
+
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			mesh := b.Al.AllocWords(2048)
+			// Initialize-then-publish: worker 0 publishes a thread-pool
+			// struct in a short startup region and is long gone by the time
+			// worker 1 — deep in its model load — reads it. Real race, no
+			// overlap: the paper's facesim false negative.
+			var init []sim.Instr
+			if w == 0 {
+				init = append(init, deferred[0].WriteA())
+				init = append(init, b.Churn(b.Al.AllocWords(60*8), 60, 1, true))
+			} else {
+				init = append(init, b.Churn(b.Al.AllocWords(400*8), 400, 6, true))
+				if w == 1 {
+					init = append(init, deferred[0].ReadB())
+				}
+			}
+
+			update := func(iters int) *sim.Loop {
+				return b.LoopN(iters,
+					b.Read(sim.AddrExpr{Base: mesh, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 2048}),
+					b.Read(sim.AddrExpr{Base: mesh, Mode: sim.AddrLoop, Stride: 1, Off: 1, Depth: 0, Wrap: 2048}),
+					b.Write(sim.AddrExpr{Base: mesh, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 2048}),
+					b.Write(sim.AddrExpr{Base: mesh, Mode: sim.AddrLoop, Stride: 1, Off: 3, Depth: 0, Wrap: 2048}),
+					Work(1),
+				)
+			}
+			// Racy force-accumulator flags go at the start of the phase
+			// region — the conflict window is the whole mesh update — and
+			// each race fires in one frame only, so a detected race costs
+			// one slow episode rather than one per frame.
+			frames := 16 * scale
+			var body []sim.Instr
+			for f := 0; f < frames; f++ {
+				body = append(body, &sim.Barrier{B: bar, N: nbar}, Jitter(300))
+				for i, r := range overlapping {
+					if (i*2)%frames != f {
+						continue
+					}
+					if i%threads == w {
+						body = append(body, r.WriteA())
+					}
+					if (i+1)%threads == w {
+						body = append(body, r.WriteB())
+					}
+				}
+				// Frames that carry a race use a shorter update phase
+				// (boundary-force frames), so a detected race's slow episode
+				// re-executes less work.
+				iters := 85
+				if f < 16 && f%2 == 0 {
+					iters = 45
+				}
+				body = append(body, update(iters), &sim.Syscall{Name: "framelog", Cycles: 60})
+				// Accumulator flush: every frame re-touches this worker's
+				// racy flags in a tiny (<K) region, so the races manifest
+				// dynamically often — which is what lets even low-rate
+				// sampling catch them (the paper's Fig. 11 observation for
+				// frequently-manifesting races).
+				for i, r := range overlapping {
+					if i%threads == w {
+						body = append(body, r.WriteA())
+					} else if (i+1)%threads == w {
+						body = append(body, r.WriteB())
+					}
+				}
+				body = append(body, &sim.Syscall{Name: "flush", Cycles: 20})
+			}
+			workers[w] = append(init, body...)
+		}
+		return &Built{
+			Prog:     &sim.Program{Name: "facesim", Workers: workers},
+			Races:    overlapping,
+			Deferred: deferred,
+		}
+	}
+	return wl
+}
+
+// newStreamcluster models PARSEC's online clustering kernel: barrier-phased
+// tight loops with library calls in the body (the paper's second
+// short-transaction pathology) and per-thread cost counters packed on a
+// single cache line, which makes nearly a quarter of its transactions abort
+// on (false-sharing) conflicts. TxRace still crushes TSan here (2.97x vs
+// 25.9x) because the conflicting regions are tiny and cheap to re-execute.
+func newStreamcluster() *Workload {
+	wl := &Workload{
+		Name:           "streamcluster",
+		InterruptEvery: 300000,
+		SlowScale:      9.5,
+		Paper: Paper{
+			Committed: 756908, Conflict: 170805, Capacity: 230, Unknown: 832,
+			TSanRaces: 4, TxRaceRaces: 4,
+			OriginalMs: 1430, TSanMs: 39042, TxRaceMs: 4253,
+			TSanOverhead: 25.9, TxRaceOverhead: 2.97,
+			Recall: 1, CostEffectiveness: 8.71,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		bar := b.Sync()
+		nbar := threads
+		costs := b.SharedLineWords(8) // per-thread cost word: false sharing
+		races := make([]RacyVar, 4)
+		for i := range races {
+			races[i] = b.NewRacyVar()
+		}
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			points := b.Al.AllocWords(1024)
+			dist := func(off uint64) []sim.Instr {
+				var out []sim.Instr
+				for k := uint64(0); k < 5; k++ {
+					out = append(out,
+						b.Read(sim.AddrExpr{Base: points, Mode: sim.AddrLoop, Stride: 2, Off: off + k, Depth: 0, Wrap: 1024}))
+				}
+				out = append(out,
+					b.Write(sim.AddrExpr{Base: points, Mode: sim.AddrLoop, Stride: 2, Off: off + 7, Depth: 0, Wrap: 1024}))
+				return out
+			}
+			// One gain evaluation: two distance batches, then the library
+			// call that ends the region — a dozen accesses per tiny
+			// transaction. Every fourth evaluation also bumps this thread's
+			// word of the packed cost line at the start of its region,
+			// which is the false-sharing conflict source.
+			gain := func(cost bool) []sim.Instr {
+				var out []sim.Instr
+				if cost {
+					out = append(out, WriteAt(sim.Fixed(costs[w%len(costs)]), b.Site()))
+				}
+				out = append(out, dist(0)...)
+				out = append(out, dist(31)...)
+				out = append(out, Work(1), &sim.Syscall{Name: "shuffle", Cycles: 20})
+				return out
+			}
+			tight := b.LoopN(6, Seq(gain(true), gain(false), gain(false), gain(false))...)
+			phase := []sim.Instr{
+				&sim.Barrier{B: bar, N: nbar},
+				Jitter(150),
+			}
+			// The genuine races: open/feasible flags poked lock-free right
+			// after the barrier, tightly overlapping.
+			for i, r := range races {
+				if i%threads == w {
+					phase = append(phase, r.WriteA())
+				}
+				if (i+1)%threads == w {
+					phase = append(phase, r.WriteB())
+				}
+			}
+			phase = append(phase, tight)
+			workers[w] = []sim.Instr{b.LoopN(10*scale, phase...)}
+		}
+		return &Built{
+			Prog:  &sim.Program{Name: "streamcluster", Workers: workers},
+			Races: races,
+		}
+	}
+	return wl
+}

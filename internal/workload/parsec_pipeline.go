@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"repro/internal/sim"
+)
+
+// pipelineStage builds the common queue plumbing used by ferret and dedup:
+// stage s waits on its input semaphore, dequeues under the input queue lock,
+// does stage work, enqueues under the output queue lock, and signals the
+// next stage. Queue buffers are only touched under their queue's mutex, so
+// the plumbing itself is race-free.
+type pipeline struct {
+	b      *B
+	sems   []sim.SyncID
+	mus    []sim.SyncID
+	bufs   []sim.AddrExpr
+	stages int
+}
+
+func newPipeline(b *B, stages int) *pipeline {
+	p := &pipeline{b: b, stages: stages}
+	for i := 0; i < stages; i++ {
+		p.sems = append(p.sems, b.Sync())
+		p.mus = append(p.mus, b.Sync())
+		buf := b.Al.AllocWords(256)
+		p.bufs = append(p.bufs, sim.AddrExpr{Base: buf, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 256})
+	}
+	return p
+}
+
+// deq returns the instructions for taking one item from stage s's queue.
+func (p *pipeline) deq(s int) []sim.Instr {
+	return Seq(
+		[]sim.Instr{&sim.Wait{C: p.sems[s]}},
+		Locked(p.mus[s],
+			p.b.Read(p.bufs[s]),
+			p.b.Read(p.bufs[s]),
+			p.b.Write(p.bufs[s]),
+			p.b.Read(p.bufs[s]),
+			p.b.Write(p.bufs[s]),
+		),
+	)
+}
+
+// enq returns the instructions for handing one item to stage s's queue.
+func (p *pipeline) enq(s int) []sim.Instr {
+	return Seq(
+		Locked(p.mus[s],
+			p.b.Write(p.bufs[s]),
+			p.b.Write(p.bufs[s]),
+			p.b.Read(p.bufs[s]),
+			p.b.Write(p.bufs[s]),
+			p.b.Write(p.bufs[s]),
+		),
+		[]sim.Instr{&sim.Signal{C: p.sems[s]}},
+	)
+}
+
+// newFerret models PARSEC's similarity-search pipeline: one thread per
+// stage connected by bounded queues, with one real race on a statistics
+// word two middle stages update without the lock.
+func newFerret() *Workload {
+	wl := &Workload{
+		Name:           "ferret",
+		InterruptEvery: 25000,
+		SlowScale:      3.3,
+		Paper: Paper{
+			Committed: 208052, Conflict: 379, Capacity: 2413, Unknown: 4263,
+			TSanRaces: 1, TxRaceRaces: 1,
+			OriginalMs: 1060, TSanMs: 11390, TxRaceMs: 5852,
+			TSanOverhead: 10.74, TxRaceOverhead: 5.52,
+			Recall: 1, CostEffectiveness: 1.95,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		p := newPipeline(b, threads)
+		race := b.NewRacyVar()
+		items := 25 * scale
+		workers := make([][]sim.Instr, threads)
+		for s := 0; s < threads; s++ {
+			table := b.Al.AllocWords(2048) // per-stage model data
+			stageWork := b.LoopN(12,
+				b.Read(sim.Random(table, 2048)),
+				b.Read(sim.Random(table, 2048)),
+				b.Write(sim.Random(table, 2048)),
+				Work(3),
+			)
+			var item []sim.Instr
+			switch {
+			case s == 0:
+				// Load stage: generate an item, push downstream.
+				item = Seq([]sim.Instr{Jitter(150), stageWork}, p.enq(1))
+			case s == threads-1:
+				// Output stage: drain only.
+				item = Seq(p.deq(s), []sim.Instr{stageWork, &sim.Syscall{Name: "out", Cycles: 90}})
+			default:
+				item = Seq(p.deq(s), []sim.Instr{stageWork}, p.enq(s+1))
+			}
+			// The race: rank/vec stages bump a shared counter lock-free.
+			if s == 1 {
+				item = append(item, race.WriteA())
+			}
+			if s == 2 && threads > 3 {
+				item = append(item, race.WriteB())
+			} else if s == threads-1 && threads <= 3 {
+				item = append(item, race.WriteB())
+			}
+			workers[s] = []sim.Instr{b.LoopN(items, item...)}
+		}
+		// Each stage periodically rebuilds an index chunk: a stochastic
+		// footprint around the write-set capacity.
+		for s := 0; s < threads; s++ {
+			big := b.AllocLines(880)
+			workers[s] = append(workers[s], b.LoopN(2, b.ChurnRandom(big, 870, 850, 0)))
+		}
+		return &Built{
+			Prog:  &sim.Program{Name: "ferret", Workers: workers},
+			Races: []RacyVar{race},
+		}
+	}
+	return wl
+}
+
+// newDedup models PARSEC's deduplication pipeline: the same queue skeleton
+// as ferret plus a shared hash-bucket table whose per-thread hint words sit
+// packed on common cache lines. Those writes conflict constantly in the HTM
+// but never overlap on a word, so dedup shows six-figure conflict aborts and
+// zero actual races — the false-sharing stress case for the slow path.
+func newDedup() *Workload {
+	wl := &Workload{
+		Name:           "dedup",
+		InterruptEvery: 40000,
+		SlowScale:      1.45,
+		Paper: Paper{
+			Committed: 2185219, Conflict: 106618, Capacity: 13889, Unknown: 40177,
+			TSanRaces: 0, TxRaceRaces: 0,
+			OriginalMs: 2748, TSanMs: 13292, TxRaceMs: 11513,
+			TSanOverhead: 4.84, TxRaceOverhead: 4.19,
+			Recall: 1, CostEffectiveness: 1.15,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		p := newPipeline(b, threads)
+		hints := b.SharedLineWords(8) // per-stage hint counters: false sharing
+		items := 25 * scale
+		workers := make([][]sim.Instr, threads)
+		for s := 0; s < threads; s++ {
+			chunkBuf := b.Al.AllocWords(600 * 8)
+			compress := b.LoopN(15,
+				b.Read(sim.AddrExpr{Base: chunkBuf, Mode: sim.AddrLoop, Stride: 8, Depth: 0, Wrap: 600 * 8}),
+				b.Write(sim.AddrExpr{Base: chunkBuf, Mode: sim.AddrLoop, Stride: 8, Off: 3, Depth: 0, Wrap: 600 * 8}),
+				Work(4),
+			)
+			// One lock-free hash-bucket hint bump per chunk, at the start
+			// of the compress region: false sharing with the other stages.
+			hint := WriteAt(sim.Fixed(hints[s%len(hints)]), b.Site())
+			var item []sim.Instr
+			switch {
+			case s == 0:
+				item = Seq([]sim.Instr{Jitter(120), hint, compress}, p.enq(1))
+			case s == threads-1:
+				item = Seq(p.deq(s), []sim.Instr{hint, compress, &sim.Syscall{Name: "write", Cycles: 110}})
+			default:
+				item = Seq(p.deq(s), []sim.Instr{hint, compress}, p.enq(s+1))
+			}
+			workers[s] = []sim.Instr{b.LoopN(items, item...)}
+		}
+		// Anchoring stage occasionally rescans a whole chunk: capacity.
+		big := b.Al.AllocWords(800 * 8)
+		workers[0] = append(workers[0], b.Churn(big, 800, 1, false))
+		return &Built{Prog: &sim.Program{Name: "dedup", Workers: workers}}
+	}
+	return wl
+}
+
+// newX264 models PARSEC's H.264 encoder: a wavefront of frame workers where
+// each frame's rows wait on the reference frame's corresponding rows via
+// semaphores. The encoder's well-known data races — speculative reads of
+// neighbour progress flags without waiting — are injected as 64 static racy
+// pairs, all tightly overlapping in the wavefront, which is why TxRace finds
+// every one of them (Table 1).
+func newX264() *Workload {
+	const nraces = 64
+	wl := &Workload{
+		Name:           "x264",
+		InterruptEvery: 300000,
+		SlowScale:      3,
+		Paper: Paper{
+			Committed: 36808, Conflict: 245, Capacity: 423, Unknown: 5358,
+			TSanRaces: 64, TxRaceRaces: 64,
+			OriginalMs: 595, TSanMs: 3837, TxRaceMs: 3332,
+			TSanOverhead: 6.45, TxRaceOverhead: 5.6,
+			Recall: 1, CostEffectiveness: 1.15,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		rows := 24
+		frames := 3 * scale
+		races := make([]RacyVar, nraces)
+		for i := range races {
+			races[i] = b.NewRacyVar()
+		}
+		// rowSem[w] is posted by worker w-1 as it completes rows; progress
+		// is a broadcast semaphore nobody waits on (the encoder's
+		// cond_broadcast of row progress).
+		rowSem := make([]sim.SyncID, threads)
+		for i := range rowSem {
+			rowSem[i] = b.Sync()
+		}
+		progress := b.Sync()
+		// Assign each race to an adjacent worker pair and a row (at most
+		// one per slot, so every speculative peek sits in a small,
+		// always-monitored region): the upstream worker writes the flag
+		// after signalling (unordered), the downstream worker reads it
+		// speculatively before waiting.
+		type slot struct{ write, read []*sim.MemAccess }
+		plan := make([][]slot, threads)
+		for w := range plan {
+			plan[w] = make([]slot, rows)
+		}
+		pairs := threads - 1
+		for i, r := range races {
+			up := i % pairs // writer: worker up
+			row := (i / pairs) % rows
+			plan[up][row].write = append(plan[up][row].write, r.WriteA())
+			plan[up+1][row].read = append(plan[up+1][row].read, r.ReadB())
+		}
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			fb := b.Al.AllocWords(2048)
+			var frame []sim.Instr
+			for row := 0; row < rows; row++ {
+				// Speculative neighbour peeks (the races) happen before the
+				// proper wait.
+				for _, acc := range plan[w][row].read {
+					frame = append(frame, acc)
+				}
+				if w > 0 {
+					frame = append(frame, &sim.Wait{C: rowSem[w]})
+				}
+				// Row encode: sync-dense wavefront code whose regions carry
+				// only a handful of hooked accesses — the K filter routes
+				// them to the slow path, which is why x264's TxRace overhead
+				// sits so close to TSan's in Table 1 (5.6x vs 6.45x).
+				frame = append(frame, Jitter(80), b.LoopN(2,
+					b.Read(sim.AddrExpr{Base: fb, Mode: sim.AddrLoop, Stride: 2, Depth: 0, Wrap: 2048}),
+					b.Write(sim.AddrExpr{Base: fb, Mode: sim.AddrLoop, Stride: 2, Off: 1, Depth: 0, Wrap: 2048}),
+					Work(22),
+				))
+				if w < threads-1 {
+					frame = append(frame, &sim.Signal{C: rowSem[w+1]})
+				} else {
+					// The last worker still broadcasts row progress, so its
+					// speculative peeks sit in small regions too.
+					frame = append(frame, &sim.Signal{C: progress})
+				}
+				// Post-signal progress-flag writes: unordered w.r.t. the
+				// downstream reads above. The progress broadcast right
+				// after keeps each write in its own tiny always-monitored
+				// region, which is why TxRace catches all 64 (Table 1).
+				if len(plan[w][row].write) > 0 {
+					for _, acc := range plan[w][row].write {
+						frame = append(frame, acc)
+					}
+					frame = append(frame, &sim.Signal{C: progress})
+				}
+			}
+			// Per-frame lookahead buffer fill: stochastic capacity, with an
+			// unprofiled library call buried in the middle of the region —
+			// the resulting unknown abort forces the second half of the
+			// lookahead sweep through the slow path every frame.
+			look := b.AllocLines(940)
+			frame = append(frame,
+				b.ChurnRandom(look, 930, 380, 0),
+				&sim.Syscall{Name: "libavutil", Cycles: 30, Hidden: true},
+				b.ChurnRandom(look, 930, 380, 0),
+				&sim.Syscall{Name: "frameout", Cycles: 150})
+			workers[w] = []sim.Instr{b.LoopN(frames, frame...)}
+		}
+		return &Built{
+			Prog:  &sim.Program{Name: "x264", Workers: workers},
+			Races: races,
+		}
+	}
+	return wl
+}

@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// newFluidanimate models PARSEC's particle-fluid solver: a grid partitioned
+// into per-thread slabs with fine-grained locks at slab borders. The
+// published profile is dominated by an enormous number of tiny critical
+// sections (17.8M transactions) and heavy cross-border cache-line sharing
+// (697k conflict aborts), with a single real race on a border cell.
+func newFluidanimate() *Workload {
+	wl := &Workload{
+		Name:           "fluidanimate",
+		InterruptEvery: 60000,
+		SlowScale:      4.6,
+		Paper: Paper{
+			Committed: 17778944, Conflict: 696789, Capacity: 10321, Unknown: 36614,
+			TSanRaces: 1, TxRaceRaces: 1,
+			OriginalMs: 539, TSanMs: 8217, TxRaceMs: 3724,
+			TSanOverhead: 15.23, TxRaceOverhead: 6.9,
+			Recall: 1, CostEffectiveness: 2.21,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		race := b.NewRacyVar()
+		// Border lines shared between neighbouring slabs: each thread
+		// writes its own word, the neighbour writes the adjacent word —
+		// pure false sharing, conflicting every time the regions overlap.
+		borders := make([][]memmodel.Addr, threads)
+		for i := range borders {
+			borders[i] = b.SharedLineWords(2)
+		}
+		borderMu := make([]sim.SyncID, threads)
+		for i := range borderMu {
+			borderMu[i] = b.Sync()
+		}
+		frameBar := b.Sync()
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			slab := b.Al.AllocWords(1024)
+			right := (w + 1) % threads
+			cell := func(off uint64) []sim.Instr {
+				return []sim.Instr{
+					b.Read(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: off, Depth: 0, Wrap: 1024}),
+					b.Read(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: off + 1, Depth: 0, Wrap: 1024}),
+					b.Write(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: off, Depth: 0, Wrap: 1024}),
+					Work(1),
+				}
+			}
+			// One block: cell updates followed by a fine-grained border
+			// critical section. The border variant opens its region with a
+			// border exchange — my word and the neighbour's adjacent word
+			// share a line: pure false sharing, conflicting whenever the
+			// regions overlap.
+			block := func(border bool) []sim.Instr {
+				var head []sim.Instr
+				if border {
+					head = []sim.Instr{
+						WriteAt(sim.Fixed(borders[w][0]), b.Site()),
+						ReadAt(sim.Fixed(borders[right][1]), b.Site()),
+					}
+				}
+				cells := 7
+				if border {
+					cells = 12 // longer region: wider conflict window
+				}
+				return Seq(
+					head,
+					[]sim.Instr{b.LoopN(cells, cell(0)...)},
+					Locked(borderMu[w],
+						b.Write(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: 2, Depth: 0, Wrap: 1024}),
+						b.Read(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: 3, Depth: 0, Wrap: 1024}),
+						b.Write(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: 4, Depth: 0, Wrap: 1024}),
+						b.Read(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: 5, Depth: 0, Wrap: 1024}),
+						b.Write(sim.AddrExpr{Base: slab, Mode: sim.AddrLoop, Stride: 1, Off: 6, Depth: 0, Wrap: 1024}),
+					),
+				)
+			}
+			// The real race: an unsynchronized border-cell flag updated by
+			// two neighbours at the start of overlapping frames. Frames are
+			// barrier-synchronized, as in the real solver's phase structure.
+			frame := []sim.Instr{&sim.Barrier{B: frameBar, N: threads}, Jitter(300)}
+			switch w {
+			case 0:
+				frame = append(frame, race.WriteA())
+			case 1:
+				frame = append(frame, race.WriteB())
+			}
+			// Five border exchanges per frame, interleaved with plain
+			// blocks, plus one unprofiled library call (the solver's I/O
+			// helper) buried in a cell-update region.
+			for rep := 0; rep < 4; rep++ {
+				frame = append(frame, block(true)...)
+				frame = append(frame, b.LoopN(2, block(false)...))
+			}
+			frame = append(frame, block(true)...)
+			frame = append(frame, &sim.Syscall{Name: "libio", Cycles: 25, Hidden: true})
+			frame = append(frame, block(false)...)
+			workers[w] = []sim.Instr{b.LoopN(8*scale, frame...)}
+		}
+		return &Built{
+			Prog:  &sim.Program{Name: "fluidanimate", Workers: workers},
+			Races: []RacyVar{race},
+		}
+	}
+	return wl
+}
+
+// newVips models PARSEC's image-processing pipeline, the paper's most
+// extreme application: 112 static races on shared image descriptors whose
+// manifestation depends on how worker tiles interleave (Fig. 10), and a
+// software detector that collapses under the report volume and shadow
+// contention (1195x for TSan, 63x for TxRace).
+func newVips() *Workload {
+	wl := &Workload{
+		Name:           "vips",
+		InterruptEvery: 600000,
+		SlowScale:      270,
+		Paper: Paper{
+			Committed: 707547, Conflict: 16793, Capacity: 23403, Unknown: 14985,
+			TSanRaces: 112, TxRaceRaces: 79,
+			OriginalMs: 953, TSanMs: 1139087, TxRaceMs: 60320,
+			TSanOverhead: 1195, TxRaceOverhead: 63.28,
+			Recall: 0.71, CostEffectiveness: 13.32,
+		},
+	}
+	const nraces = 112
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		races := make([]RacyVar, nraces)
+		for i := range races {
+			races[i] = b.NewRacyVar()
+		}
+		// Spread racy accesses over tiles: race i fires at the *start* of
+		// tile i%tiles in two neighbouring workers, so the conflict window
+		// is the whole tile region. Jitter accumulates drift between
+		// workers; a pipeline barrier every few tiles bounds it, leaving
+		// the per-race overlap probability around the level that yields the
+		// paper's ~79-of-112 per run.
+		tiles := 1400 * scale
+		raceIn := make(map[int]map[int][]*sim.MemAccess) // worker → tile → accesses
+		for w := 0; w < threads; w++ {
+			raceIn[w] = make(map[int][]*sim.MemAccess)
+		}
+		for i, r := range races {
+			a, bw := i%threads, (i+1)%threads
+			tile := (i * 13) % tiles
+			raceIn[a][tile] = append(raceIn[a][tile], r.WriteA())
+			raceIn[bw][tile] = append(raceIn[bw][tile], r.WriteB())
+		}
+		bar := b.Sync()
+		// Adjacent tile borders: per-worker words on shared lines, written
+		// every few tiles — the false-sharing conflict source.
+		borders := b.SharedLineWords(8)
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			img := b.Al.AllocWords(4096)
+			buf := b.AllocLines(1100)
+			// One static decode loop reused by every decode tile, as in the
+			// real library — so the loop-cut machinery sees repeated
+			// executions of the same static loop and can learn a threshold.
+			decode := b.ChurnRandom(buf, 1050, 360, 0)
+			var body []sim.Instr
+			for tile := 0; tile < tiles; tile++ {
+				if tile%8 == 0 {
+					body = append(body, &sim.Barrier{B: bar, N: threads})
+				}
+				body = append(body, Jitter(260))
+				// Every tile is a short kernel region; racy descriptor
+				// writes open their tile's region, so the conflict window is
+				// the tile and the slow-path episode a detected race
+				// triggers re-executes only that tile.
+				kernelIters := 80
+				for _, acc := range raceIn[w][tile] {
+					body = append(body, acc)
+				}
+				if tile%64 == 3 {
+					body = append(body, WriteAt(sim.Fixed(borders[w%len(borders)]), b.Site()))
+				}
+				kernel := b.LoopN(kernelIters,
+					b.Read(sim.AddrExpr{Base: img, Mode: sim.AddrLoop, Stride: 2, Depth: 0, Wrap: 4096}),
+					b.Write(sim.AddrExpr{Base: img, Mode: sim.AddrLoop, Stride: 2, Off: 1, Depth: 0, Wrap: 4096}),
+					b.Read(sim.AddrExpr{Base: img, Mode: sim.AddrLoop, Stride: 3, Off: 5, Depth: 0, Wrap: 4096}),
+				)
+				body = append(body, kernel)
+				if tile%24 == 2 && len(raceIn[w][tile]) == 0 {
+					// Tile decode: a stochastic footprint around the HTM
+					// write-set capacity.
+					body = append(body, decode)
+				}
+				body = append(body, &sim.Syscall{Name: "tileio", Cycles: 60})
+				if tile%48 == 9 {
+					// A tiny descriptor-refresh region containing an
+					// unprofiled library call: the unknown abort re-runs
+					// only these few accesses on the slow path.
+					body = append(body,
+						b.LoopN(6, b.Read(sim.AddrExpr{Base: img, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 4096})),
+						&sim.Syscall{Name: "libjpeg", Cycles: 40, Hidden: true},
+						&sim.Syscall{Name: "stat", Cycles: 20})
+				}
+			}
+			workers[w] = body
+		}
+		return &Built{
+			Prog:  &sim.Program{Name: "vips", Workers: workers},
+			Races: races,
+		}
+	}
+	return wl
+}
+
+// newCanneal models PARSEC's simulated-annealing placer: random reads over a
+// large shared netlist, lock-protected element swaps, and one real race on
+// the global temperature, which worker 0 updates without synchronization
+// while everyone reads it — a frequently manifesting race (the paper notes
+// such races are caught even at low sampling rates, Fig. 11).
+func newCanneal() *Workload {
+	wl := &Workload{
+		Name:           "canneal",
+		InterruptEvery: 30000,
+		SlowScale:      0.85,
+		Paper: Paper{
+			Committed: 3200570, Conflict: 25187, Capacity: 2896, Unknown: 106419,
+			TSanRaces: 1, TxRaceRaces: 1,
+			OriginalMs: 3499, TSanMs: 15367, TxRaceMs: 10375,
+			TSanOverhead: 4.39, TxRaceOverhead: 2.97,
+			Recall: 1, CostEffectiveness: 1.48,
+		},
+	}
+	wl.Build = func(threads, scale int) *Built {
+		b := NewB()
+		// Read-only element data and lock-protected location table are
+		// disjoint: the unlocked random reads never race with the locked
+		// writes.
+		elements := b.Al.AllocWords(16384)
+		locations := b.Al.AllocWords(16384)
+		stats := b.SharedLineWords(8) // per-thread counters: false sharing
+		temp := b.NewRacyVar()
+		mu := b.Sync()
+		workers := make([][]sim.Instr, threads)
+		for w := 0; w < threads; w++ {
+			var tempAccess sim.Instr
+			if w == 0 {
+				tempAccess = temp.WriteA() // unsynchronized cooling update
+			} else {
+				tempAccess = temp.ReadB() // unsynchronized read
+			}
+			eval := []sim.Instr{
+				b.Read(sim.Random(elements, 16384)),
+				b.Read(sim.Random(elements, 16384)),
+				b.Read(sim.Random(elements, 16384)),
+				b.Read(sim.Random(elements, 16384)),
+				Work(6),
+				WriteAt(sim.Fixed(stats[w%len(stats)]), b.Site()),
+			}
+			// Three cost evaluations per accepted swap keep the global
+			// location lock off the critical path.
+			swapLoop := b.LoopN(10, Seq(
+				eval, eval, eval, eval,
+				Locked(mu,
+					b.Write(sim.Random(locations, 16384)),
+					b.Write(sim.Random(locations, 16384)),
+					b.Read(sim.Random(locations, 16384)),
+					b.Write(sim.Random(locations, 16384)),
+					b.Write(sim.Random(locations, 16384)),
+				),
+			)...)
+			// Periodic reheat sweep: a large private footprint that
+			// occasionally overflows the write set.
+			scratch := b.Al.AllocWords(880 * 8)
+			workers[w] = []sim.Instr{
+				b.LoopN(5*scale,
+					Jitter(200),
+					tempAccess,
+					swapLoop,
+					b.ChurnRandom(scratch, 860, 900, 0),
+					&sim.Syscall{Name: "checkpoint", Cycles: 70},
+				),
+			}
+		}
+		return &Built{
+			Prog:  &sim.Program{Name: "canneal", Workers: workers},
+			Races: []RacyVar{temp},
+		}
+	}
+	return wl
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+)
+
+// runTx executes a workload under the TxRace runtime with DynLoopcut (so no
+// profiling pass is needed) and returns the stats.
+func runTx(t *testing.T, name string, seed uint64) core.Stats {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := w.Build(4, 1)
+	rt := core.NewTxRace(core.Options{LoopCut: core.DynCut, SlowScale: w.SlowScale})
+	if _, err := sim.NewEngine(engCfg(w, seed)).Run(
+		instrument.ForTxRace(built.Prog, instrument.DefaultOptions()), rt); err != nil {
+		t.Fatal(err)
+	}
+	return rt.Stats()
+}
+
+// The shape tests below are calibration regression guards: each application
+// must keep the qualitative abort mix its Table 1 row is known for. They
+// assert orderings and presence, never absolute counts.
+
+func TestShapeSwaptionsCommittedAndCapacityHeavy(t *testing.T) {
+	st := runTx(t, "swaptions", 1)
+	if st.CommittedTxns < 1000 {
+		t.Errorf("swaptions must commit transactions in bulk: %d", st.CommittedTxns)
+	}
+	if st.CapacityAborts == 0 && st.LoopCuts == 0 {
+		t.Errorf("swaptions must exercise the capacity path: %+v", st)
+	}
+	if st.ConflictAborts > st.CommittedTxns/50 {
+		t.Errorf("swaptions is not conflict-heavy in the paper: %+v", st)
+	}
+}
+
+func TestShapeBodytrackUnknownDominated(t *testing.T) {
+	st := runTx(t, "bodytrack", 1)
+	if st.UnknownAborts == 0 {
+		t.Fatalf("bodytrack's hidden library calls produced no unknown aborts: %+v", st)
+	}
+	if st.UnknownAborts <= st.CapacityAborts || st.UnknownAborts <= st.ConflictAborts/2 {
+		t.Errorf("bodytrack must be unknown-abort-dominated (Table 1): %+v", st)
+	}
+}
+
+func TestShapeFalseSharingApps(t *testing.T) {
+	// dedup and streamcluster owe their conflicts to false sharing: plenty
+	// of conflict aborts, no (or almost no) real races.
+	for _, name := range []string{"dedup", "streamcluster", "fluidanimate"} {
+		st := runTx(t, name, 1)
+		if st.ConflictAborts == 0 {
+			t.Errorf("%s must show conflict aborts: %+v", name, st)
+		}
+	}
+}
+
+func TestShapeFreqmineBarelyTransacts(t *testing.T) {
+	// freqmine is dominated by its single-threaded phase: tiny transaction
+	// counts relative to, say, swaptions.
+	fm := runTx(t, "freqmine", 1)
+	sw := runTx(t, "swaptions", 1)
+	if fm.CommittedTxns*10 > sw.CommittedTxns {
+		t.Errorf("freqmine (%d txns) should transact far less than swaptions (%d)",
+			fm.CommittedTxns, sw.CommittedTxns)
+	}
+}
+
+func TestShapeVipsConflictHeavyWithManyRaces(t *testing.T) {
+	w, _ := ByName("vips")
+	built := w.Build(4, 1)
+	rt := core.NewTxRace(core.Options{LoopCut: core.DynCut, SlowScale: w.SlowScale})
+	if _, err := sim.NewEngine(engCfg(w, 1)).Run(
+		instrument.ForTxRace(built.Prog, instrument.DefaultOptions()), rt); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.ConflictAborts < 100 {
+		t.Errorf("vips must be conflict-heavy: %+v", st)
+	}
+	races := rt.Detector().RaceCount()
+	if races < 55 || races > 110 {
+		t.Errorf("vips per-run races = %d, want the paper's partial band (~79 of 112)", races)
+	}
+}
+
+func TestShapeArtificialAbortsPresent(t *testing.T) {
+	// Wherever conflicts fire with 4 workers, the TxFail protocol must be
+	// dooming innocent bystanders too.
+	st := runTx(t, "facesim", 1)
+	if st.ConflictAborts == 0 || st.ArtificialAborts == 0 {
+		t.Errorf("facesim episodes must include artificial aborts: %+v", st)
+	}
+	if st.ArtificialAborts >= st.ConflictAborts {
+		t.Errorf("artificial aborts are a subset of conflicts: %+v", st)
+	}
+}
+
+func TestShapeApacheQuiet(t *testing.T) {
+	// apache: no races, low-drama abort profile (paper row: 227 conflicts
+	// out of 310k transactions).
+	w, _ := ByName("apache")
+	built := w.Build(4, 1)
+	rt := core.NewTxRace(core.Options{LoopCut: core.DynCut, SlowScale: w.SlowScale})
+	if _, err := sim.NewEngine(engCfg(w, 1)).Run(
+		instrument.ForTxRace(built.Prog, instrument.DefaultOptions()), rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Detector().RaceCount() != 0 {
+		t.Errorf("apache has no races: %v", rt.Detector().Races())
+	}
+	st := rt.Stats()
+	if st.ConflictAborts > st.CommittedTxns/10 {
+		t.Errorf("apache should be conflict-quiet: %+v", st)
+	}
+}
+
+func TestShapeDeterministicPerSeed(t *testing.T) {
+	key := func(s core.Stats) [6]uint64 {
+		return [6]uint64{s.CommittedTxns, s.ConflictAborts, s.ArtificialAborts,
+			s.CapacityAborts, s.UnknownAborts, s.LoopCuts}
+	}
+	a := key(runTx(t, "streamcluster", 9))
+	b := key(runTx(t, "streamcluster", 9))
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+)
+
+func engCfg(w *Workload, seed uint64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = seed
+	if w.InterruptEvery != 0 {
+		cfg.InterruptEvery = w.InterruptEvery
+	}
+	cfg.MaxSteps = 1 << 28
+	return cfg
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"blackscholes", "fluidanimate", "swaptions", "freqmine", "vips",
+		"raytrace", "ferret", "x264", "bodytrack", "facesim",
+		"streamcluster", "dedup", "canneal", "apache",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d apps, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s (Table 1 order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("vips"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestAllWorkloadsBuildAndValidate builds every application at the thread
+// counts the scalability experiment uses and runs the structural validator.
+func TestAllWorkloadsBuildAndValidate(t *testing.T) {
+	for _, w := range All() {
+		for _, threads := range []int{2, 4, 8} {
+			built := w.Build(threads, 1)
+			if err := built.Prog.Validate(); err != nil {
+				t.Errorf("%s/%d: %v", w.Name, threads, err)
+			}
+			if got := built.Prog.Threads(); got < 3 {
+				t.Errorf("%s/%d: only %d threads", w.Name, threads, got)
+			}
+		}
+	}
+}
+
+// TestAllWorkloadsTerminate runs every application uninstrumented: no
+// deadlocks, nonzero work.
+func TestAllWorkloadsTerminate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			built := w.Build(4, 1)
+			res, err := sim.NewEngine(engCfg(w, 3)).Run(built.Prog, &core.Baseline{})
+			if err != nil {
+				t.Fatalf("baseline run: %v", err)
+			}
+			if res.Accesses == 0 || res.Makespan == 0 {
+				t.Fatalf("degenerate run: %+v", res)
+			}
+		})
+	}
+}
+
+// TestGroundTruthExactlyInjectedRaces is the workload soundness invariant:
+// under full happens-before detection the races found must be exactly the
+// ones deliberately injected — nothing missing (the generator delivers its
+// races) and nothing extra (no accidental races polluting the experiment).
+func TestGroundTruthExactlyInjectedRaces(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			built := w.Build(4, 1)
+			rt := core.NewTSan()
+			if _, err := sim.NewEngine(engCfg(w, 5)).Run(instrument.ForTSan(built.Prog), rt); err != nil {
+				t.Fatal(err)
+			}
+			got := rt.Detector().RaceKeys()
+			want := built.AllRaceKeys()
+			if len(got) != len(want) {
+				t.Fatalf("TSan found %d races, injected %d:\n got %v\nwant %v",
+					len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("race %d: got %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestScaleGrowsWork ensures the scale knob actually scales.
+func TestScaleGrowsWork(t *testing.T) {
+	w, _ := ByName("swaptions")
+	small, err := sim.NewEngine(engCfg(w, 1)).Run(w.Build(4, 1).Prog, &core.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := sim.NewEngine(engCfg(w, 1)).Run(w.Build(4, 3).Prog, &core.Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Accesses < 2*small.Accesses {
+		t.Fatalf("scale 3 produced %d accesses vs %d at scale 1", big.Accesses, small.Accesses)
+	}
+}
+
+// TestPaperNumbersPresent: every workload carries its published Table 1/2
+// values for the comparison reports.
+func TestPaperNumbersPresent(t *testing.T) {
+	for _, w := range All() {
+		if w.Paper.TSanOverhead <= 1 || w.Paper.TxRaceOverhead <= 1 {
+			t.Errorf("%s: missing published overheads", w.Name)
+		}
+		if w.Paper.TxRaceOverhead > w.Paper.TSanOverhead {
+			t.Errorf("%s: paper has TxRace slower than TSan?", w.Name)
+		}
+		if w.Paper.Recall <= 0 || w.Paper.Recall > 1 {
+			t.Errorf("%s: bad recall %v", w.Name, w.Paper.Recall)
+		}
+		if w.SlowScale <= 0 {
+			t.Errorf("%s: SlowScale unset", w.Name)
+		}
+	}
+}
+
+// TestDeferredRacesOnlyWhereExpected: only bodytrack and facesim model the
+// initialize-then-publish idiom (§8.3).
+func TestDeferredRacesOnlyWhereExpected(t *testing.T) {
+	for _, w := range All() {
+		built := w.Build(4, 1)
+		wantDeferred := 0
+		switch w.Name {
+		case "bodytrack":
+			wantDeferred = 2
+		case "facesim":
+			wantDeferred = 1
+		}
+		if len(built.Deferred) != wantDeferred {
+			t.Errorf("%s: %d deferred races, want %d", w.Name, len(built.Deferred), wantDeferred)
+		}
+		if len(built.Races)+len(built.Deferred) != w.Paper.TSanRaces {
+			t.Errorf("%s: injected %d+%d races, paper reports %d",
+				w.Name, len(built.Races), len(built.Deferred), w.Paper.TSanRaces)
+		}
+	}
+}
+
+func TestRacySitesTargetTheirVariable(t *testing.T) {
+	// A racy site id must only ever address its race's variable — a site
+	// reused for unrelated data would corrupt race identities. (Multiple
+	// dynamic occurrences of the same racy access are fine.)
+	for _, w := range All() {
+		built := w.Build(4, 1)
+		raceOf := map[sim.SiteID]RacyVar{}
+		for _, r := range append(append([]RacyVar{}, built.Races...), built.Deferred...) {
+			raceOf[r.SiteA] = r
+			raceOf[r.SiteB] = r
+		}
+		check := func(body []sim.Instr) {
+			sim.ForEachInstr(body, func(in sim.Instr) {
+				m, ok := in.(*sim.MemAccess)
+				if !ok {
+					return
+				}
+				r, racy := raceOf[m.Site]
+				if !racy {
+					return
+				}
+				if m.Addr.Mode != sim.AddrFixed || m.Addr.Base != r.Addr {
+					t.Errorf("%s: site %d addresses %#x, expected race var %#x",
+						w.Name, m.Site, m.Addr.Base, r.Addr)
+				}
+			})
+		}
+		check(built.Prog.Setup)
+		for _, wk := range built.Prog.Workers {
+			check(wk)
+		}
+		check(built.Prog.Teardown)
+	}
+}
