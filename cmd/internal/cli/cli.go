@@ -1,0 +1,60 @@
+// Package cli holds the flag and setup plumbing shared by the txrace
+// command family (txrace, txbench, txprofile, txtrace): the common
+// seed/threads/scale flags, workload resolution, and the engine/experiment
+// configuration they all derive from those flags.
+package cli
+
+import (
+	"flag"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Common is the flag set every command shares.
+type Common struct {
+	Threads int
+	Scale   int
+	Seed    uint64
+}
+
+// AddFlags registers the shared -threads/-scale/-seed flags on the process
+// flag set and returns their destination. Call before flag.Parse.
+func AddFlags() *Common {
+	c := &Common{}
+	flag.IntVar(&c.Threads, "threads", 4, "worker threads")
+	flag.IntVar(&c.Scale, "scale", 1, "workload scale factor")
+	flag.Uint64Var(&c.Seed, "seed", 1, "scheduler seed")
+	return c
+}
+
+// Build resolves the named workload and builds it at the flag-selected
+// thread count and scale.
+func (c *Common) Build(name string) (*workload.Workload, *workload.Built, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, w.Build(c.Threads, c.Scale), nil
+}
+
+// EngineConfig returns sim.DefaultConfig with the flag seed applied and the
+// workload's interrupt-period override honoured.
+func (c *Common) EngineConfig(w *workload.Workload) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = c.Seed
+	if w.InterruptEvery != 0 {
+		cfg.InterruptEvery = w.InterruptEvery
+	}
+	return cfg
+}
+
+// ExperimentConfig seeds an experiment.Config from the shared flags.
+func (c *Common) ExperimentConfig() experiment.Config {
+	cfg := experiment.DefaultConfig()
+	cfg.Threads = c.Threads
+	cfg.Scale = c.Scale
+	cfg.Seed = c.Seed
+	return cfg
+}

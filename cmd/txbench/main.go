@@ -16,7 +16,9 @@
 //
 // Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
 // enlarge the workloads, -trials to average over seeds, and -seed to move
-// the whole experiment to a different schedule.
+// the whole experiment to a different schedule. With -metrics-out, each
+// experiment id runs with a fresh internal/obs metrics registry attached and
+// the file receives a JSON map of experiment id -> metrics snapshot.
 package main
 
 import (
@@ -26,26 +28,24 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "table1", "experiment id (table1, table2, fig7..fig13, all)")
-		app     = flag.String("app", "", "restrict to one application")
-		threads = flag.Int("threads", 4, "worker threads")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		seed    = flag.Uint64("seed", 1, "base scheduler seed")
-		trials  = flag.Int("trials", 1, "trials to average over")
-		format  = flag.String("format", "text", "output format: text | json")
+		exp        = flag.String("exp", "table1", "experiment id (table1, table2, fig7..fig13, all)")
+		app        = flag.String("app", "", "restrict to one application")
+		trials     = flag.Int("trials", 1, "trials to average over")
+		format     = flag.String("format", "text", "output format: text | json")
+		metricsOut = flag.String("metrics-out", "", "write per-experiment metrics snapshots (JSON map) here")
 	)
+	common := cli.AddFlags()
 	flag.Parse()
 
-	cfg := experiment.DefaultConfig()
-	cfg.Threads = *threads
-	cfg.Scale = *scale
-	cfg.Seed = *seed
+	cfg := common.ExperimentConfig()
 	cfg.Trials = *trials
 
 	apps := workload.All()
@@ -62,11 +62,40 @@ func main() {
 		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability"}
 	}
 
+	// One fresh registry per experiment id, so each snapshot describes
+	// exactly the runs that experiment performed.
+	snapshots := map[string]obs.Snapshot{}
 	for _, id := range ids {
-		if err := run(id, cfg, apps, *format); err != nil {
+		rcfg := cfg
+		var metrics *obs.Metrics
+		if *metricsOut != "" {
+			metrics = obs.NewMetrics()
+			rcfg.Obs = obs.New(nil, metrics)
+		}
+		if err := run(id, rcfg, apps, *format); err != nil {
 			fatal(err)
 		}
+		if metrics != nil {
+			snapshots[id] = metrics.Snapshot()
+		}
 	}
+	if *metricsOut != "" {
+		if err := writeSnapshots(*metricsOut, snapshots); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s (%d experiments)\n", *metricsOut, len(snapshots))
+	}
+}
+
+func writeSnapshots(path string, snaps map[string]obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
 }
 
 func run(id string, cfg experiment.Config, apps []*workload.Workload, format string) error {

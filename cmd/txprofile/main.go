@@ -14,38 +14,28 @@ import (
 	"os"
 	"sort"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/report"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		app     = flag.String("app", "", "application to profile")
-		threads = flag.Int("threads", 4, "worker threads")
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		seed    = flag.Uint64("seed", 1, "scheduler seed (the 'representative input')")
-	)
+	app := flag.String("app", "", "application to profile")
+	common := cli.AddFlags()
 	flag.Parse()
 	if *app == "" {
 		fmt.Fprintln(os.Stderr, "txprofile: missing -app")
 		os.Exit(1)
 	}
-	w, err := workload.ByName(*app)
+	w, built, err := common.Build(*app)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txprofile:", err)
 		os.Exit(1)
 	}
 
-	built := w.Build(*threads, *scale)
-	cfg := sim.DefaultConfig()
-	cfg.Seed = *seed
-	if w.InterruptEvery != 0 {
-		cfg.InterruptEvery = w.InterruptEvery
-	}
-	prof, err := instrument.Profile(built.Prog, cfg, core.Options{SlowScale: w.SlowScale})
+	prof, err := instrument.Profile(built.Prog, common.EngineConfig(w), core.Options{SlowScale: w.SlowScale})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txprofile:", err)
 		os.Exit(1)
@@ -60,7 +50,7 @@ func main() {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	fmt.Printf("%s: loop-cut thresholds from profiling run (seed %d)\n", w.Name, *seed)
+	fmt.Printf("%s: loop-cut thresholds from profiling run (seed %d)\n", w.Name, common.Seed)
 	tb := &report.Table{Header: []string{"loop", "threshold (iterations per transaction)"}}
 	for _, id := range ids {
 		tb.Add(uint32(id), prof[id])

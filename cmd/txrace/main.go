@@ -9,6 +9,16 @@
 // The -cut flag selects TxRace's capacity-abort handling: none (NoOpt),
 // dyn (DynLoopcut), or prof (ProfLoopcut, the default — runs the profiling
 // pass first, as the paper does).
+//
+// Observability (internal/obs):
+//
+//	txrace -app vips -trace-out t.json    # Chrome trace_event JSON
+//	txrace -app vips -metrics-out m.json  # counters/gauges/histograms
+//	txrace -app vips -timeline            # per-thread text timeline
+//
+// The trace loads in chrome://tracing or https://ui.perfetto.dev; one
+// simulated cycle renders as one microsecond, one track per simulated
+// thread, with TxFail global-abort episodes on their own track.
 package main
 
 import (
@@ -16,10 +26,12 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/experiment"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -27,16 +39,18 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "", "application to run (see -list)")
-		detector = flag.String("detector", "txrace", "none | tsan | sampling | txrace")
-		rate     = flag.Float64("rate", 0.1, "sampling rate for -detector sampling")
-		cut      = flag.String("cut", "prof", "TxRace loop-cut scheme: none | dyn | prof")
-		threads  = flag.Int("threads", 4, "worker threads")
-		scale    = flag.Int("scale", 1, "workload scale factor")
-		seed     = flag.Uint64("seed", 1, "scheduler seed")
-		list     = flag.Bool("list", false, "list applications and exit")
-		dump     = flag.Bool("dump", false, "print the instrumented IR instead of running")
+		app        = flag.String("app", "", "application to run (see -list)")
+		detector   = flag.String("detector", "txrace", "none | tsan | sampling | txrace")
+		rate       = flag.Float64("rate", 0.1, "sampling rate for -detector sampling")
+		cut        = flag.String("cut", "prof", "TxRace loop-cut scheme: none | dyn | prof")
+		list       = flag.Bool("list", false, "list applications and exit")
+		dump       = flag.Bool("dump", false, "print the instrumented IR instead of running")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run here")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot JSON of the run here")
+		timeline   = flag.Bool("timeline", false, "print a per-thread event timeline after the run")
+		traceBuf   = flag.Int("trace-buf", obs.DefaultTracerCapacity, "event ring-buffer capacity")
 	)
+	common := cli.AddFlags()
 	flag.Parse()
 
 	if *list {
@@ -48,25 +62,17 @@ func main() {
 	if *app == "" {
 		fatal(fmt.Errorf("missing -app (use -list to see applications)"))
 	}
-	w, err := workload.ByName(*app)
+	w, built, err := common.Build(*app)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *dump {
-		w, err := workload.ByName(*app)
-		if err != nil {
-			fatal(err)
-		}
-		built := w.Build(*threads, *scale)
 		sim.Dump(os.Stdout, instrument.ForTxRace(built.Prog, instrument.DefaultOptions()))
 		return
 	}
 
-	cfg := experiment.DefaultConfig()
-	cfg.Threads = *threads
-	cfg.Scale = *scale
-	cfg.Seed = *seed
+	cfg := common.ExperimentConfig()
 	switch *cut {
 	case "none":
 		cfg.LoopCut = core.NoCut
@@ -78,6 +84,21 @@ func main() {
 		fatal(fmt.Errorf("unknown -cut %q", *cut))
 	}
 
+	// Observability: a ring tracer feeds the Chrome trace and the timeline,
+	// a metrics registry feeds the snapshot. Only attached when asked for —
+	// the disabled path is a nil-check in the runtime.
+	var tracer *obs.Tracer
+	var metrics *obs.Metrics
+	if *traceOut != "" || *timeline {
+		tracer = obs.NewTracer(*traceBuf)
+	}
+	if *metricsOut != "" {
+		metrics = obs.NewMetrics()
+	}
+	if tracer != nil || metrics != nil {
+		cfg.Obs = obs.New(tracerOrNil(tracer), metrics)
+	}
+
 	base, err := experiment.RunBaseline(w, cfg, cfg.Seed)
 	if err != nil {
 		fatal(err)
@@ -87,7 +108,6 @@ func main() {
 
 	switch *detector {
 	case "none":
-		return
 	case "tsan":
 		r, err := experiment.RunTSan(w, cfg, cfg.Seed)
 		if err != nil {
@@ -120,6 +140,52 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -detector %q", *detector))
 	}
+
+	if tracer != nil && tracer.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "txrace: trace ring dropped %d oldest events (raise -trace-buf)\n", tracer.Dropped())
+	}
+	if *timeline && tracer != nil {
+		obs.WriteTimeline(os.Stdout, tracer.Events())
+	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d events)\n", *traceOut, tracer.Len())
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s\n", *metricsOut)
+	}
+}
+
+// tracerOrNil keeps the Sink interface nil when no tracer exists (a typed
+// nil *Tracer inside a non-nil interface would defeat the sink check).
+func tracerOrNil(t *obs.Tracer) obs.Sink {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+func writeChromeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteChromeTrace(f, tracer.Events())
+}
+
+func writeMetrics(path string, m *obs.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Snapshot().WriteJSON(f)
 }
 
 func printRaces(keys []detect.PairKey) {

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/instrument"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -25,15 +25,13 @@ func main() {
 		out      = flag.String("out", "", "write the recorded trace here")
 		in       = flag.String("in", "", "analyze this trace offline")
 		detector = flag.String("detector", "hb", "offline detector: hb | lockset | both")
-		threads  = flag.Int("threads", 4, "worker threads")
-		scale    = flag.Int("scale", 1, "workload scale factor")
-		seed     = flag.Uint64("seed", 1, "scheduler seed")
 	)
+	common := cli.AddFlags()
 	flag.Parse()
 
 	switch {
 	case *app != "":
-		if err := recordApp(*app, *out, *threads, *scale, *seed); err != nil {
+		if err := recordApp(common, *app, *out); err != nil {
 			fatal(err)
 		}
 	case *in != "":
@@ -45,19 +43,13 @@ func main() {
 	}
 }
 
-func recordApp(name, out string, threads, scale int, seed uint64) error {
-	w, err := workload.ByName(name)
+func recordApp(common *cli.Common, name, out string) error {
+	w, built, err := common.Build(name)
 	if err != nil {
 		return err
 	}
-	built := w.Build(threads, scale)
 	rec := trace.NewRecorder(name)
-	cfg := sim.DefaultConfig()
-	cfg.Seed = seed
-	if w.InterruptEvery != 0 {
-		cfg.InterruptEvery = w.InterruptEvery
-	}
-	res, err := sim.NewEngine(cfg).Run(instrument.ForTSan(built.Prog), rec)
+	res, err := sim.NewEngine(common.EngineConfig(w)).Run(instrument.ForTSan(built.Prog), rec)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/htm"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,12 @@ type Options struct {
 	// region can then slip through, but episodes get drastically cheaper.
 	// Capacity and unknown aborts still re-execute fully monitored.
 	TargetedSlowPath bool
+	// Obs, when non-nil, receives structured lifecycle events and metrics
+	// updates (internal/obs): transaction begin/commit/abort with the RTM
+	// status word, TxFail episodes, slow-path regions, loop-cut decisions.
+	// The runtime also attaches it to the HTM model. The disabled path is
+	// one nil-check per hook.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +114,14 @@ type TxRace struct {
 	thresholds LoopThresholds
 	cutActive  map[sim.LoopID]bool
 
+	// obs is the optional observability layer; episode* track the open
+	// TxFail global-abort episode so its end can be traced when the
+	// initiating thread finishes its slow-path re-execution.
+	obs          *obs.Observer
+	episodeTid   int
+	episodeStart int64
+	episodeOpen  bool
+
 	stats Stats
 }
 
@@ -120,6 +135,7 @@ func NewTxRace(opts Options) *TxRace {
 		txFail:     txFailBase,
 		thresholds: opts.Thresholds,
 		cutActive:  make(map[sim.LoopID]bool),
+		obs:        opts.Obs,
 	}
 	r.stats.SlowRegions = make(map[Cause]uint64)
 	if opts.LoopCut == ProfCut {
@@ -136,12 +152,21 @@ func (r *TxRace) Detector() *detect.Detector { return r.det }
 // Stats returns the runtime statistics collected so far.
 func (r *TxRace) Stats() Stats { return r.stats }
 
+// HWStats returns the underlying machine's transactional event counts, for
+// cross-checking runtime-level accounting against machine-level accounting.
+func (r *TxRace) HWStats() htm.Stats { return r.hw.Stats() }
+
 // Thresholds returns the live loop-cut thresholds (after adaptation), which
 // a profiling run harvests to build a ProfCut profile.
 func (r *TxRace) Thresholds() LoopThresholds { return r.thresholds }
 
 // Init implements sim.Runtime.
-func (r *TxRace) Init(e *sim.Engine) { r.eng = e }
+func (r *TxRace) Init(e *sim.Engine) {
+	r.eng = e
+	if r.obs != nil {
+		r.hw.SetObserver(r.obs, e.ThreadClock)
+	}
+}
 
 func (r *TxRace) tctx(t *sim.Thread) *threadCtx {
 	for t.ID >= len(r.ctx) {
@@ -219,6 +244,9 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 		c.slowCause = CauseSmall
 		c.slowStart = t.Clock
 		r.stats.SlowRegions[CauseSmall]++
+		if o := r.obs; o != nil {
+			o.SlowEnter(t.ID, t.Clock, CauseSmall.String())
+		}
 		return
 	}
 	st, err := r.hw.Begin(t.ID)
@@ -233,10 +261,16 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 		c.slowCause = CauseNoHW
 		c.slowStart = t.Clock
 		r.stats.SlowRegions[CauseNoHW]++
+		if o := r.obs; o != nil {
+			o.SlowEnter(t.ID, t.Clock, CauseNoHW.String())
+		}
 		return
 	}
 	cost := r.eng.Config().Cost
 	r.chargeFast(t, cost.XBegin)
+	if o := r.obs; o != nil {
+		o.TxBegin(t.ID, t.Clock)
+	}
 	c.mode = ModeFast
 	c.snap = r.eng.Checkpoint(t)
 	c.genAtBegin = r.txFailGen
@@ -357,6 +391,7 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 	wasted := t.Clock - c.clockAtBegin
 
 	var cause Cause
+	artificial := false
 	switch {
 	case st.Is(htm.StatusConflict):
 		// Conflict (or conflict+retry, treated as conflict per §4.2).
@@ -383,9 +418,19 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 			r.episodeLine, r.hasEpisodeLine = c.targetLine, c.hasTarget
 			r.eng.Charge(t, cost.TxFailWrite)
 			r.hw.Access(t.ID, r.txFail, true)
+			if o := r.obs; o != nil {
+				if r.episodeOpen {
+					// The previous initiator is still re-executing; close its
+					// episode at the hand-off to the new one.
+					o.TxFailEnd(r.episodeTid, t.Clock, t.Clock-r.episodeStart)
+				}
+				r.episodeTid, r.episodeStart, r.episodeOpen = t.ID, t.Clock, true
+				o.TxFailBegin(t.ID, t.Clock, r.txFailGen)
+			}
 		} else {
 			// Artificially aborted by another thread's TxFail write.
 			r.stats.ArtificialAborts++
+			artificial = true
 		}
 	case st.Is(htm.StatusCapacity):
 		r.stats.CapacityAborts++
@@ -401,6 +446,9 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 			c.retries++
 			r.stats.Retries++
 			r.stats.CyclesFastPath += wasted
+			if o := r.obs; o != nil {
+				o.TxRetry(t.ID, t.Clock, c.retries)
+			}
 			c.mode = ModeIdle
 			r.eng.Restore(t, c.snap) // re-executes TxBegin → new transaction
 			return
@@ -422,6 +470,10 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 	c.slowStart = t.Clock
 	// The wasted attempt is part of this cause's overhead.
 	r.addCauseCycles(cause, wasted+cost.AbortPenalty)
+	if o := r.obs; o != nil {
+		o.TxAbort(t.ID, t.Clock, uint32(st), cause.String(), wasted, artificial)
+		o.SlowEnter(t.ID, c.slowStart, cause.String())
+	}
 }
 
 func (r *TxRace) addCauseCycles(cause Cause, cycles int64) {
@@ -489,6 +541,10 @@ func (r *TxRace) LoopCheckMark(t *sim.Thread, m *sim.LoopCheck) {
 	}
 	r.stats.CommittedTxns++
 	r.stats.LoopCuts++
+	if o := r.obs; o != nil {
+		o.TxCommit(t.ID, t.Clock, t.Clock-c.clockAtBegin)
+		o.LoopCut(t.ID, t.Clock, uint32(m.ID), th)
+	}
 	// A successful cut commit raises the estimate (§4.3) — proportional
 	// step, matching the scaled adaptation in noteCapacityAbort.
 	if th := r.thresholds[m.ID]; th < 1<<20 {
@@ -499,9 +555,15 @@ func (r *TxRace) LoopCheckMark(t *sim.Thread, m *sim.LoopCheck) {
 		c.slowCause = CauseNoHW
 		c.slowStart = t.Clock
 		r.stats.SlowRegions[CauseNoHW]++
+		if o := r.obs; o != nil {
+			o.SlowEnter(t.ID, t.Clock, CauseNoHW.String())
+		}
 		return
 	}
 	r.chargeFast(t, cost.XBegin)
+	if o := r.obs; o != nil {
+		o.TxBegin(t.ID, t.Clock)
+	}
 	c.snap = r.eng.Checkpoint(t)
 	c.genAtBegin = r.txFailGen
 	c.clockAtBegin = t.Clock
@@ -529,6 +591,15 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 			// The whole re-execution is overhead attributable to the abort.
 			r.addCauseCycles(c.slowCause, t.Clock-c.slowStart)
 		}
+		if o := r.obs; o != nil {
+			o.SlowExit(t.ID, t.Clock, c.slowCause.String(), t.Clock-c.slowStart)
+			if r.episodeOpen && r.episodeTid == t.ID && c.slowCause == CauseConflict {
+				// The TxFail episode ends when its initiator finishes the
+				// slow-path re-execution.
+				o.TxFailEnd(t.ID, t.Clock, t.Clock-r.episodeStart)
+				r.episodeOpen = false
+			}
+		}
 		c.slowCause = CauseNone
 		c.hasTarget = false
 		c.mode = ModeIdle
@@ -542,6 +613,9 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 			return
 		}
 		r.stats.CommittedTxns++
+		if o := r.obs; o != nil {
+			o.TxCommit(t.ID, t.Clock, t.Clock-c.clockAtBegin)
+		}
 		c.retries = 0
 		c.mode = ModeIdle
 	}

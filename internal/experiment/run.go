@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	// threshold adaptation (§4.3) has to walk them back down. 0 means the
 	// default of 1.10; 1.0 disables the skew.
 	ProfileSkew float64
+	// Obs, when non-nil, is attached to the measured runs: the engine emits
+	// scheduler events, and the TxRace runtime (plus its HTM) emits the full
+	// transaction lifecycle. Baseline runs stay unobserved so metrics
+	// describe the detector under measurement only.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors §8.1: four worker threads, five trials.
@@ -64,6 +70,7 @@ func (c Config) engineConfig(w *workload.Workload, seed uint64) sim.Config {
 		ec.InterruptEvery = w.InterruptEvery
 	}
 	ec.MaxSteps = 1 << 32
+	ec.Obs = c.Obs
 	return ec
 }
 
@@ -90,6 +97,7 @@ type TxRaceRun struct {
 // RunBaseline executes the original program.
 func RunBaseline(w *workload.Workload, cfg Config, seed uint64) (*BaselineRun, error) {
 	cfg = cfg.withDefaults()
+	cfg.Obs = nil // the baseline is the measuring stick, not the measured system
 	built := w.Build(cfg.Threads, cfg.Scale)
 	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(built.Prog, &core.Baseline{})
 	if err != nil {
@@ -120,11 +128,14 @@ func RunTSan(w *workload.Workload, cfg Config, seed uint64) (*TSanRun, error) {
 func RunTxRace(w *workload.Workload, cfg Config, seed uint64) (*TxRaceRun, error) {
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
-	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale}
+	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale, Obs: cfg.Obs}
 	if cfg.LoopCut == core.ProfCut {
 		// Profile with a different seed: representative input, not the
-		// measured run.
-		prof, err := instrument.Profile(built.Prog, cfg.engineConfig(w, seed^0x9a0f), core.Options{SlowScale: w.SlowScale})
+		// measured run. The profiling pass is unobserved so metrics and
+		// traces describe the measured execution only.
+		pcfg := cfg
+		pcfg.Obs = nil
+		prof, err := instrument.Profile(built.Prog, pcfg.engineConfig(w, seed^0x9a0f), core.Options{SlowScale: w.SlowScale})
 		if err != nil {
 			return nil, fmt.Errorf("%s profile: %w", w.Name, err)
 		}

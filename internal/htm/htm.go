@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
 // Status is the RTM abort status word (the EAX layout of XBEGIN). A zero
@@ -154,6 +155,13 @@ type HTM struct {
 
 	stats Stats
 	diag  Diagnostics
+
+	// obs mirrors the machine counters into a metrics registry and emits a
+	// trace event per conflict doom; nil (the default) costs one branch per
+	// site. now supplies a thread's simulated clock for event timestamps and
+	// may be nil (events are then stamped 0).
+	obs *obs.Observer
+	now func(tid int) int64
 }
 
 // Stats counts machine-level transactional events.
@@ -184,6 +192,19 @@ func New(cfg Config) *HTM {
 		cfg.GranularityShift = memmodel.LineShift
 	}
 	return &HTM{cfg: cfg}
+}
+
+// SetObserver attaches an observability sink to the machine. clock supplies
+// the simulated time of a thread for trace timestamps; it may be nil.
+func (h *HTM) SetObserver(o *obs.Observer, clock func(tid int) int64) {
+	h.obs, h.now = o, clock
+}
+
+func (h *HTM) clockOf(tid int) int64 {
+	if h.now == nil {
+		return 0
+	}
+	return h.now(tid)
 }
 
 // lineOf maps an address to a conflict-detection unit at the configured
@@ -233,6 +254,9 @@ func (h *HTM) Begin(tid int) (Status, error) {
 	t.reads.Reset()
 	t.writes.Reset()
 	h.stats.Begins++
+	if h.obs != nil {
+		h.obs.HTMBegin()
+	}
 	return 0, nil
 }
 
@@ -266,6 +290,9 @@ func (h *HTM) doom(tid int, s Status) {
 		h.stats.ExplicitAborts++
 	case s == 0:
 		h.stats.UnknownAborts++
+	}
+	if h.obs != nil {
+		h.obs.HTMAbort(uint32(s))
 	}
 }
 
@@ -325,6 +352,9 @@ func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
 					t2 := h.txnOf(tid)
 					t2.conflictLine, t2.hasConflictLine = line, true
 				}
+				if h.obs != nil {
+					h.obs.HTMConflict(tid, h.clockOf(tid), uint64(line), other)
+				}
 				return
 			}
 			h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: tid, LastConflictLoser: other}
@@ -332,6 +362,9 @@ func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
 			if h.cfg.ExposeConflictAddress {
 				t2 := h.txnOf(other)
 				t2.conflictLine, t2.hasConflictLine = line, true
+			}
+			if h.obs != nil {
+				h.obs.HTMConflict(other, h.clockOf(other), uint64(line), tid)
 			}
 		}
 	}
@@ -388,6 +421,9 @@ func (h *HTM) Commit(tid int) (Status, bool) {
 	t.reads.Reset()
 	t.writes.Reset()
 	h.stats.Commits++
+	if h.obs != nil {
+		h.obs.HTMCommit()
+	}
 	return 0, true
 }
 

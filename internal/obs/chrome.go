@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace_event format (the JSON that
+// chrome://tracing and Perfetto load). One simulated cycle is exported as
+// one microsecond of trace time, so a 1M-cycle run renders as a 1 s
+// timeline.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace_event document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// The exporter's synthetic track layout: every simulated thread gets its own
+// tid under pid 0, and TxFail global-abort episodes render on a dedicated
+// machine track so their extent across threads is visible at a glance.
+const (
+	chromePid         = 0
+	chromeTxFailTrack = 1 << 20
+)
+
+// BuildChromeTrace converts a captured event stream into trace_event form.
+// Paired lifecycle events (tx begin/commit/abort/retry, slow enter/exit,
+// TxFail begin/end) become complete ("X") spans; everything else becomes a
+// thread-scoped instant ("i"). Output order is deterministic for a given
+// event stream.
+func BuildChromeTrace(events []Event) *ChromeTrace {
+	tr := &ChromeTrace{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ms"}
+	seen := map[int32]bool{}
+	openTx := map[int32]int64{}   // tid -> tx begin time
+	openSlow := map[int32]Event{} // tid -> slow-enter event
+	var episodeStart int64
+	episodeTid, episodeOpen := int32(0), false
+
+	add := func(ev ChromeEvent) { tr.TraceEvents = append(tr.TraceEvents, ev) }
+	span := func(tid int32, name string, from, to int64, args map[string]any) {
+		add(ChromeEvent{Name: name, Cat: "txrace", Ph: "X", Ts: from, Dur: to - from,
+			Pid: chromePid, Tid: int64(tid), Args: args})
+	}
+	instant := func(tid int32, name string, ts int64, args map[string]any) {
+		add(ChromeEvent{Name: name, Cat: "txrace", Ph: "i", Ts: ts, S: "t",
+			Pid: chromePid, Tid: int64(tid), Args: args})
+	}
+
+	for _, ev := range events {
+		if !seen[ev.TID] && ev.Kind != KindTxFailBegin && ev.Kind != KindTxFailEnd {
+			seen[ev.TID] = true
+		}
+		switch ev.Kind {
+		case KindTxBegin:
+			openTx[ev.TID] = ev.Time
+		case KindTxCommit:
+			from, ok := openTx[ev.TID]
+			if !ok {
+				from = ev.Time - ev.Arg
+			}
+			delete(openTx, ev.TID)
+			span(ev.TID, "txn", from, ev.Time, map[string]any{"outcome": "commit", "cycles": ev.Arg})
+		case KindTxAbort:
+			from, ok := openTx[ev.TID]
+			if !ok {
+				from = ev.Time - ev.Arg
+			}
+			delete(openTx, ev.TID)
+			span(ev.TID, "txn", from, ev.Time, map[string]any{
+				"outcome": "abort", "status": StatusString(ev.Status),
+				"status_raw": ev.Status, "cause": ev.Cause, "wasted_cycles": ev.Arg,
+			})
+		case KindTxRetry:
+			from, ok := openTx[ev.TID]
+			if !ok {
+				from = ev.Time
+			}
+			delete(openTx, ev.TID)
+			span(ev.TID, "txn", from, ev.Time, map[string]any{"outcome": "retry", "attempt": ev.Arg})
+		case KindSlowEnter:
+			openSlow[ev.TID] = ev
+		case KindSlowExit:
+			enter, ok := openSlow[ev.TID]
+			from := ev.Time - ev.Arg
+			cause := ev.Cause
+			if ok {
+				from, cause = enter.Time, enter.Cause
+			}
+			delete(openSlow, ev.TID)
+			span(ev.TID, "slow:"+cause, from, ev.Time, map[string]any{"cause": cause, "cycles": ev.Arg})
+		case KindTxFailBegin:
+			episodeStart, episodeTid, episodeOpen = ev.Time, ev.TID, true
+			instant(ev.TID, "txfail-write", ev.Time, map[string]any{"generation": ev.Arg})
+		case KindTxFailEnd:
+			from := ev.Time - ev.Arg
+			if episodeOpen && episodeTid == ev.TID {
+				from = episodeStart
+			}
+			episodeOpen = false
+			add(ChromeEvent{Name: "txfail-episode", Cat: "txrace", Ph: "X",
+				Ts: from, Dur: ev.Time - from, Pid: chromePid, Tid: chromeTxFailTrack,
+				Args: map[string]any{"initiator": ev.TID, "cycles": ev.Arg}})
+		case KindLoopCut:
+			instant(ev.TID, "loop-cut", ev.Time, map[string]any{"loop": ev.Loop, "threshold": ev.Arg})
+		case KindInterrupt:
+			instant(ev.TID, "interrupt", ev.Time, nil)
+		case KindThreadStart:
+			instant(ev.TID, "thread-start", ev.Time, nil)
+		case KindThreadExit:
+			instant(ev.TID, "thread-exit", ev.Time, nil)
+		case KindHTMConflict:
+			instant(ev.TID, "htm-conflict", ev.Time, map[string]any{"line": ev.Line, "winner": ev.Arg})
+		default:
+			instant(ev.TID, ev.Kind.String(), ev.Time, nil)
+		}
+	}
+
+	// Metadata: name the process and every thread track. Appended last, in
+	// ascending tid order, so output stays deterministic.
+	meta := []ChromeEvent{{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "txrace sim"},
+	}}
+	for tid := int32(0); int(tid) <= maxTID(seen); tid++ {
+		if !seen[tid] {
+			continue
+		}
+		name := fmt.Sprintf("thread %d", tid)
+		if tid == 0 {
+			name = "thread 0 (main)"
+		}
+		meta = append(meta, ChromeEvent{Name: "thread_name", Ph: "M",
+			Pid: chromePid, Tid: int64(tid), Args: map[string]any{"name": name}})
+	}
+	meta = append(meta, ChromeEvent{Name: "thread_name", Ph: "M",
+		Pid: chromePid, Tid: chromeTxFailTrack, Args: map[string]any{"name": "txfail episodes"}})
+	tr.TraceEvents = append(tr.TraceEvents, meta...)
+	return tr
+}
+
+func maxTID(seen map[int32]bool) int {
+	max := -1
+	for tid := range seen {
+		if int(tid) > max {
+			max = int(tid)
+		}
+	}
+	return max
+}
+
+// WriteChromeTrace converts events and writes the trace_event JSON to w.
+// The output is byte-stable for identical event streams (struct field order
+// is fixed and map-valued args marshal with sorted keys).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChromeTrace(events))
+}

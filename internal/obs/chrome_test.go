@@ -1,0 +1,207 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// racyProgram is a tiny two-worker program with one unprotected shared store
+// each (a write-write race) and enough private work that the transactions
+// overlap — the smallest workload that exercises begin/commit/abort, the
+// slow path and a TxFail episode.
+func racyProgram() *sim.Program {
+	al := memmodel.NewAllocator(1 << 20)
+	x := al.AllocLine()
+	counter := al.AllocLine()
+	priv0 := al.AllocWords(64)
+	priv1 := al.AllocWords(64)
+
+	const mu sim.SyncID = 1
+
+	worker := func(priv memmodel.Addr, site sim.SiteID) []sim.Instr {
+		return []sim.Instr{
+			&sim.Loop{ID: 1, Count: 20, Body: []sim.Instr{
+				&sim.MemAccess{Write: true, Addr: sim.Indexed(priv, 1), Site: 1},
+				&sim.Compute{Cycles: 5},
+			}},
+			&sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: site}, // racy
+			&sim.Loop{ID: 2, Count: 20, Body: []sim.Instr{
+				&sim.MemAccess{Write: false, Addr: sim.Indexed(priv, 1), Site: 2},
+				&sim.Compute{Cycles: 5},
+			}},
+			// A properly locked section splits the worker into multiple
+			// transactional regions, so the trace also shows commits.
+			&sim.Lock{M: mu},
+			&sim.MemAccess{Write: true, Addr: sim.Fixed(counter), Site: 200},
+			&sim.MemAccess{Write: false, Addr: sim.Fixed(counter), Site: 201},
+			&sim.MemAccess{Write: true, Addr: sim.Fixed(counter), Site: 202},
+			&sim.MemAccess{Write: false, Addr: sim.Fixed(counter), Site: 203},
+			&sim.MemAccess{Write: true, Addr: sim.Fixed(counter), Site: 204},
+			&sim.Unlock{M: mu},
+			&sim.Loop{ID: 3, Count: 20, Body: []sim.Instr{
+				&sim.MemAccess{Write: true, Addr: sim.Indexed(priv, 1), Site: 3},
+				&sim.Compute{Cycles: 5},
+			}},
+		}
+	}
+
+	return &sim.Program{
+		Name:    "golden",
+		Workers: [][]sim.Instr{worker(priv0, 100), worker(priv1, 101)},
+	}
+}
+
+// runObserved executes the racy program under TxRace with a tracer and a
+// metrics registry attached, on a fully deterministic engine configuration.
+func runObserved(t *testing.T) (*obs.Tracer, *obs.Metrics, *core.TxRace) {
+	t.Helper()
+	tracer := obs.NewTracer(0)
+	metrics := obs.NewMetrics()
+	rt := core.NewTxRace(core.Options{Obs: obs.New(tracer, metrics)})
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 42
+	cfg.InterruptEvery = 0
+	cfg.SpawnJitter = 0
+	cfg.MaxSteps = 1 << 22
+	ip := instrument.ForTxRace(racyProgram(), instrument.DefaultOptions())
+	if _, err := sim.NewEngine(cfg).Run(ip, rt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return tracer, metrics, rt
+}
+
+// TestChromeTraceGolden pins the exporter's output byte-for-byte for a fixed
+// seed. Regenerate with: go test ./internal/obs -run Golden -update
+func TestChromeTraceGolden(t *testing.T) {
+	tracer, _, _ := runObserved(t)
+	var got bytes.Buffer
+	if err := obs.WriteChromeTrace(&got, tracer.Events()); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("trace diverged from golden file (len %d vs %d); rerun with -update if the change is intended",
+			got.Len(), len(want))
+	}
+}
+
+// TestChromeTraceRoundTrip re-parses the export through encoding/json and
+// checks the trace_event contract: every event carries ph, ts, pid and tid,
+// complete events carry non-negative durations, and instants carry a scope.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tracer, _, _ := runObserved(t)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tracer.Events()); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	sawSpan, sawInstant, sawMeta := false, false, false
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"ph", "ts", "pid", "tid", "name"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			sawSpan = true
+			if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+				t.Fatalf("event %d has negative duration: %v", i, ev)
+			}
+		case "i":
+			sawInstant = true
+			if ev["s"] != "t" {
+				t.Fatalf("instant %d missing thread scope: %v", i, ev)
+			}
+		case "M":
+			sawMeta = true
+		default:
+			t.Fatalf("event %d has unexpected phase %v", i, ev["ph"])
+		}
+	}
+	if !sawSpan || !sawInstant || !sawMeta {
+		t.Fatalf("trace lacks a phase: span=%v instant=%v meta=%v", sawSpan, sawInstant, sawMeta)
+	}
+}
+
+// TestMetricsMatchRuntimeStats is the acceptance check: for one seeded run,
+// every abort counter in the metrics snapshot equals the runtime's own Stats
+// and the machine's own htm.Stats exactly.
+func TestMetricsMatchRuntimeStats(t *testing.T) {
+	_, metrics, rt := runObserved(t)
+	snap := metrics.Snapshot()
+	st := rt.Stats()
+	hw := rt.HWStats()
+
+	counters := map[string]uint64{
+		"txn.commit":           st.CommittedTxns,
+		"txn.abort.conflict":   st.ConflictAborts,
+		"txn.abort.artificial": st.ArtificialAborts,
+		"txn.abort.capacity":   st.CapacityAborts,
+		"txn.abort.unknown":    st.UnknownAborts,
+		"txn.retry":            st.Retries,
+		"txn.loopcut":          st.LoopCuts,
+		"slow.region.conflict": st.SlowRegions[core.CauseConflict],
+		"slow.region.capacity": st.SlowRegions[core.CauseCapacity],
+		"slow.region.unknown":  st.SlowRegions[core.CauseUnknown],
+		"slow.region.small":    st.SlowRegions[core.CauseSmall],
+		"htm.begin":            hw.Begins,
+		"htm.commit":           hw.Commits,
+		"htm.abort.conflict":   hw.ConflictAborts,
+		"htm.abort.capacity":   hw.CapacityAborts,
+		"htm.abort.unknown":    hw.UnknownAborts,
+		"htm.abort.explicit":   hw.ExplicitAborts,
+	}
+	for name, want := range counters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d (runtime/machine stats)", name, got, want)
+		}
+	}
+	// The run must have actually exercised the interesting paths, or the
+	// equalities above are vacuous.
+	if st.CommittedTxns == 0 || st.ConflictAborts == 0 {
+		t.Fatalf("degenerate run: stats %+v", st)
+	}
+	if snap.Gauges["txn.active"] != 0 || snap.Gauges["threads.live"] != 0 {
+		t.Fatalf("gauges not balanced at exit: %+v", snap.Gauges)
+	}
+}

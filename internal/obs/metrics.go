@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous signed level (live threads, open transactions).
+type Gauge struct{ v int64 }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v += d }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// histBuckets is one bucket per power of two: bucket 0 holds values <= 1,
+// bucket i holds (2^(i-1), 2^i]. 64 buckets cover every positive int64.
+const histBuckets = 64
+
+// Histogram accumulates a distribution in log-2 buckets — the right shape
+// for cycle counts, whose interesting structure spans orders of magnitude
+// (a 100-cycle transaction and a 1M-cycle TxFail episode on one scale).
+type Histogram struct {
+	count    uint64
+	sum      int64
+	min, max int64
+	buckets  [histBuckets]uint64
+}
+
+// Observe records one value. Non-positive values land in bucket 0.
+func (h *Histogram) Observe(v int64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v - 1)) // ceil(log2(v)): v in (2^(i-1), 2^i]
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Bucket is one non-empty histogram bucket: N observations with value <= Le
+// (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistogramSnapshot is the exported form of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		le := int64(1)
+		switch {
+		case i == histBuckets-1:
+			le = math.MaxInt64 // 1<<63 would overflow; the top bucket is open
+		case i > 0:
+			le = int64(1) << i
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, N: n})
+	}
+	return s
+}
+
+// Metrics is a registry of named instruments. Instruments are get-or-create
+// by name; holders cache the returned pointer and update it directly, so
+// steady-state recording never touches the maps.
+type Metrics struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero if needed.
+func (m *Metrics) Counter(name string) *Counter {
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero if needed.
+func (m *Metrics) Gauge(name string) *Gauge {
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it empty if needed.
+func (m *Metrics) Histogram(name string) *Histogram {
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time export of a registry. Marshalling it with
+// encoding/json is deterministic (map keys serialize sorted), so snapshots
+// of identical runs are byte-identical.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports every registered instrument.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(m.counters)),
+		Gauges:     make(map[string]int64, len(m.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(m.hists)),
+	}
+	for name, c := range m.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range m.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,359 @@
+// Package obs is the runtime's observability layer: a structured event
+// tracer plus a metrics registry, designed to cost a single nil-check when
+// disabled. The TxRace runtime (internal/core), the HTM model (internal/htm)
+// and the scheduler (internal/sim) emit lifecycle events — transaction
+// begin/commit/abort with the full RTM status word, TxFail global-abort
+// episodes, slow-path region entry/exit with cause, loop-cut decisions,
+// scheduler preemptions — stamped with simulated cycle time and thread id.
+//
+// An Observer fans each event out to an optional Sink (the ring-buffered
+// Tracer by default) and to a Metrics registry of counters, gauges and
+// log-scaled histograms. Exporters turn a captured event stream into Chrome
+// trace_event JSON (chrome.go, loadable in chrome://tracing or Perfetto) or
+// a human-readable per-thread timeline (timeline.go).
+//
+// The package deliberately depends on nothing above the standard library
+// (and internal/report for text rendering), so every layer of the system can
+// import it without cycles.
+package obs
+
+import "strconv"
+
+// Kind classifies one traced event.
+type Kind uint8
+
+// Event kinds. Duration pairs (TxBegin/TxCommit-or-TxAbort, SlowEnter/
+// SlowExit, TxFailBegin/TxFailEnd) become spans in the Chrome exporter;
+// the rest render as instants.
+const (
+	KindNone Kind = iota
+	// KindTxBegin: a hardware transaction opened on this thread.
+	KindTxBegin
+	// KindTxCommit: the open transaction committed; Arg is its length in
+	// cycles.
+	KindTxCommit
+	// KindTxAbort: the open transaction aborted; Status is the raw RTM
+	// status word, Cause the runtime's slow-path cause, Arg the wasted
+	// cycles of the discarded attempt.
+	KindTxAbort
+	// KindTxRetry: a pure-retry abort re-ran on the fast path; Arg is the
+	// attempt number.
+	KindTxRetry
+	// KindTxFailBegin: this thread wrote the TxFail flag, opening a
+	// global-abort episode; Arg is the episode generation.
+	KindTxFailBegin
+	// KindTxFailEnd: the episode's initiating thread finished its slow-path
+	// re-execution; Arg is the episode duration in cycles.
+	KindTxFailEnd
+	// KindSlowEnter: the thread entered a software-monitored slow region;
+	// Cause says why (conflict, capacity, unknown, small, nohw).
+	KindSlowEnter
+	// KindSlowExit: the slow region ended; Arg is its duration in cycles.
+	KindSlowExit
+	// KindLoopCut: the loop-cut optimization split a transaction at loop
+	// Loop; Arg is the threshold that triggered the cut.
+	KindLoopCut
+	// KindInterrupt: a timer interrupt / context switch hit the thread.
+	KindInterrupt
+	// KindThreadStart and KindThreadExit bracket a simulated thread's life.
+	KindThreadStart
+	KindThreadExit
+	// KindHTMConflict: the machine doomed TID's transaction on a line
+	// conflict; Line is the conflicting line and Arg the winning thread.
+	KindHTMConflict
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTxBegin:
+		return "tx-begin"
+	case KindTxCommit:
+		return "tx-commit"
+	case KindTxAbort:
+		return "tx-abort"
+	case KindTxRetry:
+		return "tx-retry"
+	case KindTxFailBegin:
+		return "txfail-begin"
+	case KindTxFailEnd:
+		return "txfail-end"
+	case KindSlowEnter:
+		return "slow-enter"
+	case KindSlowExit:
+		return "slow-exit"
+	case KindLoopCut:
+		return "loop-cut"
+	case KindInterrupt:
+		return "interrupt"
+	case KindThreadStart:
+		return "thread-start"
+	case KindThreadExit:
+		return "thread-exit"
+	case KindHTMConflict:
+		return "htm-conflict"
+	default:
+		return "event"
+	}
+}
+
+// Event is one structured trace record. Fields beyond Kind, TID and Time are
+// kind-specific; unused ones are zero. Cause values are the runtime's cause
+// labels ("conflict", "capacity", "unknown", "small", "nohw") — constant
+// strings, so recording one allocates nothing.
+type Event struct {
+	Kind   Kind
+	TID    int32
+	Time   int64  // simulated cycle at which the event occurred
+	Status uint32 // raw RTM status word (abort events)
+	Loop   uint32 // loop id (loop-cut events)
+	Line   uint64 // conflicting line (HTM conflict events)
+	Cause  string // slow-path cause label
+	Arg    int64  // kind-specific payload (durations, counts, winner tid)
+}
+
+// Sink consumes the event stream. Emit is called from simulator hot paths;
+// implementations must not retain the Event beyond the call unless they copy
+// it (the struct is plain data, so assignment copies).
+type Sink interface {
+	Emit(ev Event)
+}
+
+// StatusString renders a raw RTM status word the way internal/htm does: the
+// set bits joined with "|", or "unknown" for the all-zero word Haswell
+// reports on interrupts and other unexplained aborts.
+func StatusString(s uint32) string {
+	if s == 0 {
+		return "unknown"
+	}
+	out := ""
+	add := func(c string) {
+		if out != "" {
+			out += "|"
+		}
+		out += c
+	}
+	if s&(1<<0) != 0 {
+		add("explicit(" + strconv.Itoa(int(s>>24)) + ")")
+	}
+	if s&(1<<1) != 0 {
+		add("retry")
+	}
+	if s&(1<<2) != 0 {
+		add("conflict")
+	}
+	if s&(1<<3) != 0 {
+		add("capacity")
+	}
+	if s&(1<<4) != 0 {
+		add("debug")
+	}
+	if s&(1<<5) != 0 {
+		add("nested")
+	}
+	return out
+}
+
+// Observer is the handle the runtimes hold: typed emit helpers that feed
+// both the trace sink and the metrics registry. A nil *Observer is the
+// disabled state — instrumented code guards every call with one nil-check,
+// so a run without observability pays a single predictable branch per hook.
+type Observer struct {
+	trace   Sink
+	metrics *Metrics
+
+	// Pre-registered instruments so hot-path updates are pointer bumps,
+	// never map lookups or string concatenation.
+	cTxBegin, cTxCommit, cTxRetry, cLoopCut           *Counter
+	cAbortConflict, cAbortCapacity, cAbortUnknown     *Counter
+	cAbortArtificial                                  *Counter
+	cSlowConflict, cSlowCapacity, cSlowUnknown        *Counter
+	cSlowSmall, cSlowNoHW                             *Counter
+	cTxFail, cInterrupts, cThreadStart, cThreadExit   *Counter
+	cHTMBegin, cHTMCommit                             *Counter
+	cHTMConflict, cHTMCapacity, cHTMUnknown, cHTMExpl *Counter
+	gThreadsLive, gTxActive                           *Gauge
+	hTxnCycles, hAbortWasted, hSlowCycles, hEpisode   *Histogram
+}
+
+// New returns an Observer writing events to trace (may be nil: metrics only)
+// and instrument updates to m (nil allocates a private registry, for callers
+// that only want the event stream).
+func New(trace Sink, m *Metrics) *Observer {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Observer{
+		trace:   trace,
+		metrics: m,
+
+		cTxBegin:         m.Counter("txn.begin"),
+		cTxCommit:        m.Counter("txn.commit"),
+		cTxRetry:         m.Counter("txn.retry"),
+		cLoopCut:         m.Counter("txn.loopcut"),
+		cAbortConflict:   m.Counter("txn.abort.conflict"),
+		cAbortCapacity:   m.Counter("txn.abort.capacity"),
+		cAbortUnknown:    m.Counter("txn.abort.unknown"),
+		cAbortArtificial: m.Counter("txn.abort.artificial"),
+		cSlowConflict:    m.Counter("slow.region.conflict"),
+		cSlowCapacity:    m.Counter("slow.region.capacity"),
+		cSlowUnknown:     m.Counter("slow.region.unknown"),
+		cSlowSmall:       m.Counter("slow.region.small"),
+		cSlowNoHW:        m.Counter("slow.region.nohw"),
+		cTxFail:          m.Counter("txfail.episodes"),
+		cInterrupts:      m.Counter("sched.interrupts"),
+		cThreadStart:     m.Counter("threads.started"),
+		cThreadExit:      m.Counter("threads.exited"),
+		cHTMBegin:        m.Counter("htm.begin"),
+		cHTMCommit:       m.Counter("htm.commit"),
+		cHTMConflict:     m.Counter("htm.abort.conflict"),
+		cHTMCapacity:     m.Counter("htm.abort.capacity"),
+		cHTMUnknown:      m.Counter("htm.abort.unknown"),
+		cHTMExpl:         m.Counter("htm.abort.explicit"),
+		gThreadsLive:     m.Gauge("threads.live"),
+		gTxActive:        m.Gauge("txn.active"),
+		hTxnCycles:       m.Histogram("txn.cycles"),
+		hAbortWasted:     m.Histogram("txn.abort.wasted.cycles"),
+		hSlowCycles:      m.Histogram("slow.region.cycles"),
+		hEpisode:         m.Histogram("txfail.episode.cycles"),
+	}
+}
+
+// Metrics returns the registry the observer updates.
+func (o *Observer) Metrics() *Metrics { return o.metrics }
+
+func (o *Observer) emit(ev Event) {
+	if o.trace != nil {
+		o.trace.Emit(ev)
+	}
+}
+
+// TxBegin records a hardware transaction opening on tid at cycle now.
+func (o *Observer) TxBegin(tid int, now int64) {
+	o.cTxBegin.Inc()
+	o.gTxActive.Add(1)
+	o.emit(Event{Kind: KindTxBegin, TID: int32(tid), Time: now})
+}
+
+// TxCommit records a successful commit; length is the transaction's cycles.
+func (o *Observer) TxCommit(tid int, now, length int64) {
+	o.cTxCommit.Inc()
+	o.gTxActive.Add(-1)
+	o.hTxnCycles.Observe(length)
+	o.emit(Event{Kind: KindTxCommit, TID: int32(tid), Time: now, Arg: length})
+}
+
+// TxAbort records an abort that sends tid to the slow path. status is the
+// raw RTM word, cause the runtime's attribution, wasted the discarded
+// cycles, artificial whether the abort was TxFail-induced.
+func (o *Observer) TxAbort(tid int, now int64, status uint32, cause string, wasted int64, artificial bool) {
+	switch cause {
+	case "conflict":
+		o.cAbortConflict.Inc()
+	case "capacity":
+		o.cAbortCapacity.Inc()
+	default:
+		o.cAbortUnknown.Inc()
+	}
+	if artificial {
+		o.cAbortArtificial.Inc()
+	}
+	o.gTxActive.Add(-1)
+	o.hAbortWasted.Observe(wasted)
+	o.emit(Event{Kind: KindTxAbort, TID: int32(tid), Time: now, Status: status, Cause: cause, Arg: wasted})
+}
+
+// TxRetry records a pure-retry abort re-running on the fast path.
+func (o *Observer) TxRetry(tid int, now int64, attempt int) {
+	o.cTxRetry.Inc()
+	o.gTxActive.Add(-1)
+	o.emit(Event{Kind: KindTxRetry, TID: int32(tid), Time: now, Arg: int64(attempt)})
+}
+
+// TxFailBegin records tid writing the TxFail flag, opening episode gen.
+func (o *Observer) TxFailBegin(tid int, now int64, gen uint64) {
+	o.cTxFail.Inc()
+	o.emit(Event{Kind: KindTxFailBegin, TID: int32(tid), Time: now, Arg: int64(gen)})
+}
+
+// TxFailEnd records the end of the episode tid initiated, dur cycles long.
+func (o *Observer) TxFailEnd(tid int, now, dur int64) {
+	o.hEpisode.Observe(dur)
+	o.emit(Event{Kind: KindTxFailEnd, TID: int32(tid), Time: now, Arg: dur})
+}
+
+// SlowEnter records tid entering a software-monitored region for cause.
+func (o *Observer) SlowEnter(tid int, now int64, cause string) {
+	switch cause {
+	case "conflict":
+		o.cSlowConflict.Inc()
+	case "capacity":
+		o.cSlowCapacity.Inc()
+	case "small":
+		o.cSlowSmall.Inc()
+	case "nohw":
+		o.cSlowNoHW.Inc()
+	default:
+		o.cSlowUnknown.Inc()
+	}
+	o.emit(Event{Kind: KindSlowEnter, TID: int32(tid), Time: now, Cause: cause})
+}
+
+// SlowExit records the end of tid's slow region, dur cycles after entry.
+func (o *Observer) SlowExit(tid int, now int64, cause string, dur int64) {
+	o.hSlowCycles.Observe(dur)
+	o.emit(Event{Kind: KindSlowExit, TID: int32(tid), Time: now, Cause: cause, Arg: dur})
+}
+
+// LoopCut records a transaction split at loop with the given threshold.
+func (o *Observer) LoopCut(tid int, now int64, loop uint32, threshold int) {
+	o.cLoopCut.Inc()
+	o.emit(Event{Kind: KindLoopCut, TID: int32(tid), Time: now, Loop: loop, Arg: int64(threshold)})
+}
+
+// Interrupt records a scheduler preemption delivered to tid.
+func (o *Observer) Interrupt(tid int, now int64) {
+	o.cInterrupts.Inc()
+	o.emit(Event{Kind: KindInterrupt, TID: int32(tid), Time: now})
+}
+
+// ThreadStart records a simulated thread beginning execution.
+func (o *Observer) ThreadStart(tid int, now int64) {
+	o.cThreadStart.Inc()
+	o.gThreadsLive.Add(1)
+	o.emit(Event{Kind: KindThreadStart, TID: int32(tid), Time: now})
+}
+
+// ThreadExit records a simulated thread finishing.
+func (o *Observer) ThreadExit(tid int, now int64) {
+	o.cThreadExit.Inc()
+	o.gThreadsLive.Add(-1)
+	o.emit(Event{Kind: KindThreadExit, TID: int32(tid), Time: now})
+}
+
+// HTMBegin counts a machine-level transaction open.
+func (o *Observer) HTMBegin() { o.cHTMBegin.Inc() }
+
+// HTMCommit counts a machine-level commit.
+func (o *Observer) HTMCommit() { o.cHTMCommit.Inc() }
+
+// HTMAbort counts a machine-level doom, classified by the status word with
+// the same precedence the machine's own counters use.
+func (o *Observer) HTMAbort(status uint32) {
+	switch {
+	case status&(1<<2) != 0:
+		o.cHTMConflict.Inc()
+	case status&(1<<3) != 0:
+		o.cHTMCapacity.Inc()
+	case status&(1<<0) != 0:
+		o.cHTMExpl.Inc()
+	case status == 0:
+		o.cHTMUnknown.Inc()
+	}
+}
+
+// HTMConflict records the machine dooming loser's transaction on line; the
+// requesting (winning) agent is winner. now may be 0 when no clock source
+// was attached.
+func (o *Observer) HTMConflict(loser int, now int64, line uint64, winner int) {
+	o.emit(Event{Kind: KindHTMConflict, TID: int32(loser), Time: now, Line: line, Arg: int64(winner)})
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindTxBegin, Time: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	// Oldest-first: the survivors are times 6..9.
+	for i, ev := range evs {
+		if ev.Time != int64(6+i) {
+			t.Fatalf("Events[%d].Time = %d, want %d (oldest-first after wrap)", i, ev.Time, 6+i)
+		}
+	}
+}
+
+func TestTracerNoWrap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Time: int64(i)})
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before the ring fills", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Time != 0 || evs[2].Time != 2 {
+		t.Fatalf("Events = %v", evs)
+	}
+	// The returned slice is a copy: recording more must not change it.
+	tr.Emit(Event{Time: 99})
+	if evs[0].Time != 0 || len(evs) != 3 {
+		t.Fatal("Events result aliased the live buffer")
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Time: int64(i)})
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("after Reset: Len=%d Dropped=%d", tr.Len(), tr.Dropped())
+	}
+	tr.Emit(Event{Time: 7})
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Time != 7 {
+		t.Fatalf("post-reset Events = %v", evs)
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if got := cap(NewTracer(0).buf); got != DefaultTracerCapacity {
+		t.Fatalf("cap = %d, want DefaultTracerCapacity", got)
+	}
+	if got := cap(NewTracer(-5).buf); got != DefaultTracerCapacity {
+		t.Fatalf("negative capacity: cap = %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	// Bucket layout: bucket 0 holds v <= 1, bucket i holds (2^(i-1), 2^i].
+	for _, v := range []int64{-3, 0, 1} {
+		h.Observe(v)
+	}
+	h.Observe(2)    // bucket 1 upper edge
+	h.Observe(3)    // bucket 2
+	h.Observe(4)    // bucket 2 upper edge
+	h.Observe(5)    // bucket 3
+	h.Observe(1024) // bucket 10 upper edge
+	h.Observe(1025) // bucket 11
+
+	s := h.snapshot()
+	if s.Count != 9 || s.Min != -3 || s.Max != 1025 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	want := map[int64]uint64{1: 3, 2: 1, 4: 2, 8: 1, 1024: 1, 2048: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.N {
+			t.Fatalf("bucket le=%d n=%d, want n=%d", b.Le, b.N, want[b.Le])
+		}
+	}
+}
+
+func TestHistogramTopBucketOpen(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.MaxInt64) // must not overflow the bucket edge computation
+	s := h.snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != math.MaxInt64 {
+		t.Fatalf("top bucket = %+v", s.Buckets)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[uint32]string{
+		0:                    "unknown",
+		1 << 1:               "retry",
+		1<<1 | 1<<2:          "retry|conflict",
+		1 << 3:               "capacity",
+		1<<0 | uint32(7)<<24: "explicit(7)",
+		1 << 4:               "debug",
+		1 << 5:               "nested",
+	}
+	for in, want := range cases {
+		if got := StatusString(in); got != want {
+			t.Errorf("StatusString(%#x) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		m := NewMetrics()
+		o := New(nil, m)
+		o.ThreadStart(0, 0)
+		o.TxBegin(0, 10)
+		o.TxAbort(0, 40, 1<<1|1<<2, "conflict", 30, false)
+		o.SlowEnter(0, 40, "conflict")
+		o.SlowExit(0, 140, "conflict", 100)
+		o.TxBegin(0, 150)
+		o.TxCommit(0, 200, 50)
+		o.ThreadExit(0, 210)
+		return m.Snapshot()
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshot JSON not byte-stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestObserverCounters(t *testing.T) {
+	m := NewMetrics()
+	o := New(nil, m)
+	o.TxBegin(1, 0)
+	o.TxAbort(1, 5, 0, "unknown", 5, true) // artificial: both counters move
+	o.TxBegin(1, 10)
+	o.TxCommit(1, 20, 10)
+	o.TxBegin(1, 30)
+	o.TxRetry(1, 35, 1)
+	s := m.Snapshot()
+	for name, want := range map[string]uint64{
+		"txn.begin":            3,
+		"txn.commit":           1,
+		"txn.retry":            1,
+		"txn.abort.unknown":    1,
+		"txn.abort.artificial": 1,
+		"txn.abort.conflict":   0,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Gauges["txn.active"]; got != 0 {
+		t.Errorf("txn.active = %d after all txns ended", got)
+	}
+}
+
+func TestHTMAbortClassification(t *testing.T) {
+	m := NewMetrics()
+	o := New(nil, m)
+	o.HTMAbort(1<<1 | 1<<2)          // retry|conflict -> conflict
+	o.HTMAbort(1<<2 | 1<<3)          // conflict wins over capacity
+	o.HTMAbort(1 << 3)               // capacity
+	o.HTMAbort(1<<0 | uint32(3)<<24) // explicit
+	o.HTMAbort(0)                    // unknown
+	s := m.Snapshot()
+	for name, want := range map[string]uint64{
+		"htm.abort.conflict": 2,
+		"htm.abort.capacity": 1,
+		"htm.abort.explicit": 1,
+		"htm.abort.unknown":  1,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// A nil Sink with a live Metrics registry must work (metrics-only mode), and
+// New(nil, nil) must allocate a private registry rather than crash.
+func TestObserverNilParts(t *testing.T) {
+	o := New(nil, nil)
+	o.TxBegin(0, 0)
+	o.TxCommit(0, 1, 1)
+	if got := o.Metrics().Snapshot().Counters["txn.begin"]; got != 1 {
+		t.Fatalf("private registry txn.begin = %d", got)
+	}
+}

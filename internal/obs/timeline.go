@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// WriteTimeline renders the event stream as a human-readable per-thread
+// timeline: one section per simulated thread, rows in cycle order — the
+// text analogue of the Chrome trace for terminal-only debugging.
+func WriteTimeline(w io.Writer, events []Event) {
+	byTID := map[int32][]Event{}
+	for _, ev := range events {
+		byTID[ev.TID] = append(byTID[ev.TID], ev)
+	}
+	tids := make([]int32, 0, len(byTID))
+	for tid := range byTID {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	for _, tid := range tids {
+		report.Section(w, fmt.Sprintf("thread %d", tid))
+		tb := &report.Table{Header: []string{"cycle", "event", "detail"}}
+		for _, ev := range byTID[tid] {
+			tb.Add(ev.Time, ev.Kind.String(), eventDetail(ev))
+		}
+		tb.Write(w)
+	}
+}
+
+func eventDetail(ev Event) string {
+	switch ev.Kind {
+	case KindTxCommit:
+		return fmt.Sprintf("length=%d cycles", ev.Arg)
+	case KindTxAbort:
+		return fmt.Sprintf("status=%s cause=%s wasted=%d", StatusString(ev.Status), ev.Cause, ev.Arg)
+	case KindTxRetry:
+		return fmt.Sprintf("attempt=%d", ev.Arg)
+	case KindTxFailBegin:
+		return fmt.Sprintf("generation=%d", ev.Arg)
+	case KindTxFailEnd:
+		return fmt.Sprintf("episode=%d cycles", ev.Arg)
+	case KindSlowEnter:
+		return "cause=" + ev.Cause
+	case KindSlowExit:
+		return fmt.Sprintf("cause=%s duration=%d", ev.Cause, ev.Arg)
+	case KindLoopCut:
+		return fmt.Sprintf("loop=%d threshold=%d", ev.Loop, ev.Arg)
+	case KindHTMConflict:
+		return fmt.Sprintf("line=%#x winner=t%d", ev.Line, ev.Arg)
+	default:
+		return ""
+	}
+}

@@ -36,8 +36,8 @@ func FormatFloat(v float64) string {
 	s := fmt.Sprintf("%.2f", v)
 	s = strings.TrimRight(s, "0")
 	s = strings.TrimRight(s, ".")
-	if s == "" || s == "-" {
-		s = "0"
+	if s == "" || s == "-" || s == "-0" {
+		s = "0" // values that round to zero print as 0, never -0
 	}
 	return s
 }

@@ -34,6 +34,8 @@ func TestFormatFloat(t *testing.T) {
 		0:       "0",
 		-2.5:    "-2.5",
 		100.004: "100",
+		-0.001:  "0", // rounds to zero; must not print as "-0"
+		-0.004:  "0",
 	}
 	for in, want := range cases {
 		if got := FormatFloat(in); got != want {

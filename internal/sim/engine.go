@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
 // Runtime receives execution events from the engine. Implementations in
@@ -172,6 +173,10 @@ type Config struct {
 	// MaxSteps guards against runaway programs; zero means no limit.
 	MaxSteps uint64
 	Cost     cost.Model
+	// Obs, when non-nil, receives scheduler-level observability events
+	// (thread start/exit, interrupt deliveries). The disabled path is one
+	// nil-check per site.
+	Obs *obs.Observer
 }
 
 // DefaultConfig mirrors the paper's testbed.
@@ -241,6 +246,8 @@ type Engine struct {
 	barriers map[SyncID]*barrier
 	conds    map[SyncID]*cond
 
+	obs *obs.Observer
+
 	res         Result
 	liveWorkers int
 	steps       uint64
@@ -256,6 +263,7 @@ func NewEngine(cfg Config) *Engine {
 	}
 	return &Engine{
 		cfg:      cfg,
+		obs:      cfg.Obs,
 		rng:      NewPRNG(cfg.Seed ^ 0xda7a5eed),
 		mutexes:  make(map[SyncID]*mutex),
 		rwlocks:  make(map[SyncID]*rwlock),
@@ -277,6 +285,16 @@ func (e *Engine) Charge(t *Thread, c int64) {
 // LiveWorkers returns the number of spawned, unfinished worker threads; the
 // TxRace runtime's single-threaded-mode optimization consults it.
 func (e *Engine) LiveWorkers() int { return e.liveWorkers }
+
+// ThreadClock returns thread id's current virtual time, or 0 for an unknown
+// id. Observability hooks use it to stamp events about threads other than
+// the one executing (e.g. the loser of an HTM conflict).
+func (e *Engine) ThreadClock(id int) int64 {
+	if id < 0 || id >= len(e.threads) {
+		return 0
+	}
+	return e.threads[id].Clock
+}
 
 // Checkpoint captures t's control state (frames and PRNG). The TxRace
 // runtime takes one at each transaction begin so an abort can rewind the
@@ -376,6 +394,9 @@ func (e *Engine) Run(prog *Program, rt Runtime) (*Result, error) {
 	rt.Init(e)
 	main.state = stateRunnable
 	e.scheduleInterrupt(main)
+	if e.obs != nil {
+		e.obs.ThreadStart(main.ID, main.Clock)
+	}
 	rt.ThreadStart(main)
 
 	for {
@@ -470,6 +491,9 @@ func (e *Engine) step(t *Thread) {
 	for t.nextInterrupt <= t.Clock {
 		e.res.Interrupts++
 		e.charge(t, 80) // bare interrupt handling latency
+		if e.obs != nil {
+			e.obs.Interrupt(t.ID, t.Clock)
+		}
 		e.rt.Interrupt(t)
 		e.scheduleInterrupt(t)
 	}
@@ -518,6 +542,9 @@ func (e *Engine) exitThread(t *Thread) {
 		return
 	}
 	t.state = stateDone
+	if e.obs != nil {
+		e.obs.ThreadExit(t.ID, t.Clock)
+	}
 	e.rt.ThreadExit(t)
 	if t.isWorker {
 		e.liveWorkers--
@@ -815,6 +842,9 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 			e.liveWorkers++
 			e.scheduleInterrupt(w)
 			e.rt.Fork(t, w)
+			if e.obs != nil {
+				e.obs.ThreadStart(w.ID, w.Clock)
+			}
 			e.rt.ThreadStart(w)
 			e.charge(t, 400) // pthread_create-ish cost
 		}

@@ -25,6 +25,10 @@ func TestGeomean(t *testing.T) {
 	if !almost(Geomean([]float64{4, 0, -2}), 4) {
 		t.Fatal("non-positive values must be skipped")
 	}
+	// All-non-positive input leaves nothing to average: 0, not NaN or panic.
+	if g := Geomean([]float64{0, -1, -3.5}); g != 0 {
+		t.Fatalf("all-non-positive geomean = %v, want 0", g)
+	}
 }
 
 func TestGeomeanBetweenMinAndMax(t *testing.T) {
@@ -120,5 +124,8 @@ func TestCostEffectiveness(t *testing.T) {
 	}
 	if CostEffectiveness(1, 0) != 0 {
 		t.Fatal("zero overhead must not divide")
+	}
+	if CostEffectiveness(1, -0.5) != 0 {
+		t.Fatal("negative overhead is a measurement error, CE must be 0")
 	}
 }
