@@ -17,15 +17,17 @@ type Common struct {
 	Threads int
 	Scale   int
 	Seed    uint64
+	Jobs    int
 }
 
-// AddFlags registers the shared -threads/-scale/-seed flags on the process
-// flag set and returns their destination. Call before flag.Parse.
+// AddFlags registers the shared -threads/-scale/-seed/-jobs flags on the
+// process flag set and returns their destination. Call before flag.Parse.
 func AddFlags() *Common {
 	c := &Common{}
 	flag.IntVar(&c.Threads, "threads", 4, "worker threads")
 	flag.IntVar(&c.Scale, "scale", 1, "workload scale factor")
 	flag.Uint64Var(&c.Seed, "seed", 1, "scheduler seed")
+	flag.IntVar(&c.Jobs, "jobs", 0, "parallel jobs for experiment plans (0 = GOMAXPROCS); results are identical at any value")
 	return c
 }
 
@@ -50,11 +52,15 @@ func (c *Common) EngineConfig(w *workload.Workload) sim.Config {
 	return cfg
 }
 
-// ExperimentConfig seeds an experiment.Config from the shared flags.
+// ExperimentConfig seeds an experiment.Config from the shared flags. The
+// returned config carries one shared memo cache, so every experiment run
+// from it (e.g. txbench -exp all) reuses memoized baselines and profiles.
 func (c *Common) ExperimentConfig() experiment.Config {
 	cfg := experiment.DefaultConfig()
 	cfg.Threads = c.Threads
 	cfg.Scale = c.Scale
 	cfg.Seed = c.Seed
+	cfg.Jobs = c.Jobs
+	cfg.Cache = experiment.NewCache()
 	return cfg
 }

@@ -16,9 +16,14 @@
 //
 // Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
 // enlarge the workloads, -trials to average over seeds, and -seed to move
-// the whole experiment to a different schedule. With -metrics-out, each
-// experiment id runs with a fresh internal/obs metrics registry attached and
-// the file receives a JSON map of experiment id -> metrics snapshot.
+// the whole experiment to a different schedule. Every experiment executes
+// its runs as an internal/runner job plan on a worker pool: -jobs bounds the
+// pool (default GOMAXPROCS), and output is byte-identical at any -jobs value
+// because results and metrics merge in plan order. Baseline runs and ProfCut
+// profiles are memoized across jobs and across experiment ids within one
+// invocation. With -metrics-out, each experiment id runs with a fresh
+// internal/obs metrics registry attached and the file receives a JSON map of
+// experiment id -> metrics snapshot.
 package main
 
 import (

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -37,7 +38,7 @@ type Detectability struct {
 }
 
 // RunDetectability executes `seeds` TxRace runs per race-bearing
-// application.
+// application — all runs of all applications in one plan.
 func RunDetectability(cfg Config, apps []*workload.Workload, seeds int) (*Detectability, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
@@ -47,6 +48,16 @@ func RunDetectability(cfg Config, apps []*workload.Workload, seeds int) (*Detect
 		seeds = 5
 	}
 	d := &Detectability{Seeds: seeds}
+
+	type cell struct {
+		app      *workload.Workload
+		truth    []detect.PairKey
+		deferred map[detect.PairKey]bool
+		runs     []*runner.Handle
+	}
+	plan := cfg.newPlan()
+	stream := runner.Seeds(cfg.Seed)
+	var cells []cell
 	for _, w := range apps {
 		built := w.Build(cfg.Threads, cfg.Scale)
 		truth := built.AllRaceKeys()
@@ -58,23 +69,29 @@ func RunDetectability(cfg Config, apps []*workload.Workload, seeds int) (*Detect
 			a, b := r.Key()
 			deferredSet[detect.PairKey{A: a, B: b}] = true
 		}
+		c := cell{app: w, truth: truth, deferred: deferredSet}
+		for s := 0; s < seeds; s++ {
+			c.runs = append(c.runs, txraceJob(plan, w, cfg, s, stream.Trial(s)))
+		}
+		cells = append(cells, c)
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
 
+	for _, c := range cells {
 		found := map[detect.PairKey]int{}
 		total := 0
-		for s := 0; s < seeds; s++ {
-			tx, err := RunTxRace(w, cfg, cfg.Seed+uint64(s)*0x33)
-			if err != nil {
-				return nil, err
-			}
+		for _, h := range c.runs {
+			tx := txraceOf(h)
 			total += len(tx.Races)
 			for _, k := range tx.Races {
 				found[k]++
 			}
 		}
-
-		row := DetectabilityRow{App: w, TrueRaces: len(truth),
+		row := DetectabilityRow{App: c.app, TrueRaces: len(c.truth),
 			MeanPerRun: float64(total) / float64(seeds), NeverAreDeferred: true}
-		for _, k := range truth {
+		for _, k := range c.truth {
 			switch n := found[k]; {
 			case n == seeds:
 				row.Always++
@@ -82,7 +99,7 @@ func RunDetectability(cfg Config, apps []*workload.Workload, seeds int) (*Detect
 				row.Sometimes++
 			default:
 				row.Never++
-				if !deferredSet[k] {
+				if !c.deferred[k] {
 					row.NeverAreDeferred = false
 				}
 			}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -29,22 +30,28 @@ type Fig7Row struct {
 // Fig7 is the overhead-breakdown figure.
 type Fig7 struct{ Rows []Fig7Row }
 
-// RunFig7 reproduces Figure 7.
+// RunFig7 reproduces Figure 7: per application, a {baseline, TxRace} job
+// pair, reduced in plan order.
 func RunFig7(cfg Config, apps []*workload.Workload) (*Fig7, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
 		apps = workload.All()
 	}
+	plan := cfg.newPlan()
+	type pair struct{ base, tx *runner.Handle }
+	hs := make([]pair, len(apps))
+	for i, w := range apps {
+		hs[i] = pair{
+			base: baselineJob(plan, w, cfg, 0, cfg.Seed),
+			tx:   txraceJob(plan, w, cfg, 0, cfg.Seed),
+		}
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
 	f := &Fig7{}
-	for _, w := range apps {
-		b, err := RunBaseline(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		tx, err := RunTxRace(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range apps {
+		b, tx := baselineOf(hs[i].base), txraceOf(hs[i].tx)
 		ovh := float64(tx.Makespan) / float64(b.Makespan)
 		st := tx.Stats
 		raw := []float64{
@@ -101,14 +108,32 @@ type Fig8 struct {
 	Rows    []Fig8Row
 }
 
-// RunFig8 reproduces Figure 8: 2, 4, and 8 worker threads.
+// RunFig8 reproduces Figure 8: 2, 4, and 8 worker threads — one {baseline,
+// TxRace} job pair per (application, thread count).
 func RunFig8(cfg Config, apps []*workload.Workload) (*Fig8, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
 		apps = workload.All()
 	}
 	f := &Fig8{Threads: []int{2, 4, 8}}
-	for _, w := range apps {
+	plan := cfg.newPlan()
+	type pair struct{ base, tx *runner.Handle }
+	hs := make([]map[int]pair, len(apps))
+	for i, w := range apps {
+		hs[i] = map[int]pair{}
+		for _, n := range f.Threads {
+			c := cfg
+			c.Threads = n
+			hs[i][n] = pair{
+				base: baselineJob(plan, w, c, 0, c.Seed),
+				tx:   txraceJob(plan, w, c, 0, c.Seed),
+			}
+		}
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
+	for i, w := range apps {
 		row := Fig8Row{App: w,
 			Overheads: map[int]float64{},
 			Unknowns:  map[int]uint64{},
@@ -116,16 +141,7 @@ func RunFig8(cfg Config, apps []*workload.Workload) (*Fig8, error) {
 			Capacity:  map[int]uint64{},
 		}
 		for _, n := range f.Threads {
-			c := cfg
-			c.Threads = n
-			b, err := RunBaseline(w, c, c.Seed)
-			if err != nil {
-				return nil, err
-			}
-			tx, err := RunTxRace(w, c, c.Seed)
-			if err != nil {
-				return nil, err
-			}
+			b, tx := baselineOf(hs[i][n].base), txraceOf(hs[i][n].tx)
 			row.Overheads[n] = float64(tx.Makespan) / float64(b.Makespan)
 			row.Unknowns[n] = tx.Stats.UnknownAborts
 			row.Conflicts[n] = tx.Stats.ConflictAborts
@@ -169,31 +185,44 @@ type Fig9Row struct {
 // Fig9 is the loop-cut effectiveness figure.
 type Fig9 struct{ Rows []Fig9Row }
 
+// fig9Modes fixes the column order of the loop-cut sweep.
+var fig9Modes = []core.CutMode{core.NoCut, core.DynCut, core.ProfCut}
+
 // RunFig9 reproduces Figure 9: TSan vs TxRace-NoOpt vs TxRace-DynLoopcut vs
-// TxRace-ProfLoopcut.
+// TxRace-ProfLoopcut — per application, {baseline, TSan} plus one TxRace job
+// per scheme.
 func RunFig9(cfg Config, apps []*workload.Workload) (*Fig9, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
 		apps = workload.All()
 	}
-	f := &Fig9{}
-	for _, w := range apps {
-		b, err := RunBaseline(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
+	plan := cfg.newPlan()
+	type cell struct {
+		base, tsan *runner.Handle
+		tx         map[core.CutMode]*runner.Handle
+	}
+	hs := make([]cell, len(apps))
+	for i, w := range apps {
+		hs[i] = cell{
+			base: baselineJob(plan, w, cfg, 0, cfg.Seed),
+			tsan: tsanJob(plan, w, cfg, 0, cfg.Seed),
+			tx:   map[core.CutMode]*runner.Handle{},
 		}
-		ts, err := RunTSan(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig9Row{App: w, TSan: float64(ts.Makespan) / float64(b.Makespan)}
-		for _, mode := range []core.CutMode{core.NoCut, core.DynCut, core.ProfCut} {
+		for _, mode := range fig9Modes {
 			c := cfg
 			c.LoopCut = mode
-			tx, err := RunTxRace(w, c, c.Seed)
-			if err != nil {
-				return nil, err
-			}
+			hs[i].tx[mode] = txraceJob(plan, w, c, 0, c.Seed)
+		}
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
+	f := &Fig9{}
+	for i, w := range apps {
+		b, ts := baselineOf(hs[i].base), tsanOf(hs[i].tsan)
+		row := Fig9Row{App: w, TSan: float64(ts.Makespan) / float64(b.Makespan)}
+		for _, mode := range fig9Modes {
+			tx := txraceOf(hs[i].tx[mode])
 			ovh := float64(tx.Makespan) / float64(b.Makespan)
 			switch mode {
 			case core.NoCut:

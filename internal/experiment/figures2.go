@@ -3,9 +3,11 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"log"
 
 	"repro/internal/detect"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -20,24 +22,29 @@ type Fig10 struct {
 }
 
 // RunFig10 reproduces Figure 10: seven TxRace runs of vips under different
-// seeds.
+// seeds, plus the TSan ground truth — all eight jobs independent, reduced in
+// run order.
 func RunFig10(cfg Config) (*Fig10, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName("vips")
 	if err != nil {
 		return nil, err
 	}
-	ts, err := RunTSan(w, cfg, cfg.Seed)
-	if err != nil {
+	const runs = 7
+	plan := cfg.newPlan()
+	seeds := runner.Seeds(cfg.Seed)
+	ts := tsanJob(plan, w, cfg, 0, cfg.Seed)
+	txs := make([]*runner.Handle, runs)
+	for run := 0; run < runs; run++ {
+		txs[run] = txraceJob(plan, w, cfg, run, seeds.Trial(run))
+	}
+	if err := plan.Run(); err != nil {
 		return nil, err
 	}
-	f := &Fig10{TSanRaces: len(ts.Races)}
+	f := &Fig10{TSanRaces: len(tsanOf(ts).Races)}
 	var union []detect.PairKey
-	for run := 0; run < 7; run++ {
-		tx, err := RunTxRace(w, cfg, cfg.Seed+uint64(run)*0x5151)
-		if err != nil {
-			return nil, err
-		}
+	for run := 0; run < runs; run++ {
+		tx := txraceOf(txs[run])
 		f.PerRun = append(f.PerRun, len(tx.Races))
 		union = stats.Union(union, tx.Races)
 		f.Cumulative = append(f.Cumulative, len(union))
@@ -70,45 +77,65 @@ type Fig11Row struct {
 // at least one race is detected (nine in the paper).
 type Fig11 struct{ Rows []Fig11Row }
 
-// RunFig11 reproduces Figure 11.
+// RunFig11 reproduces Figure 11 in two plan phases: first {baseline, TSan}
+// for every application (the ground truth decides which applications the
+// figure covers), then {sampling 10%, sampling 50%, TxRace} for the
+// race-bearing ones.
 func RunFig11(cfg Config) (*Fig11, error) {
 	cfg = cfg.withDefaults()
-	f := &Fig11{}
-	for _, w := range workload.All() {
-		b, err := RunBaseline(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
+	apps := workload.All()
+
+	truth := cfg.newPlan()
+	type groundTruth struct{ base, tsan *runner.Handle }
+	gt := make([]groundTruth, len(apps))
+	for i, w := range apps {
+		gt[i] = groundTruth{
+			base: baselineJob(truth, w, cfg, 0, cfg.Seed),
+			tsan: tsanJob(truth, w, cfg, 0, cfg.Seed),
 		}
-		full, err := RunTSan(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := truth.Run(); err != nil {
+		return nil, err
+	}
+
+	type sweepCell struct {
+		app           *workload.Workload
+		base          *BaselineRun
+		full          *TSanRun
+		s10, s50, txr *runner.Handle
+	}
+	sweep := cfg.newPlan()
+	var cells []sweepCell
+	for i, w := range apps {
+		full := tsanOf(gt[i].tsan)
 		if len(full.Races) == 0 {
 			continue // Fig. 11 covers only race-bearing applications
 		}
-		fullOvh := float64(full.Makespan) / float64(b.Makespan)
+		cells = append(cells, sweepCell{
+			app:  w,
+			base: baselineOf(gt[i].base),
+			full: full,
+			s10:  samplingJob(sweep, w, cfg, 0, cfg.Seed, 0.10),
+			s50:  samplingJob(sweep, w, cfg, 0, cfg.Seed, 0.50),
+			txr:  txraceJob(sweep, w, cfg, 0, cfg.Seed),
+		})
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
+	}
+
+	f := &Fig11{}
+	for _, cell := range cells {
+		fullOvh := float64(cell.full.Makespan) / float64(cell.base.Makespan)
 		ce := func(makespan int64, races []detect.PairKey) float64 {
-			rec := stats.Recall(races, full.Races)
-			norm := (float64(makespan) / float64(b.Makespan)) / fullOvh
+			rec := stats.Recall(races, cell.full.Races)
+			norm := (float64(makespan) / float64(cell.base.Makespan)) / fullOvh
 			return stats.CostEffectiveness(rec, norm)
 		}
-		row := Fig11Row{App: w, Sampling: 1} // 100% sampling ≡ TSan ≡ 1... by definition
-		for _, rate := range []float64{0.10, 0.50} {
-			s, err := RunSampling(w, cfg, cfg.Seed, rate)
-			if err != nil {
-				return nil, err
-			}
-			v := ce(s.Makespan, s.Races)
-			if rate == 0.10 {
-				row.Sampling10 = v
-			} else {
-				row.Sampling50 = v
-			}
-		}
-		tx, err := RunTxRace(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+		row := Fig11Row{App: cell.app, Sampling: 1} // 100% sampling ≡ TSan ≡ 1... by definition
+		s10, s50, tx := tsanOf(cell.s10), tsanOf(cell.s50), txraceOf(cell.txr)
+		row.Sampling10 = ce(s10.Makespan, s10.Races)
+		row.Sampling50 = ce(s50.Makespan, s50.Races)
 		row.TxRace = ce(tx.Makespan, tx.Races)
 		f.Rows = append(f.Rows, row)
 	}
@@ -137,52 +164,71 @@ type Fig1213 struct {
 
 	TxRaceOverhead float64 // normalized to 100% sampling
 	TxRaceRecall   float64
+
+	// Trials is the trial count actually used per sampling rate, and
+	// TrialsRaised reports whether it was raised above cfg.Trials to the
+	// floor of 5 (sampling is stochastic; fewer trials make the recall
+	// curve too noisy to interpret). The raise is also logged at run time.
+	Trials       int
+	TrialsRaised bool
 }
 
-// RunFig1213 reproduces Figures 12 and 13 on bodytrack.
+// fig1213TrialFloor is the minimum trials per sampling rate.
+const fig1213TrialFloor = 5
+
+// RunFig1213 reproduces Figures 12 and 13 on bodytrack: one plan holding the
+// baseline, the full-TSan ground truth, trials × 11 sampling rates, and
+// TxRace's operating point — every job independent.
 func RunFig1213(cfg Config) (*Fig1213, error) {
 	cfg = cfg.withDefaults()
 	w, err := workload.ByName("bodytrack")
 	if err != nil {
 		return nil, err
 	}
-	b, err := RunBaseline(w, cfg, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	full, err := RunTSan(w, cfg, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	fullOvh := float64(full.Makespan) / float64(b.Makespan)
 	trials := cfg.Trials
-	if trials < 5 {
-		trials = 5 // sampling is stochastic; smooth the recall curve
+	raised := trials < fig1213TrialFloor
+	if raised {
+		trials = fig1213TrialFloor
+		log.Printf("experiment: fig12/13 raising trials %d -> %d (sampling is stochastic; the recall curve needs averaging)", cfg.Trials, trials)
 	}
-	f := &Fig1213{}
+
+	plan := cfg.newPlan()
+	seeds := runner.Seeds(cfg.Seed)
+	base := baselineJob(plan, w, cfg, 0, cfg.Seed)
+	full := tsanJob(plan, w, cfg, 0, cfg.Seed)
+	var rates []int
+	samples := map[int][]*runner.Handle{} // percent -> per-trial handles
 	for pct := 0; pct <= 100; pct += 10 {
-		var makespan int64
-		// Average overhead and recall over trials: sampling is stochastic.
-		recSum := 0.0
+		rates = append(rates, pct)
 		for trial := 0; trial < trials; trial++ {
-			s, err := RunSampling(w, cfg, cfg.Seed+uint64(trial)*0x77, float64(pct)/100)
-			if err != nil {
-				return nil, err
-			}
+			samples[pct] = append(samples[pct],
+				samplingJob(plan, w, cfg, trial, seeds.Trial(trial), float64(pct)/100))
+		}
+	}
+	tx := txraceJob(plan, w, cfg, 0, cfg.Seed)
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
+
+	b, ft := baselineOf(base), tsanOf(full)
+	fullOvh := float64(ft.Makespan) / float64(b.Makespan)
+	f := &Fig1213{Trials: trials, TrialsRaised: raised}
+	for _, pct := range rates {
+		var makespan int64
+		recSum := 0.0
+		for _, h := range samples[pct] {
+			s := tsanOf(h)
 			makespan += s.Makespan
-			recSum += stats.Recall(s.Races, full.Races)
+			recSum += stats.Recall(s.Races, ft.Races)
 		}
 		makespan /= int64(trials)
 		f.Rates = append(f.Rates, pct)
 		f.Overheads = append(f.Overheads, (float64(makespan)/float64(b.Makespan))/fullOvh)
 		f.Recalls = append(f.Recalls, recSum/float64(trials))
 	}
-	tx, err := RunTxRace(w, cfg, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	f.TxRaceOverhead = (float64(tx.Makespan) / float64(b.Makespan)) / fullOvh
-	f.TxRaceRecall = stats.Recall(tx.Races, full.Races)
+	txr := txraceOf(tx)
+	f.TxRaceOverhead = (float64(txr.Makespan) / float64(b.Makespan)) / fullOvh
+	f.TxRaceRecall = stats.Recall(txr.Races, ft.Races)
 	return f, nil
 }
 
@@ -194,6 +240,9 @@ func (f *Fig1213) Write(w io.Writer) {
 		tb.Add(fmt.Sprintf("%d%%", pct), f.Overheads[i], f.Recalls[i])
 	}
 	tb.Write(w)
+	if f.TrialsRaised {
+		fmt.Fprintf(w, "\n(averaged over %d trials per rate; raised from the requested trial count to smooth the stochastic recall curve)\n", f.Trials)
+	}
 	fmt.Fprintf(w, "\nTxRace operating point: overhead %.2f (paper 0.69), recall %.2f (paper 0.75)\n",
 		f.TxRaceOverhead, f.TxRaceRecall)
 }

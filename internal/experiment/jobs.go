@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// Job adapters: each turns one Run* call into a declarative runner.Job so
+// drivers read as "build the plan, run it, reduce it". Measured runs
+// (tsan/txrace/sampling) observe through a per-job fork of the plan's parent
+// observer; baseline runs stay unobserved by policy (see RunBaseline).
+
+// newPlan returns the worker-pool plan a driver executes its jobs on.
+func (c Config) newPlan() *runner.Plan {
+	return runner.NewPlan(c.Jobs, c.Obs)
+}
+
+func baselineJob(p *runner.Plan, w *workload.Workload, cfg Config, trial int, seed uint64) *runner.Handle {
+	return p.Add(runner.Job{Workload: w.Name, Runtime: "baseline", Trial: trial, Seed: seed,
+		Do: func(j *runner.Job) (any, error) { return RunBaseline(w, cfg, j.Seed) },
+	})
+}
+
+func tsanJob(p *runner.Plan, w *workload.Workload, cfg Config, trial int, seed uint64) *runner.Handle {
+	return p.Add(runner.Job{Workload: w.Name, Runtime: "tsan", Trial: trial, Seed: seed, Observe: true,
+		Do: func(j *runner.Job) (any, error) {
+			c := cfg
+			c.Obs = j.Obs
+			return RunTSan(w, c, j.Seed)
+		},
+	})
+}
+
+func txraceJob(p *runner.Plan, w *workload.Workload, cfg Config, trial int, seed uint64) *runner.Handle {
+	return p.Add(runner.Job{Workload: w.Name, Runtime: "txrace", Trial: trial, Seed: seed, Observe: true,
+		Do: func(j *runner.Job) (any, error) {
+			c := cfg
+			c.Obs = j.Obs
+			return RunTxRace(w, c, j.Seed)
+		},
+	})
+}
+
+func samplingJob(p *runner.Plan, w *workload.Workload, cfg Config, trial int, seed uint64, rate float64) *runner.Handle {
+	return p.Add(runner.Job{Workload: w.Name, Runtime: "sampling", Trial: trial, Seed: seed, Observe: true,
+		Do: func(j *runner.Job) (any, error) {
+			c := cfg
+			c.Obs = j.Obs
+			return RunSampling(w, c, j.Seed, rate)
+		},
+	})
+}
+
+// Typed result accessors, nil-safe only after a successful Plan.Run.
+
+func baselineOf(h *runner.Handle) *BaselineRun { return h.Value().(*BaselineRun) }
+func tsanOf(h *runner.Handle) *TSanRun         { return h.Value().(*TSanRun) }
+func txraceOf(h *runner.Handle) *TxRaceRun     { return h.Value().(*TxRaceRun) }

@@ -132,7 +132,9 @@ func (f *Fig1213) JSON() any {
 		Recalls        []float64 `json:"recalls"`
 		TxRaceOverhead float64   `json:"txrace_overhead"`
 		TxRaceRecall   float64   `json:"txrace_recall"`
-	}{f.Rates, f.Overheads, f.Recalls, f.TxRaceOverhead, f.TxRaceRecall}
+		Trials         int       `json:"trials"`
+		TrialsRaised   bool      `json:"trials_raised"`
+	}{f.Rates, f.Overheads, f.Recalls, f.TxRaceOverhead, f.TxRaceRecall, f.Trials, f.TrialsRaised}
 }
 
 // JSON returns the precision comparison as plain data.

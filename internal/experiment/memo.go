@@ -1,0 +1,60 @@
+package experiment
+
+import "sync"
+
+// Cache memoizes the deterministic prerequisites that many jobs (and many
+// experiment ids within one txbench invocation) share: the uninstrumented
+// baseline run and the ProfCut profiling pass, keyed by (workload, threads,
+// scale, seed). Both are pure functions of their key — baselines run
+// unobserved by policy and profiling runs by construction — so one cached
+// execution serves every trial, figure, and table that needs it, and
+// memoization cannot change any result.
+//
+// A Cache is safe for concurrent use; duplicate concurrent requests for one
+// key compute it once (the losers block until the winner finishes). Configs
+// without an explicit Cache get a private one per driver call, which still
+// dedups within that driver; cmd/txbench attaches one Cache to every
+// experiment id so e.g. -exp all never re-runs a baseline it already has.
+type Cache struct {
+	mu sync.Mutex
+	m  map[memoKey]*memoEntry
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[memoKey]*memoEntry)}
+}
+
+type memoKey struct {
+	kind     string // "baseline" | "profile"
+	workload string
+	threads  int
+	scale    int
+	seed     uint64
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// do returns the memoized value for key, computing it with f exactly once.
+func (c *Cache) do(key memoKey, f func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &memoEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
+}
+
+// Len reports how many entries the cache holds (for tests and logs).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

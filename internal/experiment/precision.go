@@ -8,6 +8,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/instrument"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -35,45 +36,70 @@ type PrecisionRow struct {
 // synchronization as violations.
 type Precision struct{ Rows []PrecisionRow }
 
+// locksetRun holds one Eraser-style execution.
+type locksetRun struct {
+	makespan   int64
+	violations []detect.Race
+	count      int
+}
+
+// locksetJob runs the workload under the Eraser lockset detector.
+func locksetJob(p *runner.Plan, w *workload.Workload, cfg Config, seed uint64) *runner.Handle {
+	return p.Add(runner.Job{Workload: w.Name, Runtime: "lockset", Seed: seed, Observe: true,
+		Do: func(j *runner.Job) (any, error) {
+			c := cfg
+			c.Obs = j.Obs
+			built := w.Build(c.Threads, c.Scale)
+			ls := core.NewLockset()
+			ls.SlowScale = w.SlowScale
+			res, err := sim.NewEngine(c.engineConfig(w, j.Seed)).Run(instrument.ForTSan(built.Prog), ls)
+			if err != nil {
+				return nil, fmt.Errorf("%s lockset: %w", w.Name, err)
+			}
+			return &locksetRun{
+				makespan:   res.Makespan,
+				violations: ls.Detector().Violations(),
+				count:      ls.Detector().ViolationCount(),
+			}, nil
+		},
+	})
+}
+
 // RunPrecision executes the comparison over the given applications (all by
-// default).
+// default): per application, {baseline, TSan, lockset} jobs.
 func RunPrecision(cfg Config, apps []*workload.Workload) (*Precision, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
 		apps = workload.All()
 	}
+	plan := cfg.newPlan()
+	type cell struct{ base, tsan, ls *runner.Handle }
+	hs := make([]cell, len(apps))
+	for i, w := range apps {
+		hs[i] = cell{
+			base: baselineJob(plan, w, cfg, 0, cfg.Seed),
+			tsan: tsanJob(plan, w, cfg, 0, cfg.Seed),
+			ls:   locksetJob(plan, w, cfg, cfg.Seed),
+		}
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
 	p := &Precision{}
-	for _, w := range apps {
-		built := w.Build(cfg.Threads, cfg.Scale)
-		ec := cfg.engineConfig(w, cfg.Seed)
-
-		base, err := RunBaseline(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		ts, err := RunTSan(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-
-		ls := core.NewLockset()
-		ls.SlowScale = w.SlowScale
-		res, err := sim.NewEngine(ec).Run(instrument.ForTSan(built.Prog), ls)
-		if err != nil {
-			return nil, fmt.Errorf("%s lockset: %w", w.Name, err)
-		}
-
+	for i, w := range apps {
+		base, ts := baselineOf(hs[i].base), tsanOf(hs[i].tsan)
+		ls := hs[i].ls.Value().(*locksetRun)
 		row := PrecisionRow{
 			App:             w,
 			TrueRaces:       len(ts.Races),
-			Violations:      ls.Detector().ViolationCount(),
-			LocksetOverhead: float64(res.Makespan) / float64(base.Makespan),
+			Violations:      ls.count,
+			LocksetOverhead: float64(ls.makespan) / float64(base.Makespan),
 			TSanOverhead:    float64(ts.Makespan) / float64(base.Makespan),
 		}
 		// A violation is a true positive when its static pair is a real
 		// race; everything else is a lock-discipline false alarm.
 		var keys []detect.PairKey
-		for _, v := range ls.Detector().Violations() {
+		for _, v := range ls.violations {
 			keys = append(keys, v.Key())
 		}
 		row.TruePositives = stats.Intersect(keys, ts.Races)

@@ -1,8 +1,12 @@
 // Package experiment drives the paper's evaluation (§8): one driver per
-// table and figure, built on a shared runner that executes a workload under
-// the baseline, TSan, sampling, and TxRace runtimes and extracts uniform
-// measurements. cmd/txbench regenerates any artifact by id; bench_test.go
-// exposes the same drivers as testing.B benchmarks.
+// table and figure. Each driver builds a declarative internal/runner Plan of
+// independent (workload, runtime, seed) jobs, executes it on a bounded
+// worker pool (Config.Jobs, default GOMAXPROCS), and reduces the results in
+// plan order — so output is byte-identical at any worker count while the
+// wall clock scales with the hardware. Shared prerequisites (baseline runs,
+// ProfCut profiles) are memoized in a Cache instead of recomputed per
+// trial or figure. cmd/txbench regenerates any artifact by id;
+// bench_test.go exposes the same drivers as testing.B benchmarks.
 package experiment
 
 import (
@@ -24,18 +28,29 @@ type Config struct {
 	// LoopCut selects TxRace's capacity-abort scheme; Table 1 uses the
 	// paper's best configuration, ProfLoopcut.
 	LoopCut core.CutMode
-	// Trials averages measurements over this many seeds (paper: 5).
+	// Trials averages measurements over this many seeds (paper: 5). Trial
+	// seeds are drawn from runner.Seeds(Seed): trial 0 is Seed itself.
 	Trials int
 	// ProfileSkew models the profile-transfer error of ProfLoopcut: the
 	// profiling run uses a representative input, not the measured one, so
 	// transferred thresholds overshoot by this factor and the runtime's
 	// threshold adaptation (§4.3) has to walk them back down. 0 means the
-	// default of 1.10; 1.0 disables the skew.
+	// default of 1.05; 1.0 disables the skew.
 	ProfileSkew float64
+	// Jobs bounds the worker pool the drivers execute their job plans on;
+	// 0 means GOMAXPROCS. Results are independent of the value — plans
+	// merge results and metrics in plan order.
+	Jobs int
+	// Cache memoizes baseline runs and ProfCut profiles across jobs. Nil
+	// gets a private cache per driver call; share one Cache across calls
+	// (as cmd/txbench does) to also dedup across experiment ids.
+	Cache *Cache
 	// Obs, when non-nil, is attached to the measured runs: the engine emits
 	// scheduler events, and the TxRace runtime (plus its HTM) emits the full
-	// transaction lifecycle. Baseline runs stay unobserved so metrics
-	// describe the detector under measurement only.
+	// transaction lifecycle. Under a parallel plan each measured job runs
+	// with a private fork whose metrics merge back in plan order (traces are
+	// metrics-only there; see obs.Observer.Fork). Baseline runs stay
+	// unobserved so metrics describe the detector under measurement only.
 	Obs *obs.Observer
 }
 
@@ -43,6 +58,9 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{Threads: 4, Scale: 1, Seed: 1, LoopCut: core.ProfCut, Trials: 1}
 }
+
+// DefaultProfileSkew is the ProfileSkew a zero Config gets.
+const DefaultProfileSkew = 1.05
 
 func (c Config) withDefaults() Config {
 	if c.Threads == 0 {
@@ -58,7 +76,10 @@ func (c Config) withDefaults() Config {
 		c.Trials = 1
 	}
 	if c.ProfileSkew == 0 {
-		c.ProfileSkew = 1.05
+		c.ProfileSkew = DefaultProfileSkew
+	}
+	if c.Cache == nil {
+		c.Cache = NewCache()
 	}
 	return c
 }
@@ -74,7 +95,9 @@ func (c Config) engineConfig(w *workload.Workload, seed uint64) sim.Config {
 	return ec
 }
 
-// BaselineRun holds one uninstrumented execution.
+// BaselineRun holds one uninstrumented execution. Baseline runs are memoized
+// per (workload, threads, scale, seed) and may be shared between jobs:
+// treat the struct as read-only.
 type BaselineRun struct {
 	Makespan int64
 	Result   *sim.Result
@@ -94,16 +117,25 @@ type TxRaceRun struct {
 	Stats    core.Stats
 }
 
-// RunBaseline executes the original program.
+// RunBaseline executes the original program. The run is memoized in
+// cfg.Cache: the baseline is a deterministic, unobserved function of
+// (workload, threads, scale, seed), so every trial and figure that
+// normalizes against it shares one execution.
 func RunBaseline(w *workload.Workload, cfg Config, seed uint64) (*BaselineRun, error) {
 	cfg = cfg.withDefaults()
 	cfg.Obs = nil // the baseline is the measuring stick, not the measured system
-	built := w.Build(cfg.Threads, cfg.Scale)
-	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(built.Prog, &core.Baseline{})
+	v, err := cfg.Cache.do(memoKey{"baseline", w.Name, cfg.Threads, cfg.Scale, seed}, func() (any, error) {
+		built := w.Build(cfg.Threads, cfg.Scale)
+		res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(built.Prog, &core.Baseline{})
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+		}
+		return &BaselineRun{Makespan: res.Makespan, Result: res}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+		return nil, err
 	}
-	return &BaselineRun{Makespan: res.Makespan, Result: res}, nil
+	return v.(*BaselineRun), nil
 }
 
 // RunTSan executes under full happens-before detection.
@@ -124,7 +156,10 @@ func RunTSan(w *workload.Workload, cfg Config, seed uint64) (*TSanRun, error) {
 }
 
 // RunTxRace executes under the two-phase runtime. For ProfCut it first runs
-// the paper's profiling pass to collect loop-cut thresholds.
+// the paper's profiling pass to collect loop-cut thresholds; the raw profile
+// is memoized in cfg.Cache (it is deterministic and unobserved) and the skew
+// is applied to a fresh copy per run, so the runtime's in-place threshold
+// adaptation never leaks between jobs.
 func RunTxRace(w *workload.Workload, cfg Config, seed uint64) (*TxRaceRun, error) {
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
@@ -133,13 +168,22 @@ func RunTxRace(w *workload.Workload, cfg Config, seed uint64) (*TxRaceRun, error
 		// Profile with a different seed: representative input, not the
 		// measured run. The profiling pass is unobserved so metrics and
 		// traces describe the measured execution only.
+		profSeed := seed ^ 0x9a0f
 		pcfg := cfg
 		pcfg.Obs = nil
-		prof, err := instrument.Profile(built.Prog, pcfg.engineConfig(w, seed^0x9a0f), core.Options{SlowScale: w.SlowScale})
+		v, err := cfg.Cache.do(memoKey{"profile", w.Name, cfg.Threads, cfg.Scale, profSeed}, func() (any, error) {
+			prof, err := instrument.Profile(built.Prog, pcfg.engineConfig(w, profSeed), core.Options{SlowScale: w.SlowScale})
+			if err != nil {
+				return nil, fmt.Errorf("%s profile: %w", w.Name, err)
+			}
+			return prof, nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("%s profile: %w", w.Name, err)
+			return nil, err
 		}
-		for id, th := range prof {
+		raw := v.(core.LoopThresholds)
+		prof := make(core.LoopThresholds, len(raw))
+		for id, th := range raw {
 			prof[id] = int(float64(th)*cfg.ProfileSkew) + 1
 		}
 		opts.Thresholds = prof

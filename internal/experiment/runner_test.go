@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// TestParallelDeterminism is the contract behind the -jobs flag: every
+// experiment id produces byte-identical text and JSON output whether its
+// plan runs on one worker or eight. Comparison is over rendered output, not
+// reflect.DeepEqual, because result structs embed *workload.Workload whose
+// Build func fields never compare equal.
+func TestParallelDeterminism(t *testing.T) {
+	small := apps(t, "swaptions", "bodytrack")
+	one := apps(t, "swaptions")
+	type result interface {
+		Write(io.Writer)
+		JSON() any
+	}
+	experiments := []struct {
+		id  string
+		run func(cfg Config) (result, error)
+	}{
+		{"table1", func(cfg Config) (result, error) {
+			cfg.Trials = 2 // exercise the multi-trial seed stream
+			return RunTable1(cfg, small)
+		}},
+		{"fig7", func(cfg Config) (result, error) { return RunFig7(cfg, small) }},
+		{"fig8", func(cfg Config) (result, error) { return RunFig8(cfg, one) }},
+		{"fig9", func(cfg Config) (result, error) { return RunFig9(cfg, one) }},
+		{"fig10", func(cfg Config) (result, error) { return RunFig10(cfg) }},
+		{"fig11", func(cfg Config) (result, error) { return RunFig11(cfg) }},
+		{"fig1213", func(cfg Config) (result, error) { return RunFig1213(cfg) }},
+		{"precision", func(cfg Config) (result, error) { return RunPrecision(cfg, small) }},
+		{"shadow", func(cfg Config) (result, error) { return RunShadow(cfg, small) }},
+		{"detectability", func(cfg Config) (result, error) { return RunDetectability(cfg, small, 3) }},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			t.Parallel()
+			render := func(jobs int) (string, string) {
+				cfg := testCfg()
+				cfg.Jobs = jobs
+				r, err := e.run(cfg)
+				if err != nil {
+					t.Fatalf("jobs=%d: %v", jobs, err)
+				}
+				var text bytes.Buffer
+				r.Write(&text)
+				js, err := json.Marshal(r.JSON())
+				if err != nil {
+					t.Fatalf("jobs=%d: %v", jobs, err)
+				}
+				return text.String(), string(js)
+			}
+			text1, json1 := render(1)
+			text8, json8 := render(8)
+			if text1 != text8 {
+				t.Errorf("text output differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", text1, text8)
+			}
+			if json1 != json8 {
+				t.Errorf("JSON output differs between -jobs 1 and -jobs 8:\n%s\n%s", json1, json8)
+			}
+		})
+	}
+}
+
+// table1Result adapts Table1's two writers to the single-writer shape the
+// determinism test uses; WriteTable2 is covered by comparing JSON (one
+// struct feeds both tables).
+func (t *Table1) Write(w io.Writer) {
+	t.WriteTable1(w)
+	t.WriteTable2(w)
+}
+
+// TestProfileSkewDefault pins the documented default: a zero ProfileSkew
+// means profiled thresholds are relaxed by 5% (the comment on Config and
+// this constant must agree).
+func TestProfileSkewDefault(t *testing.T) {
+	if DefaultProfileSkew != 1.05 {
+		t.Fatalf("DefaultProfileSkew = %v, want 1.05", DefaultProfileSkew)
+	}
+	cfg := Config{}
+	if got := cfg.withDefaults().ProfileSkew; got != DefaultProfileSkew {
+		t.Fatalf("withDefaults ProfileSkew = %v, want %v", got, DefaultProfileSkew)
+	}
+	cfg.ProfileSkew = 1.25
+	if got := cfg.withDefaults().ProfileSkew; got != 1.25 {
+		t.Fatalf("withDefaults clobbered explicit ProfileSkew: %v", got)
+	}
+}
+
+// TestFig1213TrialsMetadata: the silent raise of the trial count is now
+// surfaced — metadata reports the floor, and an explicit count at or above
+// the floor is honoured unraised.
+func TestFig1213TrialsMetadata(t *testing.T) {
+	cfg := testCfg() // Trials = 1, below the floor
+	f, err := RunFig1213(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.TrialsRaised || f.Trials != fig1213TrialFloor {
+		t.Fatalf("Trials=%d TrialsRaised=%v, want raised to %d", f.Trials, f.TrialsRaised, fig1213TrialFloor)
+	}
+	var buf bytes.Buffer
+	f.Write(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("raised from the requested trial count")) {
+		t.Error("raised trial count not mentioned in text output")
+	}
+
+	cfg.Trials = fig1213TrialFloor
+	f, err = RunFig1213(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TrialsRaised || f.Trials != fig1213TrialFloor {
+		t.Fatalf("Trials=%d TrialsRaised=%v, want unraised %d", f.Trials, f.TrialsRaised, fig1213TrialFloor)
+	}
+}
+
+// TestCacheMemoizesPrerequisites: within one Config, repeated baseline and
+// ProfCut-profile prerequisites collapse to one entry per (kind, workload,
+// threads, scale, seed).
+func TestCacheMemoizesPrerequisites(t *testing.T) {
+	w := apps(t, "swaptions")[0]
+	cfg := testCfg()
+	cfg.Cache = NewCache()
+	cfg = cfg.withDefaults()
+
+	b1, err := RunBaseline(w, cfg, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RunBaseline(w, cfg, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("baseline not memoized: two calls returned distinct runs")
+	}
+	if cfg.Cache.Len() != 1 {
+		t.Errorf("cache has %d entries after two identical baselines, want 1", cfg.Cache.Len())
+	}
+
+	b3, err := RunBaseline(w, cfg, cfg.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 == b1 {
+		t.Error("different seed hit the same cache entry")
+	}
+	if cfg.Cache.Len() != 2 {
+		t.Errorf("cache has %d entries across two seeds, want 2", cfg.Cache.Len())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -88,8 +89,40 @@ func shadowStress() *workload.Workload {
 	}
 }
 
+// boundedResult is what a bounded-shadow job returns.
+type boundedResult struct {
+	races     int
+	recall    float64
+	evictions uint64
+}
+
+// boundedJob runs the workload under TSan with an N-cell bounded shadow and
+// scores it against the sound ground truth.
+func boundedJob(p *runner.Plan, w *workload.Workload, cfg Config, n int, full *TSanRun) *runner.Handle {
+	return p.Add(runner.Job{Workload: w.Name, Runtime: fmt.Sprintf("tsan-bounded(N=%d)", n), Seed: cfg.Seed, Observe: true,
+		Do: func(j *runner.Job) (any, error) {
+			c := cfg
+			c.Obs = j.Obs
+			built := w.Build(c.Threads, c.Scale)
+			rt := core.NewTSanBounded(n, int64(c.Seed)+int64(n))
+			rt.SlowScale = w.SlowScale
+			if _, err := sim.NewEngine(c.engineConfig(w, c.Seed)).Run(
+				instrument.ForTSan(built.Prog), rt); err != nil {
+				return nil, fmt.Errorf("%s bounded(N=%d): %w", w.Name, n, err)
+			}
+			return &boundedResult{
+				races:     rt.Detector().RaceCount(),
+				recall:    stats.Recall(rt.Detector().RaceKeys(), full.Races),
+				evictions: rt.Detector().Evictions,
+			}, nil
+		},
+	})
+}
+
 // RunShadow executes the comparison over the race-bearing applications plus
-// the eviction-pressure stress program.
+// the eviction-pressure stress program, in two plan phases: the sound TSan
+// ground truth for every application first, then the bounded configurations
+// for those with races.
 func RunShadow(cfg Config, apps []*workload.Workload) (*Shadow, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
@@ -97,27 +130,46 @@ func RunShadow(cfg Config, apps []*workload.Workload) (*Shadow, error) {
 	}
 	apps = append(apps[:len(apps):len(apps)], shadowStress())
 	sh := &Shadow{Ns: []int{1, 2, 4}}
-	for _, w := range apps {
-		full, err := RunTSan(w, cfg, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+
+	truth := cfg.newPlan()
+	fulls := make([]*runner.Handle, len(apps))
+	for i, w := range apps {
+		fulls[i] = tsanJob(truth, w, cfg, 0, cfg.Seed)
+	}
+	if err := truth.Run(); err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		app     *workload.Workload
+		full    *TSanRun
+		bounded map[int]*runner.Handle
+	}
+	sweep := cfg.newPlan()
+	var cells []cell
+	for i, w := range apps {
+		full := tsanOf(fulls[i])
 		if len(full.Races) == 0 {
 			continue
 		}
-		row := ShadowRow{App: w, Sound: len(full.Races),
+		c := cell{app: w, full: full, bounded: map[int]*runner.Handle{}}
+		for _, n := range sh.Ns {
+			c.bounded[n] = boundedJob(sweep, w, cfg, n, full)
+		}
+		cells = append(cells, c)
+	}
+	if err := sweep.Run(); err != nil {
+		return nil, err
+	}
+
+	for _, c := range cells {
+		row := ShadowRow{App: c.app, Sound: len(c.full.Races),
 			Bounded: map[int]int{}, Recall: map[int]float64{}, Evictions: map[int]uint64{}}
 		for _, n := range sh.Ns {
-			built := w.Build(cfg.Threads, cfg.Scale)
-			rt := core.NewTSanBounded(n, int64(cfg.Seed)+int64(n))
-			rt.SlowScale = w.SlowScale
-			if _, err := sim.NewEngine(cfg.engineConfig(w, cfg.Seed)).Run(
-				instrument.ForTSan(built.Prog), rt); err != nil {
-				return nil, fmt.Errorf("%s bounded(N=%d): %w", w.Name, n, err)
-			}
-			row.Bounded[n] = rt.Detector().RaceCount()
-			row.Recall[n] = stats.Recall(rt.Detector().RaceKeys(), full.Races)
-			row.Evictions[n] = rt.Detector().Evictions
+			b := c.bounded[n].Value().(*boundedResult)
+			row.Bounded[n] = b.races
+			row.Recall[n] = b.recall
+			row.Evictions[n] = b.evictions
 		}
 		sh.Rows = append(sh.Rows, row)
 	}

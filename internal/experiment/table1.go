@@ -1,9 +1,8 @@
 package experiment
 
 import (
-	"sync"
-
 	"repro/internal/detect"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -47,33 +46,42 @@ type Table1 struct {
 	GeoCostEff        float64
 }
 
+// table1Cell holds the three runs of one (application, trial).
+type table1Cell struct {
+	base, tsan, tx *runner.Handle
+}
+
 // RunTable1 executes the Table 1 experiment over all (or the given)
-// workloads. Applications are measured in parallel — every run is its own
-// engine and detector, so results are identical to the serial order.
+// workloads: a plan of apps × trials × {baseline, TSan, TxRace} jobs on the
+// worker pool, reduced per application in plan order — results are identical
+// to the serial run at any cfg.Jobs.
 func RunTable1(cfg Config, apps []*workload.Workload) (*Table1, error) {
 	cfg = cfg.withDefaults()
 	if apps == nil {
 		apps = workload.All()
 	}
-	rows := make([]*Table1Row, len(apps))
-	errs := make([]error, len(apps))
-	var wg sync.WaitGroup
+	plan := cfg.newPlan()
+	seeds := runner.Seeds(cfg.Seed)
+	cells := make([][]table1Cell, len(apps))
 	for i, w := range apps {
-		wg.Add(1)
-		go func(i int, w *workload.Workload) {
-			defer wg.Done()
-			rows[i], errs[i] = runTable1Row(w, cfg)
-		}(i, w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		cells[i] = make([]table1Cell, cfg.Trials)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := seeds.Trial(trial)
+			cells[i][trial] = table1Cell{
+				base: baselineJob(plan, w, cfg, trial, seed),
+				tsan: tsanJob(plan, w, cfg, trial, seed),
+				tx:   txraceJob(plan, w, cfg, trial, seed),
+			}
 		}
 	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
+
 	t := &Table1{}
 	var tsanOv, txOv, normOv, recalls, ces []float64
-	for _, row := range rows {
+	for i, w := range apps {
+		row := reduceTable1Row(w, cfg, cells[i])
 		t.Rows = append(t.Rows, *row)
 		tsanOv = append(tsanOv, row.TSanOverhead)
 		txOv = append(txOv, row.TxRaceOverhead)
@@ -89,28 +97,16 @@ func RunTable1(cfg Config, apps []*workload.Workload) (*Table1, error) {
 	return t, nil
 }
 
-func runTable1Row(w *workload.Workload, cfg Config) (*Table1Row, error) {
+// reduceTable1Row averages one application's trials into its table line.
+func reduceTable1Row(w *workload.Workload, cfg Config, trials []table1Cell) *Table1Row {
 	row := &Table1Row{App: w}
 	var base, tsan, tx float64
 	tsanRaces := map[detect.PairKey]struct{}{}
 	txRaces := map[detect.PairKey]struct{}{}
 	var tsanKeys, txKeys []detect.PairKey
 
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.Seed + uint64(trial)*0x1000
-
-		b, err := RunBaseline(w, cfg, seed)
-		if err != nil {
-			return nil, err
-		}
-		ts, err := RunTSan(w, cfg, seed)
-		if err != nil {
-			return nil, err
-		}
-		txr, err := RunTxRace(w, cfg, seed)
-		if err != nil {
-			return nil, err
-		}
+	for _, cell := range trials {
+		b, ts, txr := baselineOf(cell.base), tsanOf(cell.tsan), txraceOf(cell.tx)
 
 		base += float64(b.Makespan)
 		tsan += float64(ts.Makespan)
@@ -149,5 +145,5 @@ func runTable1Row(w *workload.Workload, cfg Config) (*Table1Row, error) {
 	row.NormOverhead = tx / tsan
 	row.Recall = stats.Recall(txKeys, tsanKeys)
 	row.CostEff = stats.CostEffectiveness(row.Recall, row.NormOverhead)
-	return row, nil
+	return row
 }

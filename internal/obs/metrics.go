@@ -150,6 +150,46 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	return h
 }
 
+// Merge folds another registry into this one: counters and gauges add,
+// histograms combine bucket-wise. Instruments missing on either side are
+// created or carried over at their face value. Merging is how per-job
+// registries (internal/runner forks one observer per measured run) fold back
+// into an experiment's parent registry; merging the same set of registries
+// in the same order always yields the same result, so aggregate metrics are
+// independent of how the jobs were scheduled.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	for name, c := range o.counters {
+		m.Counter(name).Add(c.v)
+	}
+	for name, g := range o.gauges {
+		m.Gauge(name).Add(g.v)
+	}
+	for name, h := range o.hists {
+		m.Histogram(name).merge(h)
+	}
+}
+
+// merge folds another histogram into h bucket-wise.
+func (h *Histogram) merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+}
+
 // Snapshot is a point-in-time export of a registry. Marshalling it with
 // encoding/json is deterministic (map keys serialize sorted), so snapshots
 // of identical runs are byte-identical.

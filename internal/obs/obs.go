@@ -221,6 +221,29 @@ func New(trace Sink, m *Metrics) *Observer {
 // Metrics returns the registry the observer updates.
 func (o *Observer) Metrics() *Metrics { return o.metrics }
 
+// Fork returns a fresh Observer with a private registry, for one job of a
+// parallel experiment plan. Forks deliberately carry no trace sink — a ring
+// buffer interleaving events from concurrent independent runs would be
+// nondeterministic and uninterpretable — so a fork records metrics only;
+// Join folds them back into the parent. Fork of a nil Observer is nil, so
+// unobserved plans cost nothing.
+func (o *Observer) Fork() *Observer {
+	if o == nil {
+		return nil
+	}
+	return New(nil, nil)
+}
+
+// Join merges a fork's metrics into this observer's registry. Joining the
+// same forks in the same order always produces the same totals (see
+// Metrics.Merge). Nil receivers and nil children are no-ops.
+func (o *Observer) Join(child *Observer) {
+	if o == nil || child == nil {
+		return
+	}
+	o.metrics.Merge(child.metrics)
+}
+
 func (o *Observer) emit(ev Event) {
 	if o.trace != nil {
 		o.trace.Emit(ev)

@@ -1,0 +1,189 @@
+// Package runner is the execution layer under internal/experiment: drivers
+// describe the runs an experiment needs as a declarative Plan of Jobs, and a
+// bounded worker pool executes them concurrently. Every job is an independent
+// (workload, runtime, seed) measurement — its own engine, detector, and
+// observer — so results are identical at any worker count; the pool merges
+// results and observer metrics back in plan order, which makes a plan's
+// output byte-identical to the sequential run.
+//
+// Failures do not abort the plan: every job runs, and Run returns the
+// aggregate of all per-job errors, each carrying its (workload, runtime,
+// trial, seed) context.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Job is one unit of work in a Plan: a single simulated execution (or any
+// other independent computation). The Workload/Runtime/Trial/Seed fields are
+// descriptive — they label results and errors; Do carries the actual work.
+type Job struct {
+	// Workload and Runtime identify what the job measures ("vips",
+	// "txrace"); they appear verbatim in error messages.
+	Workload string
+	Runtime  string
+	// Trial is the job's trial (or run/seed) index within the experiment.
+	Trial int
+	// Seed is the scheduler seed the job runs under, normally drawn from a
+	// SeedStream.
+	Seed uint64
+	// Observe requests a per-job fork of the plan's parent observer. The
+	// pool sets Obs before Do runs and merges the fork's metrics back into
+	// the parent in plan order after all jobs finish, so aggregate metrics
+	// are deterministic at any worker count. When the plan has no parent
+	// observer (or Observe is false) Obs stays nil.
+	Observe bool
+	Obs     *obs.Observer
+	// Do performs the job. Its result is retrieved through the Handle that
+	// Add returned. Do must not touch state shared with other jobs.
+	Do func(j *Job) (any, error)
+}
+
+// Handle refers to one added job's slot in the plan.
+type Handle struct {
+	p   *Plan
+	idx int
+}
+
+// Value returns the job's result. It may only be called after Plan.Run; the
+// value is whatever the job's Do returned (nil if the job failed).
+func (h *Handle) Value() any {
+	if !h.p.ran {
+		panic("runner: Handle.Value before Plan.Run")
+	}
+	return h.p.results[h.idx]
+}
+
+// Err returns the job's own error, if any (Run already aggregates these).
+func (h *Handle) Err() error {
+	if !h.p.ran {
+		panic("runner: Handle.Err before Plan.Run")
+	}
+	return h.p.errs[h.idx]
+}
+
+// Plan is an ordered list of independent jobs plus the execution policy.
+// Build it declaratively, call Run once, then read results back through the
+// handles. The zero Plan is usable; NewPlan just bundles the two knobs.
+type Plan struct {
+	// Workers bounds the pool; 0 means GOMAXPROCS.
+	Workers int
+	// Obs, when non-nil, is the parent observer that observing jobs fork
+	// from and merge back into.
+	Obs *obs.Observer
+
+	jobs    []*Job
+	results []any
+	errs    []error
+	ran     bool
+}
+
+// NewPlan returns an empty plan executing on `workers` goroutines (0 =
+// GOMAXPROCS) with obs as the parent observer (may be nil).
+func NewPlan(workers int, parent *obs.Observer) *Plan {
+	return &Plan{Workers: workers, Obs: parent}
+}
+
+// Add appends a job and returns its handle.
+func (p *Plan) Add(j Job) *Handle {
+	if p.ran {
+		panic("runner: Plan.Add after Plan.Run")
+	}
+	if j.Do == nil {
+		panic("runner: job without Do")
+	}
+	jc := j
+	p.jobs = append(p.jobs, &jc)
+	return &Handle{p: p, idx: len(p.jobs) - 1}
+}
+
+// Len returns the number of jobs added so far.
+func (p *Plan) Len() int { return len(p.jobs) }
+
+// Run executes every job on the worker pool and merges results in plan
+// order. It returns nil when all jobs succeeded, otherwise the aggregate of
+// every failed job's JobError (errors.Join); successful jobs' results remain
+// available through their handles either way.
+func (p *Plan) Run() error {
+	if p.ran {
+		panic("runner: Plan.Run called twice")
+	}
+	p.ran = true
+	p.results = make([]any, len(p.jobs))
+	p.errs = make([]error, len(p.jobs))
+	if len(p.jobs) == 0 {
+		return nil
+	}
+
+	// Fork observers up front, in plan order, so instrument registration
+	// order inside the parent registry never depends on scheduling.
+	if p.Obs != nil {
+		for _, j := range p.jobs {
+			if j.Observe {
+				j.Obs = p.Obs.Fork()
+			}
+		}
+	}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.jobs) {
+		workers = len(p.jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := p.jobs[i]
+				v, err := j.Do(j)
+				p.results[i] = v
+				if err != nil {
+					p.errs[i] = &JobError{
+						Workload: j.Workload, Runtime: j.Runtime,
+						Trial: j.Trial, Seed: j.Seed, Err: err,
+					}
+				}
+			}
+		}()
+	}
+	for i := range p.jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Merge per-job metrics back, again in plan order.
+	if p.Obs != nil {
+		for _, j := range p.jobs {
+			p.Obs.Join(j.Obs)
+		}
+	}
+	return errors.Join(p.errs...)
+}
+
+// JobError is one failed job, with enough context to re-run it alone.
+type JobError struct {
+	Workload string
+	Runtime  string
+	Trial    int
+	Seed     uint64
+	Err      error
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("%s/%s trial %d (seed %#x): %v", e.Workload, e.Runtime, e.Trial, e.Seed, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }

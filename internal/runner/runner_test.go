@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPlanResultsInPlanOrder: results come back through handles in plan
+// order regardless of worker count or completion order.
+func TestPlanResultsInPlanOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		p := NewPlan(workers, nil)
+		const n = 50
+		hs := make([]*Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			hs[i] = p.Add(Job{Workload: "w", Runtime: "r", Trial: i,
+				Do: func(j *Job) (any, error) { return i * i, nil }})
+		}
+		if err := p.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := 0; i < n; i++ {
+			if got := hs[i].Value().(int); got != i*i {
+				t.Fatalf("workers=%d: job %d = %d, want %d", workers, i, got, i*i)
+			}
+		}
+	}
+}
+
+// TestPlanRunsEveryJobDespiteFailures: a failing job neither stops the plan
+// nor hides other failures; the aggregate error names each failed job with
+// its (workload, runtime, trial, seed) context.
+func TestPlanRunsEveryJobDespiteFailures(t *testing.T) {
+	p := NewPlan(4, nil)
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		p.Add(Job{Workload: fmt.Sprintf("app%d", i), Runtime: "txrace", Trial: i, Seed: uint64(i),
+			Do: func(j *Job) (any, error) {
+				ran.Add(1)
+				if i%3 == 0 {
+					return nil, boom
+				}
+				return i, nil
+			}})
+	}
+	err := p.Run()
+	if err == nil {
+		t.Fatal("want aggregated error")
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d jobs, want all 10", ran.Load())
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("aggregate not unwrappable to *JobError: %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("aggregate loses the cause: %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"app0/txrace trial 0 (seed 0x0)", "app3/txrace trial 3", "app9/txrace trial 9"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregate error missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(msg, "app1/") {
+		t.Errorf("successful job reported as failed:\n%s", msg)
+	}
+}
+
+// TestPlanObserverMerge: per-job observer forks merge back into the parent
+// registry with totals independent of the worker count.
+func TestPlanObserverMerge(t *testing.T) {
+	snapshots := make([]obs.Snapshot, 0, 2)
+	for _, workers := range []int{1, 8} {
+		m := obs.NewMetrics()
+		parent := obs.New(nil, m)
+		p := NewPlan(workers, parent)
+		for i := 0; i < 20; i++ {
+			i := i
+			p.Add(Job{Workload: "w", Runtime: "r", Trial: i, Observe: true,
+				Do: func(j *Job) (any, error) {
+					if j.Obs == nil {
+						return nil, errors.New("observing job got nil fork")
+					}
+					j.Obs.TxBegin(0, int64(i))
+					j.Obs.TxCommit(0, int64(i)+100, 100+int64(i))
+					return nil, nil
+				}})
+		}
+		if err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		snap := m.Snapshot()
+		if got := snap.Counters["txn.begin"]; got != 20 {
+			t.Fatalf("workers=%d: txn.begin = %d, want 20", workers, got)
+		}
+		snapshots = append(snapshots, snap)
+	}
+	a, b := fmt.Sprintf("%+v", snapshots[0]), fmt.Sprintf("%+v", snapshots[1])
+	if a != b {
+		t.Fatalf("merged metrics differ between 1 and 8 workers:\n%s\n%s", a, b)
+	}
+}
+
+// TestPlanWithoutObserver: Observe jobs on an unobserved plan get nil Obs
+// (and obs nil-safety makes that free for callers that guard).
+func TestPlanWithoutObserver(t *testing.T) {
+	p := NewPlan(2, nil)
+	h := p.Add(Job{Observe: true, Do: func(j *Job) (any, error) { return j.Obs == nil, nil }})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Value().(bool) {
+		t.Fatal("job on unobserved plan got a non-nil observer")
+	}
+}
+
+// TestSeedStream: trial 0 is the base seed (a single-trial experiment runs
+// exactly the schedule -seed asked for); later trials are distinct,
+// deterministic, and never the engine's reserved 0.
+func TestSeedStream(t *testing.T) {
+	s := Seeds(1)
+	if s.Trial(0) != 1 {
+		t.Fatalf("Trial(0) = %d, want base seed 1", s.Trial(0))
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		v := s.Trial(i)
+		if v == 0 {
+			t.Fatalf("Trial(%d) = 0", i)
+		}
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("Trial(%d) collides with Trial(%d): %#x", i, prev, v)
+		}
+		seen[v] = i
+	}
+	if s.Trial(7) != Seeds(1).Trial(7) {
+		t.Fatal("SeedStream not deterministic")
+	}
+	if Seeds(1).Trial(3) == Seeds(2).Trial(3) {
+		t.Fatal("different bases share trial seeds")
+	}
+}
+
+// TestPlanEmptyAndGuards: an empty plan runs; misuse panics loudly.
+func TestPlanEmptyAndGuards(t *testing.T) {
+	p := NewPlan(0, nil)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "Add after Run", func() { p.Add(Job{Do: func(*Job) (any, error) { return nil, nil }}) })
+	mustPanic(t, "Run twice", func() { p.Run() })
+
+	q := NewPlan(0, nil)
+	h := q.Add(Job{Do: func(*Job) (any, error) { return nil, nil }})
+	mustPanic(t, "Value before Run", func() { h.Value() })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
