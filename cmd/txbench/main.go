@@ -32,10 +32,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/cmd/internal/cli"
+	"repro/internal/bench"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/workload"
 )
 
@@ -46,6 +49,8 @@ func main() {
 		trials     = flag.Int("trials", 1, "trials to average over")
 		format     = flag.String("format", "text", "output format: text | json")
 		metricsOut = flag.String("metrics-out", "", "write per-experiment metrics snapshots (JSON map) here")
+		benchOut   = flag.String("bench-out", "", "run the micro benchmark suite, time each experiment, write BENCH JSON here")
+		benchGate  = flag.Bool("bench-gate", false, "with -bench-out: exit nonzero if the micro suite fails the allocation regression gate")
 	)
 	common := cli.AddFlags()
 	flag.Parse()
@@ -70,6 +75,7 @@ func main() {
 	// One fresh registry per experiment id, so each snapshot describes
 	// exactly the runs that experiment performed.
 	snapshots := map[string]obs.Snapshot{}
+	var expTimes []benchExperiment
 	for _, id := range ids {
 		rcfg := cfg
 		var metrics *obs.Metrics
@@ -77,9 +83,14 @@ func main() {
 			metrics = obs.NewMetrics()
 			rcfg.Obs = obs.New(nil, metrics)
 		}
+		start := time.Now()
 		if err := run(id, rcfg, apps, *format); err != nil {
 			fatal(err)
 		}
+		expTimes = append(expTimes, benchExperiment{
+			ID:     id,
+			WallMs: report.FormatFixed(float64(time.Since(start).Microseconds())/1000, 2),
+		})
 		if metrics != nil {
 			snapshots[id] = metrics.Snapshot()
 		}
@@ -90,6 +101,55 @@ func main() {
 		}
 		fmt.Printf("wrote metrics %s (%d experiments)\n", *metricsOut, len(snapshots))
 	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, expTimes, *benchGate); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// benchExperiment is one experiment's wall-clock measurement in the -bench-out
+// file. Wall time is inherently noisy; fixed-precision formatting keeps the
+// file shape stable so trajectory diffs highlight only the numbers.
+type benchExperiment struct {
+	ID     string `json:"id"`
+	WallMs string `json:"wall_ms"`
+}
+
+// benchFile is the -bench-out JSON layout, versioned by Schema. The micro
+// suite pairs map/* (pre-refactor hash-map shadow layouts, kept in-tree as
+// reference implementations) with paged/* variants of the same workload, so
+// one file documents the before/after trajectory of the hot-path rebuild.
+type benchFile struct {
+	Schema      string            `json:"schema"`
+	Micro       []bench.Result    `json:"micro"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+func writeBench(path string, exps []benchExperiment, gate bool) error {
+	fmt.Println("running micro benchmark suite...")
+	micro := bench.RunMicro()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(benchFile{Schema: "txrace-bench/v1", Micro: micro, Experiments: exps})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote bench %s (%d micro, %d experiments)\n", path, len(micro), len(exps))
+	if gate {
+		if err := bench.Gate(micro); err != nil {
+			return err
+		}
+		fmt.Println("bench gate: ok")
+	}
+	return nil
 }
 
 func writeSnapshots(path string, snaps map[string]obs.Snapshot) error {

@@ -1,0 +1,223 @@
+// Package bench is the benchmark trajectory harness: a fixed suite of micro
+// benchmarks over the detector hot path, run via testing.Benchmark from any
+// binary (no test runner needed), plus the JSON emitter behind txbench's
+// -bench-out flag.
+//
+// The suite measures the paged shadow structures (internal/shadow) against
+// the original map-backed layouts (shadow.MapMemory, shadow.MapCellStore),
+// which are kept in-tree precisely so one binary can report before/after
+// numbers for the same workload. Gate turns the comparison into a pass/fail
+// check for CI: the paged path must allocate at most half as much per access
+// as the map path, and the steady-state detector sweep must stay near
+// allocation-free.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/detect"
+	"repro/internal/memmodel"
+	"repro/internal/report"
+	"repro/internal/shadow"
+)
+
+// Result is one micro benchmark measurement. The per-op fields are rendered
+// with report.FormatFixed so emitted JSON has stable field widths and
+// diffs cleanly across runs that differ only in float noise.
+type Result struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	NsPerOp     string `json:"ns_per_op"`
+	AllocsPerOp string `json:"allocs_per_op"`
+	BytesPerOp  string `json:"bytes_per_op"`
+
+	nsPerOp     float64
+	allocsPerOp float64
+}
+
+// Ns returns the raw ns/op measurement.
+func (r Result) Ns() float64 { return r.nsPerOp }
+
+// Allocs returns the raw allocations/op measurement.
+func (r Result) Allocs() float64 { return r.allocsPerOp }
+
+func makeResult(name string, br testing.BenchmarkResult) Result {
+	ns := float64(br.T.Nanoseconds()) / float64(br.N)
+	allocs := float64(br.MemAllocs) / float64(br.N)
+	bytes := float64(br.MemBytes) / float64(br.N)
+	return Result{
+		Name:        name,
+		N:           br.N,
+		NsPerOp:     report.FormatFixed(ns, 2),
+		AllocsPerOp: report.FormatFixed(allocs, 4),
+		BytesPerOp:  report.FormatFixed(bytes, 2),
+		nsPerOp:     ns,
+		allocsPerOp: allocs,
+	}
+}
+
+// workingSet is the number of distinct granules each benchmark sweeps: large
+// enough to spill several pages, small enough to finish a reset cycle within
+// one benchmark iteration batch.
+const workingSet = 1 << 15
+
+func addr(i int) memmodel.Addr {
+	return memmodel.Addr(0x10000 + uint64(i%workingSet)*memmodel.WordSize)
+}
+
+// wordStore is the surface shared by Memory and MapMemory that the word
+// benchmarks exercise.
+type wordStore interface {
+	Word(memmodel.Addr) *shadow.Word
+	Reset()
+}
+
+// benchTouch measures first-touch cost: every reset cycle re-populates the
+// whole working set, so per-op allocations reflect how much the layout
+// allocates per fresh granule (map: one Word box each; paged: one page per
+// PageSize granules).
+func benchTouch(m wordStore) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := clock.MakeEpoch(0, 1)
+		for i := 0; i < b.N; i++ {
+			if i%workingSet == 0 {
+				m.Reset()
+			}
+			w := m.Word(addr(i))
+			w.W = e
+		}
+	}
+}
+
+// benchRevisit measures steady-state lookup cost over a resident working set:
+// no allocation is acceptable on this path for either layout.
+func benchRevisit(m wordStore) func(b *testing.B) {
+	return func(b *testing.B) {
+		e := clock.MakeEpoch(0, 1)
+		for i := 0; i < workingSet; i++ {
+			m.Word(addr(i)).W = e
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := m.Word(addr(i))
+			w.W = e
+		}
+	}
+}
+
+// cellStore is the surface shared by CellStore and MapCellStore.
+type cellStore interface {
+	Add(memmodel.Addr, shadow.Cell) bool
+	Cells(memmodel.Addr) []shadow.Cell
+}
+
+// benchCells measures the bounded-shadow record/evict cycle: four cells per
+// granule, eight distinct (tid, write) record shapes, so steady state evicts.
+func benchCells(s cellStore) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tid := clock.TID(i % 8)
+			c := shadow.Cell{E: clock.MakeEpoch(tid, clock.Time(i/8+1)), Site: shadow.SiteID(i % 16), Write: i%2 == 0}
+			s.Add(addr(i), c)
+			_ = s.Cells(addr(i))
+		}
+	}
+}
+
+// benchDetector measures the full FastTrack hot path: two threads sweeping a
+// shared working set with periodic lock handoffs, the access mix the
+// experiments' slow path executes. Steady state must be allocation-free.
+func benchDetector() func(b *testing.B) {
+	return func(b *testing.B) {
+		d := detect.New()
+		d.Fork(0, 1)
+		const lock = detect.SyncID(1)
+		// Warm both thread clocks and the working set before timing.
+		for i := 0; i < workingSet; i++ {
+			d.Access(0, addr(i), true, 1)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tid := clock.TID(i % 2)
+			if i%1024 == 0 {
+				d.Release(tid, lock)
+				d.Acquire(1-tid, lock)
+			}
+			d.Access(tid, addr(i), i%4 == 0, shadow.SiteID(2+i%8))
+		}
+	}
+}
+
+// microBench names one suite entry. Constructors run per invocation so every
+// measurement starts from an empty store.
+type microBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+func microFuncs() []microBench {
+	return []microBench{
+		{"shadow/touch/map", benchTouch(shadow.NewMapMemory())},
+		{"shadow/touch/paged", benchTouch(shadow.NewMemory())},
+		{"shadow/revisit/map", benchRevisit(shadow.NewMapMemory())},
+		{"shadow/revisit/paged", benchRevisit(shadow.NewMemory())},
+		{"cells/add/map", benchCells(shadow.NewMapCellStore(4, 42))},
+		{"cells/add/paged", benchCells(shadow.NewCellStore(4, 42))},
+		{"detect/sweep", benchDetector()},
+	}
+}
+
+// RunMicro executes the fixed micro suite and returns its results in suite
+// order. Names pair map/paged variants of the same workload; the map variants
+// are the pre-refactor layouts kept as reference implementations.
+func RunMicro() []Result {
+	var out []Result
+	for _, mb := range microFuncs() {
+		out = append(out, makeResult(mb.name, testing.Benchmark(mb.fn)))
+	}
+	return out
+}
+
+// Find returns the named result, or false when the suite does not have it.
+func Find(rs []Result, name string) (Result, bool) {
+	for _, r := range rs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Gate checks a micro-suite run against the regression policy: the paged
+// first-touch path must allocate at most half of what the map path does per
+// access (the refactor's headline claim), and the steady-state paths must be
+// effectively allocation-free. Thresholds are deliberately generous — the
+// gate exists to catch order-of-magnitude regressions, not scheduler noise.
+func Gate(rs []Result) error {
+	mt, ok1 := Find(rs, "shadow/touch/map")
+	pt, ok2 := Find(rs, "shadow/touch/paged")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("bench: suite missing shadow/touch results")
+	}
+	if pt.allocsPerOp > mt.allocsPerOp/2 {
+		return fmt.Errorf("bench: paged first-touch allocates %.4f/op, more than half of map's %.4f/op",
+			pt.allocsPerOp, mt.allocsPerOp)
+	}
+	for _, name := range []string{"shadow/revisit/paged", "detect/sweep"} {
+		r, ok := Find(rs, name)
+		if !ok {
+			return fmt.Errorf("bench: suite missing %s", name)
+		}
+		if r.allocsPerOp > 0.1 {
+			return fmt.Errorf("bench: %s allocates %.4f/op, steady state should be near zero",
+				name, r.allocsPerOp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func synthetic(name string, ns, allocs float64) Result {
+	r := Result{Name: name}
+	r.nsPerOp, r.allocsPerOp = ns, allocs
+	return r
+}
+
+func TestGatePassesOnHealthySuite(t *testing.T) {
+	rs := []Result{
+		synthetic("shadow/touch/map", 100, 1.0),
+		synthetic("shadow/touch/paged", 40, 0.01),
+		synthetic("shadow/revisit/paged", 10, 0),
+		synthetic("detect/sweep", 50, 0.001),
+	}
+	if err := Gate(rs); err != nil {
+		t.Fatalf("Gate rejected healthy suite: %v", err)
+	}
+}
+
+func TestGateRejectsAllocRegression(t *testing.T) {
+	rs := []Result{
+		synthetic("shadow/touch/map", 100, 1.0),
+		synthetic("shadow/touch/paged", 40, 0.9), // less than 2x better
+		synthetic("shadow/revisit/paged", 10, 0),
+		synthetic("detect/sweep", 50, 0),
+	}
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "first-touch") {
+		t.Fatalf("Gate accepted alloc regression: %v", err)
+	}
+	rs[1] = synthetic("shadow/touch/paged", 40, 0.01)
+	rs[3] = synthetic("detect/sweep", 50, 0.5) // steady state allocating
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "detect/sweep") {
+		t.Fatalf("Gate accepted steady-state allocations: %v", err)
+	}
+}
+
+func TestGateRejectsMissingResults(t *testing.T) {
+	if err := Gate(nil); err == nil {
+		t.Fatal("Gate accepted empty suite")
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	br := testing.BenchmarkResult{N: 2000, T: 3 * time.Microsecond, MemAllocs: 4, MemBytes: 128}
+	r := makeResult("x", br)
+	if r.NsPerOp != "1.50" {
+		t.Errorf("NsPerOp = %q, want 1.50", r.NsPerOp)
+	}
+	if r.AllocsPerOp != "0.0020" {
+		t.Errorf("AllocsPerOp = %q, want 0.0020", r.AllocsPerOp)
+	}
+	if r.Ns() != 1.5 {
+		t.Errorf("Ns() = %v, want 1.5", r.Ns())
+	}
+}
+
+// TestMicroSuiteSmoke runs the real suite components for a handful of
+// iterations each — enough to catch panics and wiring mistakes without the
+// full -bench-out measurement cost. The full suite (and its regression gate)
+// runs in CI via txbench -bench-out -bench-gate.
+func TestMicroSuiteSmoke(t *testing.T) {
+	for _, f := range microFuncs() {
+		f.fn(&testing.B{N: 2048})
+	}
+}

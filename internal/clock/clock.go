@@ -75,8 +75,35 @@ func (v *VC) Tick(tid TID) Time {
 }
 
 func (v *VC) grow(n int) {
-	for len(v.t) < n {
-		v.t = append(v.t, 0)
+	if len(v.t) >= n {
+		return
+	}
+	if cap(v.t) >= n {
+		// Re-extending into capacity must zero explicitly: Clear may have
+		// truncated over stale components.
+		old := len(v.t)
+		v.t = v.t[:n]
+		for i := old; i < n; i++ {
+			v.t[i] = 0
+		}
+		return
+	}
+	nt := make([]Time, n)
+	copy(nt, v.t)
+	v.t = nt
+}
+
+// Clear resets v to the all-zeros clock of n components, reusing the backing
+// array when it is large enough. The shadow-memory read-vector pool uses it
+// to recycle clocks without reallocating.
+func (v *VC) Clear(n int) {
+	if cap(v.t) < n {
+		v.t = make([]Time, n)
+		return
+	}
+	v.t = v.t[:n]
+	for i := range v.t {
+		v.t[i] = 0
 	}
 }
 

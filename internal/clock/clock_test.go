@@ -148,3 +148,44 @@ func TestPropertyEpochAgreesWithVector(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClearReusesBacking(t *testing.T) {
+	v := New(4)
+	v.Set(3, 9)
+	v.Clear(2)
+	if v.Len() != 2 {
+		t.Fatalf("Len after Clear(2) = %d, want 2", v.Len())
+	}
+	for tid := TID(0); tid < 4; tid++ {
+		if v.Get(tid) != 0 {
+			t.Fatalf("component %d = %d after Clear, want 0", tid, v.Get(tid))
+		}
+	}
+	// Re-extending into retained capacity must not resurrect stale values.
+	v.Set(1, 5)
+	if v.Get(3) != 0 {
+		t.Fatalf("stale component resurrected: Get(3) = %d", v.Get(3))
+	}
+	// Clear to a larger size than capacity allocates fresh.
+	v.Clear(16)
+	if v.Len() != 16 || v.Get(15) != 0 {
+		t.Fatalf("Clear(16): Len=%d Get(15)=%d", v.Len(), v.Get(15))
+	}
+}
+
+func TestGrowPastClearIsZeroed(t *testing.T) {
+	v := New(8)
+	for i := TID(0); i < 8; i++ {
+		v.Set(i, Time(i)+1)
+	}
+	v.Clear(1)
+	v.Set(6, 2) // grows back through the stale region
+	for i := TID(1); i < 6; i++ {
+		if v.Get(i) != 0 {
+			t.Fatalf("component %d = %d after re-growth, want 0", i, v.Get(i))
+		}
+	}
+	if v.Get(6) != 2 {
+		t.Fatalf("Get(6) = %d, want 2", v.Get(6))
+	}
+}

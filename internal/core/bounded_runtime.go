@@ -69,3 +69,11 @@ func (r *TSanBounded) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr
 	r.eng.Charge(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale))
 	r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
 }
+
+// Finish folds the detector's shadow and cell-store allocation counters into
+// the metrics.
+func (r *TSanBounded) Finish(e *sim.Engine) {
+	s := r.det.ShadowStats()
+	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+	e.Config().Obs.ShadowCellStats(r.det.CellStats().Pages)
+}

@@ -129,3 +129,15 @@ func (r *Sampling) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
 		r.eng.Charge(t, cost.SampleGate)
 	}
 }
+
+// Finish folds the detector's shadow allocation counters into the metrics.
+func (r *TSan) Finish(e *sim.Engine) {
+	s := r.det.ShadowStats()
+	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+}
+
+// Finish folds the detector's shadow allocation counters into the metrics.
+func (r *Sampling) Finish(e *sim.Engine) {
+	s := r.s.D.ShadowStats()
+	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+}

@@ -633,3 +633,10 @@ func (r *TxRace) ThreadExit(t *sim.Thread) {
 	}
 	c.mode = ModeNone
 }
+
+// Finish folds the slow-path detector's shadow allocation counters into the
+// metrics registry.
+func (r *TxRace) Finish(e *sim.Engine) {
+	s := r.det.ShadowStats()
+	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+}

@@ -60,3 +60,9 @@ func (d *CellDetector) Races() []Race { return d.hb.Races() }
 
 // RaceKeys returns the sorted normalized race pairs.
 func (d *CellDetector) RaceKeys() []PairKey { return d.hb.RaceKeys() }
+
+// ShadowStats exposes the happens-before core's shadow allocation counters.
+func (d *CellDetector) ShadowStats() shadow.MemStats { return d.hb.mem.Stats() }
+
+// CellStats exposes the bounded store's page-allocation counter.
+func (d *CellDetector) CellStats() shadow.CellStats { return d.store.Stats() }

@@ -55,7 +55,7 @@ type PairKey struct{ A, B shadow.SiteID }
 // one per sync object, and FastTrack shadow words.
 type Detector struct {
 	threads []*clock.VC
-	syncs   map[SyncID]*clock.VC
+	syncs   vcTable
 	mem     *shadow.Memory
 	races   map[PairKey]Race
 	order   []PairKey // insertion order for deterministic reporting
@@ -69,7 +69,6 @@ type Detector struct {
 // New returns an empty detector.
 func New() *Detector {
 	return &Detector{
-		syncs: make(map[SyncID]*clock.VC),
 		mem:   shadow.NewMemory(),
 		races: make(map[PairKey]Race),
 	}
@@ -78,9 +77,16 @@ func New() *Detector {
 // OnRace registers a callback invoked once per distinct static race.
 func (d *Detector) OnRace(f func(Race)) { d.onRace = f }
 
+// growThreads extends a thread-clock slice to hold tid in one allocation.
+func growThreads(threads []*clock.VC, tid clock.TID) []*clock.VC {
+	nt := make([]*clock.VC, int(tid)+1)
+	copy(nt, threads)
+	return nt
+}
+
 func (d *Detector) thread(tid clock.TID) *clock.VC {
-	for int(tid) >= len(d.threads) {
-		d.threads = append(d.threads, nil)
+	if int(tid) >= len(d.threads) {
+		d.threads = growThreads(d.threads, tid)
 	}
 	if d.threads[tid] == nil {
 		v := clock.New(int(tid) + 1)
@@ -90,14 +96,11 @@ func (d *Detector) thread(tid clock.TID) *clock.VC {
 	return d.threads[tid]
 }
 
-func (d *Detector) sync(s SyncID) *clock.VC {
-	v := d.syncs[s]
-	if v == nil {
-		v = clock.New(0)
-		d.syncs[s] = v
-	}
-	return v
-}
+func (d *Detector) sync(s SyncID) *clock.VC { return d.syncs.get(s) }
+
+// ShadowStats exposes the shadow memory's allocation counters; the runtimes
+// fold them into the observability metrics at the end of a run.
+func (d *Detector) ShadowStats() shadow.MemStats { return d.mem.Stats() }
 
 // ThreadVC exposes tid's current clock (read-only use expected). The TxRace
 // runtime consults it when attributing fast/slow overlap.
@@ -176,8 +179,8 @@ func (d *Detector) Read(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) {
 		w.R, w.RSite = e, site // exclusive: new read supersedes ordered old one
 		return
 	}
-	// Two concurrent readers: inflate to vector mode.
-	w.Inflate(len(d.threads))
+	// Two concurrent readers: inflate to vector mode (pooled).
+	d.mem.Inflate(w, len(d.threads))
 	w.RecordSharedRead(tid, e.Time(), site)
 }
 
@@ -210,9 +213,10 @@ func (d *Detector) Write(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) 
 	}
 	// FastTrack write-clears-reads: any later access ordered after this
 	// write is ordered after all reads it superseded; any unordered later
-	// access will race with this write instead.
+	// access will race with this write instead. The released read vector
+	// goes back to the memory's pool.
 	w.W, w.WSite = e, site
-	w.R, w.RVC, w.RSites = clock.NoEpoch, nil, nil
+	d.mem.ClearReads(w)
 }
 
 // Access dispatches to Read or Write.

@@ -18,8 +18,8 @@ import (
 // reproduction's slow path) is built on.
 type VCDetector struct {
 	threads []*clock.VC
-	syncs   map[SyncID]*clock.VC
-	vars    map[uint64]*vcVar
+	syncs   vcTable
+	vars    shadow.PageTable[vcVar]
 	races   map[PairKey]Race
 	order   []PairKey
 
@@ -36,15 +36,13 @@ type vcVar struct {
 // NewVC returns an empty Djit⁺-style detector.
 func NewVC() *VCDetector {
 	return &VCDetector{
-		syncs: make(map[SyncID]*clock.VC),
-		vars:  make(map[uint64]*vcVar),
 		races: make(map[PairKey]Race),
 	}
 }
 
 func (d *VCDetector) thread(tid clock.TID) *clock.VC {
-	for int(tid) >= len(d.threads) {
-		d.threads = append(d.threads, nil)
+	if int(tid) >= len(d.threads) {
+		d.threads = growThreads(d.threads, tid)
 	}
 	if d.threads[tid] == nil {
 		v := clock.New(int(tid) + 1)
@@ -54,14 +52,7 @@ func (d *VCDetector) thread(tid clock.TID) *clock.VC {
 	return d.threads[tid]
 }
 
-func (d *VCDetector) sync(s SyncID) *clock.VC {
-	v := d.syncs[s]
-	if v == nil {
-		v = clock.New(0)
-		d.syncs[s] = v
-	}
-	return v
-}
+func (d *VCDetector) sync(s SyncID) *clock.VC { return d.syncs.get(s) }
 
 // Fork, Join, Acquire, Release mirror Detector's happens-before transfer.
 func (d *VCDetector) Fork(parent, child clock.TID) {
@@ -88,18 +79,18 @@ func (d *VCDetector) Release(tid clock.TID, s SyncID) {
 }
 
 func (d *VCDetector) varOf(a memmodel.Addr) *vcVar {
-	g := memmodel.WordOf(a)
-	v := d.vars[g]
-	if v == nil {
-		v = &vcVar{w: clock.New(0), r: clock.New(0)}
-		d.vars[g] = v
+	v := d.vars.Get(memmodel.WordOf(a))
+	if v.w == nil {
+		v.w, v.r = clock.New(0), clock.New(0)
 	}
 	return v
 }
 
 func setSite(sites *[]shadow.SiteID, tid clock.TID, site shadow.SiteID) {
-	for int(tid) >= len(*sites) {
-		*sites = append(*sites, 0)
+	if int(tid) >= len(*sites) {
+		ns := make([]shadow.SiteID, int(tid)+1)
+		copy(ns, *sites)
+		*sites = ns
 	}
 	(*sites)[tid] = site
 }

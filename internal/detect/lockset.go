@@ -20,10 +20,12 @@ import (
 // demonstrate exactly those, which is the reason TxRace builds on a
 // vector-clock slow path instead.
 type LocksetDetector struct {
-	heldWrite map[clock.TID]map[SyncID]struct{} // mutexes + write holds
-	heldRead  map[clock.TID]map[SyncID]struct{} // + read holds
+	// Thread ids are small and dense, so the per-thread held-lock sets are
+	// slices indexed by TID (grown on demand).
+	heldWrite []map[SyncID]struct{} // mutexes + write holds
+	heldRead  []map[SyncID]struct{} // + read holds
 
-	vars   map[uint64]*locksetVar
+	vars   shadow.PageTable[locksetVar]
 	viol   map[PairKey]Race
 	order  []PairKey
 	Checks uint64
@@ -51,18 +53,24 @@ type locksetVar struct {
 // NewLockset returns an empty lockset detector.
 func NewLockset() *LocksetDetector {
 	return &LocksetDetector{
-		heldWrite: make(map[clock.TID]map[SyncID]struct{}),
-		heldRead:  make(map[clock.TID]map[SyncID]struct{}),
-		vars:      make(map[uint64]*locksetVar),
-		viol:      make(map[PairKey]Race),
+		viol: make(map[PairKey]Race),
 	}
 }
 
-func (d *LocksetDetector) set(m map[clock.TID]map[SyncID]struct{}, tid clock.TID) map[SyncID]struct{} {
-	s := m[tid]
+func (d *LocksetDetector) set(write bool, tid clock.TID) map[SyncID]struct{} {
+	m := &d.heldRead
+	if write {
+		m = &d.heldWrite
+	}
+	if int(tid) >= len(*m) {
+		nm := make([]map[SyncID]struct{}, int(tid)+1)
+		copy(nm, *m)
+		*m = nm
+	}
+	s := (*m)[tid]
 	if s == nil {
 		s = make(map[SyncID]struct{})
-		m[tid] = s
+		(*m)[tid] = s
 	}
 	return s
 }
@@ -72,10 +80,10 @@ func (d *LocksetDetector) set(m map[clock.TID]map[SyncID]struct{}, tid clock.TID
 func (d *LocksetDetector) Acquire(tid clock.TID, s SyncID, kind sim.SyncKind) {
 	switch kind {
 	case sim.SyncMutex, sim.SyncWrite:
-		d.set(d.heldWrite, tid)[s] = struct{}{}
-		d.set(d.heldRead, tid)[s] = struct{}{}
+		d.set(true, tid)[s] = struct{}{}
+		d.set(false, tid)[s] = struct{}{}
 	case sim.SyncRead:
-		d.set(d.heldRead, tid)[s] = struct{}{}
+		d.set(false, tid)[s] = struct{}{}
 	}
 }
 
@@ -83,10 +91,10 @@ func (d *LocksetDetector) Acquire(tid clock.TID, s SyncID, kind sim.SyncKind) {
 func (d *LocksetDetector) Release(tid clock.TID, s SyncID, kind sim.SyncKind) {
 	switch kind {
 	case sim.SyncMutex, sim.SyncWrite:
-		delete(d.set(d.heldWrite, tid), s)
-		delete(d.set(d.heldRead, tid), s)
+		delete(d.set(true, tid), s)
+		delete(d.set(false, tid), s)
 	case sim.SyncRead:
-		delete(d.set(d.heldRead, tid), s)
+		delete(d.set(false, tid), s)
 	}
 }
 
@@ -109,16 +117,10 @@ func copySet(src map[SyncID]struct{}) map[SyncID]struct{} {
 // Access runs Eraser's state machine for one access.
 func (d *LocksetDetector) Access(tid clock.TID, addr memmodel.Addr, isWrite bool, site shadow.SiteID) {
 	d.Checks++
-	g := memmodel.WordOf(addr)
-	v := d.vars[g]
-	if v == nil {
-		v = &locksetVar{state: lsVirgin}
-		d.vars[g] = v
-	}
-	held := d.set(d.heldRead, tid)
-	if isWrite {
-		held = d.set(d.heldWrite, tid)
-	}
+	// The zero locksetVar is exactly the Virgin state, so first touch of a
+	// paged slot needs no initialization.
+	v := d.vars.Get(memmodel.WordOf(addr))
+	held := d.set(isWrite, tid)
 
 	switch v.state {
 	case lsVirgin:

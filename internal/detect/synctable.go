@@ -1,0 +1,43 @@
+package detect
+
+import "repro/internal/clock"
+
+// Program synchronization objects carry small dense SyncIDs (the workload
+// builder hands them out sequentially from 1), so the common lookup on every
+// acquire/release is an array index. Two derived namespaces are sparse by
+// construction — rwlock reader-side clocks (rwReaderBit, 1<<31) and atomic
+// per-location clocks (atomicSyncBit, 1<<30) — and fall back to a map.
+const denseSyncLimit = 1 << 16
+
+// vcTable maps SyncIDs to their vector clocks: a direct-indexed slice for
+// dense ids, a map for the namespaced remainder. The zero value is empty.
+type vcTable struct {
+	dense  []*clock.VC
+	sparse map[SyncID]*clock.VC
+}
+
+// get returns the clock for s, creating an empty one on first use.
+func (t *vcTable) get(s SyncID) *clock.VC {
+	if s < denseSyncLimit {
+		if int(s) >= len(t.dense) {
+			nd := make([]*clock.VC, int(s)+1)
+			copy(nd, t.dense)
+			t.dense = nd
+		}
+		v := t.dense[s]
+		if v == nil {
+			v = clock.New(0)
+			t.dense[s] = v
+		}
+		return v
+	}
+	if t.sparse == nil {
+		t.sparse = make(map[SyncID]*clock.VC)
+	}
+	v := t.sparse[s]
+	if v == nil {
+		v = clock.New(0)
+		t.sparse[s] = v
+	}
+	return v
+}

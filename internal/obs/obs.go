@@ -171,6 +171,8 @@ type Observer struct {
 	cTxFail, cInterrupts, cThreadStart, cThreadExit   *Counter
 	cHTMBegin, cHTMCommit                             *Counter
 	cHTMConflict, cHTMCapacity, cHTMUnknown, cHTMExpl *Counter
+	cShadowPages, cShadowCellPages                    *Counter
+	cVCPoolHit, cVCPoolMiss                           *Counter
 	gThreadsLive, gTxActive                           *Gauge
 	hTxnCycles, hAbortWasted, hSlowCycles, hEpisode   *Histogram
 }
@@ -209,6 +211,10 @@ func New(trace Sink, m *Metrics) *Observer {
 		cHTMCapacity:     m.Counter("htm.abort.capacity"),
 		cHTMUnknown:      m.Counter("htm.abort.unknown"),
 		cHTMExpl:         m.Counter("htm.abort.explicit"),
+		cShadowPages:     m.Counter("shadow.pages"),
+		cShadowCellPages: m.Counter("shadow.cellpages"),
+		cVCPoolHit:       m.Counter("shadow.vcpool.hit"),
+		cVCPoolMiss:      m.Counter("shadow.vcpool.miss"),
 		gThreadsLive:     m.Gauge("threads.live"),
 		gTxActive:        m.Gauge("txn.active"),
 		hTxnCycles:       m.Histogram("txn.cycles"),
@@ -379,4 +385,25 @@ func (o *Observer) HTMAbort(status uint32) {
 // was attached.
 func (o *Observer) HTMConflict(loser int, now int64, line uint64, winner int) {
 	o.emit(Event{Kind: KindHTMConflict, TID: int32(loser), Time: now, Line: line, Arg: int64(winner)})
+}
+
+// ShadowMemStats folds a detector's shadow-memory allocation counters into
+// the registry. Runtimes call it once per run at Finish, so the detector hot
+// path carries no observability cost; pool hit rate = hit / (hit + miss).
+func (o *Observer) ShadowMemStats(pages, poolHits, poolMisses uint64) {
+	if o == nil {
+		return
+	}
+	o.cShadowPages.Add(pages)
+	o.cVCPoolHit.Add(poolHits)
+	o.cVCPoolMiss.Add(poolMisses)
+}
+
+// ShadowCellStats folds a bounded cell store's page-allocation counter into
+// the registry, once per run at Finish.
+func (o *Observer) ShadowCellStats(pages uint64) {
+	if o == nil {
+		return
+	}
+	o.cShadowCellPages.Add(pages)
 }

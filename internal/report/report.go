@@ -42,6 +42,18 @@ func FormatFloat(v float64) string {
 	return s
 }
 
+// FormatFixed renders a float with exactly prec decimals, mapping negative
+// zero to positive zero. Fixed width (no trimming) keeps machine-read output
+// such as the benchmark JSON byte-stable and diffable across runs that differ
+// only in float noise below the chosen precision.
+func FormatFixed(v float64, prec int) string {
+	s := fmt.Sprintf("%.*f", prec, v)
+	if neg := strings.TrimPrefix(s, "-"); neg != s && strings.Trim(neg, "0.") == "" {
+		s = neg // -0.00 prints as 0.00
+	}
+	return s
+}
+
 // Write renders the table to w.
 func (t *Table) Write(w io.Writer) {
 	widths := make([]int, len(t.Header))

@@ -92,3 +92,24 @@ func TestStackedBar(t *testing.T) {
 		t.Fatal("degenerate bar")
 	}
 }
+
+func TestFormatFixed(t *testing.T) {
+	cases := []struct {
+		v    float64
+		prec int
+		want string
+	}{
+		{1.005, 2, "1.00"}, // float64 1.005 is just below 1.005, rounds down
+		{1.5, 0, "2"},
+		{3.14159, 3, "3.142"},
+		{0, 2, "0.00"},
+		{-0.001, 2, "0.00"}, // negative zero maps to positive
+		{-1.25, 2, "-1.25"},
+		{12, 4, "12.0000"},
+	}
+	for _, c := range cases {
+		if got := FormatFixed(c.v, c.prec); got != c.want {
+			t.Errorf("FormatFixed(%v, %d) = %q, want %q", c.v, c.prec, got, c.want)
+		}
+	}
+}

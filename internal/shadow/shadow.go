@@ -13,13 +13,17 @@
 //     granule with random replacement, reproducing stock TSan's
 //     memory-bounding design (N = 4 by default) and its resulting
 //     unsoundness: evicting a cell can hide one half of a race.
+//
+// Both stores are paged (see PageTable): the per-access lookup is two array
+// indexes into inline state, with no per-word allocation and no map hashing.
+// MapMemory and MapCellStore keep the original hash-map layouts as reference
+// implementations for differential tests and before/after benchmarks.
 package shadow
 
 import (
-	"math/rand"
-
 	"repro/internal/clock"
 	"repro/internal/memmodel"
+	"repro/internal/prng"
 )
 
 // SiteID identifies a static program location (one instruction in the
@@ -27,31 +31,45 @@ import (
 // matching the paper's counting of static race instances (§8.3).
 type SiteID uint32
 
-// Word is the FastTrack state for one 8-byte granule.
+// Word is the FastTrack state for one 8-byte granule. Fields are ordered to
+// pack the struct into 64 bytes, so a 512-granule page is 32 KiB of inline
+// state.
 type Word struct {
-	// W is the epoch of the last write; WSite its static site.
-	W     clock.Epoch
-	WSite SiteID
+	// W is the epoch of the last write.
+	W clock.Epoch
 	// Reads are adaptive: while all reads are totally ordered, only the
 	// epoch R/RSite is kept. Once two unordered reads are seen, the state
 	// inflates to the vector RVC with per-thread sites in RSites.
 	R      clock.Epoch
-	RSite  SiteID
 	RVC    *clock.VC
 	RSites []SiteID
+	// WSite and RSite are the static sites of the last write and last
+	// (exclusive-mode) read.
+	WSite SiteID
+	RSite SiteID
+	// used marks granules that have been handed out by Memory.Word; inline
+	// page storage needs it to preserve the map semantics of Len and Peek.
+	used bool
 }
 
 // ReadShared reports whether the word is in vector (read-shared) mode.
 func (w *Word) ReadShared() bool { return w.RVC != nil }
 
 // Inflate switches the word to read-shared mode, seeding the vector with the
-// existing read epoch.
+// existing read epoch. Memory.Inflate is the pooled variant the detector hot
+// path uses; this allocation form remains for reference implementations and
+// direct Word use.
 func (w *Word) Inflate(threads int) {
 	if w.RVC != nil {
 		return
 	}
 	w.RVC = clock.New(threads)
 	w.RSites = make([]SiteID, threads)
+	w.seedReadVector()
+}
+
+// seedReadVector carries the exclusive-mode read epoch into the vector.
+func (w *Word) seedReadVector() {
 	if w.R != clock.NoEpoch {
 		w.RVC.Set(w.R.TID(), w.R.Time())
 		w.setRSite(w.R.TID(), w.RSite)
@@ -65,10 +83,26 @@ func (w *Word) RecordSharedRead(tid clock.TID, t clock.Time, site SiteID) {
 }
 
 func (w *Word) setRSite(tid clock.TID, site SiteID) {
-	for int(tid) >= len(w.RSites) {
-		w.RSites = append(w.RSites, 0)
+	if int(tid) >= len(w.RSites) {
+		w.RSites = growSites(w.RSites, int(tid)+1)
 	}
 	w.RSites[tid] = site
+}
+
+// growSites extends s to length n in one step, reusing capacity when a
+// pooled slice provides it (re-extended entries must be re-zeroed).
+func growSites(s []SiteID, n int) []SiteID {
+	if cap(s) >= n {
+		old := len(s)
+		s = s[:n]
+		for i := old; i < n; i++ {
+			s[i] = 0
+		}
+		return s
+	}
+	ns := make([]SiteID, n)
+	copy(ns, s)
+	return ns
 }
 
 // RSiteOf returns the site of tid's last read in read-shared mode.
@@ -80,32 +114,99 @@ func (w *Word) RSiteOf(tid clock.TID) SiteID {
 }
 
 // Memory maps 8-byte granules to FastTrack state, created on first touch.
+// State lives inline in pages: the common access is two array indexes and
+// allocates nothing. Read vectors released by write-clears-reads are pooled
+// and reused by later inflations.
 type Memory struct {
-	words map[uint64]*Word
+	pt    PageTable[Word]
+	count int
+
+	freeVCs   []*clock.VC
+	freeSites [][]SiteID
+	poolHits  uint64
+	poolMiss  uint64
 }
 
 // NewMemory returns an empty shadow memory.
-func NewMemory() *Memory { return &Memory{words: make(map[uint64]*Word)} }
+func NewMemory() *Memory { return &Memory{} }
 
 // Word returns the state for the granule containing a, allocating if needed.
 func (m *Memory) Word(a memmodel.Addr) *Word {
-	g := memmodel.WordOf(a)
-	w := m.words[g]
-	if w == nil {
-		w = &Word{}
-		m.words[g] = w
+	w := m.pt.Get(memmodel.WordOf(a))
+	if !w.used {
+		w.used = true
+		m.count++
 	}
 	return w
 }
 
 // Peek returns the state for a's granule or nil if never accessed.
-func (m *Memory) Peek(a memmodel.Addr) *Word { return m.words[memmodel.WordOf(a)] }
+func (m *Memory) Peek(a memmodel.Addr) *Word {
+	w := m.pt.Peek(memmodel.WordOf(a))
+	if w == nil || !w.used {
+		return nil
+	}
+	return w
+}
 
 // Len returns the number of granules with state.
-func (m *Memory) Len() int { return len(m.words) }
+func (m *Memory) Len() int { return m.count }
 
-// Reset discards all state.
-func (m *Memory) Reset() { m.words = make(map[uint64]*Word) }
+// Reset discards all state in O(pages).
+func (m *Memory) Reset() {
+	m.pt.Reset()
+	m.count = 0
+	m.freeVCs = nil
+	m.freeSites = nil
+}
+
+// Inflate switches w to read-shared mode, drawing the vector and site slice
+// from the free list when one is available.
+func (m *Memory) Inflate(w *Word, threads int) {
+	if w.RVC != nil {
+		return
+	}
+	if n := len(m.freeVCs); n > 0 {
+		m.poolHits++
+		w.RVC = m.freeVCs[n-1]
+		m.freeVCs = m.freeVCs[:n-1]
+		w.RVC.Clear(threads)
+		w.RSites = growSites(m.freeSites[n-1][:0], threads)
+		m.freeSites = m.freeSites[:n-1]
+	} else {
+		m.poolMiss++
+		w.RVC = clock.New(threads)
+		w.RSites = make([]SiteID, threads)
+	}
+	w.seedReadVector()
+}
+
+// ClearReads applies FastTrack's write-clears-reads transition, returning an
+// inflated word's vector and site slice to the free list for reuse.
+func (m *Memory) ClearReads(w *Word) {
+	w.R = clock.NoEpoch
+	if w.RVC != nil {
+		m.freeVCs = append(m.freeVCs, w.RVC)
+		m.freeSites = append(m.freeSites, w.RSites)
+		w.RVC = nil
+		w.RSites = nil
+	}
+}
+
+// MemStats summarizes the allocation behaviour of a Memory; the runtimes
+// export it through the observability layer.
+type MemStats struct {
+	// Pages is the cumulative number of shadow pages allocated.
+	Pages uint64
+	// PoolHits and PoolMisses count read-vector inflations served from the
+	// free list vs freshly allocated.
+	PoolHits, PoolMisses uint64
+}
+
+// Stats returns the memory's allocation counters.
+func (m *Memory) Stats() MemStats {
+	return MemStats{Pages: m.pt.Allocs(), PoolHits: m.poolHits, PoolMisses: m.poolMiss}
+}
 
 // Cell is one bounded-mode access record.
 type Cell struct {
@@ -114,14 +215,33 @@ type Cell struct {
 	Write bool
 }
 
+// Cells-per-granule state is paged like Word state (512-granule pages); each
+// granule carries N inline cells within its page.
+const (
+	cellPageShift = 9
+	cellPageSize  = 1 << cellPageShift
+	cellPageMask  = cellPageSize - 1
+)
+
+// cellPage holds the records of cellPageSize granules: granule i's cells are
+// the first n[i] entries of cells[i*N : (i+1)*N].
+type cellPage struct {
+	n     [cellPageSize]uint8
+	cells []Cell
+}
+
 // CellStore keeps at most N cells per granule with random replacement,
-// modelling stock TSan's bounded shadow (§5: "TSan maintains N (default 4)
-// shadow cells per 8 application bytes, and replaces one random shadow cell
-// when all shadow cells are filled").
+// modelling stock TSan's memory-bounding design (§5: "TSan maintains N
+// (default 4) shadow cells per 8 application bytes, and replaces one random
+// shadow cell when all shadow cells are filled"). Replacement victims are
+// drawn from the repository's seeded splitmix64 source (internal/prng);
+// TestCellStoreEvictionSequence pins the exact sequence.
 type CellStore struct {
-	n     int
-	cells map[uint64][]Cell
-	rng   *rand.Rand
+	n      int
+	rng    prng.PRNG
+	dir    []*cellPage
+	far    map[uint64]*cellPage
+	allocs uint64
 }
 
 // NewCellStore returns a store with n cells per granule and the given
@@ -130,34 +250,94 @@ func NewCellStore(n int, seed int64) *CellStore {
 	if n <= 0 {
 		panic("shadow: cell count must be positive")
 	}
-	return &CellStore{n: n, cells: make(map[uint64][]Cell), rng: rand.New(rand.NewSource(seed))}
+	if n > 255 {
+		panic("shadow: cell count exceeds 255")
+	}
+	return &CellStore{n: n, rng: prng.New(uint64(seed))}
 }
 
-// Cells returns the current records for a's granule.
+func (s *CellStore) page(d uint64, alloc bool) *cellPage {
+	if d < uint64(len(s.dir)) {
+		if pg := s.dir[d]; pg != nil {
+			return pg
+		}
+	} else if d >= maxDir {
+		if pg := s.far[d]; pg != nil || !alloc {
+			return pg
+		}
+		if s.far == nil {
+			s.far = make(map[uint64]*cellPage)
+		}
+		pg := &cellPage{cells: make([]Cell, cellPageSize*s.n)}
+		s.far[d] = pg
+		s.allocs++
+		return pg
+	}
+	if !alloc {
+		return nil
+	}
+	if d >= uint64(len(s.dir)) {
+		nd := make([]*cellPage, d+1)
+		copy(nd, s.dir)
+		s.dir = nd
+	}
+	pg := &cellPage{cells: make([]Cell, cellPageSize*s.n)}
+	s.dir[d] = pg
+	s.allocs++
+	return pg
+}
+
+// Cells returns the current records for a's granule. The slice aliases the
+// store's inline state; callers read it and must not retain it across Add.
 func (s *CellStore) Cells(a memmodel.Addr) []Cell {
-	return s.cells[memmodel.WordOf(a)]
+	g := memmodel.WordOf(a)
+	pg := s.page(g>>cellPageShift, false)
+	if pg == nil {
+		return nil
+	}
+	i := g & cellPageMask
+	base := int(i) * s.n
+	return pg.cells[base : base+int(pg.n[i]) : base+s.n]
 }
 
 // Add records c for a's granule, evicting a random cell if full. It returns
 // true when an eviction happened (a potential lost race).
 func (s *CellStore) Add(a memmodel.Addr, c Cell) (evicted bool) {
 	g := memmodel.WordOf(a)
-	cs := s.cells[g]
+	pg := s.page(g>>cellPageShift, true)
+	i := g & cellPageMask
+	base := int(i) * s.n
+	cs := pg.cells[base : base+int(pg.n[i])]
 	// Refresh an existing record from the same thread and access kind
 	// rather than burning a cell, as TSan does.
-	for i := range cs {
-		if cs[i].E.TID() == c.E.TID() && cs[i].Write == c.Write {
-			cs[i] = c
+	for k := range cs {
+		if cs[k].E.TID() == c.E.TID() && cs[k].Write == c.Write {
+			cs[k] = c
 			return false
 		}
 	}
-	if len(cs) < s.n {
-		s.cells[g] = append(cs, c)
+	if int(pg.n[i]) < s.n {
+		pg.cells[base+int(pg.n[i])] = c
+		pg.n[i]++
 		return false
 	}
-	cs[s.rng.Intn(len(cs))] = c
+	cs[s.rng.Intn(int64(len(cs)))] = c
 	return true
 }
 
-// Reset discards all records.
-func (s *CellStore) Reset() { s.cells = make(map[uint64][]Cell) }
+// Reset discards all records in O(pages).
+func (s *CellStore) Reset() {
+	for i := range s.dir {
+		s.dir[i] = nil
+	}
+	s.far = nil
+}
+
+// CellStats summarizes the allocation behaviour of a CellStore.
+type CellStats struct {
+	// Pages is the cumulative number of cell pages allocated.
+	Pages uint64
+}
+
+// Stats returns the store's allocation counters.
+func (s *CellStore) Stats() CellStats { return CellStats{Pages: s.allocs} }

@@ -240,11 +240,11 @@ type Engine struct {
 	threads []*Thread
 	rng     PRNG
 
-	mutexes  map[SyncID]*mutex
-	rwlocks  map[SyncID]*rwlock
-	sems     map[SyncID]*sem
-	barriers map[SyncID]*barrier
-	conds    map[SyncID]*cond
+	mutexes  syncTable[mutex]
+	rwlocks  syncTable[rwlock]
+	sems     syncTable[sem]
+	barriers syncTable[barrier]
+	conds    syncTable[cond]
 
 	obs *obs.Observer
 
@@ -262,14 +262,9 @@ func NewEngine(cfg Config) *Engine {
 		cfg.HWThreads = cfg.Cores
 	}
 	return &Engine{
-		cfg:      cfg,
-		obs:      cfg.Obs,
-		rng:      NewPRNG(cfg.Seed ^ 0xda7a5eed),
-		mutexes:  make(map[SyncID]*mutex),
-		rwlocks:  make(map[SyncID]*rwlock),
-		sems:     make(map[SyncID]*sem),
-		barriers: make(map[SyncID]*barrier),
-		conds:    make(map[SyncID]*cond),
+		cfg: cfg,
+		obs: cfg.Obs,
+		rng: NewPRNG(cfg.Seed ^ 0xda7a5eed),
 	}
 }
 
@@ -384,6 +379,15 @@ func (e *Engine) Run(prog *Program, rt Runtime) (*Result, error) {
 	}
 	e.prog = prog
 	e.rt = rt
+
+	// Intern the program's sync-id space up front: one scan, one allocation
+	// per table, then every sync instruction is a direct array index.
+	maxID := maxSyncID(prog)
+	e.mutexes.presize(maxID)
+	e.rwlocks.presize(maxID)
+	e.sems.presize(maxID)
+	e.barriers.presize(maxID)
+	e.conds.presize(maxID)
 
 	main := e.newThread(0, e.mainBody(prog), false)
 	e.threads = []*Thread{main}
@@ -880,47 +884,8 @@ func (e *Engine) wakeRWWaiters(l *rwlock, at *Thread) {
 	}
 }
 
-func (e *Engine) mutexOf(id SyncID) *mutex {
-	m := e.mutexes[id]
-	if m == nil {
-		m = &mutex{}
-		e.mutexes[id] = m
-	}
-	return m
-}
-
-func (e *Engine) condOf(id SyncID) *cond {
-	c := e.conds[id]
-	if c == nil {
-		c = &cond{}
-		e.conds[id] = c
-	}
-	return c
-}
-
-func (e *Engine) rwlockOf(id SyncID) *rwlock {
-	l := e.rwlocks[id]
-	if l == nil {
-		l = &rwlock{}
-		e.rwlocks[id] = l
-	}
-	return l
-}
-
-func (e *Engine) semOf(id SyncID) *sem {
-	s := e.sems[id]
-	if s == nil {
-		s = &sem{}
-		e.sems[id] = s
-	}
-	return s
-}
-
-func (e *Engine) barrierOf(id SyncID) *barrier {
-	b := e.barriers[id]
-	if b == nil {
-		b = &barrier{}
-		e.barriers[id] = b
-	}
-	return b
-}
+func (e *Engine) mutexOf(id SyncID) *mutex     { return e.mutexes.get(id) }
+func (e *Engine) condOf(id SyncID) *cond       { return e.conds.get(id) }
+func (e *Engine) rwlockOf(id SyncID) *rwlock   { return e.rwlocks.get(id) }
+func (e *Engine) semOf(id SyncID) *sem         { return e.sems.get(id) }
+func (e *Engine) barrierOf(id SyncID) *barrier { return e.barriers.get(id) }

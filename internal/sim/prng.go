@@ -1,47 +1,15 @@
 package sim
 
-// PRNG is a small copyable pseudo-random generator (splitmix64). Each thread
-// owns one so that (a) runs are fully deterministic for a given seed and
-// (b) the TxRace runtime can snapshot it at transaction begin: re-executing
-// an aborted region on the slow path then replays the exact same addresses,
-// which is what lets the software detector re-observe the conflicting
-// accesses the HTM flagged.
-type PRNG struct {
-	state uint64
-}
+import "repro/internal/prng"
+
+// PRNG is the simulator's per-thread pseudo-random generator: an alias of the
+// repository-wide splitmix64 source (internal/prng). Each thread owns one so
+// that (a) runs are fully deterministic for a given seed and (b) the TxRace
+// runtime can snapshot it at transaction begin: re-executing an aborted
+// region on the slow path then replays the exact same addresses, which is
+// what lets the software detector re-observe the conflicting accesses the
+// HTM flagged.
+type PRNG = prng.PRNG
 
 // NewPRNG returns a generator seeded with s.
-func NewPRNG(s uint64) PRNG { return PRNG{state: s} }
-
-// Next returns the next 64 random bits.
-func (p *PRNG) Next() uint64 {
-	p.state += 0x9e3779b97f4a7c15
-	z := p.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Intn returns a value in [0, n). n must be positive.
-func (p *PRNG) Intn(n int64) int64 {
-	if n <= 0 {
-		panic("sim: Intn requires positive bound")
-	}
-	return int64(p.Next() % uint64(n))
-}
-
-// Uint64n returns a value in [0, n). n must be positive.
-func (p *PRNG) Uint64n(n uint64) uint64 {
-	if n == 0 {
-		panic("sim: Uint64n requires positive bound")
-	}
-	return p.Next() % n
-}
-
-// Float64 returns a value in [0, 1).
-func (p *PRNG) Float64() float64 {
-	return float64(p.Next()>>11) / (1 << 53)
-}
-
-// Bool returns true with probability prob.
-func (p *PRNG) Bool(prob float64) bool { return p.Float64() < prob }
+func NewPRNG(s uint64) PRNG { return prng.New(s) }
