@@ -170,16 +170,30 @@ func microFuncs() []microBench {
 		{"cells/add/map", benchCells(shadow.NewMapCellStore(4, 42))},
 		{"cells/add/paged", benchCells(shadow.NewCellStore(4, 42))},
 		{"detect/sweep", benchDetector()},
+		{"htm/access/scan", benchHTMAccess(true)},
+		{"htm/access/dir", benchHTMAccess(false)},
+		{"htm/access/idle", benchHTMIdle()},
+		{"sim/dispatch/tree", benchSimDispatch(true)},
+		{"sim/dispatch/decoded", benchSimDispatch(false)},
 	}
 }
 
 // RunMicro executes the fixed micro suite and returns its results in suite
 // order. Names pair map/paged variants of the same workload; the map variants
-// are the pre-refactor layouts kept as reference implementations.
+// are the pre-refactor layouts kept as reference implementations. Each row is
+// measured three times and the fastest run kept: per-op minima damp scheduler
+// and neighbour noise, which on shared runners routinely exceeds the margins
+// the gate checks.
 func RunMicro() []Result {
 	var out []Result
 	for _, mb := range microFuncs() {
-		out = append(out, makeResult(mb.name, testing.Benchmark(mb.fn)))
+		best := makeResult(mb.name, testing.Benchmark(mb.fn))
+		for rep := 1; rep < 3; rep++ {
+			if r := makeResult(mb.name, testing.Benchmark(mb.fn)); r.nsPerOp < best.nsPerOp {
+				best = r
+			}
+		}
+		out = append(out, best)
 	}
 	return out
 }
@@ -196,9 +210,11 @@ func Find(rs []Result, name string) (Result, bool) {
 
 // Gate checks a micro-suite run against the regression policy: the paged
 // first-touch path must allocate at most half of what the map path does per
-// access (the refactor's headline claim), and the steady-state paths must be
-// effectively allocation-free. Thresholds are deliberately generous — the
-// gate exists to catch order-of-magnitude regressions, not scheduler noise.
+// access, the steady-state paths must be effectively allocation-free, the
+// HTM conflict directory must keep a wide lead over the reference scan, and
+// decoded dispatch must not lose to the tree walk. Thresholds are
+// deliberately generous — the gate exists to catch order-of-magnitude
+// regressions, not scheduler noise.
 func Gate(rs []Result) error {
 	mt, ok1 := Find(rs, "shadow/touch/map")
 	pt, ok2 := Find(rs, "shadow/touch/paged")
@@ -209,7 +225,7 @@ func Gate(rs []Result) error {
 		return fmt.Errorf("bench: paged first-touch allocates %.4f/op, more than half of map's %.4f/op",
 			pt.allocsPerOp, mt.allocsPerOp)
 	}
-	for _, name := range []string{"shadow/revisit/paged", "detect/sweep"} {
+	for _, name := range []string{"shadow/revisit/paged", "detect/sweep", "htm/access/idle"} {
 		r, ok := Find(rs, name)
 		if !ok {
 			return fmt.Errorf("bench: suite missing %s", name)
@@ -218,6 +234,29 @@ func Gate(rs []Result) error {
 			return fmt.Errorf("bench: %s allocates %.4f/op, steady state should be near zero",
 				name, r.allocsPerOp)
 		}
+	}
+	// The conflict directory's claim: at the full-machine transaction count,
+	// one ownership-word lookup beats the per-context scan by 2x or better.
+	// Gate at 0.75x so scheduler noise cannot trip it without a real
+	// regression eating most of the win.
+	scan, ok1 := Find(rs, "htm/access/scan")
+	dir, ok2 := Find(rs, "htm/access/dir")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("bench: suite missing htm/access results")
+	}
+	if dir.nsPerOp > scan.nsPerOp*0.75 {
+		return fmt.Errorf("bench: directory access %.2f ns/op, more than 0.75x of scan's %.2f ns/op",
+			dir.nsPerOp, scan.nsPerOp)
+	}
+	// Decoded dispatch must not lose to the tree walk it replaced.
+	tree, ok1 := Find(rs, "sim/dispatch/tree")
+	dec, ok2 := Find(rs, "sim/dispatch/decoded")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("bench: suite missing sim/dispatch results")
+	}
+	if dec.nsPerOp > tree.nsPerOp {
+		return fmt.Errorf("bench: decoded dispatch %.0f ns/op, slower than tree walk's %.0f ns/op",
+			dec.nsPerOp, tree.nsPerOp)
 	}
 	return nil
 }

@@ -12,15 +12,41 @@ func synthetic(name string, ns, allocs float64) Result {
 	return r
 }
 
-func TestGatePassesOnHealthySuite(t *testing.T) {
-	rs := []Result{
+func healthySuite() []Result {
+	return []Result{
 		synthetic("shadow/touch/map", 100, 1.0),
 		synthetic("shadow/touch/paged", 40, 0.01),
 		synthetic("shadow/revisit/paged", 10, 0),
 		synthetic("detect/sweep", 50, 0.001),
+		synthetic("htm/access/idle", 2, 0),
+		synthetic("htm/access/scan", 30, 0),
+		synthetic("htm/access/dir", 14, 0),
+		synthetic("sim/dispatch/tree", 250000, 40),
+		synthetic("sim/dispatch/decoded", 220000, 45),
 	}
-	if err := Gate(rs); err != nil {
+}
+
+func TestGatePassesOnHealthySuite(t *testing.T) {
+	if err := Gate(healthySuite()); err != nil {
 		t.Fatalf("Gate rejected healthy suite: %v", err)
+	}
+}
+
+func TestGateRejectsHotPathRegressions(t *testing.T) {
+	rs := healthySuite()
+	rs[6] = synthetic("htm/access/dir", 28, 0) // lead over scan collapsed
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "directory access") {
+		t.Fatalf("Gate accepted directory regression: %v", err)
+	}
+	rs[6] = synthetic("htm/access/dir", 14, 0)
+	rs[8] = synthetic("sim/dispatch/decoded", 260000, 45) // lost to tree walk
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "decoded dispatch") {
+		t.Fatalf("Gate accepted dispatch regression: %v", err)
+	}
+	rs[8] = synthetic("sim/dispatch/decoded", 220000, 45)
+	rs[4] = synthetic("htm/access/idle", 2, 0.5) // fast path allocating
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "htm/access/idle") {
+		t.Fatalf("Gate accepted idle-path allocations: %v", err)
 	}
 }
 

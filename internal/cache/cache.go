@@ -17,10 +17,11 @@ import (
 // Cache is a set-associative cache of cache-line tags with per-set LRU
 // replacement. It tracks presence only; there are no data payloads.
 type Cache struct {
-	sets  int
-	ways  int
-	lines [][]memmodel.Line // lines[set] ordered MRU-first, len <= ways
-	count int
+	sets    int
+	ways    int
+	lines   [][]memmodel.Line // lines[set] ordered MRU-first, len <= ways
+	count   int
+	onEvict func(memmodel.Line)
 }
 
 // New returns a cache with the given geometry. sets must be a power of two.
@@ -37,6 +38,14 @@ func New(sets, ways int) *Cache {
 	}
 	return c
 }
+
+// SetOnEvict registers fn to be called once for every line leaving the
+// cache: the LRU victim of a Touch insertion into a full set, and each
+// resident line dropped by Reset. The HTM's line-ownership directory hangs
+// off this hook so a transaction's per-line claims are withdrawn exactly
+// when the tracking structure stops holding the line — without walking any
+// global state. A nil fn (the default) disables the callback.
+func (c *Cache) SetOnEvict(fn func(memmodel.Line)) { c.onEvict = fn }
 
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.sets }
@@ -69,32 +78,54 @@ func (c *Cache) Contains(l memmodel.Line) bool {
 func (c *Cache) Touch(l memmodel.Line) (evicted memmodel.Line, ok bool) {
 	s := c.setOf(l)
 	set := c.lines[s]
+	if len(set) > 0 && set[0] == l {
+		// Already MRU — the common case for looping access patterns.
+		return 0, false
+	}
+	// Sets hold at most a handful of ways, so MRU moves shift entries with a
+	// plain backward loop: for these sizes the loop beats the memmove call a
+	// copy would compile to.
 	for i, x := range set {
 		if x == l {
-			// Move to MRU position.
-			copy(set[1:i+1], set[:i])
+			for ; i > 0; i-- {
+				set[i] = set[i-1]
+			}
 			set[0] = l
 			return 0, false
 		}
 	}
 	if len(set) < c.ways {
 		set = append(set, 0)
-		copy(set[1:], set)
+		for i := len(set) - 1; i > 0; i-- {
+			set[i] = set[i-1]
+		}
 		set[0] = l
 		c.lines[s] = set
 		c.count++
 		return 0, false
 	}
 	evicted = set[len(set)-1]
-	copy(set[1:], set)
+	for i := len(set) - 1; i > 0; i-- {
+		set[i] = set[i-1]
+	}
 	set[0] = l
+	if c.onEvict != nil {
+		c.onEvict(evicted)
+	}
 	return evicted, true
 }
 
 // Reset empties the cache. The HTM resets its tracking structures at every
-// transaction begin.
+// transaction begin, commit and abort. The eviction callback (if any) fires
+// for each line that was resident, MRU-first within each set, so hooked
+// bookkeeping sees every departure.
 func (c *Cache) Reset() {
 	for i := range c.lines {
+		if c.onEvict != nil {
+			for _, l := range c.lines[i] {
+				c.onEvict(l)
+			}
+		}
 		c.lines[i] = c.lines[i][:0]
 	}
 	c.count = 0

@@ -136,6 +136,90 @@ func TestPropertyResidencyBound(t *testing.T) {
 	}
 }
 
+// TestOnEvictFiresOnTouch pins both that the callback fires exactly when
+// Touch reports an eviction and that the victim is the LRU line of the set.
+func TestOnEvictFiresOnTouch(t *testing.T) {
+	c := New(1, 2)
+	var fired []memmodel.Line
+	c.SetOnEvict(func(l memmodel.Line) { fired = append(fired, l) })
+	c.Touch(10)
+	c.Touch(20)
+	c.Touch(10) // refresh: 20 becomes LRU
+	if len(fired) != 0 {
+		t.Fatalf("callback fired without eviction: %v", fired)
+	}
+	ev, ok := c.Touch(30)
+	if !ok || ev != 20 {
+		t.Fatalf("evicted %d,%v, want 20,true", ev, ok)
+	}
+	if len(fired) != 1 || fired[0] != 20 {
+		t.Fatalf("callback saw %v, want [20]", fired)
+	}
+	// Next victim must be 10 (LRU after the refresh ordering 30, 10).
+	if ev, ok := c.Touch(40); !ok || ev != 10 {
+		t.Fatalf("second eviction %d,%v, want 10,true", ev, ok)
+	}
+	if len(fired) != 2 || fired[1] != 10 {
+		t.Fatalf("callback saw %v, want [20 10]", fired)
+	}
+}
+
+// TestOnEvictFiresOnReset pins that Reset reports every resident line to the
+// callback, MRU-first within each set, and that a reset cache fires nothing
+// further until repopulated.
+func TestOnEvictFiresOnReset(t *testing.T) {
+	c := New(2, 2)
+	var fired []memmodel.Line
+	c.SetOnEvict(func(l memmodel.Line) { fired = append(fired, l) })
+	for _, l := range []memmodel.Line{2, 4, 3} { // set0: 4,2 (MRU-first); set1: 3
+		c.Touch(l)
+	}
+	c.Reset()
+	want := []memmodel.Line{4, 2, 3}
+	if len(fired) != len(want) {
+		t.Fatalf("Reset fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("Reset fired %v, want %v (MRU-first per set)", fired, want)
+		}
+	}
+	fired = fired[:0]
+	c.Reset()
+	if len(fired) != 0 {
+		t.Fatalf("empty Reset fired %v", fired)
+	}
+}
+
+// TestOnEvictConservation checks under random streams that lines reported
+// evicted plus lines still resident always account for every inserted line.
+func TestOnEvictConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(4, 2)
+		live := map[memmodel.Line]bool{}
+		c.SetOnEvict(func(l memmodel.Line) {
+			if !live[l] {
+				t.Errorf("evicted non-resident line %d", l)
+			}
+			delete(live, l)
+		})
+		for i := 0; i < 1000; i++ {
+			l := memmodel.Line(rng.Intn(64))
+			c.Touch(l)
+			live[l] = true
+			if len(live) != c.Len() {
+				return false
+			}
+		}
+		c.Reset()
+		return len(live) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGeometryAccessors(t *testing.T) {
 	c := New(16, 8)
 	if c.Sets() != 16 || c.Ways() != 8 || c.Capacity() != 128 {

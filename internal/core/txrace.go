@@ -634,9 +634,11 @@ func (r *TxRace) ThreadExit(t *sim.Thread) {
 	c.mode = ModeNone
 }
 
-// Finish folds the slow-path detector's shadow allocation counters into the
-// metrics registry.
+// Finish folds the slow-path detector's shadow allocation counters and the
+// HTM conflict directory's counters into the metrics registry.
 func (r *TxRace) Finish(e *sim.Engine) {
 	s := r.det.ShadowStats()
 	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+	d := r.hw.DirStats()
+	e.Config().Obs.HTMDirStats(d.Lines, d.Checks, d.Fastpath)
 }

@@ -24,6 +24,35 @@ func BenchmarkTxnAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkNonTxnAccessIdle is the empty-machine fast path: accesses with
+// zero transactions active, which dominate every workload. The accompanying
+// test pins that the path does no allocation.
+func BenchmarkNonTxnAccessIdle(b *testing.B) {
+	h := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i&7, memmodel.Addr(uint64(i)<<3), i&1 == 0)
+	}
+}
+
+// TestAccessFastPathAllocFree pins the satellite guarantee: with no live
+// transaction, Access returns before touching the directory, the line
+// computation, or the allocator.
+func TestAccessFastPathAllocFree(t *testing.T) {
+	h := New(DefaultConfig())
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Access(3, 0xdeadbeef, true)
+	}); n != 0 {
+		t.Fatalf("idle-machine Access allocates %.1f times per run, want 0", n)
+	}
+	if h.DirStats().Fastpath == 0 {
+		t.Fatal("idle-machine Access did not take the fast path")
+	}
+	if h.dir.checks != 0 {
+		t.Fatal("idle-machine Access consulted the directory")
+	}
+}
+
 func BenchmarkBeginCommit(b *testing.B) {
 	h := New(DefaultConfig())
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,81 @@
+package htm
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/shadow"
+)
+
+// The conflict directory is the machine's stand-in for the coherence
+// directory real HTMs piggyback on: one word of ownership metadata per cache
+// line, recording which hardware contexts hold the line transactionally and
+// on which side (read or write set). Conflict resolution for an access is
+// then two bitmask tests against that word — O(1) in the number of active
+// transactions — instead of probing every context's set-associative tracking
+// structures, the O(active-transactions) scan the reference resolver
+// (accessRef) still performs.
+//
+// Bits index hardware-context *slots*, not thread ids: a slot is assigned at
+// Begin and released when the transaction leaves the machine (Commit or
+// Resolve), so at most MaxConcurrent (≤ 64) bits are ever live and a uint64
+// pair covers every context. The directory is maintained incrementally:
+//
+//   - claim: an access that joins a transaction's read/write set sets the
+//     slot's bit for the line;
+//   - release: the tracking caches' eviction callback (cache.SetOnEvict)
+//     clears the bit whenever a line leaves a set — LRU eviction in Touch or
+//     the bulk Reset at begin/commit/abort. Reset therefore walks only the
+//     transaction's own resident lines, never the directory.
+//
+// The invariant tying the two resolvers together: a (slot, line, side) bit
+// is set exactly when the line is resident in that slot's side cache and the
+// transaction is live (active and not doomed). Entries persist after their
+// bits clear — a stale entry with both masks zero answers "no conflict" just
+// as an absent one does.
+type dirEntry struct {
+	readers uint64 // slots holding the line in their read set
+	writers uint64 // slots holding the line in their write set
+}
+
+// directory is the paged line → ownership-word table. It reuses the
+// shadow.PageTable two-level layout (512-entry pages, first-touch
+// allocation, far-map fallback beyond the flat directory bound), keyed by
+// line index at the machine's conflict granularity.
+type directory struct {
+	pt shadow.PageTable[dirEntry]
+
+	// lines counts empty→claimed transitions (a line acquiring its first
+	// ownership bit); checks counts conflict-mask lookups. Both are folded
+	// into the metrics registry at runtime Finish (htm.dir.*).
+	lines  uint64
+	checks uint64
+}
+
+// conflictors returns the slot mask holding a conflicting claim on line: a
+// read conflicts with writers only, a write with writers and readers. The
+// caller strips its own slot.
+func (d *directory) conflictors(line memmodel.Line, isWrite bool) uint64 {
+	d.checks++
+	e := d.pt.Peek(uint64(line))
+	if e == nil {
+		return 0
+	}
+	m := e.writers
+	if isWrite {
+		m |= e.readers
+	}
+	return m
+}
+
+// releaseRead withdraws slot's read-set claim on line; releaseWrite the
+// write-set claim. Called from the tracking caches' eviction callbacks.
+func (d *directory) releaseRead(line memmodel.Line, slot int) {
+	if e := d.pt.Peek(uint64(line)); e != nil {
+		e.readers &^= 1 << uint(slot)
+	}
+}
+
+func (d *directory) releaseWrite(line memmodel.Line, slot int) {
+	if e := d.pt.Peek(uint64(line)); e != nil {
+		e.writers &^= 1 << uint(slot)
+	}
+}

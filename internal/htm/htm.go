@@ -26,6 +26,7 @@ package htm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/memmodel"
@@ -120,6 +121,13 @@ type Config struct {
 	// conflict-aborted transaction, letting the runtime build a cheaper,
 	// targeted slow path.
 	ExposeConflictAddress bool
+	// RefScan selects the pre-directory reference resolver: conflicts
+	// found by an O(active-transactions) scan probing every context's
+	// set-associative read/write sets. The default (false) resolves via
+	// the O(1) line-ownership directory. The two are observationally
+	// identical (pinned by the package's differential tests); the scan is
+	// kept for those tests and for before/after benchmarks.
+	RefScan bool
 }
 
 // DefaultConfig mirrors the paper's quad-core Haswell i7-4790.
@@ -138,6 +146,10 @@ var ErrNoHardwareContext = fmt.Errorf("htm: no free hardware transaction context
 type txn struct {
 	active bool
 	doomed bool
+	// slot is the hardware-context index (0..MaxConcurrent-1) held while
+	// the transaction occupies the machine: the bit position of its claims
+	// in the conflict directory. -1 when no context is held.
+	slot   int
 	status Status
 	reads  *cache.Cache
 	writes *cache.Cache
@@ -152,6 +164,18 @@ type txn struct {
 type HTM struct {
 	cfg  Config
 	txns []*txn
+
+	// dir is the line-ownership conflict directory (see dir.go). slotTid
+	// maps an occupied hardware-context slot back to its thread; freeSlots
+	// and liveMask are slot bitmasks of, respectively, unoccupied contexts
+	// and contexts running an undoomed transaction. liveMask == 0 is the
+	// empty-machine fast path: no access can conflict and none is tracked.
+	dir        directory
+	slotTid    [64]int
+	freeSlots  uint64
+	liveMask   uint64
+	activeTxns int
+	fastpath   uint64
 
 	stats Stats
 	diag  Diagnostics
@@ -188,10 +212,15 @@ func New(cfg Config) *HTM {
 	if cfg.MaxConcurrent <= 0 {
 		panic("htm: MaxConcurrent must be positive")
 	}
+	if cfg.MaxConcurrent > 64 {
+		// The conflict directory indexes hardware contexts as bits of a
+		// uint64; no real HTM comes close to 64 simultaneous contexts.
+		panic("htm: MaxConcurrent exceeds 64 hardware contexts")
+	}
 	if cfg.GranularityShift == 0 {
 		cfg.GranularityShift = memmodel.LineShift
 	}
-	return &HTM{cfg: cfg}
+	return &HTM{cfg: cfg, freeSlots: ^uint64(0)}
 }
 
 // SetObserver attaches an observability sink to the machine. clock supplies
@@ -218,35 +247,42 @@ func (h *HTM) txnOf(tid int) *txn {
 		h.txns = append(h.txns, nil)
 	}
 	if h.txns[tid] == nil {
-		h.txns[tid] = &txn{
+		t := &txn{
+			slot:   -1,
 			reads:  cache.New(h.cfg.ReadSets, h.cfg.ReadWays),
 			writes: cache.New(h.cfg.WriteSets, h.cfg.WriteWays),
 		}
+		if !h.cfg.RefScan {
+			// Directory maintenance rides the tracking caches: a line
+			// leaving a set (LRU eviction or the Reset at begin, commit and
+			// abort) withdraws exactly that claim, so releasing a
+			// transaction's footprint walks its own resident lines only.
+			t.reads.SetOnEvict(func(l memmodel.Line) { h.dir.releaseRead(l, t.slot) })
+			t.writes.SetOnEvict(func(l memmodel.Line) { h.dir.releaseWrite(l, t.slot) })
+		}
+		h.txns[tid] = t
 	}
 	return h.txns[tid]
 }
 
-func (h *HTM) activeCount() int {
-	n := 0
-	for _, t := range h.txns {
-		if t != nil && t.active {
-			n++
-		}
-	}
-	return n
-}
-
-// Begin opens a transaction for tid. A nested Begin aborts the transaction
-// with the nested status (delivered immediately).
+// Begin opens a transaction for tid, occupying a hardware-context slot. A
+// nested Begin aborts the transaction with the nested status (delivered
+// immediately).
 func (h *HTM) Begin(tid int) (Status, error) {
 	t := h.txnOf(tid)
 	if t.active {
 		h.doom(tid, StatusNested)
 		return h.Resolve(tid), nil
 	}
-	if h.activeCount() >= h.cfg.MaxConcurrent {
+	if h.activeTxns >= h.cfg.MaxConcurrent {
 		return 0, ErrNoHardwareContext
 	}
+	s := bits.TrailingZeros64(h.freeSlots)
+	h.freeSlots &^= 1 << uint(s)
+	h.slotTid[s] = tid
+	h.liveMask |= 1 << uint(s)
+	h.activeTxns++
+	t.slot = s
 	t.active = true
 	t.doomed = false
 	t.status = 0
@@ -279,6 +315,11 @@ func (h *HTM) doom(tid int, s Status) {
 	t.doomed = true
 	t.status = s
 	t.hasConflictLine = false
+	// The context stops being live immediately: its directory claims are
+	// withdrawn by the Reset eviction callbacks below, and its liveMask bit
+	// clears so it neither conflicts nor reactivates the fast path check.
+	// The slot itself stays occupied until the abort is delivered (Resolve).
+	h.liveMask &^= 1 << uint(t.slot)
 	t.reads.Reset()
 	t.writes.Reset()
 	switch {
@@ -320,6 +361,9 @@ func (h *HTM) Resolve(tid int) Status {
 	}
 	t.active = false
 	t.doomed = false
+	h.freeSlots |= 1 << uint(t.slot)
+	h.activeTxns--
+	t.slot = -1
 	return t.status
 }
 
@@ -330,57 +374,160 @@ func (h *HTM) Resolve(tid int) Status {
 // conflicting transactions of *other* threads are doomed (requester wins +
 // strong isolation). The requester itself never blocks or fails here.
 func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
+	if h.cfg.RefScan {
+		h.accessRef(tid, addr, isWrite)
+		return
+	}
+	h.accessDir(tid, addr, isWrite)
+}
+
+// accessDir resolves the access against the line-ownership directory: one
+// Peek yields the slot mask of every transaction holding a conflicting claim,
+// so the cost is O(actual conflictors), not O(active transactions). When no
+// live transaction exists the access returns before even computing the line.
+func (h *HTM) accessDir(tid int, addr memmodel.Addr, isWrite bool) {
+	if h.liveMask == 0 {
+		// Empty machine: no claim can conflict and the requester (not live,
+		// or it would hold a liveMask bit) tracks nothing.
+		h.fastpath++
+		return
+	}
 	line := h.lineOf(addr)
-	// Conflict resolution. Under requester-wins (Intel RTM), every other
-	// active transaction holding a conflicting claim on the line aborts and
-	// the requester proceeds. Under responder-wins, a *transactional*
-	// requester colliding with a holder aborts itself instead; a
-	// non-transactional requester cannot be refused, so strong isolation
-	// still dooms the holder. A write conflicts with reads and writes; a
-	// read conflicts with writes only.
-	requesterTx := tid < len(h.txns) && h.txns[tid] != nil &&
-		h.txns[tid].active && !h.txns[tid].doomed
-	for other, t := range h.txns {
-		if other == tid || t == nil || !t.active || t.doomed {
+	var t *txn
+	if tid < len(h.txns) {
+		t = h.txns[tid]
+	}
+	if t == nil || !t.active || t.doomed {
+		// Non-transactional requester: one non-allocating lookup for the
+		// conflict mask; nothing to track.
+		if conf := h.dir.conflictors(line, isWrite); conf != 0 {
+			h.resolveConflicts(tid, line, conf, false)
+		}
+		return
+	}
+	// Transactional requester: a single entry lookup serves both the
+	// conflict test and — if the line stays resident — the ownership claim.
+	slotBit := uint64(1) << uint(t.slot)
+	h.dir.checks++
+	ent := h.dir.pt.Get(uint64(line))
+	conf := ent.writers
+	if isWrite {
+		conf |= ent.readers
+	}
+	// A transaction never conflicts with its own claims (re-reading or
+	// upgrading a line it already holds).
+	conf &^= slotBit
+	if conf != 0 && h.resolveConflicts(tid, line, conf, true) {
+		return
+	}
+	set := t.reads
+	if isWrite {
+		set = t.writes
+	}
+	if _, evicted := set.Touch(line); evicted {
+		// The victim's claim was already withdrawn by the eviction callback;
+		// the incoming line was never claimed, and the capacity doom's Reset
+		// releases the remainder.
+		h.doom(tid, StatusCapacity)
+		return
+	}
+	// Claim in place. Dooming the conflictors above already withdrew their
+	// bits from ent via their cache Resets, so an empty word here really is
+	// the line's first live claim.
+	if ent.readers|ent.writers == 0 {
+		h.dir.lines++
+	}
+	if isWrite {
+		ent.writers |= slotBit
+	} else {
+		ent.readers |= slotBit
+	}
+}
+
+// accessRef is the reference resolver: the pre-directory
+// O(active-transactions) scan probing every context's set-associative
+// read/write sets. Kept (behind Config.RefScan) for the package's
+// differential tests and before/after benchmarks; it must stay
+// observationally identical to accessDir.
+func (h *HTM) accessRef(tid int, addr memmodel.Addr, isWrite bool) {
+	line := h.lineOf(addr)
+	var t *txn
+	if tid < len(h.txns) {
+		t = h.txns[tid]
+	}
+	requesterTx := t != nil && t.active && !t.doomed
+	var conf uint64
+	for _, o := range h.txns {
+		if o == nil || o == t || !o.active || o.doomed {
 			continue
 		}
-		if t.writes.Contains(line) || (isWrite && t.reads.Contains(line)) {
-			if h.cfg.ResponderWins && requesterTx {
-				h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: other, LastConflictLoser: tid}
-				h.doom(tid, StatusConflict|StatusRetry)
-				if h.cfg.ExposeConflictAddress {
-					t2 := h.txnOf(tid)
-					t2.conflictLine, t2.hasConflictLine = line, true
-				}
-				if h.obs != nil {
-					h.obs.HTMConflict(tid, h.clockOf(tid), uint64(line), other)
-				}
-				return
-			}
-			h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: tid, LastConflictLoser: other}
-			h.doom(other, StatusConflict|StatusRetry)
-			if h.cfg.ExposeConflictAddress {
-				t2 := h.txnOf(other)
-				t2.conflictLine, t2.hasConflictLine = line, true
-			}
-			if h.obs != nil {
-				h.obs.HTMConflict(other, h.clockOf(other), uint64(line), tid)
-			}
+		if o.writes.Contains(line) || (isWrite && o.reads.Contains(line)) {
+			conf |= 1 << uint(o.slot)
 		}
 	}
-	// Track the requester's own footprint if transactional.
-	if tid < len(h.txns) && h.txns[tid] != nil {
-		t := h.txns[tid]
-		if t.active && !t.doomed {
-			var set *cache.Cache
-			if isWrite {
-				set = t.writes
-			} else {
-				set = t.reads
-			}
-			if _, evicted := set.Touch(line); evicted {
-				h.doom(tid, StatusCapacity)
-			}
+	if conf != 0 && h.resolveConflicts(tid, line, conf, requesterTx) {
+		return
+	}
+	if requesterTx {
+		set := t.reads
+		if isWrite {
+			set = t.writes
+		}
+		if _, evicted := set.Touch(line); evicted {
+			h.doom(tid, StatusCapacity)
+		}
+	}
+}
+
+// resolveConflicts dooms the transactions named by the slot mask (requester
+// wins + strong isolation), or — under responder-wins with a transactional
+// requester — dooms the requester instead and reports true so the caller
+// skips footprint tracking. Victims are visited in ascending thread id: the
+// reference scan iterates contexts by thread, and doom order is observable
+// (stats, diagnostics, trace events), so both resolvers must match.
+func (h *HTM) resolveConflicts(tid int, line memmodel.Line, mask uint64, requesterTx bool) (selfDoomed bool) {
+	var victims [64]int
+	n := 0
+	for m := mask; m != 0; m &= m - 1 {
+		victims[n] = h.slotTid[bits.TrailingZeros64(m)]
+		n++
+	}
+	sortSmall(victims[:n])
+	if h.cfg.ResponderWins && requesterTx {
+		// The lowest-tid holder is the winner the reference scan reports.
+		winner := victims[0]
+		h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: winner, LastConflictLoser: tid}
+		h.doom(tid, StatusConflict|StatusRetry)
+		if h.cfg.ExposeConflictAddress {
+			t := h.txnOf(tid)
+			t.conflictLine, t.hasConflictLine = line, true
+		}
+		if h.obs != nil {
+			h.obs.HTMConflict(tid, h.clockOf(tid), uint64(line), winner)
+		}
+		return true
+	}
+	for _, other := range victims[:n] {
+		h.diag = Diagnostics{LastConflictLine: line, LastConflictWinner: tid, LastConflictLoser: other}
+		h.doom(other, StatusConflict|StatusRetry)
+		if h.cfg.ExposeConflictAddress {
+			t := h.txnOf(other)
+			t.conflictLine, t.hasConflictLine = line, true
+		}
+		if h.obs != nil {
+			h.obs.HTMConflict(other, h.clockOf(other), uint64(line), tid)
+		}
+	}
+	return false
+}
+
+// sortSmall insertion-sorts a tiny slice in place. Conflictor sets are
+// almost always one or two entries; this keeps package sort (and its
+// allocations) off the hot path.
+func sortSmall(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
 		}
 	}
 }
@@ -418,8 +565,14 @@ func (h *HTM) Commit(tid int) (Status, bool) {
 		return h.Resolve(tid), false
 	}
 	t.active = false
+	// Reset before the slot is released: the eviction callbacks withdraw the
+	// directory claims under the slot the transaction still holds.
 	t.reads.Reset()
 	t.writes.Reset()
+	h.liveMask &^= 1 << uint(t.slot)
+	h.freeSlots |= 1 << uint(t.slot)
+	h.activeTxns--
+	t.slot = -1
 	h.stats.Commits++
 	if h.obs != nil {
 		h.obs.HTMCommit()
@@ -448,3 +601,18 @@ func (h *HTM) Stats() Stats { return h.stats }
 
 // Diag returns test-only diagnostics; see the Diagnostics doc comment.
 func (h *HTM) Diag() Diagnostics { return h.diag }
+
+// DirStats counts conflict-directory activity: distinct lines acquiring a
+// first ownership claim, conflict-mask lookups, and accesses answered by the
+// empty-machine fast path. Folded into the metrics registry (htm.dir.*) at
+// runtime Finish.
+type DirStats struct {
+	Lines    uint64
+	Checks   uint64
+	Fastpath uint64
+}
+
+// DirStats returns the conflict-directory counters. All zero under RefScan.
+func (h *HTM) DirStats() DirStats {
+	return DirStats{Lines: h.dir.lines, Checks: h.dir.checks, Fastpath: h.fastpath}
+}

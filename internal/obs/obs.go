@@ -173,6 +173,8 @@ type Observer struct {
 	cHTMConflict, cHTMCapacity, cHTMUnknown, cHTMExpl *Counter
 	cShadowPages, cShadowCellPages                    *Counter
 	cVCPoolHit, cVCPoolMiss                           *Counter
+	cDirLines, cDirChecks, cDirFastpath               *Counter
+	cDecodeInstrs                                     *Counter
 	gThreadsLive, gTxActive                           *Gauge
 	hTxnCycles, hAbortWasted, hSlowCycles, hEpisode   *Histogram
 }
@@ -215,6 +217,10 @@ func New(trace Sink, m *Metrics) *Observer {
 		cShadowCellPages: m.Counter("shadow.cellpages"),
 		cVCPoolHit:       m.Counter("shadow.vcpool.hit"),
 		cVCPoolMiss:      m.Counter("shadow.vcpool.miss"),
+		cDirLines:        m.Counter("htm.dir.lines"),
+		cDirChecks:       m.Counter("htm.dir.checks"),
+		cDirFastpath:     m.Counter("htm.dir.fastpath"),
+		cDecodeInstrs:    m.Counter("sim.decode.instrs"),
 		gThreadsLive:     m.Gauge("threads.live"),
 		gTxActive:        m.Gauge("txn.active"),
 		hTxnCycles:       m.Histogram("txn.cycles"),
@@ -406,4 +412,25 @@ func (o *Observer) ShadowCellStats(pages uint64) {
 		return
 	}
 	o.cShadowCellPages.Add(pages)
+}
+
+// HTMDirStats folds the HTM conflict directory's counters into the registry
+// (lines that acquired a first ownership claim, conflict-mask lookups,
+// empty-machine fast-path hits), once per run at Finish.
+func (o *Observer) HTMDirStats(lines, checks, fastpath uint64) {
+	if o == nil {
+		return
+	}
+	o.cDirLines.Add(lines)
+	o.cDirChecks.Add(checks)
+	o.cDirFastpath.Add(fastpath)
+}
+
+// SimDecodeStats folds the engine's decoded-instruction count into the
+// registry, once per run when execution finishes.
+func (o *Observer) SimDecodeStats(instrs uint64) {
+	if o == nil {
+		return
+	}
+	o.cDecodeInstrs.Add(instrs)
 }

@@ -79,7 +79,12 @@ const (
 	stateDone
 )
 
+// frame is one entry of a thread's control stack. Exactly one of code (the
+// decoded instruction stream, the default) or body (raw IR, Config.RefWalk)
+// is populated; pc indexes into whichever is live, so Checkpoint/Restore
+// are mode-agnostic.
 type frame struct {
+	code []dinstr
 	body []Instr
 	pc   int
 	loop *Loop
@@ -177,6 +182,14 @@ type Config struct {
 	// (thread start/exit, interrupt deliveries). The disabled path is one
 	// nil-check per site.
 	Obs *obs.Observer
+	// RefWalk selects the reference interpreter: a tree walk over the raw IR
+	// with an interface type switch per instruction. The default (false)
+	// compiles each thread body once into a decoded instruction stream and
+	// dispatches through an opcode jump table (see decode.go). The two are
+	// observationally identical (pinned by the package's differential
+	// tests); the walk is kept for those tests and for before/after
+	// benchmarks.
+	RefWalk bool
 }
 
 // DefaultConfig mirrors the paper's testbed.
@@ -248,6 +261,14 @@ type Engine struct {
 
 	obs *obs.Observer
 
+	// decoded selects the jump-table interpreter; decodedBodies memoizes
+	// per-body compilation (workers usually share one body) and
+	// decodedInstrs counts compiled instructions for the sim.decode.instrs
+	// metric.
+	decoded       bool
+	decodedBodies map[decodeKey][]dinstr
+	decodedInstrs uint64
+
 	res         Result
 	liveWorkers int
 	steps       uint64
@@ -262,9 +283,10 @@ func NewEngine(cfg Config) *Engine {
 		cfg.HWThreads = cfg.Cores
 	}
 	return &Engine{
-		cfg: cfg,
-		obs: cfg.Obs,
-		rng: NewPRNG(cfg.Seed ^ 0xda7a5eed),
+		cfg:     cfg,
+		obs:     cfg.Obs,
+		decoded: !cfg.RefWalk,
+		rng:     NewPRNG(cfg.Seed ^ 0xda7a5eed),
 	}
 }
 
@@ -346,11 +368,17 @@ func (e *Engine) scheduleInterrupt(t *Thread) {
 }
 
 func (e *Engine) newThread(id int, body []Instr, isWorker bool) *Thread {
+	f := frame{}
+	if e.decoded {
+		f.code = e.decodeBody(body)
+	} else {
+		f.body = body
+	}
 	t := &Thread{
 		ID:       id,
 		RNG:      NewPRNG(e.cfg.Seed*0x9e37 + uint64(id)*0x85eb + 0x1234),
 		state:    stateNew,
-		frames:   []frame{{body: body}},
+		frames:   []frame{f},
 		eng:      e,
 		isWorker: isWorker,
 	}
@@ -425,6 +453,9 @@ func (e *Engine) Run(prog *Program, rt Runtime) (*Result, error) {
 		}
 	}
 	rt.Finish(e)
+	if e.obs != nil {
+		e.obs.SimDecodeStats(e.decodedInstrs)
+	}
 	res := e.res
 	return &res, nil
 }
@@ -513,7 +544,11 @@ func (e *Engine) step(t *Thread) {
 		return
 	}
 	fi := len(t.frames) - 1
-	if t.frames[fi].pc >= len(t.frames[fi].body) {
+	flen := len(t.frames[fi].body)
+	if e.decoded {
+		flen = len(t.frames[fi].code)
+	}
+	if t.frames[fi].pc >= flen {
 		f := &t.frames[fi]
 		if f.loop != nil {
 			f.iter++
@@ -530,8 +565,13 @@ func (e *Engine) step(t *Thread) {
 		return
 	}
 
-	in := t.frames[fi].body[t.frames[fi].pc]
-	done := e.exec(t, in)
+	var done bool
+	if e.decoded {
+		e.res.Instructions++
+		done = e.execDecoded(t, &t.frames[fi].code[t.frames[fi].pc])
+	} else {
+		done = e.exec(t, t.frames[fi].body[t.frames[fi].pc])
+	}
 	// Advance the issuing frame's pc unless the thread blocked (retry the
 	// instruction on wake) or a Restore rewrote the stack (resume at the
 	// snapshot point). A Loop push grows the stack but leaves index fi — the
@@ -830,47 +870,55 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 		return true
 
 	case *spawnAll:
-		// All workers are released from the clock main had when it reached
-		// the spawn point: thread creation overlaps with child startup, so
-		// main's per-create cost does not serialize the children.
-		spawnClock := t.Clock
-		for _, w := range e.threads[1:] {
-			if w.state != stateNew {
-				continue
-			}
-			w.state = stateRunnable
-			w.Clock = spawnClock
-			if e.cfg.SpawnJitter > 0 {
-				w.Clock += int64(w.RNG.Uint64n(uint64(e.cfg.SpawnJitter)))
-			}
-			e.liveWorkers++
-			e.scheduleInterrupt(w)
-			e.rt.Fork(t, w)
-			if e.obs != nil {
-				e.obs.ThreadStart(w.ID, w.Clock)
-			}
-			e.rt.ThreadStart(w)
-			e.charge(t, 400) // pthread_create-ish cost
-		}
-		return true
+		return e.execSpawnAll(t)
 
 	case *joinAll:
-		if !e.allWorkersDone() {
-			t.state = stateBlocked
-			return false
-		}
-		for _, w := range e.threads[1:] {
-			if w.Clock > t.Clock {
-				t.Clock = w.Clock
-			}
-			e.rt.Joined(t, w)
-			e.charge(t, 200)
-		}
-		return true
+		return e.execJoinAll(t)
 
 	default:
 		panic(fmt.Sprintf("sim: unknown instruction %T", in))
 	}
+}
+
+// execSpawnAll releases all workers from the clock main had when it reached
+// the spawn point: thread creation overlaps with child startup, so main's
+// per-create cost does not serialize the children.
+func (e *Engine) execSpawnAll(t *Thread) bool {
+	spawnClock := t.Clock
+	for _, w := range e.threads[1:] {
+		if w.state != stateNew {
+			continue
+		}
+		w.state = stateRunnable
+		w.Clock = spawnClock
+		if e.cfg.SpawnJitter > 0 {
+			w.Clock += int64(w.RNG.Uint64n(uint64(e.cfg.SpawnJitter)))
+		}
+		e.liveWorkers++
+		e.scheduleInterrupt(w)
+		e.rt.Fork(t, w)
+		if e.obs != nil {
+			e.obs.ThreadStart(w.ID, w.Clock)
+		}
+		e.rt.ThreadStart(w)
+		e.charge(t, 400) // pthread_create-ish cost
+	}
+	return true
+}
+
+func (e *Engine) execJoinAll(t *Thread) bool {
+	if !e.allWorkersDone() {
+		t.state = stateBlocked
+		return false
+	}
+	for _, w := range e.threads[1:] {
+		if w.Clock > t.Clock {
+			t.Clock = w.Clock
+		}
+		e.rt.Joined(t, w)
+		e.charge(t, 200)
+	}
+	return true
 }
 
 // wakeRWWaiters wakes all blocked rwlock attempts; they re-execute their
