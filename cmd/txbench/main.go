@@ -12,6 +12,8 @@
 //	txbench -exp precision         # extension: lockset (Eraser) vs TSan
 //	txbench -exp shadow            # extension: bounded TSan shadow cells (§5)
 //	txbench -exp detectability     # extension: per-race detection frequency
+//	txbench -exp chaos (or -chaos) # extension: fault-injection sweep (recall
+//	                               # + overhead vs intensity, soundness check)
 //	txbench -exp all               # everything
 //
 // Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
@@ -45,6 +47,7 @@ import (
 func main() {
 	var (
 		exp        = flag.String("exp", "table1", "experiment id (table1, table2, fig7..fig13, all)")
+		chaos      = flag.Bool("chaos", false, "run the chaos fault-injection sweep (shorthand for -exp chaos)")
 		app        = flag.String("app", "", "restrict to one application")
 		trials     = flag.Int("trials", 1, "trials to average over")
 		format     = flag.String("format", "text", "output format: text | json")
@@ -69,7 +72,10 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability"}
+		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos"}
+	}
+	if *chaos {
+		ids = []string{"chaos"}
 	}
 
 	// One fresh registry per experiment id, so each snapshot describes
@@ -229,6 +235,18 @@ func run(id string, cfg experiment.Config, apps []*workload.Workload, format str
 		text, data = func() { f.Write(os.Stdout) }, f.JSON()
 	case "shadow":
 		f, err := experiment.RunShadow(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "chaos":
+		// An explicit -app restriction carries through; the unrestricted
+		// default is the curated ChaosSuite, not every application.
+		capps := apps
+		if len(capps) != 1 {
+			capps = nil
+		}
+		f, err := experiment.RunChaos(cfg, capps, nil)
 		if err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/instrument"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -43,6 +44,7 @@ func main() {
 		detector   = flag.String("detector", "txrace", "none | tsan | sampling | txrace")
 		rate       = flag.Float64("rate", 0.1, "sampling rate for -detector sampling")
 		cut        = flag.String("cut", "prof", "TxRace loop-cut scheme: none | dyn | prof")
+		faultLevel = flag.Float64("fault", 0, "inject the standard fault plan at this intensity (0..1) with the fallback governor engaged")
 		list       = flag.Bool("list", false, "list applications and exit")
 		dump       = flag.Bool("dump", false, "print the instrumented IR instead of running")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run here")
@@ -125,7 +127,13 @@ func main() {
 			*rate*100, r.Makespan, float64(r.Makespan)/float64(base.Makespan), len(r.Races))
 		printRaces(r.Races)
 	case "txrace":
-		r, err := experiment.RunTxRace(w, cfg, cfg.Seed)
+		var r *experiment.TxRaceRun
+		if *faultLevel > 0 {
+			r, err = experiment.RunTxRaceFault(w, cfg, cfg.Seed,
+				fault.StandardPlan(cfg.Seed, *faultLevel), experiment.ChaosGovernor())
+		} else {
+			r, err = experiment.RunTxRace(w, cfg, cfg.Seed)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -136,6 +144,13 @@ func main() {
 		tb.Add(st.CommittedTxns, st.ConflictAborts, st.ArtificialAborts,
 			st.CapacityAborts, st.UnknownAborts, st.Retries, st.LoopCuts)
 		tb.Write(os.Stdout)
+		if *faultLevel > 0 {
+			fmt.Printf("faults injected: %v\n", r.Fault)
+			gt := &report.Table{Header: []string{"forced slow", "gov trips", "probes", "recoveries", "global", "unknown retries"}}
+			gt.Add(st.ForcedSlow, st.GovernorTrips, st.GovernorProbes,
+				st.GovernorRecoveries, st.GovernorGlobal, st.UnknownRetries)
+			gt.Write(os.Stdout)
+		}
 		printRaces(r.Races)
 	default:
 		fatal(fmt.Errorf("unknown -detector %q", *detector))

@@ -71,6 +71,9 @@ const (
 	CauseSmall
 	// CauseNoHW: no free hardware transaction context (§6 reason 4).
 	CauseNoHW
+	// CauseGovernor: the fallback governor forced the region onto the slow
+	// path (degraded thread or run-wide degradation window).
+	CauseGovernor
 )
 
 func (c Cause) String() string {
@@ -87,6 +90,8 @@ func (c Cause) String() string {
 		return "small"
 	case CauseNoHW:
 		return "nohw"
+	case CauseGovernor:
+		return "governor"
 	default:
 		return "?"
 	}
@@ -144,9 +149,17 @@ type Stats struct {
 	CapacityAborts   uint64
 	UnknownAborts    uint64
 	Retries          uint64 // pure-retry aborts retried on the fast path
+	UnknownRetries   uint64 // unknown aborts retried under the governor's budget
 	LoopCuts         uint64 // transactions split by the loop-cut optimization
 
 	SlowRegions map[Cause]uint64 // slow-path region executions by cause
+
+	// Fallback-governor activity (zero when the governor is disabled).
+	ForcedSlow         uint64 // regions forced onto the slow path (== SlowRegions[CauseGovernor])
+	GovernorTrips      uint64 // per-thread abort-rate tripwire degradations
+	GovernorProbes     uint64 // fast-path recovery probes attempted
+	GovernorRecoveries uint64 // probes that committed and re-entered HTM mode
+	GovernorGlobal     uint64 // run-wide degradation windows engaged
 
 	// Overhead attribution in cycles, for the Fig. 7 breakdown.
 	CyclesFastPath int64 // xbegin/xend, TxFail reads, fast-path sync tracking
@@ -154,4 +167,5 @@ type Stats struct {
 	CyclesCapacity int64 // same for capacity aborts
 	CyclesUnknown  int64 // same for unknown aborts
 	CyclesSmall    int64 // slow-path hook cost in small regions
+	CyclesGovernor int64 // slow-path hook cost in governor-forced regions
 }

@@ -1,0 +1,266 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/instrument"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// companion is a compute-only worker that keeps the machine multithreaded
+// (HTM monitoring only engages with ≥2 live workers, §4.3 optimization 1)
+// without contributing any transactional region of its own.
+func companion() []sim.Instr {
+	return []sim.Instr{&sim.Compute{Cycles: 200_000}}
+}
+
+// subjectTid is the simulated thread id of the first worker — fault rules
+// in these tests target it so the companion stays untouched.
+const subjectTid = 1
+
+// oneRegionProgram builds one worker with exactly one non-small
+// transactional region (six private writes, no syncs, no syscalls) plus
+// the companion.
+func oneRegionProgram() *sim.Program {
+	al := memmodel.NewAllocator(1 << 20)
+	var body []sim.Instr
+	for i := 0; i < 6; i++ {
+		body = append(body, &sim.MemAccess{Write: true, Addr: sim.Fixed(al.AllocLine()), Site: sim.SiteID(10 + i)})
+	}
+	body = append(body, &sim.Compute{Cycles: 20})
+	return &sim.Program{Name: "one-region", Workers: [][]sim.Instr{body, companion()}}
+}
+
+// regionsProgram builds workers×nRegions non-small regions (five private
+// writes each, cut apart by syscalls). Workers touch disjoint lines, so
+// every abort in these tests is injected, never organic.
+func regionsProgram(workers, nRegions int) *sim.Program {
+	al := memmodel.NewAllocator(1 << 20)
+	prog := &sim.Program{Name: "regions"}
+	site := sim.SiteID(100)
+	for w := 0; w < workers; w++ {
+		lines := make([]memmodel.Addr, 5)
+		for i := range lines {
+			lines[i] = al.AllocLine()
+		}
+		var ins []sim.Instr
+		for n := 0; n < nRegions; n++ {
+			for _, ln := range lines {
+				ins = append(ins, &sim.MemAccess{Write: true, Addr: sim.Fixed(ln), Site: site})
+				site++
+			}
+			ins = append(ins, &sim.Compute{Cycles: 10})
+			ins = append(ins, &sim.Syscall{Name: "cut", Cycles: 15})
+		}
+		prog.Workers = append(prog.Workers, ins)
+	}
+	if workers == 1 {
+		prog.Workers = append(prog.Workers, companion())
+	}
+	return prog
+}
+
+func runWithFault(t *testing.T, p *sim.Program, opts core.Options) (*core.TxRace, *obs.Metrics) {
+	t.Helper()
+	m := obs.NewMetrics()
+	o := obs.New(nil, m)
+	opts.Obs = o
+	rt := core.NewTxRace(opts)
+	cfg := quietConfig()
+	cfg.Obs = o
+	if _, err := sim.NewEngine(cfg).Run(instrument.ForTxRace(p, instrument.DefaultOptions()), rt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rt, m
+}
+
+// retryStormPlan fires a pure-retry abort at every transactional access of
+// the subject thread: every fast-path attempt of every region dies with
+// StatusRetry.
+func retryStormPlan() fault.Plan {
+	return fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Kind: fault.RetryStorm, Prob: 1, Threads: []int{subjectTid}},
+	}}
+}
+
+// TestRetryStormConsumesExactBudget pins the §4.2 retry policy against an
+// unrelenting retry storm: exactly RetryBudget fast-path retries, then one
+// fall-back to the slow path for the region — with the obs counters
+// agreeing with the runtime's own stats.
+func TestRetryStormConsumesExactBudget(t *testing.T) {
+	rt, m := runWithFault(t, oneRegionProgram(), core.Options{Fault: fault.New(retryStormPlan())})
+	st := rt.Stats()
+	if st.Retries != 3 {
+		t.Errorf("Retries = %d, want exactly the default budget 3", st.Retries)
+	}
+	if st.UnknownAborts != 1 {
+		t.Errorf("UnknownAborts = %d, want 1 (the single post-budget fallback)", st.UnknownAborts)
+	}
+	if got := st.SlowRegions[core.CauseUnknown]; got != 1 {
+		t.Errorf("SlowRegions[unknown] = %d, want 1", got)
+	}
+	// 1 injection per fast-path attempt: 3 retried + 1 that exhausted it.
+	if got := rt.FaultStats().Of(fault.RetryStorm); got != 4 {
+		t.Errorf("injected retry faults = %d, want 4", got)
+	}
+	snap := m.Snapshot()
+	for name, want := range map[string]uint64{
+		"txn.retry":            3,
+		"slow.region.unknown":  1,
+		"fault.injected.retry": 4,
+		"core.fallback.forced": 0, // governor off: nothing forced
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestRetryBudgetOptions pins the Options contract the bug was about: an
+// untouched zero means the default budget of 3, an explicit budget is
+// honoured exactly, and RetryBudgetNone means zero retries — previously
+// unexpressible because 0 was silently coerced to 3.
+func TestRetryBudgetOptions(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		budget  int
+		retries uint64
+	}{
+		{"zero-means-default-3", 0, 3},
+		{"explicit-1", 1, 1},
+		{"none-means-0", core.RetryBudgetNone, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, _ := runWithFault(t, oneRegionProgram(),
+				core.Options{RetryBudget: tc.budget, Fault: fault.New(retryStormPlan())})
+			st := rt.Stats()
+			if st.Retries != tc.retries {
+				t.Errorf("Retries = %d, want %d", st.Retries, tc.retries)
+			}
+			if st.UnknownAborts != 1 || st.SlowRegions[core.CauseUnknown] != 1 {
+				t.Errorf("fallbacks: unknown=%d slow=%d, want exactly one fallback",
+					st.UnknownAborts, st.SlowRegions[core.CauseUnknown])
+			}
+		})
+	}
+}
+
+// TestGovernorDegradeProbeRecover drives the whole governor lifecycle on
+// one thread: a commit-abort storm in the run's opening phase trips the
+// abort-rate window, the thread degrades to governor-forced slow regions,
+// probing re-tries the fast path, and once the storm window has passed a
+// probe succeeds and the thread recovers to HTM mode.
+func TestGovernorDegradeProbeRecover(t *testing.T) {
+	plan := fault.Plan{Seed: 2, Rules: []fault.Rule{
+		{Kind: fault.CommitAbort, Prob: 1, Threads: []int{subjectTid}, Window: fault.Window{To: 2000}},
+	}}
+	rt, m := runWithFault(t, regionsProgram(1, 100), core.Options{
+		Fault:    fault.New(plan),
+		Governor: core.GovernorConfig{Enabled: true, Window: 4},
+	})
+	st := rt.Stats()
+	if st.GovernorTrips == 0 {
+		t.Fatalf("governor never tripped: %+v", st)
+	}
+	if st.ForcedSlow == 0 || st.SlowRegions[core.CauseGovernor] == 0 {
+		t.Errorf("no governor-forced regions: ForcedSlow=%d SlowRegions[governor]=%d",
+			st.ForcedSlow, st.SlowRegions[core.CauseGovernor])
+	}
+	if st.GovernorProbes == 0 {
+		t.Errorf("governor never probed: %+v", st)
+	}
+	if st.GovernorRecoveries == 0 {
+		t.Errorf("governor never recovered after the fault window closed: %+v", st)
+	}
+	if st.CyclesGovernor == 0 {
+		t.Error("no cycles attributed to governor-forced regions")
+	}
+	snap := m.Snapshot()
+	if got := snap.Counters["core.fallback.forced"]; got != st.ForcedSlow {
+		t.Errorf("core.fallback.forced = %d, stats say %d", got, st.ForcedSlow)
+	}
+	if got := snap.Counters["core.governor.trips"]; got != st.GovernorTrips {
+		t.Errorf("core.governor.trips = %d, stats say %d", got, st.GovernorTrips)
+	}
+	// Recovered: the state gauge must be back at zero degraded threads.
+	if got := snap.Gauges["core.governor.state"]; got != 0 {
+		t.Errorf("core.governor.state gauge = %d after recovery, want 0", got)
+	}
+}
+
+// TestGovernorGlobalTrip: when every live worker has degraded, the governor
+// degrades the whole run for a window of regions.
+func TestGovernorGlobalTrip(t *testing.T) {
+	plan := fault.Plan{Seed: 3, Rules: []fault.Rule{{Kind: fault.CommitAbort, Prob: 1}}}
+	rt, m := runWithFault(t, regionsProgram(2, 40), core.Options{
+		Fault:    fault.New(plan),
+		Governor: core.GovernorConfig{Enabled: true, Window: 4},
+	})
+	st := rt.Stats()
+	if st.GovernorGlobal == 0 {
+		t.Fatalf("global degradation never engaged: %+v", st)
+	}
+	if got := m.Snapshot().Counters["core.governor.global"]; got != st.GovernorGlobal {
+		t.Errorf("core.governor.global = %d, stats say %d", got, st.GovernorGlobal)
+	}
+}
+
+// TestGovernorOffByDefault: a zero Options under heavy faults never forces
+// a region or trips anything — the governor is strictly opt-in, so existing
+// configurations behave exactly as before this layer existed.
+func TestGovernorOffByDefault(t *testing.T) {
+	plan := fault.Plan{Seed: 4, Rules: []fault.Rule{{Kind: fault.CommitAbort, Prob: 1}}}
+	rt, _ := runWithFault(t, regionsProgram(2, 20), core.Options{Fault: fault.New(plan)})
+	st := rt.Stats()
+	if st.ForcedSlow != 0 || st.GovernorTrips != 0 || st.GovernorProbes != 0 ||
+		st.GovernorRecoveries != 0 || st.GovernorGlobal != 0 || st.UnknownRetries != 0 {
+		t.Errorf("governor activity with zero Options: %+v", st)
+	}
+}
+
+// TestGovernorUnknownRetryBudget: the governor's separate unknown-abort
+// retry budget is spent before falling back — and zero means zero, the
+// exact expressibility the RetryBudget fix was about.
+func TestGovernorUnknownRetryBudget(t *testing.T) {
+	plan := fault.Plan{Seed: 5, Rules: []fault.Rule{
+		{Kind: fault.Unknown, Prob: 1, Threads: []int{subjectTid}},
+	}}
+	// Every fast-path attempt dies with an unknown abort, so the injection
+	// count exposes the budget arithmetic: budget 1 buys one extra attempt
+	// (two injections) before the single fallback.
+	rt, _ := runWithFault(t, oneRegionProgram(), core.Options{
+		Fault:    fault.New(plan),
+		Governor: core.GovernorConfig{Enabled: true, UnknownRetryBudget: 1},
+	})
+	st := rt.Stats()
+	if st.UnknownRetries != 1 {
+		t.Errorf("UnknownRetries = %d, want 1", st.UnknownRetries)
+	}
+	if st.SlowRegions[core.CauseUnknown] != 1 {
+		t.Errorf("SlowRegions[unknown] = %d, want 1", st.SlowRegions[core.CauseUnknown])
+	}
+	if got := rt.FaultStats().Of(fault.Unknown); got != 2 {
+		t.Errorf("injected unknown faults = %d, want 2 (first attempt + budgeted retry)", got)
+	}
+
+	// A zero UnknownRetryBudget means zero — it is never coerced to a
+	// default, the exact expressibility the RetryBudget fix was about.
+	rt, _ = runWithFault(t, oneRegionProgram(), core.Options{
+		Fault:    fault.New(plan),
+		Governor: core.GovernorConfig{Enabled: true},
+	})
+	st = rt.Stats()
+	if st.UnknownRetries != 0 {
+		t.Errorf("UnknownRetries = %d with a zero budget, want 0", st.UnknownRetries)
+	}
+	if st.SlowRegions[core.CauseUnknown] != 1 {
+		t.Errorf("unknown abort did not fall back immediately: %+v", st)
+	}
+	if got := rt.FaultStats().Of(fault.Unknown); got != 1 {
+		t.Errorf("injected unknown faults = %d, want 1", got)
+	}
+}

@@ -3,11 +3,17 @@ package core
 import (
 	"repro/internal/clock"
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/htm"
 	"repro/internal/memmodel"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// RetryBudgetNone requests zero fast-path retries: every pure-retry abort
+// falls back to the slow path immediately. The Options zero value keeps the
+// default budget, so "no retries" needs this explicit sentinel.
+const RetryBudgetNone = -1
 
 // Options configures the TxRace runtime.
 type Options struct {
@@ -19,7 +25,8 @@ type Options struct {
 	// Thresholds preloads loop-cut thresholds for ProfCut.
 	Thresholds LoopThresholds
 	// RetryBudget bounds fast-path retries of pure-retry aborts before
-	// falling back to the slow path, guaranteeing forward progress.
+	// falling back to the slow path, guaranteeing forward progress. Zero
+	// keeps the default (3); RetryBudgetNone requests no retries at all.
 	RetryBudget int
 	// RetryOnlyFraction is the fraction of interrupt aborts that report
 	// only the retry bit rather than an unknown status, exercising the
@@ -44,6 +51,14 @@ type Options struct {
 	// region can then slip through, but episodes get drastically cheaper.
 	// Capacity and unknown aborts still re-execute fully monitored.
 	TargetedSlowPath bool
+	// Fault, when non-nil, is a compiled fault plan (internal/fault): the
+	// runtime attaches it to the HTM model's injection hooks and consults
+	// its syscall hook for machine-wide abort clustering. nil injects
+	// nothing.
+	Fault *fault.Injector
+	// Governor configures the adaptive fallback governor (governor.go); the
+	// zero value disables it.
+	Governor GovernorConfig
 	// Obs, when non-nil, receives structured lifecycle events and metrics
 	// updates (internal/obs): transaction begin/commit/abort with the RTM
 	// status word, TxFail episodes, slow-path regions, loop-cut decisions.
@@ -56,9 +71,14 @@ func (o Options) withDefaults() Options {
 	if o.HTM.MaxConcurrent == 0 {
 		o.HTM = htm.DefaultConfig()
 	}
-	if o.RetryBudget == 0 {
+	switch {
+	case o.RetryBudget == 0:
 		o.RetryBudget = 3
+	case o.RetryBudget < 0:
+		// RetryBudgetNone (and any negative) means an explicit zero budget.
+		o.RetryBudget = 0
 	}
+	o.Governor = o.Governor.withDefaults()
 	if o.SlowScale == 0 {
 		o.SlowScale = 1
 	}
@@ -89,6 +109,15 @@ type threadCtx struct {
 	iterInTx    map[sim.LoopID]int
 	lastLoop    sim.LoopID
 	hasLastLoop bool
+	// Fallback-governor state (governor.go): the sliding outcome window,
+	// degradation bookkeeping, and the governor-budgeted unknown retries.
+	govWindow        uint64
+	govCount         int
+	govDegraded      bool
+	govForcedLeft    int
+	govProbeInterval int
+	govProbing       bool
+	unknownRetries   int
 }
 
 // TxRace is the two-phase runtime. Create with NewTxRace and pass to
@@ -110,6 +139,11 @@ type TxRace struct {
 	hasEpisodeLine bool
 
 	ctx []*threadCtx
+
+	// Governor run-wide state: the count of currently degraded threads and
+	// the remaining region begins of an engaged global degradation window.
+	govDegraded   int
+	govGlobalLeft int
 
 	thresholds LoopThresholds
 	cutActive  map[sim.LoopID]bool
@@ -163,8 +197,12 @@ func (r *TxRace) Thresholds() LoopThresholds { return r.thresholds }
 // Init implements sim.Runtime.
 func (r *TxRace) Init(e *sim.Engine) {
 	r.eng = e
+	r.hw.SetClock(e.ThreadClock)
 	if r.obs != nil {
 		r.hw.SetObserver(r.obs, e.ThreadClock)
+	}
+	if r.opts.Fault != nil {
+		r.hw.SetInjector(r.opts.Fault)
 	}
 }
 
@@ -246,6 +284,20 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 		r.stats.SlowRegions[CauseSmall]++
 		if o := r.obs; o != nil {
 			o.SlowEnter(t.ID, t.Clock, CauseSmall.String())
+		}
+		return
+	}
+	if r.governorForces(t, c) {
+		// Degraded thread (or run-wide degradation window): no transaction
+		// is attempted; the software detector covers the whole region.
+		c.mode = ModeSlow
+		c.slowCause = CauseGovernor
+		c.slowStart = t.Clock
+		r.stats.SlowRegions[CauseGovernor]++
+		r.stats.ForcedSlow++
+		if o := r.obs; o != nil {
+			o.GovernorForced(t.ID, t.Clock)
+			o.SlowEnter(t.ID, t.Clock, CauseGovernor.String())
 		}
 		return
 	}
@@ -341,6 +393,8 @@ func (r *TxRace) attributeSlow(c *threadCtx, cycles int64) {
 	switch c.slowCause {
 	case CauseSmall, CauseNoHW:
 		r.stats.CyclesSmall += cycles
+	case CauseGovernor:
+		r.stats.CyclesGovernor += cycles
 	}
 }
 
@@ -353,6 +407,17 @@ func (r *TxRace) SyscallEvent(t *sim.Thread, sc *sim.Syscall) {
 	c := r.tctx(t)
 	if c.mode == ModeFast {
 		r.hw.InjectInterrupt(t.ID)
+	}
+	if f := r.opts.Fault; f != nil && f.AtSyscall(t.ID, t.Clock) {
+		// Injected abort clustering (fault.SyscallCluster): the privilege-
+		// level change dooms every open transaction machine-wide, modelling
+		// an interrupt storm around the syscall, not just the caller's own
+		// transaction.
+		for tid, oc := range r.ctx {
+			if oc != nil && oc.mode == ModeFast {
+				r.hw.InjectInterrupt(tid)
+			}
+		}
 	}
 }
 
@@ -437,6 +502,15 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 		cause = CauseCapacity
 		r.noteCapacityAbort(c)
 	case st == 0:
+		// Unknown status: §4.2 falls back immediately; the governor may
+		// spend its separate unknown-retry budget first, softening the
+		// interrupt storms fault plans cluster at syscalls.
+		if g := &r.opts.Governor; g.Enabled && c.unknownRetries < g.UnknownRetryBudget {
+			c.unknownRetries++
+			r.stats.UnknownRetries++
+			r.retryFast(t, c, c.unknownRetries, wasted)
+			return
+		}
 		r.stats.UnknownAborts++
 		cause = CauseUnknown
 	case st.Is(htm.StatusRetry):
@@ -445,12 +519,7 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 		if c.retries < r.opts.RetryBudget {
 			c.retries++
 			r.stats.Retries++
-			r.stats.CyclesFastPath += wasted
-			if o := r.obs; o != nil {
-				o.TxRetry(t.ID, t.Clock, c.retries)
-			}
-			c.mode = ModeIdle
-			r.eng.Restore(t, c.snap) // re-executes TxBegin → new transaction
+			r.retryFast(t, c, c.retries, wasted)
 			return
 		}
 		r.stats.UnknownAborts++
@@ -463,6 +532,7 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 	}
 
 	c.retries = 0
+	c.unknownRetries = 0
 	c.mode = ModeSlow
 	c.slowCause = cause
 	r.stats.SlowRegions[cause]++
@@ -470,10 +540,27 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 	c.slowStart = t.Clock
 	// The wasted attempt is part of this cause's overhead.
 	r.addCauseCycles(cause, wasted+cost.AbortPenalty)
+	r.governorAbort(t, c)
 	if o := r.obs; o != nil {
 		o.TxAbort(t.ID, t.Clock, uint32(st), cause.String(), wasted, artificial)
 		o.SlowEnter(t.ID, c.slowStart, cause.String())
 	}
+}
+
+// retryFast re-executes the region on the fast path after a retryable
+// abort; attempt is 1-based within its budget. Under the governor each
+// attempt first stalls for an exponentially growing backoff, so a retry
+// storm cannot spin through its budget at full speed.
+func (r *TxRace) retryFast(t *sim.Thread, c *threadCtx, attempt int, wasted int64) {
+	r.stats.CyclesFastPath += wasted
+	if g := &r.opts.Governor; g.Enabled {
+		r.eng.Charge(t, g.backoffCost(attempt))
+	}
+	if o := r.obs; o != nil {
+		o.TxRetry(t.ID, t.Clock, attempt)
+	}
+	c.mode = ModeIdle
+	r.eng.Restore(t, c.snap) // re-executes TxBegin → new transaction
 }
 
 func (r *TxRace) addCauseCycles(cause Cause, cycles int64) {
@@ -541,6 +628,7 @@ func (r *TxRace) LoopCheckMark(t *sim.Thread, m *sim.LoopCheck) {
 	}
 	r.stats.CommittedTxns++
 	r.stats.LoopCuts++
+	r.governorCommit(t, c)
 	if o := r.obs; o != nil {
 		o.TxCommit(t.ID, t.Clock, t.Clock-c.clockAtBegin)
 		o.LoopCut(t.ID, t.Clock, uint32(m.ID), th)
@@ -613,10 +701,12 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 			return
 		}
 		r.stats.CommittedTxns++
+		r.governorCommit(t, c)
 		if o := r.obs; o != nil {
 			o.TxCommit(t.ID, t.Clock, t.Clock-c.clockAtBegin)
 		}
 		c.retries = 0
+		c.unknownRetries = 0
 		c.mode = ModeIdle
 	}
 }
@@ -634,11 +724,22 @@ func (r *TxRace) ThreadExit(t *sim.Thread) {
 	c.mode = ModeNone
 }
 
-// Finish folds the slow-path detector's shadow allocation counters and the
-// HTM conflict directory's counters into the metrics registry.
+// FaultStats returns the attached injector's per-kind injected counts
+// (zero when no fault plan is attached).
+func (r *TxRace) FaultStats() fault.Stats { return r.opts.Fault.Stats() }
+
+// Finish folds the slow-path detector's shadow allocation counters, the
+// HTM conflict directory's counters, and the fault injector's per-kind
+// counts into the metrics registry.
 func (r *TxRace) Finish(e *sim.Engine) {
 	s := r.det.ShadowStats()
 	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
 	d := r.hw.DirStats()
 	e.Config().Obs.HTMDirStats(d.Lines, d.Checks, d.Fastpath)
+	if f := r.opts.Fault; f != nil {
+		fs := f.Stats()
+		e.Config().Obs.FaultStats(
+			fs.Of(fault.Unknown), fs.Of(fault.RetryStorm), fs.Of(fault.CapacityBurst),
+			fs.Of(fault.DoomedLine), fs.Of(fault.CommitAbort), fs.Of(fault.SyscallCluster))
+	}
 }

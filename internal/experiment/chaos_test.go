@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestChaosDifferentialSuite is the fault layer's soundness proof: for
+// every (workload, fault plan) pair of the differential suite, the faulted
+// run's race set must equal the fault-free reference's — and the run must
+// actually have degraded (faults injected, governor tripped, regions forced
+// onto the slow path), or the equality would be vacuous.
+func TestChaosDifferentialSuite(t *testing.T) {
+	d, err := RunChaosDiff(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != len(ChaosSuite())*len(ChaosPlans()) {
+		t.Fatalf("suite ran %d rows, want %d", len(d.Rows), len(ChaosSuite())*len(ChaosPlans()))
+	}
+	for _, r := range d.Rows {
+		name := r.App.Name + "/" + r.Plan
+		if !r.Sound {
+			t.Errorf("%s: race set diverged from the fault-free reference (%d vs %d races)",
+				name, r.Races, r.RefRaces)
+		}
+		if !r.Truth {
+			t.Errorf("%s: reference race set does not match the workload's ground truth", name)
+		}
+		if r.Injected == 0 {
+			t.Errorf("%s: no faults injected — the differential is vacuous", name)
+		}
+		if r.Forced == 0 {
+			t.Errorf("%s: core.fallback.forced stayed 0 — the governor never engaged", name)
+		}
+		if r.Trips == 0 {
+			t.Errorf("%s: governor never tripped", name)
+		}
+	}
+	if !d.Sound() {
+		t.Error("ChaosDiff.Sound() = false")
+	}
+}
+
+// TestChaosSuiteReferencesDetectAll pins why the suite workloads are the
+// soundness yardstick: fault-free, every built-in race pair is detected —
+// their detection is schedule-robust, unlike the evaluation applications'.
+func TestChaosSuiteReferencesDetectAll(t *testing.T) {
+	cfg := testCfg()
+	for _, w := range ChaosSuite() {
+		r, err := RunTxRace(w, cfg, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.Build(cfg.Threads, cfg.Scale).AllRaceKeys()
+		if !sameRaceSet(r.Races, want) {
+			t.Errorf("%s: fault-free TxRace found %d races, ground truth has %d",
+				w.Name, len(r.Races), len(want))
+		}
+	}
+}
+
+// TestChaosDeterminism extends the -jobs contract to the chaos drivers:
+// the sweep (faults enabled — injection is seeded per job) and the
+// differential suite render byte-identically on one worker and eight.
+func TestChaosDeterminism(t *testing.T) {
+	renderSweep := func(jobs int) (string, string) {
+		cfg := testCfg()
+		cfg.Jobs = jobs
+		ch, err := RunChaos(cfg, nil, nil)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var text bytes.Buffer
+		ch.Write(&text)
+		js, err := json.Marshal(ch.JSON())
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return text.String(), string(js)
+	}
+	text1, json1 := renderSweep(1)
+	text8, json8 := renderSweep(8)
+	if text1 != text8 {
+		t.Errorf("sweep text differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", text1, text8)
+	}
+	if json1 != json8 {
+		t.Errorf("sweep JSON differs between -jobs 1 and -jobs 8:\n%s\n%s", json1, json8)
+	}
+
+	renderDiff := func(jobs int) string {
+		cfg := testCfg()
+		cfg.Jobs = jobs
+		d, err := RunChaosDiff(cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var text bytes.Buffer
+		d.Write(&text)
+		return text.String()
+	}
+	if d1, d8 := renderDiff(1), renderDiff(8); d1 != d8 {
+		t.Errorf("differential suite output differs between -jobs 1 and -jobs 8:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", d1, d8)
+	}
+}

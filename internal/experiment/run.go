@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/detect"
+	"repro/internal/fault"
 	"repro/internal/instrument"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -115,6 +116,8 @@ type TxRaceRun struct {
 	Makespan int64
 	Races    []detect.PairKey
 	Stats    core.Stats
+	// Fault counts the injected faults by kind (zero without a fault plan).
+	Fault fault.Stats
 }
 
 // RunBaseline executes the original program. The run is memoized in
@@ -161,9 +164,20 @@ func RunTSan(w *workload.Workload, cfg Config, seed uint64) (*TSanRun, error) {
 // is applied to a fresh copy per run, so the runtime's in-place threshold
 // adaptation never leaks between jobs.
 func RunTxRace(w *workload.Workload, cfg Config, seed uint64) (*TxRaceRun, error) {
+	return RunTxRaceFault(w, cfg, seed, fault.Plan{}, core.GovernorConfig{})
+}
+
+// RunTxRaceFault is RunTxRace with a fault plan attached and the fallback
+// governor configured. An empty plan compiles to no injector at all, and a
+// zero GovernorConfig leaves the governor off, so
+// RunTxRaceFault(w, cfg, seed, fault.Plan{}, core.GovernorConfig{}) is
+// RunTxRace exactly; the chaos sweep's fault-free reference point instead
+// keeps the governor configured so injection is the only difference.
+func RunTxRaceFault(w *workload.Workload, cfg Config, seed uint64, plan fault.Plan, gov core.GovernorConfig) (*TxRaceRun, error) {
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
-	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale, Obs: cfg.Obs}
+	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale, Obs: cfg.Obs,
+		Fault: fault.NewIfAny(plan), Governor: gov}
 	if cfg.LoopCut == core.ProfCut {
 		// Profile with a different seed: representative input, not the
 		// measured run. The profiling pass is unobserved so metrics and
@@ -198,6 +212,7 @@ func RunTxRace(w *workload.Workload, cfg Config, seed uint64) (*TxRaceRun, error
 		Makespan: res.Makespan,
 		Races:    rt.Detector().RaceKeys(),
 		Stats:    rt.Stats(),
+		Fault:    rt.FaultStats(),
 	}, nil
 }
 

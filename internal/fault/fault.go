@@ -1,0 +1,350 @@
+// Package fault is a deterministic, seeded fault-plan engine for the HTM
+// fast path. A declarative Plan describes hostile transactional behaviour —
+// spurious unknown aborts, retry-only storms, capacity-pressure bursts,
+// persistent-abort "doomed line" regions, aborts delivered exactly at
+// commit, and abort clustering at syscall boundaries — and an Injector
+// compiled from the plan answers the machine's fault-injection hook points
+// (htm.Injector) plus the runtime's syscall hook.
+//
+// Everything is a pure function of the plan: decisions draw from one
+// internal/prng splitmix64 stream seeded by Plan.Seed, opportunities arrive
+// in the simulator's deterministic order, and therefore an injected run is
+// exactly as reproducible as a fault-free one. That is what lets the chaos
+// differential suite compare the race set of a faulted run against a
+// fault-free reference byte for byte.
+//
+// TxRace's abort decision tree (§4.2 of the paper) only ever sees the
+// status words the injector fabricates — never the fact of injection — so
+// the runtime is stressed through exactly the interface real hardware
+// would present.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/memmodel"
+	"repro/internal/prng"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// Unknown dooms a transaction at a transactional access with the
+	// all-zero status word Haswell reports for interrupts and other
+	// unexplained aborts (§2.2 challenge 4).
+	Unknown Kind = iota
+	// RetryStorm dooms a transaction with the pure retry bit, exercising
+	// the §4.2 retry policy; with Burst > 0 consecutive retries keep
+	// failing, which is what exhausts a retry budget.
+	RetryStorm
+	// CapacityBurst dooms a transaction with a capacity status regardless
+	// of its actual footprint, modelling pathological set-associativity
+	// pressure (the "On the Cost of Concurrency in TM" abort regimes).
+	CapacityBurst
+	// DoomedLine dooms any transaction touching a configured line region
+	// with a conflict|retry status — a persistent-abort region that looks
+	// like unresolvable false sharing to the runtime.
+	DoomedLine
+	// CommitAbort dooms a transaction at its commit point (xend) with an
+	// unknown status: all work done, abort delivered at the last moment.
+	CommitAbort
+	// SyscallCluster fires at a syscall boundary and dooms every open
+	// transaction machine-wide with an unknown status, modelling an
+	// interrupt storm clustered around privilege-level changes.
+	SyscallCluster
+
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Unknown:
+		return "unknown"
+	case RetryStorm:
+		return "retry-storm"
+	case CapacityBurst:
+		return "capacity-burst"
+	case DoomedLine:
+		return "doomed-line"
+	case CommitAbort:
+		return "commit-abort"
+	case SyscallCluster:
+		return "syscall-cluster"
+	default:
+		return "?"
+	}
+}
+
+// status maps a fault kind to the RTM status word it fabricates.
+func (k Kind) status() htm.Status {
+	switch k {
+	case RetryStorm:
+		return htm.StatusRetry
+	case CapacityBurst:
+		return htm.StatusCapacity
+	case DoomedLine:
+		return htm.StatusConflict | htm.StatusRetry
+	default:
+		// Unknown, CommitAbort, SyscallCluster: the unexplained zero word.
+		return 0
+	}
+}
+
+// Window is a phase window in simulated cycles. The zero Window is always
+// active; To == 0 means open-ended.
+type Window struct {
+	From, To int64
+}
+
+func (w Window) contains(now int64) bool {
+	if now < w.From {
+		return false
+	}
+	return w.To == 0 || now < w.To
+}
+
+// Rule is one fault source in a Plan.
+type Rule struct {
+	// Kind selects the fault and the opportunity it fires at (transactional
+	// access, commit, or syscall boundary).
+	Kind Kind
+	// Window restricts the rule to a phase of the run; the zero value is
+	// always active.
+	Window Window
+	// Threads targets specific thread ids; nil targets all threads.
+	Threads []int
+	// Prob is the Bernoulli probability of firing per opportunity.
+	Prob float64
+	// Burst, when positive, extends each hit into a storm: the next Burst
+	// matching opportunities fire unconditionally.
+	Burst int
+	// Line and Lines define the doomed region for DoomedLine rules:
+	// [Line, Line+Lines). Lines == 0 means a single line.
+	Line  memmodel.Line
+	Lines int
+}
+
+func (r *Rule) targets(tid int) bool {
+	if len(r.Threads) == 0 {
+		return true
+	}
+	for _, t := range r.Threads {
+		if t == tid {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Rule) inRegion(line memmodel.Line) bool {
+	n := r.Lines
+	if n <= 0 {
+		n = 1
+	}
+	return line >= r.Line && line < r.Line+memmodel.Line(n)
+}
+
+// Plan is a declarative fault schedule. The zero Plan injects nothing.
+type Plan struct {
+	// Seed feeds the injector's private splitmix64 stream; two injectors
+	// built from equal plans make identical decisions.
+	Seed  uint64
+	Rules []Rule
+}
+
+// Empty reports whether the plan can never fire.
+func (p Plan) Empty() bool {
+	for _, r := range p.Rules {
+		if r.Prob > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Scale returns a copy of the plan with every rule's probability multiplied
+// by f and clamped to [0, 1]. Burst lengths and targeting are unchanged, so
+// a sweep over Scale values varies intensity without reshaping the mix.
+func (p Plan) Scale(f float64) Plan {
+	out := Plan{Seed: p.Seed, Rules: make([]Rule, len(p.Rules))}
+	copy(out.Rules, p.Rules)
+	for i := range out.Rules {
+		pr := out.Rules[i].Prob * f
+		if pr < 0 {
+			pr = 0
+		}
+		if pr > 1 {
+			pr = 1
+		}
+		out.Rules[i].Prob = pr
+	}
+	return out
+}
+
+// StandardPlan is the chaos suite's standard fault mix at the given
+// intensity (0 disables everything, 1 is hostile): every kind except
+// DoomedLine participates, with per-opportunity probabilities scaled so the
+// frequent opportunities (transactional accesses) fire far more rarely than
+// the per-transaction ones (commit) and per-thread ones (syscalls).
+// DoomedLine needs a workload-specific line region, so callers that want it
+// append their own rule.
+func StandardPlan(seed uint64, intensity float64) Plan {
+	if intensity <= 0 {
+		return Plan{}
+	}
+	base := Plan{Seed: seed, Rules: []Rule{
+		{Kind: Unknown, Prob: 0.002},
+		{Kind: RetryStorm, Prob: 0.001, Burst: 4},
+		{Kind: CapacityBurst, Prob: 0.0005, Burst: 2},
+		{Kind: CommitAbort, Prob: 0.05},
+		{Kind: SyscallCluster, Prob: 0.2},
+	}}
+	return base.Scale(intensity)
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Injected [kindCount]uint64
+}
+
+// Of returns the injected count for one kind.
+func (s Stats) Of(k Kind) uint64 { return s.Injected[k] }
+
+// Total returns the number of injected faults across all kinds.
+func (s Stats) Total() uint64 {
+	var t uint64
+	for _, n := range s.Injected {
+		t += n
+	}
+	return t
+}
+
+func (s Stats) String() string {
+	out := ""
+	for k := Kind(0); k < kindCount; k++ {
+		if s.Injected[k] == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, s.Injected[k])
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// rule is a compiled Rule plus its live burst counter.
+type rule struct {
+	Rule
+	burstLeft int
+}
+
+// Injector answers the machine's and runtime's fault hook points for one
+// run. It is not safe for concurrent use; each simulated run owns one
+// (parallel experiment jobs each build their own from the same Plan).
+type Injector struct {
+	rules []rule
+	rng   prng.PRNG
+	stats Stats
+}
+
+// New compiles a plan. A nil *Injector is the disabled state — every
+// At* method on nil reports no fault — so callers can pass the result of
+// NewIfAny straight through.
+func New(plan Plan) *Injector {
+	inj := &Injector{rng: prng.New(plan.Seed ^ 0xfa017ab1e), rules: make([]rule, len(plan.Rules))}
+	for i, r := range plan.Rules {
+		inj.rules[i] = rule{Rule: r}
+	}
+	return inj
+}
+
+// NewIfAny compiles a plan, returning nil (the disabled injector) when the
+// plan can never fire — so a zero-intensity sweep point runs with no
+// injector attached at all, not just one that declines.
+func NewIfAny(plan Plan) *Injector {
+	if plan.Empty() {
+		return nil
+	}
+	return New(plan)
+}
+
+// Stats returns the per-kind injected counts so far.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}
+
+// fire scans the rules for the first one of an eligible kind that triggers
+// at this opportunity. Burst counters are consumed before fresh Bernoulli
+// draws, so a storm in progress keeps firing deterministically.
+func (i *Injector) fire(tid int, now int64, line memmodel.Line, haveLine bool, eligible func(Kind) bool) (Kind, bool) {
+	for idx := range i.rules {
+		r := &i.rules[idx]
+		if !eligible(r.Kind) || !r.targets(tid) || !r.Window.contains(now) {
+			continue
+		}
+		if r.Kind == DoomedLine && (!haveLine || !r.inRegion(line)) {
+			continue
+		}
+		if r.burstLeft > 0 {
+			r.burstLeft--
+			i.stats.Injected[r.Kind]++
+			return r.Kind, true
+		}
+		if r.Prob > 0 && i.rng.Bool(r.Prob) {
+			r.burstLeft = r.Burst
+			i.stats.Injected[r.Kind]++
+			return r.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// AtAccess implements htm.Injector: consulted once per transactional access
+// by an undoomed transaction. Returning ok dooms the transaction with the
+// fabricated status before the access takes effect.
+func (i *Injector) AtAccess(tid int, now int64, line memmodel.Line, write bool) (htm.Status, bool) {
+	if i == nil {
+		return 0, false
+	}
+	k, ok := i.fire(tid, now, line, true, func(k Kind) bool {
+		return k == Unknown || k == RetryStorm || k == CapacityBurst || k == DoomedLine
+	})
+	if !ok {
+		return 0, false
+	}
+	return k.status(), true
+}
+
+// AtCommit implements htm.Injector: consulted when an undoomed transaction
+// reaches its commit point. Returning ok dooms it there, so Commit delivers
+// the abort instead of committing.
+func (i *Injector) AtCommit(tid int, now int64) (htm.Status, bool) {
+	if i == nil {
+		return 0, false
+	}
+	k, ok := i.fire(tid, now, 0, false, func(k Kind) bool { return k == CommitAbort })
+	if !ok {
+		return 0, false
+	}
+	return k.status(), true
+}
+
+// AtSyscall is the runtime-layer hook: consulted once per executed syscall.
+// Returning true asks the runtime to doom every open transaction
+// machine-wide (abort clustering at the privilege boundary).
+func (i *Injector) AtSyscall(tid int, now int64) bool {
+	if i == nil {
+		return false
+	}
+	_, ok := i.fire(tid, now, 0, false, func(k Kind) bool { return k == SyscallCluster })
+	return ok
+}

@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/htm"
+	"repro/internal/memmodel"
+)
+
+// drive replays a fixed opportunity sequence against an injector and
+// returns the decision trace: one entry per opportunity, kind.status()+1
+// when it fired (so a fired Unknown is distinguishable from "no fault").
+func drive(inj *Injector, n int) []int {
+	out := make([]int, 0, 3*n)
+	rec := func(st htm.Status, ok bool) {
+		if !ok {
+			out = append(out, 0)
+		} else {
+			out = append(out, int(st)+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		now := int64(i * 10)
+		rec(inj.AtAccess(i%4, now, 5, true))
+		rec(inj.AtCommit(i%4, now+3))
+		if inj.AtSyscall(i%4, now+7) {
+			out = append(out, -1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// TestInjectorDeterministic: two injectors compiled from equal plans make
+// identical decisions over an identical opportunity sequence — the property
+// the chaos differential suite rests on.
+func TestInjectorDeterministic(t *testing.T) {
+	plan := StandardPlan(42, 1)
+	a := drive(New(plan), 2000)
+	b := drive(New(plan), 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different trace (overwhelmingly likely
+	// over 6000 decisions at these probabilities).
+	plan2 := plan
+	plan2.Seed = 43
+	c := drive(New(plan2), 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical decision traces")
+	}
+}
+
+// TestPlanScale pins clamping and that Scale does not mutate the receiver.
+func TestPlanScale(t *testing.T) {
+	p := Plan{Seed: 1, Rules: []Rule{{Kind: Unknown, Prob: 0.4, Burst: 3}}}
+	s := p.Scale(10)
+	if s.Rules[0].Prob != 1 {
+		t.Errorf("Prob scaled x10 = %v, want clamped 1", s.Rules[0].Prob)
+	}
+	if s.Rules[0].Burst != 3 {
+		t.Errorf("Scale changed Burst to %d", s.Rules[0].Burst)
+	}
+	if n := p.Scale(-1).Rules[0].Prob; n != 0 {
+		t.Errorf("negative scale Prob = %v, want 0", n)
+	}
+	if p.Rules[0].Prob != 0.4 {
+		t.Errorf("Scale mutated the receiver: Prob = %v", p.Rules[0].Prob)
+	}
+}
+
+// TestStandardPlanIntensityZero: at or below zero intensity the standard
+// plan is empty and NewIfAny compiles it to the nil (disabled) injector.
+func TestStandardPlanIntensityZero(t *testing.T) {
+	for _, in := range []float64{0, -1} {
+		p := StandardPlan(7, in)
+		if !p.Empty() {
+			t.Errorf("StandardPlan(7, %v) not empty", in)
+		}
+		if NewIfAny(p) != nil {
+			t.Errorf("NewIfAny(StandardPlan(7, %v)) != nil", in)
+		}
+	}
+	if NewIfAny(StandardPlan(7, 0.5)) == nil {
+		t.Error("NewIfAny(StandardPlan(7, 0.5)) = nil, want an injector")
+	}
+}
+
+// TestNilInjectorDisabled: every hook on the nil injector declines.
+func TestNilInjectorDisabled(t *testing.T) {
+	var inj *Injector
+	if _, ok := inj.AtAccess(0, 0, 0, true); ok {
+		t.Error("nil AtAccess fired")
+	}
+	if _, ok := inj.AtCommit(0, 0); ok {
+		t.Error("nil AtCommit fired")
+	}
+	if inj.AtSyscall(0, 0) {
+		t.Error("nil AtSyscall fired")
+	}
+	if inj.Stats().Total() != 0 {
+		t.Error("nil Stats non-zero")
+	}
+}
+
+// TestBurstSemantics: a Prob-1 hit arms the burst counter, and the next
+// Burst matching opportunities fire unconditionally even at Prob 0 — here
+// isolated by windowing the Bernoulli rule to a single instant.
+func TestBurstSemantics(t *testing.T) {
+	inj := New(Plan{Seed: 3, Rules: []Rule{
+		{Kind: RetryStorm, Prob: 1, Burst: 2, Window: Window{From: 0, To: 1}},
+	}})
+	fired := 0
+	for now := int64(0); now < 10; now++ {
+		if _, ok := inj.AtAccess(0, now, 1, true); ok {
+			fired++
+		}
+	}
+	// Window [0,1) permits exactly one Bernoulli hit, and burst
+	// opportunities must still satisfy the rule's window/targeting — so the
+	// armed burst cannot fire outside the window.
+	if fired != 1 {
+		t.Fatalf("windowed burst fired %d times, want 1 (burst does not outlive the window)", fired)
+	}
+
+	// Unwindowed: one hit arms the counter and the next Burst opportunities
+	// fire unconditionally.
+	inj = New(Plan{Seed: 3, Rules: []Rule{{Kind: RetryStorm, Prob: 1, Burst: 4}}})
+	st, ok := inj.AtAccess(0, 0, 1, true)
+	if !ok || st != htm.StatusRetry {
+		t.Fatalf("first access: (%v, %v), want retry fire", st, ok)
+	}
+	if got := inj.Stats().Of(RetryStorm); got != 1 {
+		t.Fatalf("stats after 1 fire: %d", got)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := inj.AtAccess(0, int64(i+1), 1, true); !ok {
+			t.Fatalf("burst opportunity %d did not fire", i)
+		}
+	}
+	if got := inj.Stats().Of(RetryStorm); got != 5 {
+		t.Fatalf("stats after hit+burst: %d, want 5", got)
+	}
+}
+
+// TestThreadTargeting: a Threads-restricted rule never fires for other
+// threads.
+func TestThreadTargeting(t *testing.T) {
+	inj := New(Plan{Seed: 9, Rules: []Rule{{Kind: Unknown, Prob: 1, Threads: []int{2}}}})
+	if _, ok := inj.AtAccess(1, 0, 0, true); ok {
+		t.Error("rule targeting t2 fired for t1")
+	}
+	if _, ok := inj.AtAccess(2, 0, 0, true); !ok {
+		t.Error("rule targeting t2 did not fire for t2")
+	}
+}
+
+// TestWindowPhases: a windowed rule fires only inside [From, To), and
+// To == 0 means open-ended.
+func TestWindowPhases(t *testing.T) {
+	inj := New(Plan{Seed: 11, Rules: []Rule{{Kind: Unknown, Prob: 1, Window: Window{From: 100, To: 200}}}})
+	for _, tc := range []struct {
+		now  int64
+		want bool
+	}{{0, false}, {99, false}, {100, true}, {199, true}, {200, false}} {
+		if _, ok := inj.AtAccess(0, tc.now, 0, true); ok != tc.want {
+			t.Errorf("now=%d fired=%v, want %v", tc.now, ok, tc.want)
+		}
+	}
+	open := New(Plan{Seed: 11, Rules: []Rule{{Kind: Unknown, Prob: 1, Window: Window{From: 50}}}})
+	if _, ok := open.AtAccess(0, 1<<40, 0, true); !ok {
+		t.Error("open-ended window closed")
+	}
+}
+
+// TestDoomedLineRegion: DoomedLine fires only on accesses inside
+// [Line, Line+Lines), with Lines == 0 meaning a single line, and only at
+// access opportunities (never commit).
+func TestDoomedLineRegion(t *testing.T) {
+	inj := New(Plan{Seed: 13, Rules: []Rule{{Kind: DoomedLine, Prob: 1, Line: 10, Lines: 3}}})
+	for _, tc := range []struct {
+		line int
+		want bool
+	}{{9, false}, {10, true}, {12, true}, {13, false}} {
+		st, ok := inj.AtAccess(0, 0, memmodel.Line(tc.line), true)
+		if ok != tc.want {
+			t.Errorf("line %d fired=%v, want %v", tc.line, ok, tc.want)
+		}
+		if ok && st != htm.StatusConflict|htm.StatusRetry {
+			t.Errorf("line %d status %v, want conflict|retry", tc.line, st)
+		}
+	}
+	single := New(Plan{Seed: 13, Rules: []Rule{{Kind: DoomedLine, Prob: 1, Line: 10}}})
+	if _, ok := single.AtAccess(0, 0, 11, true); ok {
+		t.Error("Lines=0 rule fired one line past Line")
+	}
+	if _, ok := single.AtAccess(0, 0, 10, true); !ok {
+		t.Error("Lines=0 rule did not fire on its line")
+	}
+	if _, ok := inj.AtCommit(0, 0); ok {
+		t.Error("DoomedLine fired at commit")
+	}
+}
+
+// TestOpportunityEligibility: each hook only consults kinds that fire at
+// that opportunity.
+func TestOpportunityEligibility(t *testing.T) {
+	all := New(Plan{Seed: 17, Rules: []Rule{
+		{Kind: CommitAbort, Prob: 1},
+		{Kind: SyscallCluster, Prob: 1},
+	}})
+	if _, ok := all.AtAccess(0, 0, 0, true); ok {
+		t.Error("commit/syscall kinds fired at an access")
+	}
+	if st, ok := all.AtCommit(0, 0); !ok || st != 0 {
+		t.Errorf("AtCommit = (%v, %v), want unknown-status fire", st, ok)
+	}
+	if !all.AtSyscall(0, 0) {
+		t.Error("SyscallCluster did not fire at a syscall")
+	}
+}
+
+// TestStatsString covers the human rendering used by cmd/txrace.
+func TestStatsString(t *testing.T) {
+	if s := (Stats{}).String(); s != "none" {
+		t.Errorf("zero Stats = %q, want none", s)
+	}
+	var st Stats
+	st.Injected[Unknown] = 2
+	st.Injected[CommitAbort] = 1
+	if s := st.String(); s != "unknown=2 commit-abort=1" {
+		t.Errorf("Stats = %q", s)
+	}
+	if st.Total() != 3 {
+		t.Errorf("Total = %d", st.Total())
+	}
+}

@@ -143,6 +143,26 @@ func DefaultConfig() Config {
 // slot is busy; the caller (TxRace) falls back to its slow path.
 var ErrNoHardwareContext = fmt.Errorf("htm: no free hardware transaction context")
 
+// Injector is the machine's fault-injection surface (internal/fault
+// implements it). The machine consults it at exactly two opportunities, and
+// only for a transaction that is active and not yet doomed:
+//
+//   - AtAccess: once per transactional access, before the access takes
+//     effect. Returning ok dooms the transaction with the given status.
+//   - AtCommit: when the transaction reaches its commit point. Returning ok
+//     dooms it there, so Commit delivers the abort instead of committing.
+//
+// Because injection always targets an active, undoomed transaction, every
+// injected fault leaves a pending abort behind — doom flips the transaction
+// to (active, doomed), which is precisely the state Pending reports and
+// Resolve requires. An injector therefore cannot trip the "Resolve without
+// pending abort" invariant no matter where in the Begin..Commit window it
+// fires; see TestInjectorPreservesResolveInvariant.
+type Injector interface {
+	AtAccess(tid int, now int64, line memmodel.Line, write bool) (Status, bool)
+	AtCommit(tid int, now int64) (Status, bool)
+}
+
 type txn struct {
 	active bool
 	doomed bool
@@ -186,6 +206,10 @@ type HTM struct {
 	// may be nil (events are then stamped 0).
 	obs *obs.Observer
 	now func(tid int) int64
+
+	// inj is the optional fault injector; nil (the default) costs one
+	// branch per access and per commit.
+	inj Injector
 }
 
 // Stats counts machine-level transactional events.
@@ -228,6 +252,13 @@ func New(cfg Config) *HTM {
 func (h *HTM) SetObserver(o *obs.Observer, clock func(tid int) int64) {
 	h.obs, h.now = o, clock
 }
+
+// SetClock attaches just the thread-clock source, for callers that need
+// timestamped fault windows without observability attached.
+func (h *HTM) SetClock(clock func(tid int) int64) { h.now = clock }
+
+// SetInjector attaches a fault injector to the machine; nil detaches.
+func (h *HTM) SetInjector(inj Injector) { h.inj = inj }
 
 func (h *HTM) clockOf(tid int) int64 {
 	if h.now == nil {
@@ -353,18 +384,39 @@ func (h *HTM) Pending(tid int) (Status, bool) {
 
 // Resolve delivers a pending abort: the transaction rolls back and tid's
 // context leaves transactional mode. It panics if nothing is pending —
-// callers must check Pending first.
+// callers must check Pending first, or use TryResolve.
+//
+// Invariant (relied on by the fallback governor): every path that dooms a
+// transaction — remote conflict, capacity overflow, InjectInterrupt/
+// InjectAbort, and fault injection through the Injector hooks — only acts
+// on an active, undoomed transaction and leaves it (active, doomed), i.e.
+// with a pending abort. Doom on an inactive or already-doomed transaction
+// is a no-op. So between Begin and the abort's delivery there is no
+// machine state in which Pending reports an abort that Resolve would
+// refuse, no matter what faults were injected in between.
 func (h *HTM) Resolve(tid int) Status {
+	st, ok := h.TryResolve(tid)
+	if !ok {
+		panic("htm: Resolve without pending abort")
+	}
+	return st
+}
+
+// TryResolve delivers a pending abort if one exists, reporting false (and
+// changing nothing) otherwise. Defensive callers — the runtime's governor
+// paths and thread-exit teardown — use it so an abort raced away by another
+// delivery path cannot turn into a machine panic.
+func (h *HTM) TryResolve(tid int) (Status, bool) {
 	t := h.txnOf(tid)
 	if !t.active || !t.doomed {
-		panic("htm: Resolve without pending abort")
+		return 0, false
 	}
 	t.active = false
 	t.doomed = false
 	h.freeSlots |= 1 << uint(t.slot)
 	h.activeTxns--
 	t.slot = -1
-	return t.status
+	return t.status, true
 }
 
 // Access performs a memory access by tid to the line containing addr.
@@ -374,11 +426,36 @@ func (h *HTM) Resolve(tid int) Status {
 // conflicting transactions of *other* threads are doomed (requester wins +
 // strong isolation). The requester itself never blocks or fails here.
 func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
+	if h.inj != nil {
+		// Fault-injection opportunity: an undoomed transactional access may
+		// be fabricated into an abort before it takes effect. The hook sits
+		// above the resolver split so injected behaviour is identical under
+		// the directory and the reference scan.
+		if t := h.activeTxn(tid); t != nil {
+			if st, ok := h.inj.AtAccess(tid, h.clockOf(tid), h.lineOf(addr), isWrite); ok {
+				h.doom(tid, st)
+				return
+			}
+		}
+	}
 	if h.cfg.RefScan {
 		h.accessRef(tid, addr, isWrite)
 		return
 	}
 	h.accessDir(tid, addr, isWrite)
+}
+
+// activeTxn returns tid's transaction when it is open and not yet doomed,
+// else nil.
+func (h *HTM) activeTxn(tid int) *txn {
+	if tid >= len(h.txns) || h.txns[tid] == nil {
+		return nil
+	}
+	t := h.txns[tid]
+	if !t.active || t.doomed {
+		return nil
+	}
+	return t
 }
 
 // accessDir resolves the access against the line-ownership directory: one
@@ -560,6 +637,13 @@ func (h *HTM) Commit(tid int) (Status, bool) {
 	t := h.txnOf(tid)
 	if !t.active {
 		panic("htm: Commit outside transaction")
+	}
+	if !t.doomed && h.inj != nil {
+		// Fault-injection opportunity: an abort delivered exactly at the
+		// commit point, after all the transaction's work is done.
+		if st, ok := h.inj.AtCommit(tid, h.clockOf(tid)); ok {
+			h.doom(tid, st)
+		}
 	}
 	if t.doomed {
 		return h.Resolve(tid), false

@@ -1,0 +1,171 @@
+package htm
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// hookInjector scripts the Injector surface: it fires the configured status
+// at the Nth access opportunity and/or the Nth commit opportunity (1-based,
+// 0 = never), and counts every consultation.
+type hookInjector struct {
+	fireAccessAt int
+	accessStatus Status
+	fireCommitAt int
+	commitStatus Status
+
+	accessCalls int
+	commitCalls int
+}
+
+func (s *hookInjector) AtAccess(tid int, now int64, line memmodel.Line, write bool) (Status, bool) {
+	s.accessCalls++
+	if s.accessCalls == s.fireAccessAt {
+		return s.accessStatus, true
+	}
+	return 0, false
+}
+
+func (s *hookInjector) AtCommit(tid int, now int64) (Status, bool) {
+	s.commitCalls++
+	if s.commitCalls == s.fireCommitAt {
+		return s.commitStatus, true
+	}
+	return 0, false
+}
+
+// TestInjectorPreservesResolveInvariant is the audit the Injector doc
+// comment points at: wherever in the Begin..Commit window a fault fires —
+// first access, mid-transaction, or exactly at commit — the machine is left
+// with exactly one pending abort, delivered exactly once; a second delivery
+// attempt reports false through TryResolve instead of tripping the
+// "Resolve without pending abort" panic.
+func TestInjectorPreservesResolveInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		inj  *hookInjector
+		want Status
+	}{
+		{"first-access", &hookInjector{fireAccessAt: 1, accessStatus: StatusRetry}, StatusRetry},
+		{"mid-transaction", &hookInjector{fireAccessAt: 3, accessStatus: StatusConflict | StatusRetry}, StatusConflict | StatusRetry},
+		{"at-commit", &hookInjector{fireCommitAt: 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := New(DefaultConfig())
+			h.SetInjector(tc.inj)
+			if _, err := h.Begin(0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				h.Access(0, addrOfLine(i), true)
+			}
+			st, committed := h.Commit(0)
+			if committed {
+				t.Fatal("transaction committed through an injected fault")
+			}
+			if st != tc.want {
+				t.Fatalf("delivered status %v, want %v", st, tc.want)
+			}
+			// The abort was just delivered: nothing may be pending, and a
+			// second delivery must decline, not panic.
+			if _, ok := h.Pending(0); ok {
+				t.Fatal("abort still pending after delivery")
+			}
+			if _, ok := h.TryResolve(0); ok {
+				t.Fatal("TryResolve delivered a second abort")
+			}
+		})
+	}
+}
+
+// TestInjectorNotConsultedWhenDoomed: after the injected doom, the hook is
+// out of the picture — further accesses of the doomed transaction (and the
+// machine's other bookkeeping) never consult it again, and non-transactional
+// accesses never consult it at all.
+func TestInjectorNotConsultedWhenDoomed(t *testing.T) {
+	inj := &hookInjector{fireAccessAt: 1, accessStatus: 0}
+	h := New(DefaultConfig())
+	h.SetInjector(inj)
+
+	h.Access(0, addrOfLine(9), true) // non-transactional: no consultation
+	if inj.accessCalls != 0 {
+		t.Fatalf("non-transactional access consulted the injector %d times", inj.accessCalls)
+	}
+
+	h.Begin(0)
+	for i := 0; i < 5; i++ {
+		h.Access(0, addrOfLine(i), false)
+	}
+	if inj.accessCalls != 1 {
+		t.Fatalf("injector consulted %d times, want 1 (doomed txns are not consulted)", inj.accessCalls)
+	}
+	if _, ok := h.TryResolve(0); !ok {
+		t.Fatal("no pending abort after injected doom")
+	}
+	if inj.commitCalls != 0 {
+		t.Fatalf("commit hook consulted %d times without reaching Commit", inj.commitCalls)
+	}
+}
+
+// TestInjectorStatsByStatus: injected aborts land in the machine's abort
+// counters according to their fabricated status word, exactly like organic
+// aborts — the runtime cannot tell them apart.
+func TestInjectorStatsByStatus(t *testing.T) {
+	run := func(inj *hookInjector) Stats {
+		h := New(DefaultConfig())
+		h.SetInjector(inj)
+		h.Begin(0)
+		h.Access(0, addrOfLine(1), true)
+		h.Commit(0)
+		return h.Stats()
+	}
+	if s := run(&hookInjector{fireAccessAt: 1, accessStatus: StatusConflict | StatusRetry}); s.ConflictAborts != 1 {
+		t.Errorf("conflict-status injection: %+v, want 1 conflict abort", s)
+	}
+	if s := run(&hookInjector{fireAccessAt: 1, accessStatus: StatusCapacity}); s.CapacityAborts != 1 {
+		t.Errorf("capacity-status injection: %+v, want 1 capacity abort", s)
+	}
+	if s := run(&hookInjector{fireCommitAt: 1}); s.UnknownAborts != 1 {
+		t.Errorf("zero-status commit injection: %+v, want 1 unknown abort", s)
+	}
+}
+
+// TestInjectorIdenticalUnderBothResolvers: the injection hook sits above the
+// RefScan/directory split, so an identical access script under an identical
+// scripted injector yields identical statuses and machine counters under
+// the reference scan and the conflict directory.
+func TestInjectorIdenticalUnderBothResolvers(t *testing.T) {
+	script := func(refScan bool) (Stats, []Status) {
+		cfg := DefaultConfig()
+		cfg.RefScan = refScan
+		h := New(cfg)
+		h.SetInjector(&hookInjector{fireAccessAt: 4, accessStatus: StatusRetry, fireCommitAt: 2})
+		var delivered []Status
+		for round := 0; round < 3; round++ {
+			for tid := 0; tid < 2; tid++ {
+				h.Begin(tid)
+				h.Access(tid, addrOfLine(10+tid), true)
+				h.Access(tid, addrOfLine(20+round), false)
+				if st, ok := h.Commit(tid); !ok {
+					delivered = append(delivered, st)
+				}
+			}
+		}
+		return h.Stats(), delivered
+	}
+	sRef, dRef := script(true)
+	sDir, dDir := script(false)
+	if sRef != sDir {
+		t.Errorf("stats diverge: refscan %+v, directory %+v", sRef, sDir)
+	}
+	if len(dRef) != len(dDir) {
+		t.Fatalf("abort counts diverge: %v vs %v", dRef, dDir)
+	}
+	for i := range dRef {
+		if dRef[i] != dDir[i] {
+			t.Errorf("abort %d status diverges: %v vs %v", i, dRef[i], dDir[i])
+		}
+	}
+}

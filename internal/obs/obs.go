@@ -61,6 +61,10 @@ const (
 	// KindHTMConflict: the machine doomed TID's transaction on a line
 	// conflict; Line is the conflicting line and Arg the winning thread.
 	KindHTMConflict
+	// KindGovernor: the fallback governor changed state for TID; Cause is
+	// the transition label ("degrade", "probe", "recover", "global",
+	// "global-end") and Arg the probe interval where applicable.
+	KindGovernor
 )
 
 func (k Kind) String() string {
@@ -91,6 +95,8 @@ func (k Kind) String() string {
 		return "thread-exit"
 	case KindHTMConflict:
 		return "htm-conflict"
+	case KindGovernor:
+		return "governor"
 	default:
 		return "event"
 	}
@@ -167,7 +173,7 @@ type Observer struct {
 	cAbortConflict, cAbortCapacity, cAbortUnknown     *Counter
 	cAbortArtificial                                  *Counter
 	cSlowConflict, cSlowCapacity, cSlowUnknown        *Counter
-	cSlowSmall, cSlowNoHW                             *Counter
+	cSlowSmall, cSlowNoHW, cSlowGovernor              *Counter
 	cTxFail, cInterrupts, cThreadStart, cThreadExit   *Counter
 	cHTMBegin, cHTMCommit                             *Counter
 	cHTMConflict, cHTMCapacity, cHTMUnknown, cHTMExpl *Counter
@@ -175,7 +181,10 @@ type Observer struct {
 	cVCPoolHit, cVCPoolMiss                           *Counter
 	cDirLines, cDirChecks, cDirFastpath               *Counter
 	cDecodeInstrs                                     *Counter
-	gThreadsLive, gTxActive                           *Gauge
+	cGovForced, cGovTrips, cGovGlobal                 *Counter
+	cFaultUnknown, cFaultRetry, cFaultCapacity        *Counter
+	cFaultDoomed, cFaultCommit, cFaultSyscall         *Counter
+	gThreadsLive, gTxActive, gGovState                *Gauge
 	hTxnCycles, hAbortWasted, hSlowCycles, hEpisode   *Histogram
 }
 
@@ -203,6 +212,7 @@ func New(trace Sink, m *Metrics) *Observer {
 		cSlowUnknown:     m.Counter("slow.region.unknown"),
 		cSlowSmall:       m.Counter("slow.region.small"),
 		cSlowNoHW:        m.Counter("slow.region.nohw"),
+		cSlowGovernor:    m.Counter("slow.region.governor"),
 		cTxFail:          m.Counter("txfail.episodes"),
 		cInterrupts:      m.Counter("sched.interrupts"),
 		cThreadStart:     m.Counter("threads.started"),
@@ -221,8 +231,18 @@ func New(trace Sink, m *Metrics) *Observer {
 		cDirChecks:       m.Counter("htm.dir.checks"),
 		cDirFastpath:     m.Counter("htm.dir.fastpath"),
 		cDecodeInstrs:    m.Counter("sim.decode.instrs"),
+		cGovForced:       m.Counter("core.fallback.forced"),
+		cGovTrips:        m.Counter("core.governor.trips"),
+		cGovGlobal:       m.Counter("core.governor.global"),
+		cFaultUnknown:    m.Counter("fault.injected.unknown"),
+		cFaultRetry:      m.Counter("fault.injected.retry"),
+		cFaultCapacity:   m.Counter("fault.injected.capacity"),
+		cFaultDoomed:     m.Counter("fault.injected.doomed"),
+		cFaultCommit:     m.Counter("fault.injected.commit"),
+		cFaultSyscall:    m.Counter("fault.injected.syscall"),
 		gThreadsLive:     m.Gauge("threads.live"),
 		gTxActive:        m.Gauge("txn.active"),
+		gGovState:        m.Gauge("core.governor.state"),
 		hTxnCycles:       m.Histogram("txn.cycles"),
 		hAbortWasted:     m.Histogram("txn.abort.wasted.cycles"),
 		hSlowCycles:      m.Histogram("slow.region.cycles"),
@@ -327,6 +347,8 @@ func (o *Observer) SlowEnter(tid int, now int64, cause string) {
 		o.cSlowSmall.Inc()
 	case "nohw":
 		o.cSlowNoHW.Inc()
+	case "governor":
+		o.cSlowGovernor.Inc()
 	default:
 		o.cSlowUnknown.Inc()
 	}
@@ -433,4 +455,57 @@ func (o *Observer) SimDecodeStats(instrs uint64) {
 		return
 	}
 	o.cDecodeInstrs.Add(instrs)
+}
+
+// GovernorForced counts one region the fallback governor forced onto the
+// software slow path (core.fallback.forced). The region itself is also
+// traced by the usual SlowEnter/SlowExit pair with cause "governor".
+func (o *Observer) GovernorForced(tid int, now int64) {
+	o.cGovForced.Inc()
+}
+
+// GovernorDegrade records the abort-rate tripwire degrading tid to the slow
+// path; core.governor.state gauges the number of degraded threads.
+func (o *Observer) GovernorDegrade(tid int, now int64) {
+	o.cGovTrips.Inc()
+	o.gGovState.Add(1)
+	o.emit(Event{Kind: KindGovernor, TID: int32(tid), Time: now, Cause: "degrade"})
+}
+
+// GovernorProbe records a degraded thread re-attempting the fast path;
+// interval is the probe interval (in regions) that elapsed.
+func (o *Observer) GovernorProbe(tid int, now int64, interval int) {
+	o.emit(Event{Kind: KindGovernor, TID: int32(tid), Time: now, Cause: "probe", Arg: int64(interval)})
+}
+
+// GovernorRecover records a successful probe returning tid to HTM mode.
+func (o *Observer) GovernorRecover(tid int, now int64) {
+	o.gGovState.Add(-1)
+	o.emit(Event{Kind: KindGovernor, TID: int32(tid), Time: now, Cause: "recover"})
+}
+
+// GovernorGlobal records the whole-run tripwire engaging (every live worker
+// degraded): regions run the slow path run-wide for Arg regions.
+func (o *Observer) GovernorGlobal(tid int, now int64, regions int) {
+	o.cGovGlobal.Inc()
+	o.emit(Event{Kind: KindGovernor, TID: int32(tid), Time: now, Cause: "global", Arg: int64(regions)})
+}
+
+// GovernorGlobalEnd records the whole-run degradation window expiring.
+func (o *Observer) GovernorGlobalEnd(tid int, now int64) {
+	o.emit(Event{Kind: KindGovernor, TID: int32(tid), Time: now, Cause: "global-end"})
+}
+
+// FaultStats folds an injector's per-kind injected-fault counters into the
+// registry (fault.injected.*), once per run at Finish.
+func (o *Observer) FaultStats(unknown, retry, capacity, doomed, commit, syscall uint64) {
+	if o == nil {
+		return
+	}
+	o.cFaultUnknown.Add(unknown)
+	o.cFaultRetry.Add(retry)
+	o.cFaultCapacity.Add(capacity)
+	o.cFaultDoomed.Add(doomed)
+	o.cFaultCommit.Add(commit)
+	o.cFaultSyscall.Add(syscall)
 }

@@ -65,14 +65,10 @@ func TestCondSignalNoWaitersIsNoop(t *testing.T) {
 	run(t, p, &NopRuntime{}, quiet())
 }
 
-func TestCondWaitWithoutMutexPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("CondWait without the mutex must panic")
-		}
-	}()
+func TestCondWaitWithoutMutexIsProgramError(t *testing.T) {
 	p := &Program{Workers: [][]Instr{{&CondWait{C: 2, M: 1}}}}
-	NewEngine(quiet()).Run(p, &NopRuntime{})
+	_, err := NewEngine(quiet()).Run(p, &NopRuntime{})
+	wantProgramError(t, err, "cond-wait", 1)
 }
 
 func TestCondLostSignalDeadlocks(t *testing.T) {

@@ -292,7 +292,7 @@ func execLock(e *Engine, t *Thread, d *dinstr) bool {
 func execUnlock(e *Engine, t *Thread, d *dinstr) bool {
 	m := d.mu
 	if m.owner != t {
-		panic(fmt.Sprintf("sim: t%d unlocks mutex %d it does not own", t.ID, d.id))
+		e.programError(t, "unlock", d.id, "unlocks a mutex it does not own")
 	}
 	m.owner = nil
 	e.charge(t, e.cfg.Cost.LockOp)
@@ -323,7 +323,7 @@ func execRLock(e *Engine, t *Thread, d *dinstr) bool {
 func execRUnlock(e *Engine, t *Thread, d *dinstr) bool {
 	l := d.rw
 	if l.readers <= 0 {
-		panic(fmt.Sprintf("sim: t%d read-unlocks rwlock %d it does not hold", t.ID, d.id))
+		e.programError(t, "read-unlock", d.id, "read-unlocks an rwlock it does not hold")
 	}
 	l.readers--
 	e.charge(t, e.cfg.Cost.LockOp)
@@ -350,7 +350,7 @@ func execWLock(e *Engine, t *Thread, d *dinstr) bool {
 func execWUnlock(e *Engine, t *Thread, d *dinstr) bool {
 	l := d.rw
 	if l.writer != t {
-		panic(fmt.Sprintf("sim: t%d write-unlocks rwlock %d it does not own", t.ID, d.id))
+		e.programError(t, "write-unlock", d.id, "write-unlocks an rwlock it does not own")
 	}
 	l.writer = nil
 	e.charge(t, e.cfg.Cost.LockOp)
@@ -392,7 +392,7 @@ func execCondWait(e *Engine, t *Thread, d *dinstr) bool {
 	cv, m := d.cv, d.mu
 	if !t.condWaiting {
 		if m.owner != t {
-			panic(fmt.Sprintf("sim: t%d cond-waits without holding mutex %d", t.ID, d.id2))
+			e.programError(t, "cond-wait", d.id2, "cond-waits without holding the mutex")
 		}
 		t.condWaiting = true
 		m.owner = nil

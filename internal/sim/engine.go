@@ -400,8 +400,19 @@ func (e *Engine) wake(t *Thread, at int64) {
 }
 
 // Run executes prog under rt and returns the result. It returns an error on
-// deadlock or when MaxSteps is exceeded.
-func (e *Engine) Run(prog *Program, rt Runtime) (*Result, error) {
+// deadlock, when MaxSteps is exceeded, or — as a *ProgramError — when the
+// program itself is malformed (unlock of an unowned mutex, read-unlock
+// without a hold, ...).
+func (e *Engine) Run(prog *Program, rt Runtime) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ProgramError)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, pe
+		}
+	}()
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: invalid program: %w", err)
 	}
@@ -456,8 +467,8 @@ func (e *Engine) Run(prog *Program, rt Runtime) (*Result, error) {
 	if e.obs != nil {
 		e.obs.SimDecodeStats(e.decodedInstrs)
 	}
-	res := e.res
-	return &res, nil
+	out := e.res
+	return &out, nil
 }
 
 // mainBody wraps Setup + spawn/join pseudo-ops + Teardown.
@@ -665,7 +676,7 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 	case *Unlock:
 		m := e.mutexOf(in.M)
 		if m.owner != t {
-			panic(fmt.Sprintf("sim: t%d unlocks mutex %d it does not own", t.ID, in.M))
+			e.programError(t, "unlock", in.M, "unlocks a mutex it does not own")
 		}
 		m.owner = nil
 		e.charge(t, c.LockOp)
@@ -694,7 +705,7 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 	case *RUnlock:
 		l := e.rwlockOf(in.M)
 		if l.readers <= 0 {
-			panic(fmt.Sprintf("sim: t%d read-unlocks rwlock %d it does not hold", t.ID, in.M))
+			e.programError(t, "read-unlock", in.M, "read-unlocks an rwlock it does not hold")
 		}
 		l.readers--
 		e.charge(t, c.LockOp)
@@ -719,7 +730,7 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 	case *WUnlock:
 		l := e.rwlockOf(in.M)
 		if l.writer != t {
-			panic(fmt.Sprintf("sim: t%d write-unlocks rwlock %d it does not own", t.ID, in.M))
+			e.programError(t, "write-unlock", in.M, "write-unlocks an rwlock it does not own")
 		}
 		l.writer = nil
 		e.charge(t, c.LockOp)
@@ -760,7 +771,7 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 		if !t.condWaiting {
 			// First phase: release the mutex and park on the condition.
 			if m.owner != t {
-				panic(fmt.Sprintf("sim: t%d cond-waits without holding mutex %d", t.ID, in.M))
+				e.programError(t, "cond-wait", in.M, "cond-waits without holding the mutex")
 			}
 			t.condWaiting = true
 			m.owner = nil

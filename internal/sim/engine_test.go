@@ -168,14 +168,10 @@ func TestMutexMutualExclusionAndHB(t *testing.T) {
 	}
 }
 
-func TestUnlockingUnownedMutexPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unlock of unowned mutex must panic")
-		}
-	}()
+func TestUnlockingUnownedMutexIsProgramError(t *testing.T) {
 	p := &Program{Workers: [][]Instr{{&Unlock{M: 1}}}}
-	NewEngine(quiet()).Run(p, &NopRuntime{})
+	_, err := NewEngine(quiet()).Run(p, &NopRuntime{})
+	wantProgramError(t, err, "unlock", 1)
 }
 
 func TestSemaphoreCountingSemantics(t *testing.T) {

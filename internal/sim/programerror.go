@@ -1,0 +1,40 @@
+package sim
+
+import "fmt"
+
+// ProgramError reports a malformed IR program detected during execution:
+// an unlock of an unowned mutex, a read- or write-unlock without the hold,
+// a cond-wait without the protecting mutex. It carries enough context to
+// pinpoint the offending instruction, and Engine.Run returns it as an
+// ordinary error — identical in decoded and RefWalk modes — so a CLI can
+// print one line and exit non-zero instead of crashing with a Go panic.
+type ProgramError struct {
+	// Thread is the executing thread's id.
+	Thread int
+	// PC is the program counter within the thread's innermost frame at the
+	// offending instruction (-1 if the thread had no frame).
+	PC int
+	// Op names the offending operation ("unlock", "read-unlock", ...).
+	Op string
+	// Object is the sync object the operation named.
+	Object SyncID
+	// Detail is the one-line diagnostic.
+	Detail string
+}
+
+func (e *ProgramError) Error() string {
+	return fmt.Sprintf("sim: malformed program: t%d pc=%d %s(%d): %s",
+		e.Thread, e.PC, e.Op, e.Object, e.Detail)
+}
+
+// programError aborts execution with a ProgramError; Engine.Run recovers it
+// and returns it as the run's error. Both interpreters call this with the
+// same op/detail strings, so the surfaced error is mode-independent (the
+// decoder maps instructions 1:1, keeping pc indexes aligned).
+func (e *Engine) programError(t *Thread, op string, obj SyncID, detail string) {
+	pc := -1
+	if len(t.frames) > 0 {
+		pc = t.frames[len(t.frames)-1].pc
+	}
+	panic(&ProgramError{Thread: t.ID, PC: pc, Op: op, Object: obj, Detail: detail})
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// wantProgramError asserts err is a *ProgramError with the given op and
+// offending thread.
+func wantProgramError(t *testing.T, err error, op string, thread int) {
+	t.Helper()
+	var pe *ProgramError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProgramError", err)
+	}
+	if pe.Op != op || pe.Thread != thread {
+		t.Fatalf("ProgramError = %+v, want op %q on t%d", pe, op, thread)
+	}
+}
+
+// TestProgramErrorIdenticalBothModes pins the satellite contract: a
+// malformed program surfaces the same structured error — same op, thread,
+// pc, object, and rendered message — from the decoded interpreter and the
+// RefWalk reference interpreter.
+func TestProgramErrorIdenticalBothModes(t *testing.T) {
+	progs := map[string]*Program{
+		"unlock-unowned":    {Workers: [][]Instr{{&Compute{Cycles: 5}, &Unlock{M: 7}}}},
+		"runlock-no-hold":   {Workers: [][]Instr{{&Compute{Cycles: 5}, &RUnlock{M: 3}}}},
+		"wunlock-no-hold":   {Workers: [][]Instr{{&Compute{Cycles: 5}, &WUnlock{M: 4}}}},
+		"condwait-no-mutex": {Workers: [][]Instr{{&Compute{Cycles: 5}, &CondWait{C: 9, M: 2}}}},
+	}
+	for name, p := range progs {
+		t.Run(name, func(t *testing.T) {
+			cfg := quiet()
+			_, errDec := NewEngine(cfg).Run(p, &NopRuntime{})
+			cfg.RefWalk = true
+			_, errRef := NewEngine(cfg).Run(p, &NopRuntime{})
+
+			var dec, ref *ProgramError
+			if !errors.As(errDec, &dec) {
+				t.Fatalf("decoded: err = %v, want *ProgramError", errDec)
+			}
+			if !errors.As(errRef, &ref) {
+				t.Fatalf("RefWalk: err = %v, want *ProgramError", errRef)
+			}
+			if *dec != *ref {
+				t.Fatalf("modes disagree:\n  decoded %+v\n  refwalk %+v", dec, ref)
+			}
+			if dec.Error() != ref.Error() {
+				t.Fatalf("messages disagree: %q vs %q", dec.Error(), ref.Error())
+			}
+			if !strings.Contains(dec.Error(), "malformed program") {
+				t.Fatalf("message %q lacks the malformed-program marker", dec.Error())
+			}
+			if dec.PC != 1 {
+				t.Fatalf("pc = %d, want 1 (second instruction)", dec.PC)
+			}
+		})
+	}
+}
+
+// TestProgramErrorFields spot-checks the carried context on one shape.
+func TestProgramErrorFields(t *testing.T) {
+	p := &Program{Workers: [][]Instr{
+		{&Compute{Cycles: 1}},
+		{&Unlock{M: 42}},
+	}}
+	_, err := NewEngine(quiet()).Run(p, &NopRuntime{})
+	var pe *ProgramError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProgramError", err)
+	}
+	if pe.Thread != 2 || pe.Object != 42 || pe.PC != 0 || pe.Op != "unlock" {
+		t.Fatalf("ProgramError = %+v, want t2 pc=0 unlock(42)", pe)
+	}
+}

@@ -66,24 +66,16 @@ type kindRecorder struct {
 func (r *kindRecorder) SyncAcquire(_ *Thread, _ SyncID, k SyncKind) { r.kinds[k]++ }
 func (r *kindRecorder) SyncRelease(_ *Thread, _ SyncID, k SyncKind) { r.kinds[k]++ }
 
-func TestRUnlockWithoutHoldPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("read-unlock without hold must panic")
-		}
-	}()
+func TestRUnlockWithoutHoldIsProgramError(t *testing.T) {
 	p := &Program{Workers: [][]Instr{{&RUnlock{M: 1}}}}
-	NewEngine(quiet()).Run(p, &NopRuntime{})
+	_, err := NewEngine(quiet()).Run(p, &NopRuntime{})
+	wantProgramError(t, err, "read-unlock", 1)
 }
 
-func TestWUnlockWithoutHoldPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("write-unlock without hold must panic")
-		}
-	}()
+func TestWUnlockWithoutHoldIsProgramError(t *testing.T) {
 	p := &Program{Workers: [][]Instr{{&WUnlock{M: 1}}}}
-	NewEngine(quiet()).Run(p, &NopRuntime{})
+	_, err := NewEngine(quiet()).Run(p, &NopRuntime{})
+	wantProgramError(t, err, "write-unlock", 1)
 }
 
 func TestRWLockManyPhases(t *testing.T) {
