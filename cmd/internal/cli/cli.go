@@ -5,9 +5,13 @@
 package cli
 
 import (
+	"errors"
 	"flag"
+	"fmt"
+	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -50,6 +54,115 @@ func (c *Common) EngineConfig(w *workload.Workload) sim.Config {
 		cfg.InterruptEvery = w.InterruptEvery
 	}
 	return cfg
+}
+
+// ObsFlags is the flag set of the opt-in observability stack every command
+// shares: the live telemetry endpoint and the post-mortem flight recorder.
+type ObsFlags struct {
+	Telemetry string
+	FlightOut string
+	FlightBuf int
+}
+
+// AddObsFlags registers -telemetry/-flight-out/-flight-buf on the process
+// flag set. Call before flag.Parse.
+func AddObsFlags() *ObsFlags {
+	f := &ObsFlags{}
+	flag.StringVar(&f.Telemetry, "telemetry", "", "serve live /metrics, /snapshot and /attrib on this address (e.g. :9464; empty = off)")
+	flag.StringVar(&f.FlightOut, "flight-out", "", "arm the flight recorder: dump a post-mortem bundle here on program error, governor global trip, or SIGQUIT")
+	flag.IntVar(&f.FlightBuf, "flight-buf", obs.DefaultFlightCapacity, "flight-recorder event ring capacity")
+	return f
+}
+
+// Enabled reports whether any observability flag asks for the stack.
+func (f *ObsFlags) Enabled() bool { return f.Telemetry != "" || f.FlightOut != "" }
+
+// Observability is the assembled opt-in stack: a telemetry server and/or an
+// armed flight recorder, sharing one registry/ledger pair. The zero value is
+// the disabled state; every method on it is a no-op.
+type Observability struct {
+	Telemetry *obs.Telemetry
+	Flight    *obs.FlightRecorder
+	disarm    func()
+}
+
+// Open builds the stack the flags ask for around a metrics registry and an
+// attribution ledger (either may be nil). The telemetry server starts
+// listening immediately and prints its address; the flight recorder arms
+// SIGQUIT. Close releases both.
+func (f *ObsFlags) Open(m *obs.Metrics, led *obs.Ledger) (*Observability, error) {
+	o := &Observability{}
+	if f.FlightOut != "" {
+		o.Flight = obs.NewFlightRecorder(f.FlightOut, f.FlightBuf, m, led)
+		o.disarm = o.Flight.ArmSignal()
+	}
+	if f.Telemetry != "" {
+		o.Telemetry = obs.NewTelemetry(m, led)
+		if err := o.Telemetry.Serve(f.Telemetry); err != nil {
+			o.Close()
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s/metrics\n", o.Telemetry.Addr())
+	}
+	return o, nil
+}
+
+// Sink returns the flight recorder as an event sink, or nil when none is
+// armed — safe to hand straight to obs.MultiSink.
+func (o *Observability) Sink() obs.Sink {
+	if o == nil || o.Flight == nil {
+		return nil
+	}
+	return o.Flight
+}
+
+// SetTarget repoints both the telemetry endpoint and the flight recorder at
+// a new registry/ledger pair — multi-experiment drivers call it as each
+// experiment starts, so live scrapes and post-mortem dumps describe the
+// experiment currently running.
+func (o *Observability) SetTarget(m *obs.Metrics, led *obs.Ledger) {
+	if o == nil {
+		return
+	}
+	if o.Telemetry != nil {
+		o.Telemetry.SetTarget(m, led)
+	}
+	if o.Flight != nil {
+		o.Flight.SetTarget(m, led)
+	}
+}
+
+// OnError gives the flight recorder its shot at a run that failed: a
+// *sim.ProgramError anywhere in err's chain triggers a "program-error" dump
+// (the recorder only sees events, never errors, so the cmd must call this
+// from its failure path). Reports whether a bundle was written.
+func (o *Observability) OnError(err error) bool {
+	if o == nil || o.Flight == nil || err == nil {
+		return false
+	}
+	var pe *sim.ProgramError
+	if !errors.As(err, &pe) {
+		return false
+	}
+	if derr := o.Flight.Dump("program-error"); derr != nil {
+		fmt.Fprintln(os.Stderr, "flight recorder:", derr)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "flight recorder: wrote %s (program error)\n", o.Flight.Path())
+	return true
+}
+
+// Close disarms the signal handler and stops the telemetry server.
+func (o *Observability) Close() {
+	if o == nil {
+		return
+	}
+	if o.disarm != nil {
+		o.disarm()
+	}
+	if o.Telemetry != nil {
+		_ = o.Telemetry.Close()
+	}
 }
 
 // ExperimentConfig seeds an experiment.Config from the shared flags. The

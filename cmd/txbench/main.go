@@ -14,6 +14,8 @@
 //	txbench -exp detectability     # extension: per-race detection frequency
 //	txbench -exp chaos (or -chaos) # extension: fault-injection sweep (recall
 //	                               # + overhead vs intensity, soundness check)
+//	txbench -exp attrib            # extension: cycle-attribution profile
+//	                               # (measured Figure 6/9 phase breakdown)
 //	txbench -exp all               # everything
 //
 // Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
@@ -26,6 +28,14 @@
 // invocation. With -metrics-out, each experiment id runs with a fresh
 // internal/obs metrics registry attached and the file receives a JSON map of
 // experiment id -> metrics snapshot.
+//
+// With -telemetry, one HTTP endpoint serves /metrics (Prometheus text
+// exposition), /snapshot (JSON) and /attrib (attribution ledger) for the
+// experiment currently running; -telemetry-linger keeps the process (and the
+// endpoint, pointed at the last experiment's registry) alive after the run,
+// for scrapes that arrive late. -flight-out arms the post-mortem flight
+// recorder. Telemetry is read-only: experiment output is byte-identical with
+// it on or off.
 package main
 
 import (
@@ -54,8 +64,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write per-experiment metrics snapshots (JSON map) here")
 		benchOut   = flag.String("bench-out", "", "run the micro benchmark suite, time each experiment, write BENCH JSON here")
 		benchGate  = flag.Bool("bench-gate", false, "with -bench-out: exit nonzero if the micro suite fails the allocation regression gate")
+		linger     = flag.Duration("telemetry-linger", 0, "with -telemetry: keep serving this long after the experiments finish")
 	)
 	common := cli.AddFlags()
+	obsFlags := cli.AddObsFlags()
 	flag.Parse()
 
 	cfg := common.ExperimentConfig()
@@ -72,33 +84,43 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos"}
+		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos", "attrib"}
 	}
 	if *chaos {
 		ids = []string{"chaos"}
 	}
 
-	// One fresh registry per experiment id, so each snapshot describes
-	// exactly the runs that experiment performed.
+	ob, err := obsFlags.Open(nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer ob.Close()
+
+	// One fresh registry (and attribution ledger) per experiment id, so each
+	// snapshot describes exactly the runs that experiment performed; the
+	// telemetry endpoint and flight recorder re-point at the current pair.
 	snapshots := map[string]obs.Snapshot{}
 	var expTimes []benchExperiment
 	for _, id := range ids {
 		rcfg := cfg
-		var metrics *obs.Metrics
-		if *metricsOut != "" {
-			metrics = obs.NewMetrics()
-			rcfg.Obs = obs.New(nil, metrics)
+		if *metricsOut != "" || obsFlags.Enabled() {
+			metrics := obs.NewMetrics()
+			ledger := obs.NewLedger()
+			rcfg.Obs = obs.New(ob.Sink(), metrics)
+			rcfg.Obs.AttachLedger(ledger)
+			ob.SetTarget(metrics, ledger)
 		}
 		start := time.Now()
 		if err := run(id, rcfg, apps, *format); err != nil {
+			ob.OnError(err)
 			fatal(err)
 		}
 		expTimes = append(expTimes, benchExperiment{
 			ID:     id,
 			WallMs: report.FormatFixed(float64(time.Since(start).Microseconds())/1000, 2),
 		})
-		if metrics != nil {
-			snapshots[id] = metrics.Snapshot()
+		if *metricsOut != "" {
+			snapshots[id] = rcfg.Obs.Metrics().Snapshot()
 		}
 	}
 	if *metricsOut != "" {
@@ -111,6 +133,10 @@ func main() {
 		if err := writeBench(*benchOut, expTimes, *benchGate); err != nil {
 			fatal(err)
 		}
+	}
+	if obsFlags.Telemetry != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "telemetry lingering %v on http://%s/metrics\n", *linger, ob.Telemetry.Addr())
+		time.Sleep(*linger)
 	}
 }
 
@@ -235,6 +261,12 @@ func run(id string, cfg experiment.Config, apps []*workload.Workload, format str
 		text, data = func() { f.Write(os.Stdout) }, f.JSON()
 	case "shadow":
 		f, err := experiment.RunShadow(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "attrib":
+		f, err := experiment.RunAttrib(cfg, apps)
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,10 @@
 //	txprofile -app swaptions
 //	txprofile -app swaptions,vips,bodytrack -jobs 4
 //	txprofile -app all -threads 8 -scale 2 -seed 7
+//
+// The shared observability flags apply to the profiling runs: -telemetry
+// serves the pool's merged metrics and attribution ledger live, -flight-out
+// arms the post-mortem flight recorder.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -32,6 +37,7 @@ import (
 func main() {
 	app := flag.String("app", "", "application(s) to profile: name, comma-separated list, or \"all\"")
 	common := cli.AddFlags()
+	obsFlags := cli.AddObsFlags()
 	flag.Parse()
 	if *app == "" {
 		fmt.Fprintln(os.Stderr, "txprofile: missing -app")
@@ -52,18 +58,36 @@ func main() {
 		}
 	}
 
-	plan := runner.NewPlan(common.Jobs, nil)
+	var parent *obs.Observer
+	var ob *cli.Observability
+	if obsFlags.Enabled() {
+		metrics := obs.NewMetrics()
+		ledger := obs.NewLedger()
+		var err error
+		if ob, err = obsFlags.Open(metrics, ledger); err != nil {
+			fmt.Fprintln(os.Stderr, "txprofile:", err)
+			os.Exit(1)
+		}
+		defer ob.Close()
+		parent = obs.New(ob.Sink(), metrics)
+		parent.AttachLedger(ledger)
+	}
+
+	plan := runner.NewPlan(common.Jobs, parent)
 	handles := make([]*runner.Handle, len(apps))
 	for i, w := range apps {
 		w := w
-		handles[i] = plan.Add(runner.Job{Workload: w.Name, Runtime: "profile", Seed: common.Seed,
+		handles[i] = plan.Add(runner.Job{Workload: w.Name, Runtime: "profile", Seed: common.Seed, Observe: true,
 			Do: func(j *runner.Job) (any, error) {
 				built := w.Build(common.Threads, common.Scale)
-				return instrument.Profile(built.Prog, common.EngineConfig(w), core.Options{SlowScale: w.SlowScale})
+				ec := common.EngineConfig(w)
+				ec.Obs = j.Obs
+				return instrument.Profile(built.Prog, ec, core.Options{SlowScale: w.SlowScale, Obs: j.Obs})
 			},
 		})
 	}
 	if err := plan.Run(); err != nil {
+		ob.OnError(err)
 		fmt.Fprintln(os.Stderr, "txprofile:", err)
 		os.Exit(1)
 	}

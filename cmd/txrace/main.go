@@ -15,10 +15,20 @@
 //	txrace -app vips -trace-out t.json    # Chrome trace_event JSON
 //	txrace -app vips -metrics-out m.json  # counters/gauges/histograms
 //	txrace -app vips -timeline            # per-thread text timeline
+//	txrace -app vips -attrib              # cycle-attribution profile
+//	txrace -app vips -telemetry :9464     # live /metrics /snapshot /attrib
+//	txrace -app vips -flight-out f.json   # post-mortem flight recorder
 //
 // The trace loads in chrome://tracing or https://ui.perfetto.dev; one
 // simulated cycle renders as one microsecond, one track per simulated
 // thread, with TxFail global-abort episodes on their own track.
+//
+// -attrib prints where every virtual cycle of the measured run went (the
+// paper's Figure 6/9 breakdown, measured rather than inferred): per-thread
+// phase shares plus the abort-cause mix. -telemetry serves the same data
+// live over HTTP while the run executes; -flight-out keeps a bounded ring
+// of recent events and dumps a post-mortem bundle on a malformed-program
+// error, a governor global trip, or SIGQUIT.
 package main
 
 import (
@@ -51,8 +61,10 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot JSON of the run here")
 		timeline   = flag.Bool("timeline", false, "print a per-thread event timeline after the run")
 		traceBuf   = flag.Int("trace-buf", obs.DefaultTracerCapacity, "event ring-buffer capacity")
+		attrib     = flag.Bool("attrib", false, "print the cycle-attribution profile (per-thread phase shares + abort causes) after the run")
 	)
 	common := cli.AddFlags()
+	obsFlags := cli.AddObsFlags()
 	flag.Parse()
 
 	if *list {
@@ -87,23 +99,40 @@ func main() {
 	}
 
 	// Observability: a ring tracer feeds the Chrome trace and the timeline,
-	// a metrics registry feeds the snapshot. Only attached when asked for —
-	// the disabled path is a nil-check in the runtime.
+	// a metrics registry feeds the snapshot and the telemetry endpoint, a
+	// ledger feeds the attribution profile, a flight recorder tees the event
+	// stream. Only attached when asked for — the disabled path is a
+	// nil-check in the runtime.
 	var tracer *obs.Tracer
 	var metrics *obs.Metrics
+	var ledger *obs.Ledger
 	if *traceOut != "" || *timeline {
 		tracer = obs.NewTracer(*traceBuf)
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || obsFlags.Enabled() {
 		metrics = obs.NewMetrics()
 	}
-	if tracer != nil || metrics != nil {
-		cfg.Obs = obs.New(tracerOrNil(tracer), metrics)
+	if *attrib || obsFlags.Enabled() {
+		ledger = obs.NewLedger()
+	}
+	ob, err := obsFlags.Open(metrics, ledger)
+	if err != nil {
+		fatal(err)
+	}
+	defer ob.Close()
+	if sink := obs.MultiSink(tracerOrNil(tracer), ob.Sink()); sink != nil || metrics != nil || ledger != nil {
+		cfg.Obs = obs.New(sink, metrics)
+		cfg.Obs.AttachLedger(ledger)
+	}
+	// fail is fatal plus the flight recorder's shot at a program error.
+	fail := func(err error) {
+		ob.OnError(err)
+		fatal(err)
 	}
 
 	base, err := experiment.RunBaseline(w, cfg, cfg.Seed)
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	fmt.Printf("%s: baseline %d cycles (%d threads, scale %d, seed %d)\n",
 		w.Name, base.Makespan, cfg.Threads, cfg.Scale, cfg.Seed)
@@ -113,7 +142,7 @@ func main() {
 	case "tsan":
 		r, err := experiment.RunTSan(w, cfg, cfg.Seed)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Printf("TSan: %d cycles (%.2fx), %d shadow checks, %d races\n",
 			r.Makespan, float64(r.Makespan)/float64(base.Makespan), r.Checks, len(r.Races))
@@ -121,7 +150,7 @@ func main() {
 	case "sampling":
 		r, err := experiment.RunSampling(w, cfg, cfg.Seed, *rate)
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		fmt.Printf("TSan+Sampling %.0f%%: %d cycles (%.2fx), %d races\n",
 			*rate*100, r.Makespan, float64(r.Makespan)/float64(base.Makespan), len(r.Races))
@@ -135,7 +164,7 @@ func main() {
 			r, err = experiment.RunTxRace(w, cfg, cfg.Seed)
 		}
 		if err != nil {
-			fatal(err)
+			fail(err)
 		}
 		st := r.Stats
 		fmt.Printf("TxRace (%v): %d cycles (%.2fx), %d races\n",
@@ -156,7 +185,12 @@ func main() {
 		fatal(fmt.Errorf("unknown -detector %q", *detector))
 	}
 
+	if *attrib && ledger != nil {
+		fmt.Println("cycle attribution:")
+		obs.WriteAttrib(os.Stdout, ledger.Snapshot())
+	}
 	if tracer != nil && tracer.Dropped() > 0 {
+		cfg.Obs.TraceStats(tracer.Dropped())
 		fmt.Fprintf(os.Stderr, "txrace: trace ring dropped %d oldest events (raise -trace-buf)\n", tracer.Dropped())
 	}
 	if *timeline && tracer != nil {
@@ -191,7 +225,7 @@ func writeChromeTrace(path string, tracer *obs.Tracer) error {
 		return err
 	}
 	defer f.Close()
-	return obs.WriteChromeTrace(f, tracer.Events())
+	return obs.WriteChromeTraceFrom(f, tracer)
 }
 
 func writeMetrics(path string, m *obs.Metrics) error {

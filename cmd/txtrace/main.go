@@ -6,6 +6,10 @@
 //	txtrace -in vips.trace                       # offline happens-before
 //	txtrace -in vips.trace -detector lockset     # offline Eraser
 //	txtrace -in vips.trace -detector both        # precision comparison
+//
+// Recording supports the shared observability flags: -telemetry serves live
+// /metrics, /snapshot and /attrib while the recording run executes, and
+// -flight-out arms the post-mortem flight recorder.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"repro/cmd/internal/cli"
 	"repro/internal/instrument"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -27,11 +32,12 @@ func main() {
 		detector = flag.String("detector", "hb", "offline detector: hb | lockset | both")
 	)
 	common := cli.AddFlags()
+	obsFlags := cli.AddObsFlags()
 	flag.Parse()
 
 	switch {
 	case *app != "":
-		if err := recordApp(common, *app, *out); err != nil {
+		if err := recordApp(common, obsFlags, *app, *out); err != nil {
 			fatal(err)
 		}
 	case *in != "":
@@ -43,14 +49,27 @@ func main() {
 	}
 }
 
-func recordApp(common *cli.Common, name, out string) error {
+func recordApp(common *cli.Common, obsFlags *cli.ObsFlags, name, out string) error {
 	w, built, err := common.Build(name)
 	if err != nil {
 		return err
 	}
+	ec := common.EngineConfig(w)
+	var ob *cli.Observability
+	if obsFlags.Enabled() {
+		metrics := obs.NewMetrics()
+		ledger := obs.NewLedger()
+		if ob, err = obsFlags.Open(metrics, ledger); err != nil {
+			return err
+		}
+		defer ob.Close()
+		ec.Obs = obs.New(ob.Sink(), metrics)
+		ec.Obs.AttachLedger(ledger)
+	}
 	rec := trace.NewRecorder(name)
-	res, err := sim.NewEngine(common.EngineConfig(w)).Run(instrument.ForTSan(built.Prog), rec)
+	res, err := sim.NewEngine(ec).Run(instrument.ForTSan(built.Prog), rec)
 	if err != nil {
+		ob.OnError(err)
 		return err
 	}
 	fmt.Printf("recorded %s: %d events from %d instructions\n",

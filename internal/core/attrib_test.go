@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/instrument"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// runLedgered executes the racy smoke program under TxRace with an
+// attribution ledger attached and returns the run result plus the ledger
+// snapshot. Engine.Run itself enforces conservation (ledger total == thread
+// clock per thread) and would fail the run on any leak.
+func runLedgered(t *testing.T, opts core.Options, cfg sim.Config) (*sim.Result, obs.LedgerSnapshot) {
+	t.Helper()
+	led := obs.NewLedger()
+	o := obs.New(nil, nil)
+	o.AttachLedger(led)
+	opts.Obs = o
+	cfg.Obs = o
+	rt := core.NewTxRace(opts)
+	res, err := sim.NewEngine(cfg).Run(instrument.ForTxRace(buildRacyProgram(), instrument.DefaultOptions()), rt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, led.Snapshot()
+}
+
+// TestAttribConservation pins the ledger's core invariant independently of
+// the engine's internal check: per-thread ledger totals equal the engine's
+// reported thread clocks exactly, and the run-wide total is their sum.
+func TestAttribConservation(t *testing.T) {
+	res, s := runLedgered(t, core.Options{}, quietConfig())
+	if len(s.Threads) == 0 {
+		t.Fatal("empty ledger")
+	}
+	var sum int64
+	for _, th := range s.Threads {
+		if th.TID >= len(res.ThreadClocks) {
+			t.Fatalf("ledger thread %d beyond %d engine threads", th.TID, len(res.ThreadClocks))
+		}
+		if th.Total != res.ThreadClocks[th.TID] {
+			t.Fatalf("t%d: ledger total %d != thread clock %d",
+				th.TID, th.Total, res.ThreadClocks[th.TID])
+		}
+		sum += th.Total
+	}
+	if s.Total.Total != sum {
+		t.Fatalf("run total %d != per-thread sum %d", s.Total.Total, sum)
+	}
+	// The racy program commits transactions and takes slow paths: both the
+	// fast and slow phases must have been charged.
+	if s.Total.Phases["fast"] <= 0 {
+		t.Fatalf("no fast-path cycles attributed: %v", s.Total.Phases)
+	}
+	if s.Total.Phases["app"] <= 0 {
+		t.Fatalf("no app cycles attributed: %v", s.Total.Phases)
+	}
+}
+
+// TestAttribInterruptAborts: with timer interrupts enabled the racy program
+// takes unknown aborts; their wasted cycles must land in the abort phase and
+// the unknown (not syscall, not fault) cause bucket.
+func TestAttribInterruptAborts(t *testing.T) {
+	cfg := quietConfig()
+	cfg.InterruptEvery = 400
+	res, s := runLedgered(t, core.Options{}, cfg)
+	_ = res
+	var aborts uint64
+	for _, n := range s.Total.AbortCounts {
+		aborts += n
+	}
+	if aborts == 0 {
+		t.Skip("schedule produced no aborts; nothing to attribute")
+	}
+	if s.Total.AbortCounts["fault"] != 0 {
+		t.Fatalf("fault-injected aborts without an injector: %v", s.Total.AbortCounts)
+	}
+	if s.Total.Phases["abort"] <= 0 {
+		t.Fatalf("aborts recorded but no abort-phase cycles: %v", s.Total.Phases)
+	}
+}
+
+// TestAttribFaultInjected: with a hostile fault plan, delivered aborts are
+// labelled fault-injected — the injector's mark reaches the ledger — while
+// the abort policy itself remains blind to the mark.
+func TestAttribFaultInjected(t *testing.T) {
+	plan := fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Kind: fault.Unknown, Prob: 0.5},
+		{Kind: fault.CommitAbort, Prob: 0.5},
+	}}
+	_, s := runLedgered(t, core.Options{Fault: fault.New(plan)}, quietConfig())
+	if s.Total.AbortCounts["fault"] == 0 {
+		t.Fatalf("hostile plan produced no fault-attributed aborts: %v", s.Total.AbortCounts)
+	}
+}
+
+// TestAttribUnledgeredUnchanged: attaching a ledger must not perturb the
+// simulation — same program, same seed, identical makespan and race set
+// size with and without attribution.
+func TestAttribUnledgeredUnchanged(t *testing.T) {
+	run := func(ledger bool) *sim.Result {
+		var o *obs.Observer
+		if ledger {
+			o = obs.New(nil, nil)
+			o.AttachLedger(obs.NewLedger())
+		}
+		cfg := quietConfig()
+		cfg.Obs = o
+		rt := core.NewTxRace(core.Options{Obs: o})
+		res, err := sim.NewEngine(cfg).Run(instrument.ForTxRace(buildRacyProgram(), instrument.DefaultOptions()), rt)
+		if err != nil {
+			t.Fatalf("run(ledger=%v): %v", ledger, err)
+		}
+		return res
+	}
+	with, without := run(true), run(false)
+	if with.Makespan != without.Makespan {
+		t.Fatalf("ledger changed the makespan: %d vs %d", with.Makespan, without.Makespan)
+	}
+	if with.Instructions != without.Instructions {
+		t.Fatalf("ledger changed the instruction count: %d vs %d", with.Instructions, without.Instructions)
+	}
+}

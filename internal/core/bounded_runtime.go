@@ -4,6 +4,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/detect"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -40,7 +41,7 @@ func (r *TSanBounded) Joined(p, c *sim.Thread) { r.det.Join(clock.TID(p.ID), clo
 
 // SyncAcquire implements sim.Runtime.
 func (r *TSanBounded) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	switch kind {
 	case sim.SyncWrite:
 		r.det.Acquire(clock.TID(t.ID), detect.SyncID(s))
@@ -52,7 +53,7 @@ func (r *TSanBounded) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind
 
 // SyncRelease implements sim.Runtime.
 func (r *TSanBounded) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	switch kind {
 	case sim.SyncRead:
 		r.det.Release(clock.TID(t.ID), detect.SyncID(s)|1<<31)
@@ -66,7 +67,7 @@ func (r *TSanBounded) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr
 	if !m.Hooked {
 		return
 	}
-	r.eng.Charge(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale))
+	r.eng.ChargeAs(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale), obs.PhaseSlow)
 	r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
 }
 

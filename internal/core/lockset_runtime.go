@@ -4,6 +4,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/detect"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,13 +32,13 @@ func (r *Lockset) Init(e *sim.Engine) { r.eng = e }
 
 // SyncAcquire implements sim.Runtime.
 func (r *Lockset) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook/2) // lockset updates are cheaper than VC joins
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook/2, obs.PhaseSlow) // lockset updates are cheaper than VC joins
 	r.det.Acquire(clock.TID(t.ID), detect.SyncID(s), kind)
 }
 
 // SyncRelease implements sim.Runtime.
 func (r *Lockset) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook/2)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook/2, obs.PhaseSlow)
 	r.det.Release(clock.TID(t.ID), detect.SyncID(s), kind)
 }
 
@@ -46,6 +47,6 @@ func (r *Lockset) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
 	if !m.Hooked {
 		return
 	}
-	r.eng.Charge(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale))
+	r.eng.ChargeAs(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale), obs.PhaseSlow)
 	r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
 }

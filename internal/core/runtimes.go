@@ -4,6 +4,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/detect"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -42,19 +43,19 @@ func (r *TSan) Joined(p, c *sim.Thread) { r.det.Join(clock.TID(p.ID), clock.TID(
 
 // SyncAcquire implements sim.Runtime.
 func (r *TSan) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	detect.AcquireKind(r.det, clock.TID(t.ID), detect.SyncID(s), kind)
 }
 
 // SyncRelease implements sim.Runtime.
 func (r *TSan) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	detect.ReleaseKind(r.det, clock.TID(t.ID), detect.SyncID(s), kind)
 }
 
 // Atomic implements sim.Runtime.
 func (r *TSan) Atomic(t *sim.Thread, m *sim.AtomicRMW, addr memmodel.Addr) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	detect.AtomicOp(r.det, clock.TID(t.ID), addr, m.Site)
 }
 
@@ -63,7 +64,7 @@ func (r *TSan) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
 	if !m.Hooked {
 		return
 	}
-	r.eng.Charge(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale))
+	r.eng.ChargeAs(t, int64(float64(r.eng.Config().Cost.SlowAccessHook)*r.SlowScale), obs.PhaseSlow)
 	r.det.Access(clock.TID(t.ID), addr, m.Write, m.Site)
 }
 
@@ -100,20 +101,20 @@ func (r *Sampling) Joined(p, c *sim.Thread) { r.s.Join(clock.TID(p.ID), clock.TI
 
 // SyncAcquire implements sim.Runtime.
 func (r *Sampling) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	detect.AcquireKind(r.s.D, clock.TID(t.ID), detect.SyncID(s), kind)
 }
 
 // SyncRelease implements sim.Runtime.
 func (r *Sampling) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	detect.ReleaseKind(r.s.D, clock.TID(t.ID), detect.SyncID(s), kind)
 }
 
 // Atomic implements sim.Runtime. Atomics are synchronization, so they are
 // never sampled away.
 func (r *Sampling) Atomic(t *sim.Thread, m *sim.AtomicRMW, addr memmodel.Addr) {
-	r.eng.Charge(t, r.eng.Config().Cost.SlowSyncHook)
+	r.eng.ChargeAs(t, r.eng.Config().Cost.SlowSyncHook, obs.PhaseSlow)
 	detect.AtomicOp(r.s.D, clock.TID(t.ID), addr, m.Site)
 }
 
@@ -124,9 +125,9 @@ func (r *Sampling) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
 	}
 	cost := r.eng.Config().Cost
 	if r.s.Access(clock.TID(t.ID), addr, m.Write, m.Site) {
-		r.eng.Charge(t, int64(float64(cost.SlowAccessHook)*r.SlowScale))
+		r.eng.ChargeAs(t, int64(float64(cost.SlowAccessHook)*r.SlowScale), obs.PhaseSlow)
 	} else {
-		r.eng.Charge(t, cost.SampleGate)
+		r.eng.ChargeAs(t, cost.SampleGate, obs.PhaseSample)
 	}
 }
 

@@ -118,6 +118,15 @@ type threadCtx struct {
 	govProbeInterval int
 	govProbing       bool
 	unknownRetries   int
+	// Attribution-only markers (dead when no ledger is attached): the
+	// runtime set attribSyscall when it injected the interrupt for a hidden
+	// syscall inside this thread's own transaction, attribFault when a
+	// fault-plan syscall cluster doomed it; attribCause remembers the
+	// classified cause of the abort that opened the current slow region so
+	// TxEndMark can fold the re-execution into the same bucket.
+	attribSyscall bool
+	attribFault   bool
+	attribCause   obs.AbortCause
 }
 
 // TxRace is the two-phase runtime. Create with NewTxRace and pass to
@@ -156,6 +165,12 @@ type TxRace struct {
 	episodeStart int64
 	episodeOpen  bool
 
+	// led is the cycle-attribution ledger (nil unless the observer carries
+	// one). The runtime moves each thread's sim.Thread.Phase at mode
+	// transitions and records per-cause abort costs here; the engine bills
+	// every charge to the current phase.
+	led *obs.Ledger
+
 	stats Stats
 }
 
@@ -170,6 +185,7 @@ func NewTxRace(opts Options) *TxRace {
 		thresholds: opts.Thresholds,
 		cutActive:  make(map[sim.LoopID]bool),
 		obs:        opts.Obs,
+		led:        opts.Obs.Ledger(),
 	}
 	r.stats.SlowRegions = make(map[Cause]uint64)
 	if opts.LoopCut == ProfCut {
@@ -227,7 +243,7 @@ func (r *TxRace) slowHookCost() int64 {
 // chargeFast charges c cycles to t and attributes them to pure fast-path
 // overhead (the black "xbegin/xend" bar of Fig. 7).
 func (r *TxRace) chargeFast(t *sim.Thread, c int64) {
-	r.eng.Charge(t, c)
+	r.eng.ChargeAs(t, c, obs.PhaseFast)
 	r.stats.CyclesFastPath += c
 }
 
@@ -273,6 +289,7 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 	}
 	if !r.multithreaded() {
 		c.mode = ModeNone
+		t.Phase = obs.PhaseApp
 		return
 	}
 	if m.Small {
@@ -281,6 +298,7 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 		c.mode = ModeSlow
 		c.slowCause = CauseSmall
 		c.slowStart = t.Clock
+		t.Phase = obs.PhaseSlow
 		r.stats.SlowRegions[CauseSmall]++
 		if o := r.obs; o != nil {
 			o.SlowEnter(t.ID, t.Clock, CauseSmall.String())
@@ -293,6 +311,7 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 		c.mode = ModeSlow
 		c.slowCause = CauseGovernor
 		c.slowStart = t.Clock
+		t.Phase = obs.PhaseGovernor
 		r.stats.SlowRegions[CauseGovernor]++
 		r.stats.ForcedSlow++
 		if o := r.obs; o != nil {
@@ -312,12 +331,14 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 		c.mode = ModeSlow
 		c.slowCause = CauseNoHW
 		c.slowStart = t.Clock
+		t.Phase = obs.PhaseSlow
 		r.stats.SlowRegions[CauseNoHW]++
 		if o := r.obs; o != nil {
 			o.SlowEnter(t.ID, t.Clock, CauseNoHW.String())
 		}
 		return
 	}
+	t.Phase = obs.PhaseFast
 	cost := r.eng.Config().Cost
 	r.chargeFast(t, cost.XBegin)
 	if o := r.obs; o != nil {
@@ -328,6 +349,8 @@ func (r *TxRace) TxBeginMark(t *sim.Thread, m *sim.TxBegin) {
 	c.genAtBegin = r.txFailGen
 	c.clockAtBegin = t.Clock
 	c.hasLastLoop = false
+	c.attribSyscall = false
+	c.attribFault = false
 	clearLoopIters(c.iterInTx)
 	// Instrumented prologue: read the TxFail flag transactionally so a
 	// later non-transactional write to it aborts this transaction (§4.1).
@@ -406,6 +429,7 @@ func (r *TxRace) attributeSlow(c *threadCtx, cycles int64) {
 func (r *TxRace) SyscallEvent(t *sim.Thread, sc *sim.Syscall) {
 	c := r.tctx(t)
 	if c.mode == ModeFast {
+		c.attribSyscall = true // the runtime itself dooms the transaction here
 		r.hw.InjectInterrupt(t.ID)
 	}
 	if f := r.opts.Fault; f != nil && f.AtSyscall(t.ID, t.Clock) {
@@ -415,6 +439,7 @@ func (r *TxRace) SyscallEvent(t *sim.Thread, sc *sim.Syscall) {
 		// transaction.
 		for tid, oc := range r.ctx {
 			if oc != nil && oc.mode == ModeFast {
+				oc.attribFault = true
 				r.hw.InjectInterrupt(tid)
 			}
 		}
@@ -449,11 +474,47 @@ func (r *TxRace) PreStep(t *sim.Thread) {
 	r.handleAbort(t, c, st)
 }
 
+// classifyAbort maps one delivered abort to its attribution-ledger cause,
+// one level finer than the §4.2 policy's view: fault-injected dooms and
+// hidden-syscall interrupts are split out of the status word's buckets. It
+// consumes the per-thread markers, so call it exactly once per abort (and
+// only when a ledger is attached — it is observability, not policy).
+func (r *TxRace) classifyAbort(t *sim.Thread, c *threadCtx, st htm.Status) obs.AbortCause {
+	injected := r.opts.Fault.ConsumeMark(t.ID)
+	clusterHit := c.attribFault
+	ownSyscall := c.attribSyscall
+	c.attribFault, c.attribSyscall = false, false
+	switch {
+	case injected:
+		return obs.AbortFault
+	case ownSyscall && st == 0:
+		return obs.AbortSyscall
+	case clusterHit:
+		return obs.AbortFault
+	case st.Is(htm.StatusConflict):
+		return obs.AbortConflict
+	case st.Is(htm.StatusCapacity):
+		return obs.AbortCapacity
+	default:
+		return obs.AbortUnknown
+	}
+}
+
 // handleAbort implements the §4.2 policy table.
 func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 	cost := r.eng.Config().Cost
-	r.eng.Charge(t, cost.AbortPenalty)
+	attempt := t.Clock - c.clockAtBegin
+	r.eng.ChargeAs(t, cost.AbortPenalty, obs.PhaseAbort)
 	wasted := t.Clock - c.clockAtBegin
+
+	var ac obs.AbortCause
+	if r.led != nil {
+		// The attempt's cycles were billed live as fast-path execution; the
+		// abort reveals them as discarded work.
+		r.led.Move(t.ID, obs.PhaseFast, obs.PhaseAbort, attempt)
+		ac = r.classifyAbort(t, c, st)
+		r.led.Abort(t.ID, ac, wasted)
+	}
 
 	var cause Cause
 	artificial := false
@@ -481,7 +542,7 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 			// concurrent in-flight transactions (§3 steps 3–4).
 			r.txFailGen++
 			r.episodeLine, r.hasEpisodeLine = c.targetLine, c.hasTarget
-			r.eng.Charge(t, cost.TxFailWrite)
+			r.eng.ChargeAs(t, cost.TxFailWrite, obs.PhaseAbort)
 			r.hw.Access(t.ID, r.txFail, true)
 			if o := r.obs; o != nil {
 				if r.episodeOpen {
@@ -535,6 +596,8 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 	c.unknownRetries = 0
 	c.mode = ModeSlow
 	c.slowCause = cause
+	c.attribCause = ac
+	t.Phase = obs.PhaseSlow
 	r.stats.SlowRegions[cause]++
 	r.eng.Restore(t, c.snap)
 	c.slowStart = t.Clock
@@ -553,8 +616,12 @@ func (r *TxRace) handleAbort(t *sim.Thread, c *threadCtx, st htm.Status) {
 // storm cannot spin through its budget at full speed.
 func (r *TxRace) retryFast(t *sim.Thread, c *threadCtx, attempt int, wasted int64) {
 	r.stats.CyclesFastPath += wasted
+	// Until the re-executed TxBegin reopens a transaction, the thread is in
+	// abort handling (the backoff below, plus any interrupt delivered before
+	// the begin re-executes).
+	t.Phase = obs.PhaseAbort
 	if g := &r.opts.Governor; g.Enabled {
-		r.eng.Charge(t, g.backoffCost(attempt))
+		r.eng.ChargeAs(t, g.backoffCost(attempt), obs.PhaseAbort)
 	}
 	if o := r.obs; o != nil {
 		o.TxRetry(t.ID, t.Clock, attempt)
@@ -642,6 +709,7 @@ func (r *TxRace) LoopCheckMark(t *sim.Thread, m *sim.LoopCheck) {
 		c.mode = ModeSlow
 		c.slowCause = CauseNoHW
 		c.slowStart = t.Clock
+		t.Phase = obs.PhaseSlow
 		r.stats.SlowRegions[CauseNoHW]++
 		if o := r.obs; o != nil {
 			o.SlowEnter(t.ID, t.Clock, CauseNoHW.String())
@@ -657,6 +725,8 @@ func (r *TxRace) LoopCheckMark(t *sim.Thread, m *sim.LoopCheck) {
 	c.clockAtBegin = t.Clock
 	clearLoopIters(c.iterInTx)
 	c.hasLastLoop = false
+	c.attribSyscall = false
+	c.attribFault = false
 	r.hw.Access(t.ID, r.txFail, false)
 }
 
@@ -671,6 +741,7 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 		if !r.multithreaded() {
 			c.mode = ModeNone
 		}
+		t.Phase = obs.PhaseApp
 		return
 	case ModeIdle:
 		return
@@ -678,6 +749,9 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 		if c.slowCause == CauseConflict || c.slowCause == CauseCapacity || c.slowCause == CauseUnknown {
 			// The whole re-execution is overhead attributable to the abort.
 			r.addCauseCycles(c.slowCause, t.Clock-c.slowStart)
+			// Same in the attribution ledger, under the finer-grained cause
+			// classified at the abort (no new abort is counted).
+			r.led.AddAbortCycles(t.ID, c.attribCause, t.Clock-c.slowStart)
 		}
 		if o := r.obs; o != nil {
 			o.SlowExit(t.ID, t.Clock, c.slowCause.String(), t.Clock-c.slowStart)
@@ -691,6 +765,7 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 		c.slowCause = CauseNone
 		c.hasTarget = false
 		c.mode = ModeIdle
+		t.Phase = obs.PhaseApp
 		return
 	case ModeFast:
 		cost := r.eng.Config().Cost
@@ -708,6 +783,7 @@ func (r *TxRace) TxEndMark(t *sim.Thread, m *sim.TxEnd) {
 		c.retries = 0
 		c.unknownRetries = 0
 		c.mode = ModeIdle
+		t.Phase = obs.PhaseApp
 	}
 }
 
@@ -720,8 +796,12 @@ func (r *TxRace) ThreadExit(t *sim.Thread) {
 		if _, ok := r.hw.Pending(t.ID); ok {
 			r.hw.Resolve(t.ID)
 		}
+		// Discard any injector mark left by a doom that never reached
+		// handleAbort, so it cannot misattribute a later thread's abort.
+		r.opts.Fault.ConsumeMark(t.ID)
 	}
 	c.mode = ModeNone
+	t.Phase = obs.PhaseApp
 }
 
 // FaultStats returns the attached injector's per-kind injected counts

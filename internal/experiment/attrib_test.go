@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// ledgeredCfg returns a test config with a fresh parent observer and
+// attribution ledger attached, so every observed run in the driver's plan
+// passes the engine's end-of-run conservation check (ledger total == thread
+// clock, per thread — a violation fails the run, and so the driver).
+func ledgeredCfg(jobs int) (Config, *obs.Ledger) {
+	cfg := testCfg()
+	cfg.Jobs = jobs
+	led := obs.NewLedger()
+	cfg.Obs = obs.New(nil, obs.NewMetrics())
+	cfg.Obs.AttachLedger(led)
+	return cfg, led
+}
+
+// TestLedgerInvariantAcrossDrivers runs every experiment driver with an
+// attribution ledger attached at Jobs=1 and Jobs=8. Two properties are
+// pinned: (1) each observed run inside each driver satisfies exact cycle
+// conservation, enforced by the engine whenever a ledger is attached — any
+// leak turns into a driver error; (2) the merged parent ledger is identical
+// at any job count, because plans fork and merge observers in plan order.
+func TestLedgerInvariantAcrossDrivers(t *testing.T) {
+	small := apps(t, "blackscholes", "streamcluster")
+	drivers := []struct {
+		name string
+		run  func(cfg Config) error
+	}{
+		{"table1", func(cfg Config) error { _, err := RunTable1(cfg, small); return err }},
+		{"fig7", func(cfg Config) error { _, err := RunFig7(cfg, small); return err }},
+		{"fig8", func(cfg Config) error { _, err := RunFig8(cfg, small[:1]); return err }},
+		{"fig9", func(cfg Config) error { _, err := RunFig9(cfg, small); return err }},
+		{"fig10", func(cfg Config) error { _, err := RunFig10(cfg); return err }},
+		{"fig11", func(cfg Config) error { _, err := RunFig11(cfg); return err }},
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			var snaps []obs.LedgerSnapshot
+			for _, jobs := range []int{1, 8} {
+				cfg, led := ledgeredCfg(jobs)
+				if err := d.run(cfg); err != nil {
+					t.Fatalf("jobs=%d: %v", jobs, err)
+				}
+				snaps = append(snaps, led.Snapshot())
+			}
+			if snaps[0].Total.Total == 0 {
+				t.Fatalf("%s attributed no cycles", d.name)
+			}
+			if !reflect.DeepEqual(snaps[0], snaps[1]) {
+				t.Fatalf("merged ledger differs between jobs=1 and jobs=8:\n%+v\nvs\n%+v",
+					snaps[0].Total, snaps[1].Total)
+			}
+		})
+	}
+}
+
+// TestRunAttribDeterminism: the attribution experiment itself is
+// job-count-invariant and its JSON rows carry the full ledger.
+func TestRunAttribDeterminism(t *testing.T) {
+	names := []string{"swaptions", "streamcluster"}
+	run := func(jobs int) *Attrib {
+		cfg := testCfg()
+		cfg.Jobs = jobs
+		a, err := RunAttrib(cfg, apps(t, names...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a1, a8 := run(1), run(8)
+	if !reflect.DeepEqual(a1.Rows, a8.Rows) {
+		t.Fatal("RunAttrib rows differ between jobs=1 and jobs=8")
+	}
+	for i, row := range a1.Rows {
+		if row.App.Name != names[i] {
+			t.Fatalf("row %d app = %q, want %q", i, row.App.Name, names[i])
+		}
+		if row.Makespan <= 0 || row.Attrib.Total.Total <= 0 {
+			t.Fatalf("%s: empty attribution row", row.App.Name)
+		}
+	}
+
+	var sb strings.Builder
+	a1.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"application", "fast%", "slow%", "swaptions", "streamcluster"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("attrib rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunAttribDefaultsToAllApps guards the nil-apps convenience path.
+func TestRunAttribDefaultsToAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload")
+	}
+	cfg := testCfg()
+	a, err := RunAttrib(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(workload.All()) {
+		t.Fatalf("rows = %d, want one per workload (%d)", len(a.Rows), len(workload.All()))
+	}
+}

@@ -251,6 +251,13 @@ type Injector struct {
 	rules []rule
 	rng   prng.PRNG
 	stats Stats
+	// marked holds, per thread, a sticky flag set when an injected fault
+	// doomed that thread's transaction (AtAccess/AtCommit) and cleared by
+	// ConsumeMark. It exists solely for the attribution ledger: the runtime's
+	// abort policy never reads it (it still sees only fabricated status
+	// words), but the profiler may label the abort "fault-injected" instead
+	// of misattributing it to a genuine cause.
+	marked []bool
 }
 
 // New compiles a plan. A nil *Injector is the disabled state — every
@@ -321,6 +328,7 @@ func (i *Injector) AtAccess(tid int, now int64, line memmodel.Line, write bool) 
 	if !ok {
 		return 0, false
 	}
+	i.mark(tid)
 	return k.status(), true
 }
 
@@ -335,7 +343,31 @@ func (i *Injector) AtCommit(tid int, now int64) (htm.Status, bool) {
 	if !ok {
 		return 0, false
 	}
+	i.mark(tid)
 	return k.status(), true
+}
+
+func (i *Injector) mark(tid int) {
+	if tid < 0 {
+		return
+	}
+	for len(i.marked) <= tid {
+		i.marked = append(i.marked, false)
+	}
+	i.marked[tid] = true
+}
+
+// ConsumeMark reports whether the last doom delivered to tid was injected,
+// clearing the flag. The attribution profiler calls it once per handled
+// abort; a nil injector never marks. This is observability metadata only —
+// nothing on the abort-policy path consults it.
+func (i *Injector) ConsumeMark(tid int) bool {
+	if i == nil || tid < 0 || tid >= len(i.marked) {
+		return false
+	}
+	m := i.marked[tid]
+	i.marked[tid] = false
+	return m
 }
 
 // AtSyscall is the runtime-layer hook: consulted once per executed syscall.

@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/report"
+)
+
+// Phase classifies where a thread's cycles go, mirroring the paper's
+// overhead-attribution figures: uninstrumented application work, fast-path
+// HTM execution, slow-path software detection, abort handling (wasted
+// attempts, penalties, retry backoff), governor-forced slow regions, the
+// sampling baseline's gate, and scheduler time (blocked-wake jumps, spawn
+// skew) that belongs to no detector at all.
+type Phase uint8
+
+const (
+	// PhaseApp: uninstrumented application execution (single-threaded mode,
+	// between regions, and every runtime's base instruction costs).
+	PhaseApp Phase = iota
+	// PhaseFast: inside a hardware transaction, plus the fast path's fixed
+	// costs (xbegin/xend, TxFail reads, fast-path sync tracking).
+	PhaseFast
+	// PhaseSlow: executing under the software happens-before detector — a
+	// slow-path re-execution, a small/nohw region, or a TSan run's hooks.
+	PhaseSlow
+	// PhaseAbort: abort handling — the discarded cycles of an aborted
+	// attempt, the abort penalty, the TxFail write, and retry backoff.
+	PhaseAbort
+	// PhaseGovernor: regions the fallback governor forced onto the slow path.
+	PhaseGovernor
+	// PhaseSample: the sampling baseline's per-access gate for skipped
+	// accesses.
+	PhaseSample
+	// PhaseSched: scheduler time — the clock jumps of blocked threads waking,
+	// wake latency and jitter, spawn skew, and join catch-up. Charged by the
+	// engine itself so ledger totals equal thread clocks exactly.
+	PhaseSched
+
+	// NumPhases bounds the per-thread phase array.
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseApp:
+		return "app"
+	case PhaseFast:
+		return "fast"
+	case PhaseSlow:
+		return "slow"
+	case PhaseAbort:
+		return "abort"
+	case PhaseGovernor:
+		return "governor"
+	case PhaseSample:
+		return "sample"
+	case PhaseSched:
+		return "sched"
+	default:
+		return "?"
+	}
+}
+
+// AbortCause classifies one delivered transaction abort for the attribution
+// ledger, one step finer than the RTM status word: syscall-boundary aborts
+// (a hidden syscall's privilege-level change) and fault-injected aborts are
+// split out of the unknown bucket, mirroring the paper's Figure 6 abort
+// distribution.
+type AbortCause uint8
+
+const (
+	// AbortConflict: a data-conflict abort (genuine or TxFail-induced).
+	AbortConflict AbortCause = iota
+	// AbortCapacity: transactional footprint overflow.
+	AbortCapacity
+	// AbortUnknown: an unexplained abort (timer interrupt, retry exhaustion).
+	AbortUnknown
+	// AbortSyscall: an unknown-status abort attributable to a hidden syscall
+	// inside the transaction (the runtime injected the interrupt itself).
+	AbortSyscall
+	// AbortFault: an abort fabricated by the fault-injection engine.
+	AbortFault
+
+	// NumAbortCauses bounds the per-thread abort-cause arrays.
+	NumAbortCauses
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortUnknown:
+		return "unknown"
+	case AbortSyscall:
+		return "syscall"
+	case AbortFault:
+		return "fault"
+	default:
+		return "?"
+	}
+}
+
+// ThreadLedger is one thread's attribution state. Fields update with atomic
+// adds so a live telemetry reader ( /attrib ) can snapshot mid-run without a
+// data race; the simulator is the only writer, so no compare-and-swap is
+// ever needed.
+type ThreadLedger struct {
+	phase       [NumPhases]atomic.Int64
+	abortCycles [NumAbortCauses]atomic.Int64
+	abortCount  [NumAbortCauses]atomic.Uint64
+}
+
+// Add charges c cycles to phase p.
+func (t *ThreadLedger) Add(p Phase, c int64) { t.phase[p].Add(c) }
+
+// Move reattributes c cycles from one phase to another — the total is
+// unchanged, so conservation against the thread clock survives. The runtime
+// uses it when an abort reveals that cycles charged live as fast-path work
+// were in fact a discarded attempt.
+func (t *ThreadLedger) Move(from, to Phase, c int64) {
+	t.phase[from].Add(-c)
+	t.phase[to].Add(c)
+}
+
+// Abort records one delivered abort of the given cause costing c cycles.
+func (t *ThreadLedger) Abort(cause AbortCause, c int64) {
+	t.abortCount[cause].Add(1)
+	t.abortCycles[cause].Add(c)
+}
+
+// AddAbortCycles folds additional cycles (a slow-path re-execution) into an
+// already-recorded abort's cause without counting a new abort.
+func (t *ThreadLedger) AddAbortCycles(cause AbortCause, c int64) {
+	t.abortCycles[cause].Add(c)
+}
+
+// Total returns the sum across phases — by construction, the thread's
+// virtual clock (Engine.Run verifies the equality when a ledger is attached).
+func (t *ThreadLedger) Total() int64 {
+	var sum int64
+	for i := range t.phase {
+		sum += t.phase[i].Load()
+	}
+	return sum
+}
+
+// Ledger is the run-wide cycle-attribution store: one ThreadLedger per
+// simulated thread, a per-abort-cause breakdown alongside the per-phase one.
+// The simulator mutates it single-threaded through pointers handed out by
+// ThreadLedger(); concurrent readers (the telemetry endpoint, a flight
+// recorder dump) snapshot safely via atomic loads. A nil *Ledger is the
+// disabled state: every method is a no-op.
+type Ledger struct {
+	mu      sync.Mutex
+	threads atomic.Pointer[[]*ThreadLedger]
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	l := &Ledger{}
+	empty := []*ThreadLedger{}
+	l.threads.Store(&empty)
+	return l
+}
+
+// ThreadLedger returns tid's ledger, growing the table as needed. The
+// returned pointer is stable; hot paths cache it per thread.
+func (l *Ledger) ThreadLedger(tid int) *ThreadLedger {
+	if l == nil || tid < 0 {
+		return nil
+	}
+	ts := *l.threads.Load()
+	if tid < len(ts) {
+		return ts[tid]
+	}
+	return l.grow(tid)
+}
+
+func (l *Ledger) grow(tid int) *ThreadLedger {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := *l.threads.Load()
+	if tid < len(ts) {
+		return ts[tid]
+	}
+	grown := make([]*ThreadLedger, tid+1)
+	copy(grown, ts)
+	for i := len(ts); i <= tid; i++ {
+		grown[i] = &ThreadLedger{}
+	}
+	l.threads.Store(&grown)
+	return grown[tid]
+}
+
+// Add charges c cycles on tid's ledger to phase p. Nil-safe.
+func (l *Ledger) Add(tid int, p Phase, c int64) {
+	if l == nil {
+		return
+	}
+	l.ThreadLedger(tid).Add(p, c)
+}
+
+// Move reattributes c cycles between phases on tid's ledger. Nil-safe.
+func (l *Ledger) Move(tid int, from, to Phase, c int64) {
+	if l == nil {
+		return
+	}
+	l.ThreadLedger(tid).Move(from, to, c)
+}
+
+// Abort records one delivered abort on tid's ledger. Nil-safe.
+func (l *Ledger) Abort(tid int, cause AbortCause, c int64) {
+	if l == nil {
+		return
+	}
+	l.ThreadLedger(tid).Abort(cause, c)
+}
+
+// AddAbortCycles folds re-execution cycles into tid's cause bucket. Nil-safe.
+func (l *Ledger) AddAbortCycles(tid int, cause AbortCause, c int64) {
+	if l == nil {
+		return
+	}
+	l.ThreadLedger(tid).AddAbortCycles(cause, c)
+}
+
+// Merge folds another ledger into this one thread-by-thread, the attribution
+// analogue of Metrics.Merge: internal/runner joins per-job forks back in plan
+// order, so merged totals are independent of job scheduling. Nil receivers
+// and nil arguments are no-ops.
+func (l *Ledger) Merge(o *Ledger) {
+	if l == nil || o == nil {
+		return
+	}
+	ts := *o.threads.Load()
+	for tid, tl := range ts {
+		dst := l.ThreadLedger(tid)
+		for p := range tl.phase {
+			if v := tl.phase[p].Load(); v != 0 {
+				dst.phase[p].Add(v)
+			}
+		}
+		for c := range tl.abortCycles {
+			if v := tl.abortCycles[c].Load(); v != 0 {
+				dst.abortCycles[c].Add(v)
+			}
+		}
+		for c := range tl.abortCount {
+			if v := tl.abortCount[c].Load(); v != 0 {
+				dst.abortCount[c].Add(v)
+			}
+		}
+	}
+}
+
+// ThreadAttrib is the exported attribution of one thread (or, with TID -1,
+// the whole run). Map keys are phase / abort-cause names, so JSON output is
+// deterministic (encoding/json sorts map keys) and self-describing.
+type ThreadAttrib struct {
+	TID         int               `json:"tid"`
+	Total       int64             `json:"total_cycles"`
+	Phases      map[string]int64  `json:"phases"`
+	AbortCycles map[string]int64  `json:"abort_cycles,omitempty"`
+	AbortCounts map[string]uint64 `json:"abort_counts,omitempty"`
+}
+
+// LedgerSnapshot is a consistent point-in-time export of a Ledger.
+type LedgerSnapshot struct {
+	Threads []ThreadAttrib `json:"threads"`
+	Total   ThreadAttrib   `json:"total"`
+}
+
+func (t *ThreadLedger) attrib(tid int) ThreadAttrib {
+	a := ThreadAttrib{TID: tid, Phases: make(map[string]int64, NumPhases)}
+	for p := Phase(0); p < NumPhases; p++ {
+		v := t.phase[p].Load()
+		a.Phases[p.String()] = v
+		a.Total += v
+	}
+	for c := AbortCause(0); c < NumAbortCauses; c++ {
+		if n := t.abortCount[c].Load(); n != 0 {
+			if a.AbortCounts == nil {
+				a.AbortCounts = make(map[string]uint64)
+				a.AbortCycles = make(map[string]int64)
+			}
+			a.AbortCounts[c.String()] = n
+			a.AbortCycles[c.String()] = t.abortCycles[c].Load()
+		}
+	}
+	return a
+}
+
+// Snapshot exports every thread's attribution plus the run-wide total.
+// Nil-safe: a nil ledger snapshots as empty.
+func (l *Ledger) Snapshot() LedgerSnapshot {
+	s := LedgerSnapshot{Total: ThreadAttrib{TID: -1, Phases: make(map[string]int64, NumPhases)}}
+	for p := Phase(0); p < NumPhases; p++ {
+		s.Total.Phases[p.String()] = 0
+	}
+	if l == nil {
+		return s
+	}
+	ts := *l.threads.Load()
+	for tid, tl := range ts {
+		a := tl.attrib(tid)
+		s.Threads = append(s.Threads, a)
+		s.Total.Total += a.Total
+		for name, v := range a.Phases {
+			s.Total.Phases[name] += v
+		}
+		for name, v := range a.AbortCycles {
+			if s.Total.AbortCycles == nil {
+				s.Total.AbortCycles = make(map[string]int64)
+				s.Total.AbortCounts = make(map[string]uint64)
+			}
+			s.Total.AbortCycles[name] += v
+		}
+		for name, v := range a.AbortCounts {
+			s.Total.AbortCounts[name] += v
+		}
+	}
+	return s
+}
+
+// pct renders a share of a total as a fixed-precision percentage; zero
+// totals render as 0.0 so empty ledgers stay printable.
+func pct(part, total int64) string {
+	if total == 0 {
+		return report.FormatFixed(0, 1)
+	}
+	return report.FormatFixed(100*float64(part)/float64(total), 1)
+}
+
+// WriteAttrib renders a ledger snapshot as the two text tables the paper's
+// Figures 6 and 9 correspond to: per-thread (and total) cycle shares by
+// phase, then the abort-cause mix.
+func WriteAttrib(w io.Writer, s LedgerSnapshot) {
+	tb := &report.Table{Header: []string{"thread", "cycles",
+		"app%", "fast%", "slow%", "abort%", "governor%", "sample%", "sched%"}}
+	row := func(label string, a ThreadAttrib) {
+		tb.Add(label, a.Total,
+			pct(a.Phases[PhaseApp.String()], a.Total),
+			pct(a.Phases[PhaseFast.String()], a.Total),
+			pct(a.Phases[PhaseSlow.String()], a.Total),
+			pct(a.Phases[PhaseAbort.String()], a.Total),
+			pct(a.Phases[PhaseGovernor.String()], a.Total),
+			pct(a.Phases[PhaseSample.String()], a.Total),
+			pct(a.Phases[PhaseSched.String()], a.Total))
+	}
+	for _, a := range s.Threads {
+		row("t"+strconv.Itoa(a.TID), a)
+	}
+	row("total", s.Total)
+	tb.Write(w)
+
+	var aborts uint64
+	for _, n := range s.Total.AbortCounts {
+		aborts += n
+	}
+	if aborts == 0 {
+		return
+	}
+	ab := &report.Table{Header: []string{"abort cause", "count", "count%", "cycles"}}
+	for c := AbortCause(0); c < NumAbortCauses; c++ {
+		n := s.Total.AbortCounts[c.String()]
+		if n == 0 {
+			continue
+		}
+		ab.Add(c.String(), n, pct(int64(n), int64(aborts)), s.Total.AbortCycles[c.String()])
+	}
+	ab.Write(w)
+}

@@ -1,0 +1,139 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLedgerMoveConservation pins Move's zero-sum contract: reattributing
+// cycles between phases never changes the thread total.
+func TestLedgerMoveConservation(t *testing.T) {
+	l := obs.NewLedger()
+	l.Add(0, obs.PhaseFast, 1000)
+	l.Add(0, obs.PhaseApp, 200)
+	tl := l.ThreadLedger(0)
+	before := tl.Total()
+	l.Move(0, obs.PhaseFast, obs.PhaseAbort, 700)
+	if got := tl.Total(); got != before {
+		t.Fatalf("Move changed the total: %d -> %d", before, got)
+	}
+	s := l.Snapshot()
+	if s.Threads[0].Phases["fast"] != 300 || s.Threads[0].Phases["abort"] != 700 {
+		t.Fatalf("phases after Move = %v", s.Threads[0].Phases)
+	}
+}
+
+// TestLedgerMerge checks that merging forks is additive per thread and per
+// cause — the property internal/runner relies on for job-count invariance.
+func TestLedgerMerge(t *testing.T) {
+	a := obs.NewLedger()
+	a.Add(0, obs.PhaseFast, 10)
+	a.Add(2, obs.PhaseSlow, 20)
+	a.Abort(0, obs.AbortConflict, 5)
+
+	b := obs.NewLedger()
+	b.Add(0, obs.PhaseFast, 1)
+	b.Add(1, obs.PhaseApp, 7)
+	b.Abort(0, obs.AbortConflict, 3)
+	b.Abort(2, obs.AbortCapacity, 9)
+
+	a.Merge(b)
+	s := a.Snapshot()
+	if len(s.Threads) != 3 {
+		t.Fatalf("threads after merge = %d, want 3", len(s.Threads))
+	}
+	if s.Threads[0].Phases["fast"] != 11 {
+		t.Fatalf("t0 fast = %d, want 11", s.Threads[0].Phases["fast"])
+	}
+	if s.Threads[1].Phases["app"] != 7 || s.Threads[2].Phases["slow"] != 20 {
+		t.Fatalf("merged threads = %+v", s.Threads)
+	}
+	if s.Threads[0].AbortCounts["conflict"] != 2 || s.Threads[0].AbortCycles["conflict"] != 8 {
+		t.Fatalf("t0 aborts = %v / %v", s.Threads[0].AbortCounts, s.Threads[0].AbortCycles)
+	}
+	if s.Threads[2].AbortCounts["capacity"] != 1 {
+		t.Fatalf("t2 aborts = %v", s.Threads[2].AbortCounts)
+	}
+	if s.Total.Total != 38 {
+		t.Fatalf("total = %d, want 38", s.Total.Total)
+	}
+
+	// Merging nil (and merging into nil) is a no-op, not a crash.
+	a.Merge(nil)
+	var nilLedger *obs.Ledger
+	nilLedger.Merge(a)
+	nilLedger.Add(0, obs.PhaseApp, 1)
+	if nilLedger.ThreadLedger(0) != nil {
+		t.Fatal("nil ledger handed out a thread ledger")
+	}
+}
+
+// TestLedgerSnapshotConcurrent snapshots while a writer charges — the
+// single-writer/atomic-reader contract the telemetry endpoint depends on.
+// The interesting assertion is the -race detector's: no load in Snapshot may
+// race a ledger write. (A snapshot may legitimately land between the two
+// halves of a Move, so no cross-phase invariant is asserted here; the
+// engine's end-of-run conservation check owns that.)
+func TestLedgerSnapshotConcurrent(t *testing.T) {
+	l := obs.NewLedger()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			l.Add(i%4, obs.PhaseFast, 10)
+			l.Move(i%4, obs.PhaseFast, obs.PhaseAbort, 4)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := l.Snapshot()
+		if s.Total.Total < 0 {
+			t.Fatalf("negative snapshot total %d", s.Total.Total)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestWriteAttrib smoke-tests the text rendering.
+func TestWriteAttrib(t *testing.T) {
+	l := obs.NewLedger()
+	l.Add(0, obs.PhaseApp, 25)
+	l.Add(0, obs.PhaseFast, 50)
+	l.Add(0, obs.PhaseSched, 25)
+	l.Abort(0, obs.AbortSyscall, 12)
+	var buf bytes.Buffer
+	obs.WriteAttrib(&buf, l.Snapshot())
+	out := buf.String()
+	for _, want := range []string{"t0", "total", "fast%", "50.0", "25.0", "syscall", "12"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteAttrib output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPhaseAndCauseNames pins the String() labels the JSON schema exposes.
+func TestPhaseAndCauseNames(t *testing.T) {
+	wantPhases := []string{"app", "fast", "slow", "abort", "governor", "sample", "sched"}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if p.String() != wantPhases[p] {
+			t.Fatalf("Phase(%d) = %q, want %q", p, p.String(), wantPhases[p])
+		}
+	}
+	wantCauses := []string{"conflict", "capacity", "unknown", "syscall", "fault"}
+	for c := obs.AbortCause(0); c < obs.NumAbortCauses; c++ {
+		if c.String() != wantCauses[c] {
+			t.Fatalf("AbortCause(%d) = %q, want %q", c, c.String(), wantCauses[c])
+		}
+	}
+}

@@ -22,10 +22,15 @@ type ChromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// ChromeTrace is the top-level trace_event document.
+// ChromeTrace is the top-level trace_event document. OtherData is the
+// format's free-form header; the exporter uses it to make truncated traces
+// self-describing (dropped/retained event counts when the tracer ring
+// wrapped). It stays absent for complete traces, so their output is
+// unchanged.
 type ChromeTrace struct {
-	TraceEvents     []ChromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // The exporter's synthetic track layout: every simulated thread gets its own
@@ -168,4 +173,20 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(BuildChromeTrace(events))
+}
+
+// WriteChromeTraceFrom exports a tracer's retained events, stamping the
+// otherData header with the drop count when the ring wrapped so a truncated
+// trace announces itself instead of silently posing as the whole run.
+func WriteChromeTraceFrom(w io.Writer, t *Tracer) error {
+	tr := BuildChromeTrace(t.Events())
+	if d := t.Dropped(); d > 0 {
+		tr.OtherData = map[string]any{
+			"dropped_events":  d,
+			"retained_events": t.Len(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
 }

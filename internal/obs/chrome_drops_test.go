@@ -1,0 +1,51 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestChromeTraceDropHeader: when the ring wrapped, the exporter records the
+// loss in the trace's otherData header; when it didn't, output is
+// byte-identical to the plain event-slice exporter (so the golden file is
+// unaffected by the header's existence).
+func TestChromeTraceDropHeader(t *testing.T) {
+	full := obs.NewTracer(128)
+	small := obs.NewTracer(4)
+	for i := 0; i < 10; i++ {
+		ev := obs.Event{Kind: obs.KindTxBegin, TID: 0, Time: int64(i)}
+		full.Emit(ev)
+		small.Emit(ev)
+	}
+
+	var plain, fromFull bytes.Buffer
+	if err := obs.WriteChromeTrace(&plain, full.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTraceFrom(&fromFull, full); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), fromFull.Bytes()) {
+		t.Fatal("drop-free WriteChromeTraceFrom diverged from WriteChromeTrace")
+	}
+
+	var dropped bytes.Buffer
+	if err := obs.WriteChromeTraceFrom(&dropped, small); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(dropped.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.OtherData["dropped_events"] != float64(6) {
+		t.Fatalf("otherData.dropped_events = %v, want 6", doc.OtherData["dropped_events"])
+	}
+	if doc.OtherData["retained_events"] != float64(4) {
+		t.Fatalf("otherData.retained_events = %v, want 4", doc.OtherData["retained_events"])
+	}
+}

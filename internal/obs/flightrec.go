@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// DefaultFlightCapacity bounds the always-on post-mortem ring. It is
+// deliberately much smaller than DefaultTracerCapacity: the recorder keeps
+// only the recent past, enough to reconstruct the moments before a failure.
+const DefaultFlightCapacity = 1 << 14
+
+// FlightBundle is the post-mortem artifact a FlightRecorder dumps: the tail
+// of the event stream plus consistent snapshots of the metrics registry, the
+// attribution ledger, and the fallback governor's aggregate state at dump
+// time. It is plain JSON; ReadFlightBundle parses it back.
+type FlightBundle struct {
+	// Reason says what triggered the dump: "program-error",
+	// "governor-global-trip", "sigquit", or a caller-supplied label.
+	Reason string `json:"reason"`
+	// Dump is the 1-based sequence number of this dump within the run (the
+	// recorder overwrites its output file, so the highest number wins).
+	Dump int `json:"dump"`
+	// Dropped counts ring-evicted events: the bundle holds the last
+	// len(Events) of Dropped+len(Events) total.
+	Dropped uint64  `json:"dropped_events"`
+	Events  []Event `json:"events"`
+	// Metrics is the registry snapshot (zero-valued when no registry was
+	// attached).
+	Metrics Snapshot `json:"metrics"`
+	// Attrib is the attribution ledger snapshot, if a ledger was attached.
+	Attrib *LedgerSnapshot `json:"attrib,omitempty"`
+	// Governor summarizes the fallback governor at dump time, extracted from
+	// the registry so the bundle is self-contained.
+	Governor GovernorState `json:"governor"`
+}
+
+// GovernorState is the flight bundle's digest of the fallback governor.
+type GovernorState struct {
+	// DegradedThreads is the core.governor.state gauge: threads currently
+	// forced to the slow path by the abort-rate tripwire.
+	DegradedThreads int64 `json:"degraded_threads"`
+	// Trips counts per-thread degradations (core.governor.trips).
+	Trips uint64 `json:"trips"`
+	// GlobalWindows counts whole-run degradation windows
+	// (core.governor.global).
+	GlobalWindows uint64 `json:"global_windows"`
+	// ForcedRegions counts regions the governor sent to the slow path
+	// (core.fallback.forced).
+	ForcedRegions uint64 `json:"forced_regions"`
+}
+
+// FlightRecorder is an always-on bounded Sink for post-mortem debugging: it
+// tees the event stream into a small ring and, on a trigger, dumps a
+// FlightBundle to a file. Triggers are (1) a governor global trip observed
+// in the event stream (automatic), (2) a sim.ProgramError — the cmd calls
+// Dump from its error path, since the recorder only sees events, not errors —
+// and (3) SIGQUIT via ArmSignal, for runs wedged enough that the user
+// reaches for kill -QUIT.
+//
+// Emit takes a mutex: unlike the run-private Tracer, a recorder's dump can
+// race with the recording run (the signal goroutine fires whenever), and
+// correctness here is worth a lock on a path that is already tracing.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    *Tracer
+	metrics *Metrics
+	ledger  *Ledger
+	path    string
+	dumps   int
+}
+
+// NewFlightRecorder returns a recorder ringing the last `capacity` events
+// (non-positive means DefaultFlightCapacity) and dumping to path. The
+// metrics registry and ledger may be nil; their snapshots are then empty.
+func NewFlightRecorder(path string, capacity int, m *Metrics, led *Ledger) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{ring: NewTracer(capacity), metrics: m, ledger: led, path: path}
+}
+
+// Emit implements Sink, and fires an automatic dump when the governor's
+// whole-run tripwire engages — the event the runtime emits exactly when the
+// machine has collectively given up on the fast path.
+func (f *FlightRecorder) Emit(ev Event) {
+	f.mu.Lock()
+	f.ring.Emit(ev)
+	f.mu.Unlock()
+	if ev.Kind == KindGovernor && ev.Cause == "global" {
+		_ = f.Dump("governor-global-trip")
+	}
+}
+
+// SetTarget repoints the recorder's snapshot sources at a new registry and
+// ledger — a multi-experiment driver keeps one armed recorder and swaps the
+// pair per experiment. The event ring is not reset; it keeps the recent past
+// across targets.
+func (f *FlightRecorder) SetTarget(m *Metrics, led *Ledger) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.metrics, f.ledger = m, led
+}
+
+// Dump writes the bundle to the recorder's path, overwriting any previous
+// dump (the latest state is the interesting one). Safe to call from any
+// goroutine, including concurrently with Emit.
+func (f *FlightRecorder) Dump(reason string) error {
+	f.mu.Lock()
+	f.dumps++
+	b := FlightBundle{
+		Reason:  reason,
+		Dump:    f.dumps,
+		Dropped: f.ring.Dropped(),
+		Events:  f.ring.Events(),
+	}
+	m, led := f.metrics, f.ledger
+	f.mu.Unlock()
+
+	if m != nil {
+		b.Metrics = m.Snapshot()
+		b.Governor = GovernorState{
+			DegradedThreads: b.Metrics.Gauges["core.governor.state"],
+			Trips:           b.Metrics.Counters["core.governor.trips"],
+			GlobalWindows:   b.Metrics.Counters["core.governor.global"],
+			ForcedRegions:   b.Metrics.Counters["core.fallback.forced"],
+		}
+	}
+	if led != nil {
+		s := led.Snapshot()
+		b.Attrib = &s
+	}
+
+	tmp := f.path + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(b); err != nil {
+		file.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	return nil
+}
+
+// Path returns the dump destination.
+func (f *FlightRecorder) Path() string { return f.path }
+
+// Dumps returns how many bundles have been written so far.
+func (f *FlightRecorder) Dumps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// ArmSignal dumps a bundle (reason "sigquit") every time the process gets
+// SIGQUIT, and returns a disarm function. The handler swallows the signal,
+// trading Go's default goroutine dump for the flight bundle — that is the
+// point: -flight-out turns kill -QUIT into "write me the post-mortem".
+func (f *FlightRecorder) ArmSignal() (disarm func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				_ = f.Dump("sigquit")
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}
+
+// ReadFlightBundle parses a dumped bundle back.
+func ReadFlightBundle(path string) (*FlightBundle, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return ParseFlightBundle(file)
+}
+
+// ParseFlightBundle decodes a bundle from r.
+func ParseFlightBundle(r io.Reader) (*FlightBundle, error) {
+	var b FlightBundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("obs: parse flight bundle: %w", err)
+	}
+	return &b, nil
+}
+
+// MultiSink fans an event stream out to every non-nil sink; it returns nil
+// when no sinks remain, preserving the "nil sink = tracing disabled" fast
+// path. Cmds use it to tee the user's tracer and the flight recorder.
+func MultiSink(sinks ...Sink) Sink {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeSink(live)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}

@@ -1,0 +1,190 @@
+package obs_test
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestFlightRecorderRoundTrip dumps a bundle and parses it back: events,
+// ring-drop accounting, metrics, ledger, and governor digest all survive.
+func TestFlightRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	m := obs.NewMetrics()
+	m.Counter("core.governor.trips").Add(3)
+	m.Gauge("core.governor.state").Add(2)
+	led := obs.NewLedger()
+	led.Add(1, obs.PhaseSlow, 42)
+
+	fr := obs.NewFlightRecorder(path, 4, m, led)
+	for i := 0; i < 10; i++ {
+		fr.Emit(obs.Event{Kind: obs.KindTxBegin, TID: 1, Time: int64(i)})
+	}
+	if err := fr.Dump("test"); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+
+	b, err := obs.ReadFlightBundle(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if b.Reason != "test" || b.Dump != 1 {
+		t.Fatalf("reason/dump = %q/%d", b.Reason, b.Dump)
+	}
+	if len(b.Events) != 4 || b.Dropped != 6 {
+		t.Fatalf("events/dropped = %d/%d, want 4/6", len(b.Events), b.Dropped)
+	}
+	if b.Events[0].Time != 6 {
+		t.Fatalf("oldest surviving event at t=%d, want 6", b.Events[0].Time)
+	}
+	if b.Metrics.Counters["core.governor.trips"] != 3 {
+		t.Fatalf("metrics in bundle = %v", b.Metrics.Counters)
+	}
+	if b.Governor.Trips != 3 || b.Governor.DegradedThreads != 2 {
+		t.Fatalf("governor digest = %+v", b.Governor)
+	}
+	if b.Attrib == nil || b.Attrib.Total.Phases["slow"] != 42 {
+		t.Fatalf("attrib in bundle = %+v", b.Attrib)
+	}
+}
+
+// TestFlightRecorderGovernorTrip checks the automatic trigger: a governor
+// "global" event in the stream dumps without any caller involvement.
+func TestFlightRecorderGovernorTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	fr := obs.NewFlightRecorder(path, 0, nil, nil)
+	fr.Emit(obs.Event{Kind: obs.KindGovernor, TID: 0, Cause: "degrade"})
+	if fr.Dumps() != 0 {
+		t.Fatal("degrade event must not dump")
+	}
+	fr.Emit(obs.Event{Kind: obs.KindGovernor, TID: 0, Cause: "global", Arg: 8})
+	if fr.Dumps() != 1 {
+		t.Fatalf("dumps after global trip = %d, want 1", fr.Dumps())
+	}
+	b, err := obs.ReadFlightBundle(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if b.Reason != "governor-global-trip" {
+		t.Fatalf("reason = %q", b.Reason)
+	}
+	if b.Attrib != nil {
+		t.Fatal("bundle without a ledger must omit attrib")
+	}
+}
+
+// malformedProgram unlocks a mutex it never locked — the canonical
+// sim.ProgramError.
+func malformedProgram() *sim.Program {
+	al := memmodel.NewAllocator(1 << 16)
+	x := al.AllocLine()
+	return &sim.Program{
+		Name: "malformed",
+		Workers: [][]sim.Instr{{
+			&sim.MemAccess{Write: true, Addr: sim.Fixed(x), Site: 1},
+			&sim.Unlock{M: 1},
+		}},
+	}
+}
+
+// TestFlightRecorderProgramError is the end-to-end post-mortem path the cmds
+// wire up: run a malformed program with the recorder teeing the event
+// stream, get the *sim.ProgramError back, dump, parse, and find the thread's
+// last events in the bundle.
+func TestFlightRecorderProgramError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	m := obs.NewMetrics()
+	led := obs.NewLedger()
+	fr := obs.NewFlightRecorder(path, 0, m, led)
+
+	o := obs.New(fr, m)
+	o.AttachLedger(led)
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Obs = o
+	ip := instrument.ForTxRace(malformedProgram(), instrument.DefaultOptions())
+	_, err := sim.NewEngine(cfg).Run(ip, core.NewTxRace(core.Options{Obs: o}))
+	var pe *sim.ProgramError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *sim.ProgramError, got %v", err)
+	}
+	if err := fr.Dump("program-error"); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+
+	b, rerr := obs.ReadFlightBundle(path)
+	if rerr != nil {
+		t.Fatalf("read: %v", rerr)
+	}
+	if b.Reason != "program-error" {
+		t.Fatalf("reason = %q", b.Reason)
+	}
+	if len(b.Events) == 0 {
+		t.Fatal("bundle carries no events")
+	}
+	var sawStart bool
+	for _, ev := range b.Events {
+		if ev.Kind == obs.KindThreadStart {
+			sawStart = true
+		}
+	}
+	if !sawStart {
+		t.Fatalf("no thread-start among %d events", len(b.Events))
+	}
+	if b.Attrib == nil || b.Attrib.Total.Total == 0 {
+		t.Fatalf("attrib in bundle = %+v (cycles ran before the error)", b.Attrib)
+	}
+}
+
+// TestFlightRecorderConcurrentEmitDump hammers Emit and Dump from separate
+// goroutines — the signal-handler race the recorder's mutex exists for.
+// Run under -race.
+func TestFlightRecorderConcurrentEmitDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.json")
+	fr := obs.NewFlightRecorder(path, 64, obs.NewMetrics(), obs.NewLedger())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			fr.Emit(obs.Event{Kind: obs.KindTxBegin, Time: int64(i)})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := fr.Dump("race"); err != nil {
+				t.Errorf("dump: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := obs.ReadFlightBundle(path); err != nil {
+		t.Fatalf("final bundle unreadable: %v", err)
+	}
+}
+
+// TestMultiSink pins the nil-collapsing contract cmds rely on.
+func TestMultiSink(t *testing.T) {
+	if obs.MultiSink() != nil || obs.MultiSink(nil, nil) != nil {
+		t.Fatal("MultiSink of no live sinks must be nil")
+	}
+	tr := obs.NewTracer(8)
+	if got := obs.MultiSink(nil, tr, nil); got != obs.Sink(tr) {
+		t.Fatal("MultiSink of one live sink must be that sink")
+	}
+	tr2 := obs.NewTracer(8)
+	tee := obs.MultiSink(tr, tr2)
+	tee.Emit(obs.Event{Kind: obs.KindTxBegin})
+	if tr.Len() != 1 || tr2.Len() != 1 {
+		t.Fatalf("tee delivered %d/%d, want 1/1", tr.Len(), tr2.Len())
+	}
+}

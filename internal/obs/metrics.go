@@ -5,31 +5,36 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
-type Counter struct{ v uint64 }
+// Counter is a monotonically increasing count. Updates are atomic adds so a
+// concurrent reader (the live telemetry endpoint, a flight-recorder dump)
+// can load a coherent value mid-run; the recording side is still a single
+// simulator goroutine per registry, so there is never write contention.
+type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Gauge is an instantaneous signed level (live threads, open transactions).
-type Gauge struct{ v int64 }
+type Gauge struct{ v atomic.Int64 }
 
 // Add moves the gauge by d (negative to decrease).
-func (g *Gauge) Add(d int64) { g.v += d }
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Set overwrites the gauge.
-func (g *Gauge) Set(v int64) { g.v = v }
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 { return g.v }
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // histBuckets is one bucket per power of two: bucket 0 holds values <= 1,
 // bucket i holds (2^(i-1), 2^i]. 64 buckets cover every positive int64.
@@ -38,35 +43,44 @@ const histBuckets = 64
 // Histogram accumulates a distribution in log-2 buckets — the right shape
 // for cycle counts, whose interesting structure spans orders of magnitude
 // (a 100-cycle transaction and a 1M-cycle TxFail episode on one scale).
+// Like Counter, fields are atomics for reader visibility only: each registry
+// has a single writer, so min/max updates need no compare-and-swap, and a
+// concurrent snapshot is coherent per field (count may trail sum by the one
+// observation in flight, which a text exposition tolerates by design).
 type Histogram struct {
-	count    uint64
-	sum      int64
-	min, max int64
-	buckets  [histBuckets]uint64
+	count    atomic.Uint64
+	sum      atomic.Int64
+	min, max atomic.Int64
+	buckets  [histBuckets]atomic.Uint64
 }
 
 // Observe records one value. Non-positive values land in bucket 0.
 func (h *Histogram) Observe(v int64) {
-	if h.count == 0 || v < h.min {
-		h.min = v
+	if n := h.count.Load(); n == 0 {
+		h.min.Store(v)
+		h.max.Store(v)
+	} else {
+		if v < h.min.Load() {
+			h.min.Store(v)
+		}
+		if v > h.max.Load() {
+			h.max.Store(v)
+		}
 	}
-	if h.count == 0 || v > h.max {
-		h.max = v
-	}
-	h.count++
-	h.sum += v
+	h.count.Add(1)
+	h.sum.Add(v)
 	i := 0
 	if v > 1 {
 		i = bits.Len64(uint64(v - 1)) // ceil(log2(v)): v in (2^(i-1), 2^i]
 	}
-	h.buckets[i]++
+	h.buckets[i].Add(1)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the total of all observations.
-func (h *Histogram) Sum() int64 { return h.sum }
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Bucket is one non-empty histogram bucket: N observations with value <= Le
 // (and greater than the previous bucket's Le).
@@ -85,8 +99,9 @@ type HistogramSnapshot struct {
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
-	for i, n := range h.buckets {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Min: h.min.Load(), Max: h.max.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
 		}
@@ -105,7 +120,16 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // Metrics is a registry of named instruments. Instruments are get-or-create
 // by name; holders cache the returned pointer and update it directly, so
 // steady-state recording never touches the maps.
+//
+// The mutex is the fold lock: it serializes registration (the map writes),
+// Merge (internal/runner folding per-job registries back into a parent), and
+// Snapshot. A snapshot therefore never observes a half-applied fold — it
+// runs either before or after each per-job merge, never between a job's
+// counter and that same job's histogram. Instrument updates through cached
+// pointers deliberately stay outside the lock: they are atomic, and the
+// writer is the run the registry belongs to.
 type Metrics struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -122,6 +146,8 @@ func NewMetrics() *Metrics {
 
 // Counter returns the named counter, creating it at zero if needed.
 func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	c := m.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -132,6 +158,8 @@ func (m *Metrics) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it at zero if needed.
 func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	g := m.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -142,6 +170,8 @@ func (m *Metrics) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it empty if needed.
 func (m *Metrics) Histogram(name string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	h := m.hists[name]
 	if h == nil {
 		h = &Histogram{}
@@ -156,37 +186,75 @@ func (m *Metrics) Histogram(name string) *Histogram {
 // registries (internal/runner forks one observer per measured run) fold back
 // into an experiment's parent registry; merging the same set of registries
 // in the same order always yields the same result, so aggregate metrics are
-// independent of how the jobs were scheduled.
+// independent of how the jobs were scheduled. The whole fold runs under the
+// parent's fold lock, so a concurrent Snapshot sees each fold entirely or
+// not at all; o must be quiescent (its job has finished).
 func (m *Metrics) Merge(o *Metrics) {
 	if o == nil {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for name, c := range o.counters {
-		m.Counter(name).Add(c.v)
+		m.counterLocked(name).Add(c.Value())
 	}
 	for name, g := range o.gauges {
-		m.Gauge(name).Add(g.v)
+		m.gaugeLocked(name).Add(g.Value())
 	}
 	for name, h := range o.hists {
-		m.Histogram(name).merge(h)
+		m.histogramLocked(name).merge(h)
 	}
 }
 
-// merge folds another histogram into h bucket-wise.
+// counterLocked, gaugeLocked and histogramLocked are the get-or-create
+// lookups for callers already holding mu (Merge), where the public getters
+// would self-deadlock.
+func (m *Metrics) counterLocked(name string) *Counter {
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+func (m *Metrics) gaugeLocked(name string) *Gauge {
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+func (m *Metrics) histogramLocked(name string) *Histogram {
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// merge folds another (quiescent) histogram into h bucket-wise.
 func (h *Histogram) merge(o *Histogram) {
-	if o.count == 0 {
+	oc := o.count.Load()
+	if oc == 0 {
 		return
 	}
-	if h.count == 0 || o.min < h.min {
-		h.min = o.min
+	hc := h.count.Load()
+	if om := o.min.Load(); hc == 0 || om < h.min.Load() {
+		h.min.Store(om)
 	}
-	if h.count == 0 || o.max > h.max {
-		h.max = o.max
+	if om := o.max.Load(); hc == 0 || om > h.max.Load() {
+		h.max.Store(om)
 	}
-	h.count += o.count
-	h.sum += o.sum
-	for i, n := range o.buckets {
-		h.buckets[i] += n
+	h.count.Add(oc)
+	h.sum.Add(o.sum.Load())
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
 	}
 }
 
@@ -199,18 +267,22 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot exports every registered instrument.
+// Snapshot exports every registered instrument. It takes the fold lock, so
+// a snapshot raced against runner folds sees each per-job merge fully
+// applied or not at all — never a torn counter/histogram pair.
 func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]uint64, len(m.counters)),
 		Gauges:     make(map[string]int64, len(m.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(m.hists)),
 	}
 	for name, c := range m.counters {
-		s.Counters[name] = c.v
+		s.Counters[name] = c.Value()
 	}
 	for name, g := range m.gauges {
-		s.Gauges[name] = g.v
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range m.hists {
 		s.Histograms[name] = h.snapshot()

@@ -1,0 +1,87 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSnapshotConsistentUnderMerge is the fold-lock contract: Merge holds
+// the registry lock for its whole fold, so a concurrent Snapshot sees each
+// merge entirely or not at all. The source registry bumps two counters by
+// the same amount, so every snapshot must report them equal. Run under
+// -race; the equality assertion also catches half-applied merges.
+func TestSnapshotConsistentUnderMerge(t *testing.T) {
+	src := obs.NewMetrics()
+	src.Counter("pair.a").Add(1)
+	src.Counter("pair.b").Add(1)
+	src.Histogram("pair.h").Observe(3)
+
+	dst := obs.NewMetrics()
+	// Pre-register so snapshots always carry the families.
+	dst.Counter("pair.a")
+	dst.Counter("pair.b")
+	dst.Histogram("pair.h")
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			dst.Merge(src)
+		}
+	}()
+
+	for i := 0; i < 500; i++ {
+		s := dst.Snapshot()
+		if a, b := s.Counters["pair.a"], s.Counters["pair.b"]; a != b {
+			t.Fatalf("torn snapshot: pair.a=%d pair.b=%d", a, b)
+		}
+		h := s.Histograms["pair.h"]
+		if h.Sum != int64(h.Count)*3 {
+			t.Fatalf("torn histogram: count=%d sum=%d", h.Count, h.Sum)
+		}
+		if s.Counters["pair.a"] != h.Count {
+			t.Fatalf("counter/histogram skew: %d merges vs %d observations",
+				s.Counters["pair.a"], h.Count)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestMetricsMergeDeterminism: merging the same forks in the same order
+// gives identical snapshots — the plan-order merge property.
+func TestMetricsMergeDeterminism(t *testing.T) {
+	mk := func() *obs.Metrics {
+		m := obs.NewMetrics()
+		m.Counter("c").Add(2)
+		m.Gauge("g").Add(-1)
+		m.Histogram("h").Observe(17)
+		return m
+	}
+	run := func() obs.Snapshot {
+		dst := obs.NewMetrics()
+		for i := 0; i < 3; i++ {
+			dst.Merge(mk())
+		}
+		return dst.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Counters["c"] != b.Counters["c"] || a.Counters["c"] != 6 {
+		t.Fatalf("counter merge nondeterministic: %v vs %v", a.Counters, b.Counters)
+	}
+	if a.Gauges["g"] != -3 {
+		t.Fatalf("gauge merge = %d, want -3", a.Gauges["g"])
+	}
+	if a.Histograms["h"].Count != 3 || a.Histograms["h"].Sum != 51 {
+		t.Fatalf("histogram merge = %+v", a.Histograms["h"])
+	}
+}

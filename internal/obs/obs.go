@@ -166,6 +166,7 @@ func StatusString(s uint32) string {
 type Observer struct {
 	trace   Sink
 	metrics *Metrics
+	ledger  *Ledger
 
 	// Pre-registered instruments so hot-path updates are pointer bumps,
 	// never map lookups or string concatenation.
@@ -184,6 +185,7 @@ type Observer struct {
 	cGovForced, cGovTrips, cGovGlobal                 *Counter
 	cFaultUnknown, cFaultRetry, cFaultCapacity        *Counter
 	cFaultDoomed, cFaultCommit, cFaultSyscall         *Counter
+	cTraceDropped                                     *Counter
 	gThreadsLive, gTxActive, gGovState                *Gauge
 	hTxnCycles, hAbortWasted, hSlowCycles, hEpisode   *Histogram
 }
@@ -240,6 +242,7 @@ func New(trace Sink, m *Metrics) *Observer {
 		cFaultDoomed:     m.Counter("fault.injected.doomed"),
 		cFaultCommit:     m.Counter("fault.injected.commit"),
 		cFaultSyscall:    m.Counter("fault.injected.syscall"),
+		cTraceDropped:    m.Counter("obs.trace.dropped"),
 		gThreadsLive:     m.Gauge("threads.live"),
 		gTxActive:        m.Gauge("txn.active"),
 		gGovState:        m.Gauge("core.governor.state"),
@@ -253,6 +256,27 @@ func New(trace Sink, m *Metrics) *Observer {
 // Metrics returns the registry the observer updates.
 func (o *Observer) Metrics() *Metrics { return o.metrics }
 
+// AttachLedger enables cycle attribution: the simulator and runtimes will
+// charge every virtual cycle to a per-thread phase ledger. Attach before the
+// run starts; a nil receiver or nil ledger is a no-op.
+func (o *Observer) AttachLedger(l *Ledger) {
+	if o == nil {
+		return
+	}
+	o.ledger = l
+}
+
+// Ledger returns the attached attribution ledger, or nil (the common case —
+// attribution is opt-in). Nil-safe on the receiver, and the *Ledger nil case
+// is itself a no-op for every ledger method, so callers can thread the
+// result without guards.
+func (o *Observer) Ledger() *Ledger {
+	if o == nil {
+		return nil
+	}
+	return o.ledger
+}
+
 // Fork returns a fresh Observer with a private registry, for one job of a
 // parallel experiment plan. Forks deliberately carry no trace sink — a ring
 // buffer interleaving events from concurrent independent runs would be
@@ -263,7 +287,11 @@ func (o *Observer) Fork() *Observer {
 	if o == nil {
 		return nil
 	}
-	return New(nil, nil)
+	child := New(nil, nil)
+	if o.ledger != nil {
+		child.ledger = NewLedger()
+	}
+	return child
 }
 
 // Join merges a fork's metrics into this observer's registry. Joining the
@@ -274,6 +302,7 @@ func (o *Observer) Join(child *Observer) {
 		return
 	}
 	o.metrics.Merge(child.metrics)
+	o.ledger.Merge(child.ledger)
 }
 
 func (o *Observer) emit(ev Event) {
@@ -494,6 +523,17 @@ func (o *Observer) GovernorGlobal(tid int, now int64, regions int) {
 // GovernorGlobalEnd records the whole-run degradation window expiring.
 func (o *Observer) GovernorGlobalEnd(tid int, now int64) {
 	o.emit(Event{Kind: KindGovernor, TID: int32(tid), Time: now, Cause: "global-end"})
+}
+
+// TraceStats folds a tracer ring's drop count into the registry
+// (obs.trace.dropped), once per run after the event stream is final. A
+// non-zero value means the ring wrapped and the exported trace is the tail,
+// not the whole run.
+func (o *Observer) TraceStats(dropped uint64) {
+	if o == nil {
+		return
+	}
+	o.cTraceDropped.Add(dropped)
 }
 
 // FaultStats folds an injector's per-kind injected-fault counters into the

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// promPrefix namespaces every exported metric, per Prometheus convention.
+const promPrefix = "txrace_"
+
+// SanitizeMetricName maps a registry name ("txn.abort.conflict") to a legal
+// Prometheus metric name ("txrace_txn_abort_conflict"): dots and any other
+// character outside [a-zA-Z0-9_:] become underscores, and the txrace_
+// namespace prefix is prepended.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): one TYPE comment per family, counters
+// and gauges as bare samples, histograms as cumulative le-labelled buckets
+// plus _sum and _count. Families are emitted in sorted name order, so output
+// for a given snapshot is byte-stable — the golden test pins the format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", p, p, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, SanitizeMetricName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, p string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+		return err
+	}
+	// Registry buckets are sparse per-bucket counts in ascending le order;
+	// Prometheus buckets are cumulative, always ending at +Inf. The top
+	// registry bucket (le = MaxInt64, the open one) renders as +Inf itself.
+	cum := uint64(0)
+	top := false
+	for _, b := range h.Buckets {
+		cum += b.N
+		le := fmt.Sprintf("%d", b.Le)
+		if b.Le == math.MaxInt64 {
+			le, top = "+Inf", true
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", p, le, cum); err != nil {
+			return err
+		}
+	}
+	if !top {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", p, h.Count); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", p, h.Sum, p, h.Count)
+	return err
+}
+
+// Telemetry is the opt-in live observability endpoint: an HTTP handler (and,
+// via Serve, a server) exposing the current run's metrics registry and
+// attribution ledger.
+//
+//	/metrics   Prometheus text exposition of every instrument
+//	/snapshot  the registry's JSON snapshot (consistent point-in-time read)
+//	/attrib    the attribution ledger's JSON snapshot (404 if none attached)
+//
+// The target registry/ledger pair is swappable mid-flight (SetTarget), so a
+// multi-experiment driver like txbench can point one server at whichever
+// experiment is currently running. All reads go through Snapshot(), which
+// takes the registry's fold lock — a scrape during a parallel plan sees each
+// per-job fold entirely or not at all.
+type Telemetry struct {
+	mu  sync.Mutex
+	m   *Metrics
+	led *Ledger
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewTelemetry returns an unstarted telemetry endpoint reading from m and
+// led (either may be nil). Use Handler for tests or embedding; Serve to
+// listen.
+func NewTelemetry(m *Metrics, led *Ledger) *Telemetry {
+	return &Telemetry{m: m, led: led}
+}
+
+// SetTarget atomically repoints the endpoint at a new registry/ledger pair.
+func (t *Telemetry) SetTarget(m *Metrics, led *Ledger) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m, t.led = m, led
+}
+
+func (t *Telemetry) target() (*Metrics, *Ledger) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m, t.led
+}
+
+// Handler returns the endpoint's HTTP handler (for httptest or mounting
+// under a larger mux).
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.handleMetrics)
+	mux.HandleFunc("/snapshot", t.handleSnapshot)
+	mux.HandleFunc("/attrib", t.handleAttrib)
+	return mux
+}
+
+func (t *Telemetry) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m, _ := t.target()
+	var s Snapshot
+	if m != nil {
+		s = m.Snapshot()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s)
+}
+
+func (t *Telemetry) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	m, _ := t.target()
+	var s Snapshot
+	if m != nil {
+		s = m.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.WriteJSON(w)
+}
+
+func (t *Telemetry) handleAttrib(w http.ResponseWriter, r *http.Request) {
+	_, led := t.target()
+	w.Header().Set("Content-Type", "application/json")
+	if led == nil {
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = io.WriteString(w, "{\"error\":\"no attribution ledger attached\"}\n")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(led.Snapshot())
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and serves the endpoint
+// on a background goroutine until Close.
+func (t *Telemetry) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	t.ln = ln
+	t.srv = &http.Server{Handler: t.Handler()}
+	go func() { _ = t.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (t *Telemetry) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// Close stops the server (no-op if Serve was never called).
+func (t *Telemetry) Close() error {
+	if t.srv == nil {
+		return nil
+	}
+	return t.srv.Close()
+}

@@ -1,0 +1,237 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"txn.begin":               "txrace_txn_begin",
+		"txn.abort.wasted.cycles": "txrace_txn_abort_wasted_cycles",
+		"already_fine":            "txrace_already_fine",
+		"weird-chars here":        "txrace_weird_chars_here",
+		"colons:ok":               "txrace_colons:ok",
+	}
+	for in, want := range cases {
+		if got := obs.SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// expositionLine matches the two legal sample shapes the writer emits: a
+// TYPE comment or a bare / le-labelled sample with an integer value.
+var expositionLine = regexp.MustCompile(
+	`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="([0-9]+|\+Inf)"\})? -?[0-9]+)$`)
+
+// TestPrometheusGolden pins the text exposition byte-for-byte for the fixed
+// deterministic run. Regenerate with: go test ./internal/obs -run Golden -update
+func TestPrometheusGolden(t *testing.T) {
+	_, metrics, _ := runObserved(t)
+	var got bytes.Buffer
+	if err := obs.WritePrometheus(&got, metrics.Snapshot()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "golden_metrics.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("exposition diverged from golden file (len %d vs %d); rerun with -update if the change is intended",
+			got.Len(), len(want))
+	}
+}
+
+// TestPrometheusFormat checks the format contract on a live snapshot: every
+// line parses, histogram buckets are cumulative and end at +Inf with the
+// total count, and every family has exactly one TYPE comment.
+func TestPrometheusFormat(t *testing.T) {
+	_, metrics, _ := runObserved(t)
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, metrics.Snapshot()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition")
+	}
+	types := map[string]bool{}
+	for _, line := range lines {
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if types[name] {
+				t.Fatalf("duplicate TYPE comment for %s", name)
+			}
+			types[name] = true
+		}
+	}
+
+	s := metrics.Snapshot()
+	for name, h := range s.Histograms {
+		p := obs.SanitizeMetricName(name)
+		var cum uint64
+		last := uint64(0)
+		sawInf := false
+		for _, line := range lines {
+			if !strings.HasPrefix(line, p+"_bucket{") {
+				continue
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if v < last {
+				t.Fatalf("%s buckets not cumulative: %q after %d", p, line, last)
+			}
+			last, cum = v, v
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+			}
+		}
+		if !sawInf {
+			t.Fatalf("%s: no +Inf bucket", p)
+		}
+		if cum != h.Count {
+			t.Fatalf("%s: +Inf bucket %d != count %d", p, cum, h.Count)
+		}
+	}
+}
+
+// TestTelemetryHandlers drives the three endpoints through httptest against
+// a live registry and ledger.
+func TestTelemetryHandlers(t *testing.T) {
+	_, metrics, _ := runObserved(t)
+	led := obs.NewLedger()
+	led.Add(0, obs.PhaseFast, 100)
+	led.Add(0, obs.PhaseSlow, 50)
+	led.Abort(0, obs.AbortConflict, 30)
+
+	srv := httptest.NewServer(obs.NewTelemetry(metrics, led).Handler())
+	defer srv.Close()
+
+	body, ct := get(t, srv.URL+"/metrics", 200)
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE txrace_txn_begin counter") {
+		t.Fatalf("/metrics missing txn.begin family:\n%s", body)
+	}
+
+	body, ct = get(t, srv.URL+"/snapshot", 200)
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/snapshot content-type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot is not a Snapshot: %v", err)
+	}
+	if want := metrics.Snapshot().Counters["txn.begin"]; snap.Counters["txn.begin"] != want {
+		t.Fatalf("/snapshot txn.begin = %d, want %d", snap.Counters["txn.begin"], want)
+	}
+
+	body, _ = get(t, srv.URL+"/attrib", 200)
+	var ls obs.LedgerSnapshot
+	if err := json.Unmarshal([]byte(body), &ls); err != nil {
+		t.Fatalf("/attrib is not a LedgerSnapshot: %v", err)
+	}
+	if ls.Total.Total != 150 || ls.Total.Phases["fast"] != 100 {
+		t.Fatalf("/attrib total = %+v", ls.Total)
+	}
+	if ls.Total.AbortCounts["conflict"] != 1 {
+		t.Fatalf("/attrib abort counts = %v", ls.Total.AbortCounts)
+	}
+}
+
+// TestTelemetryAttribWithoutLedger pins the 404 contract of /attrib.
+func TestTelemetryAttribWithoutLedger(t *testing.T) {
+	srv := httptest.NewServer(obs.NewTelemetry(obs.NewMetrics(), nil).Handler())
+	defer srv.Close()
+	body, _ := get(t, srv.URL+"/attrib", 404)
+	if !strings.Contains(body, "no attribution ledger") {
+		t.Fatalf("/attrib 404 body = %q", body)
+	}
+}
+
+// TestTelemetrySetTarget checks mid-flight retargeting: the endpoint serves
+// whichever registry was set last.
+func TestTelemetrySetTarget(t *testing.T) {
+	m1 := obs.NewMetrics()
+	m1.Counter("x").Add(1)
+	m2 := obs.NewMetrics()
+	m2.Counter("x").Add(2)
+
+	tel := obs.NewTelemetry(m1, nil)
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	body, _ := get(t, srv.URL+"/metrics", 200)
+	if !strings.Contains(body, "txrace_x 1") {
+		t.Fatalf("before retarget: %q", body)
+	}
+	tel.SetTarget(m2, nil)
+	body, _ = get(t, srv.URL+"/metrics", 200)
+	if !strings.Contains(body, "txrace_x 2") {
+		t.Fatalf("after retarget: %q", body)
+	}
+}
+
+// TestTelemetryServe binds a real listener on a free port and scrapes it.
+func TestTelemetryServe(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("served").Add(7)
+	tel := obs.NewTelemetry(m, nil)
+	if err := tel.Serve("127.0.0.1:0"); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer tel.Close()
+	if tel.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	body, _ := get(t, "http://"+tel.Addr()+"/metrics", 200)
+	if !strings.Contains(body, "txrace_served 7") {
+		t.Fatalf("scrape: %q", body)
+	}
+}
+
+func get(t *testing.T, url string, wantStatus int) (body, contentType string) {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, r.StatusCode, wantStatus)
+	}
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b), r.Header.Get("Content-Type")
+}

@@ -100,6 +100,12 @@ type Thread struct {
 	Clock int64
 	RNG   PRNG
 
+	// Phase is the attribution phase Charge bills cycles to when a ledger is
+	// attached (Config.Obs with a Ledger). Runtimes move it at mode
+	// transitions (fast-path entry, slow-path fallback, governor forcing);
+	// it idles at PhaseApp. With no ledger it is dead state.
+	Phase obs.Phase
+
 	// RT is scratch space owned by the active Runtime.
 	RT any
 
@@ -111,6 +117,7 @@ type Thread struct {
 	nextInterrupt  int64
 	eng            *Engine
 	isWorker       bool
+	led            *obs.ThreadLedger // nil unless attribution is on
 }
 
 // LoopIter returns the induction variable of the enclosing loop at the given
@@ -260,6 +267,12 @@ type Engine struct {
 	conds    syncTable[cond]
 
 	obs *obs.Observer
+	// led is the attribution ledger (nil when disabled). Every cycle added
+	// to a thread clock is also charged here — Charge/ChargeAs bill the
+	// thread's current phase, and the scheduler's own clock jumps (wake
+	// latency, spawn skew, join catch-up) bill PhaseSched — so per-thread
+	// ledger totals equal final thread clocks exactly; Run verifies.
+	led *obs.Ledger
 
 	// decoded selects the jump-table interpreter; decodedBodies memoizes
 	// per-body compilation (workers usually share one body) and
@@ -285,6 +298,7 @@ func NewEngine(cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		obs:     cfg.Obs,
+		led:     cfg.Obs.Ledger(),
 		decoded: !cfg.RefWalk,
 		rng:     NewPRNG(cfg.Seed ^ 0xda7a5eed),
 	}
@@ -293,10 +307,27 @@ func NewEngine(cfg Config) *Engine {
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Charge adds c cycles to t's clock; runtimes use it for hook costs.
+// Charge adds c cycles to t's clock; runtimes use it for hook costs. With a
+// ledger attached, the cycles bill t's current attribution phase.
 func (e *Engine) Charge(t *Thread, c int64) {
 	t.Clock += c
 	e.res.TotalCycles += c
+	if t.led != nil {
+		t.led.Add(t.Phase, c)
+	}
+}
+
+// ChargeAs is Charge billing an explicit phase instead of t's current one —
+// for costs whose attribution differs from the surrounding execution (an
+// abort penalty delivered while the thread is nominally fast-path, a slow
+// hook inside an otherwise uninstrumented stretch) without toggling t.Phase
+// around every call.
+func (e *Engine) ChargeAs(t *Thread, c int64, p obs.Phase) {
+	t.Clock += c
+	e.res.TotalCycles += c
+	if t.led != nil {
+		t.led.Add(p, c)
+	}
 }
 
 // LiveWorkers returns the number of spawned, unfinished worker threads; the
@@ -381,6 +412,7 @@ func (e *Engine) newThread(id int, body []Instr, isWorker bool) *Thread {
 		frames:   []frame{f},
 		eng:      e,
 		isWorker: isWorker,
+		led:      e.led.ThreadLedger(id),
 	}
 	return t
 }
@@ -389,12 +421,16 @@ func (e *Engine) wake(t *Thread, at int64) {
 	if t.state != stateBlocked {
 		panic("sim: waking non-blocked thread")
 	}
+	before := t.Clock
 	if at > t.Clock {
 		t.Clock = at
 	}
 	t.Clock += e.cfg.Cost.WakeLatency
 	if e.cfg.WakeJitter > 0 {
 		t.Clock += int64(t.RNG.Uint64n(uint64(e.cfg.WakeJitter)))
+	}
+	if t.led != nil {
+		t.led.Add(obs.PhaseSched, t.Clock-before)
 	}
 	t.state = stateRunnable
 }
@@ -466,6 +502,21 @@ func (e *Engine) Run(prog *Program, rt Runtime) (res *Result, err error) {
 	rt.Finish(e)
 	if e.obs != nil {
 		e.obs.SimDecodeStats(e.decodedInstrs)
+	}
+	// Conservation check: with attribution on, every thread's ledger must sum
+	// to its virtual clock exactly — a mismatch means some charge bypassed
+	// Charge/ChargeAs or a reattribution moved cycles it never had.
+	if e.led != nil {
+		for _, t := range e.threads {
+			if t.led == nil {
+				continue
+			}
+			if tot := t.led.Total(); tot != t.Clock {
+				return nil, fmt.Errorf(
+					"sim: attribution ledger leak on t%d: ledger total %d cycles, thread clock %d (delta %d)",
+					t.ID, tot, t.Clock, t.Clock-tot)
+			}
+		}
 	}
 	out := e.res
 	return &out, nil
@@ -905,6 +956,9 @@ func (e *Engine) execSpawnAll(t *Thread) bool {
 		if e.cfg.SpawnJitter > 0 {
 			w.Clock += int64(w.RNG.Uint64n(uint64(e.cfg.SpawnJitter)))
 		}
+		if w.led != nil {
+			w.led.Add(obs.PhaseSched, w.Clock) // startup skew, from clock 0
+		}
 		e.liveWorkers++
 		e.scheduleInterrupt(w)
 		e.rt.Fork(t, w)
@@ -924,6 +978,9 @@ func (e *Engine) execJoinAll(t *Thread) bool {
 	}
 	for _, w := range e.threads[1:] {
 		if w.Clock > t.Clock {
+			if t.led != nil {
+				t.led.Add(obs.PhaseSched, w.Clock-t.Clock) // blocked in join
+			}
 			t.Clock = w.Clock
 		}
 		e.rt.Joined(t, w)
