@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/htm"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -22,17 +24,43 @@ type Common struct {
 	Scale   int
 	Seed    uint64
 	Jobs    int
+	Backend string
 }
 
-// AddFlags registers the shared -threads/-scale/-seed/-jobs flags on the
-// process flag set and returns their destination. Call before flag.Parse.
+// AddFlags registers the shared -threads/-scale/-seed/-jobs/-backend flags
+// on the process flag set and returns their destination. Call before
+// flag.Parse, and Validate after.
 func AddFlags() *Common {
 	c := &Common{}
 	flag.IntVar(&c.Threads, "threads", 4, "worker threads")
 	flag.IntVar(&c.Scale, "scale", 1, "workload scale factor")
 	flag.Uint64Var(&c.Seed, "seed", 1, "scheduler seed")
 	flag.IntVar(&c.Jobs, "jobs", 0, "parallel jobs for experiment plans (0 = GOMAXPROCS); results are identical at any value")
+	flag.StringVar(&c.Backend, "backend", "dir", "HTM conflict backend: dir (line-ownership directory), tag (per-line owner tags), bounded (entry-capped sets)")
 	return c
+}
+
+// Validate rejects flag values the commands must not silently default: an
+// unknown -backend is a one-line error naming the valid set. Call after
+// flag.Parse.
+func (c *Common) Validate() error {
+	if !htm.ValidBackend(c.Backend) {
+		return fmt.Errorf("unknown -backend %q (valid: %s)", c.Backend, strings.Join(htm.BackendNames(), ", "))
+	}
+	return nil
+}
+
+// HTMConfig translates the -backend flag into the htm.Config carried by
+// core.Options, for commands that assemble runtime options directly rather
+// than through the experiment layer. "dir" (and unset) return the zero
+// config — core substitutes the default machine, bit-identical to builds
+// that predate backend selection.
+func (c *Common) HTMConfig() htm.Config {
+	var hc htm.Config
+	if c.Backend != "" && c.Backend != "dir" {
+		hc.Backend = c.Backend
+	}
+	return hc
 }
 
 // Build resolves the named workload and builds it at the flag-selected
@@ -174,6 +202,7 @@ func (c *Common) ExperimentConfig() experiment.Config {
 	cfg.Scale = c.Scale
 	cfg.Seed = c.Seed
 	cfg.Jobs = c.Jobs
+	cfg.Backend = c.Backend
 	cfg.Cache = experiment.NewCache()
 	return cfg
 }

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateBackend pins the -backend contract: every shipped backend
+// name is accepted, and anything else is a one-line error naming both the
+// rejected value and the full valid set — never a silent fall-through to a
+// default.
+func TestValidateBackend(t *testing.T) {
+	for _, tc := range []struct {
+		backend string
+		ok      bool
+	}{
+		{"dir", true},
+		{"tag", true},
+		{"bounded", true},
+		{"", true}, // unset means the default machine
+		{"directory", false},
+		{"refscan", false}, // test-only resolver, not a CLI backend
+		{"hashset", false},
+		{"DIR", false},
+		{"dir,tag", false},
+	} {
+		c := &Common{Backend: tc.backend}
+		err := c.Validate()
+		if tc.ok {
+			if err != nil {
+				t.Errorf("Validate(backend=%q) = %v, want nil", tc.backend, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Validate(backend=%q) = nil, want error", tc.backend)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, tc.backend) {
+			t.Errorf("Validate(backend=%q) error %q does not name the rejected value", tc.backend, msg)
+		}
+		for _, name := range []string{"dir", "tag", "bounded"} {
+			if !strings.Contains(msg, name) {
+				t.Errorf("Validate(backend=%q) error %q does not list valid backend %q", tc.backend, msg, name)
+			}
+		}
+		if strings.Contains(msg, "\n") {
+			t.Errorf("Validate(backend=%q) error spans multiple lines: %q", tc.backend, msg)
+		}
+	}
+}
+
+// TestExperimentConfigCarriesBackend pins that the flag value reaches the
+// experiment layer.
+func TestExperimentConfigCarriesBackend(t *testing.T) {
+	c := &Common{Threads: 4, Scale: 1, Seed: 1, Backend: "bounded"}
+	if got := c.ExperimentConfig().Backend; got != "bounded" {
+		t.Fatalf("ExperimentConfig().Backend = %q, want %q", got, "bounded")
+	}
+}

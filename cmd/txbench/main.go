@@ -16,6 +16,8 @@
 //	                               # + overhead vs intensity, soundness check)
 //	txbench -exp attrib            # extension: cycle-attribution profile
 //	                               # (measured Figure 6/9 phase breakdown)
+//	txbench -exp backends          # extension: HTM conflict backend matrix
+//	                               # (dir/tag/bounded x workloads)
 //	txbench -exp all               # everything
 //
 // Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
@@ -64,11 +66,15 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write per-experiment metrics snapshots (JSON map) here")
 		benchOut   = flag.String("bench-out", "", "run the micro benchmark suite, time each experiment, write BENCH JSON here")
 		benchGate  = flag.Bool("bench-gate", false, "with -bench-out: exit nonzero if the micro suite fails the allocation regression gate")
+		benchBase  = flag.String("bench-baseline", "", "with -bench-out -bench-gate: also gate htm/access rows against this committed BENCH_<n>.json trajectory")
 		linger     = flag.Duration("telemetry-linger", 0, "with -telemetry: keep serving this long after the experiments finish")
 	)
 	common := cli.AddFlags()
 	obsFlags := cli.AddObsFlags()
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fatal(err)
+	}
 
 	cfg := common.ExperimentConfig()
 	cfg.Trials = *trials
@@ -84,7 +90,7 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos", "attrib"}
+		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos", "attrib", "backends"}
 	}
 	if *chaos {
 		ids = []string{"chaos"}
@@ -130,7 +136,9 @@ func main() {
 		fmt.Printf("wrote metrics %s (%d experiments)\n", *metricsOut, len(snapshots))
 	}
 	if *benchOut != "" {
-		if err := writeBench(*benchOut, expTimes, *benchGate); err != nil {
+		ecfg := cfg
+		ecfg.Obs = nil
+		if err := writeBench(*benchOut, expTimes, *benchGate, *benchBase, ecfg, apps); err != nil {
 			fatal(err)
 		}
 	}
@@ -152,36 +160,88 @@ type benchExperiment struct {
 // suite pairs map/* (pre-refactor hash-map shadow layouts, kept in-tree as
 // reference implementations) with paged/* variants of the same workload, so
 // one file documents the before/after trajectory of the hot-path rebuild.
+// v2 adds per-backend htm/access/* micro rows and the table1_per_app
+// end-to-end section: one row per (application, conflict backend) from a
+// real backend-matrix run.
 type benchFile struct {
-	Schema      string            `json:"schema"`
-	Micro       []bench.Result    `json:"micro"`
-	Experiments []benchExperiment `json:"experiments"`
+	Schema       string            `json:"schema"`
+	Micro        []bench.Result    `json:"micro"`
+	Table1PerApp []benchE2E        `json:"table1_per_app"`
+	Experiments  []benchExperiment `json:"experiments"`
 }
 
-func writeBench(path string, exps []benchExperiment, gate bool) error {
+// benchE2E is one end-to-end (application, backend) row: overhead over the
+// uninstrumented baseline and recall against planted ground truth, from
+// experiment.RunBackends.
+type benchE2E struct {
+	App      string `json:"app"`
+	Backend  string `json:"backend"`
+	Overhead string `json:"overhead"`
+	Recall   string `json:"recall"`
+	SlowRate string `json:"slow_rate"`
+}
+
+func writeBench(path string, exps []benchExperiment, gate bool, baselinePath string, cfg experiment.Config, apps []*workload.Workload) error {
 	fmt.Println("running micro benchmark suite...")
 	micro := bench.RunMicro()
+	fmt.Println("running backend matrix for end-to-end rows...")
+	matrix, err := experiment.RunBackends(cfg, apps)
+	if err != nil {
+		return err
+	}
+	var e2e []benchE2E
+	for _, r := range matrix.Rows {
+		e2e = append(e2e, benchE2E{
+			App: r.App.Name, Backend: r.Backend,
+			Overhead: report.FormatFixed(r.Overhead, 2),
+			Recall:   report.FormatFixed(r.Recall, 2),
+			SlowRate: report.FormatFixed(r.SlowRate, 2),
+		})
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	werr := enc.Encode(benchFile{Schema: "txrace-bench/v1", Micro: micro, Experiments: exps})
+	werr := enc.Encode(benchFile{Schema: "txrace-bench/v2", Micro: micro, Table1PerApp: e2e, Experiments: exps})
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
 		return werr
 	}
-	fmt.Printf("wrote bench %s (%d micro, %d experiments)\n", path, len(micro), len(exps))
+	fmt.Printf("wrote bench %s (%d micro, %d e2e, %d experiments)\n", path, len(micro), len(e2e), len(exps))
 	if gate {
 		if err := bench.Gate(micro); err != nil {
 			return err
 		}
+		if baselinePath != "" {
+			base, err := readBenchBaseline(baselinePath)
+			if err != nil {
+				return err
+			}
+			if err := bench.GateBaseline(micro, base); err != nil {
+				return err
+			}
+		}
 		fmt.Println("bench gate: ok")
 	}
 	return nil
+}
+
+// readBenchBaseline loads the micro rows of a committed trajectory file
+// (any schema version) for GateBaseline.
+func readBenchBaseline(path string) ([]bench.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	return bf.Micro, nil
 }
 
 func writeSnapshots(path string, snaps map[string]obs.Snapshot) error {
@@ -271,6 +331,14 @@ func run(id string, cfg experiment.Config, apps []*workload.Workload, format str
 			return err
 		}
 		text, data = func() { f.Write(os.Stdout) }, f.JSON()
+	case "backends":
+		// The matrix sweeps every backend itself; the flag-selected backend
+		// only chooses what the *other* experiment ids run under.
+		f, err := experiment.RunBackends(cfg, apps)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.WriteBackends(os.Stdout) }, f.JSON()
 	case "chaos":
 		// An explicit -app restriction carries through; the unrestricted
 		// default is the curated ChaosSuite, not every application.

@@ -39,6 +39,10 @@ func main() {
 	common := cli.AddFlags()
 	obsFlags := cli.AddObsFlags()
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "txprofile:", err)
+		os.Exit(1)
+	}
 	if *app == "" {
 		fmt.Fprintln(os.Stderr, "txprofile: missing -app")
 		os.Exit(1)
@@ -82,7 +86,7 @@ func main() {
 				built := w.Build(common.Threads, common.Scale)
 				ec := common.EngineConfig(w)
 				ec.Obs = j.Obs
-				return instrument.Profile(built.Prog, ec, core.Options{SlowScale: w.SlowScale, Obs: j.Obs})
+				return instrument.Profile(built.Prog, ec, core.Options{SlowScale: w.SlowScale, Obs: j.Obs, HTM: common.HTMConfig()})
 			},
 		})
 	}

@@ -66,6 +66,9 @@ func main() {
 	common := cli.AddFlags()
 	obsFlags := cli.AddObsFlags()
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, name := range workload.Names() {

@@ -34,6 +34,9 @@ func main() {
 	common := cli.AddFlags()
 	obsFlags := cli.AddObsFlags()
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fatal(err)
+	}
 
 	switch {
 	case *app != "":

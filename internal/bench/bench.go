@@ -14,6 +14,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"testing"
 
 	"repro/internal/clock"
@@ -37,8 +38,17 @@ type Result struct {
 	allocsPerOp float64
 }
 
-// Ns returns the raw ns/op measurement.
-func (r Result) Ns() float64 { return r.nsPerOp }
+// Ns returns the ns/op measurement. Results decoded from a trajectory file
+// (e.g. a committed BENCH_<n>.json used as a gate baseline) carry only the
+// formatted field, so Ns falls back to parsing it.
+func (r Result) Ns() float64 {
+	if r.nsPerOp == 0 && r.NsPerOp != "" {
+		if v, err := strconv.ParseFloat(r.NsPerOp, 64); err == nil {
+			return v
+		}
+	}
+	return r.nsPerOp
+}
 
 // Allocs returns the raw allocations/op measurement.
 func (r Result) Allocs() float64 { return r.allocsPerOp }
@@ -172,6 +182,8 @@ func microFuncs() []microBench {
 		{"detect/sweep", benchDetector()},
 		{"htm/access/scan", benchHTMAccess(true)},
 		{"htm/access/dir", benchHTMAccess(false)},
+		{"htm/access/tag", benchHTMBackendAccess("tag", 0xff)},
+		{"htm/access/bounded", benchHTMBackendAccess("bounded", 0xf)},
 		{"htm/access/idle", benchHTMIdle()},
 		{"sim/dispatch/tree", benchSimDispatch(true)},
 		{"sim/dispatch/decoded", benchSimDispatch(false)},
@@ -248,6 +260,17 @@ func Gate(rs []Result) error {
 		return fmt.Errorf("bench: directory access %.2f ns/op, more than 0.75x of scan's %.2f ns/op",
 			dir.nsPerOp, scan.nsPerOp)
 	}
+	// The tag backend tracks no read/write sets, so a transactional access
+	// does strictly less work than the directory's: conflict test plus one
+	// tag store, no cache Touch. It must not lose to the dir row.
+	tag, ok := Find(rs, "htm/access/tag")
+	if !ok {
+		return fmt.Errorf("bench: suite missing htm/access/tag")
+	}
+	if tag.Ns() > dir.Ns() {
+		return fmt.Errorf("bench: tag access %.2f ns/op, slower than directory's %.2f ns/op despite tracking no sets",
+			tag.Ns(), dir.Ns())
+	}
 	// Decoded dispatch must not lose to the tree walk it replaced.
 	tree, ok1 := Find(rs, "sim/dispatch/tree")
 	dec, ok2 := Find(rs, "sim/dispatch/decoded")
@@ -257,6 +280,31 @@ func Gate(rs []Result) error {
 	if dec.nsPerOp > tree.nsPerOp {
 		return fmt.Errorf("bench: decoded dispatch %.0f ns/op, slower than tree walk's %.0f ns/op",
 			dec.nsPerOp, tree.nsPerOp)
+	}
+	return nil
+}
+
+// GateBaseline checks the current run against a committed trajectory
+// baseline: the seam introduced by the ConflictBackend extraction may cost
+// the directory hot path at most 5% over the pre-refactor number, and is
+// given a further noise allowance because trajectory files are recorded on
+// different machines and runners than the gate runs on. Rows present in
+// only one of the two suites are ignored — the gate compares shared rows.
+func GateBaseline(rs, baseline []Result) error {
+	const (
+		seamBudget = 1.05 // the refactor's advertised ceiling
+		noise      = 1.25 // cross-machine wall-clock tolerance
+	)
+	for _, name := range []string{"htm/access/dir", "htm/access/scan", "htm/access/idle"} {
+		cur, ok1 := Find(rs, name)
+		base, ok2 := Find(baseline, name)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if limit := base.Ns() * seamBudget * noise; cur.Ns() > limit {
+			return fmt.Errorf("bench: %s %.2f ns/op exceeds baseline %.2f ns/op x %.2f budget",
+				name, cur.Ns(), base.Ns(), seamBudget*noise)
+		}
 	}
 	return nil
 }

@@ -21,6 +21,8 @@ func healthySuite() []Result {
 		synthetic("htm/access/idle", 2, 0),
 		synthetic("htm/access/scan", 30, 0),
 		synthetic("htm/access/dir", 14, 0),
+		synthetic("htm/access/tag", 11, 0),
+		synthetic("htm/access/bounded", 16, 0),
 		synthetic("sim/dispatch/tree", 250000, 40),
 		synthetic("sim/dispatch/decoded", 220000, 45),
 	}
@@ -39,11 +41,16 @@ func TestGateRejectsHotPathRegressions(t *testing.T) {
 		t.Fatalf("Gate accepted directory regression: %v", err)
 	}
 	rs[6] = synthetic("htm/access/dir", 14, 0)
-	rs[8] = synthetic("sim/dispatch/decoded", 260000, 45) // lost to tree walk
+	rs[7] = synthetic("htm/access/tag", 15, 0) // tag lost its lead over dir
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "tag access") {
+		t.Fatalf("Gate accepted tag regression: %v", err)
+	}
+	rs[7] = synthetic("htm/access/tag", 11, 0)
+	rs[10] = synthetic("sim/dispatch/decoded", 260000, 45) // lost to tree walk
 	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "decoded dispatch") {
 		t.Fatalf("Gate accepted dispatch regression: %v", err)
 	}
-	rs[8] = synthetic("sim/dispatch/decoded", 220000, 45)
+	rs[10] = synthetic("sim/dispatch/decoded", 220000, 45)
 	rs[4] = synthetic("htm/access/idle", 2, 0.5) // fast path allocating
 	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "htm/access/idle") {
 		t.Fatalf("Gate accepted idle-path allocations: %v", err)
@@ -94,5 +101,27 @@ func TestResultFormatting(t *testing.T) {
 func TestMicroSuiteSmoke(t *testing.T) {
 	for _, f := range microFuncs() {
 		f.fn(&testing.B{N: 2048})
+	}
+}
+
+func TestGateBaseline(t *testing.T) {
+	baseline := []Result{
+		{Name: "htm/access/dir", NsPerOp: "15.02"},
+		{Name: "htm/access/scan", NsPerOp: "32.90"},
+	}
+	cur := []Result{
+		synthetic("htm/access/dir", 16, 0),
+		synthetic("htm/access/scan", 33, 0),
+	}
+	if err := GateBaseline(cur, baseline); err != nil {
+		t.Fatalf("GateBaseline rejected a within-budget run: %v", err)
+	}
+	cur[0] = synthetic("htm/access/dir", 15.02*1.05*1.25+1, 0)
+	if err := GateBaseline(cur, baseline); err == nil || !strings.Contains(err.Error(), "htm/access/dir") {
+		t.Fatalf("GateBaseline accepted a seam-cost regression: %v", err)
+	}
+	// Rows absent from either side are not compared.
+	if err := GateBaseline([]Result{synthetic("htm/access/scan", 33, 0)}, baseline); err != nil {
+		t.Fatalf("GateBaseline rejected on missing rows: %v", err)
 	}
 }

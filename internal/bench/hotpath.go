@@ -42,6 +42,35 @@ func benchHTMAccess(refScan bool) func(b *testing.B) {
 	}
 }
 
+// benchHTMBackendAccess is benchHTMAccess for the pluggable conflict
+// backends: the same 8-transaction disjoint-footprint loop against the
+// backend selected by name, so one suite compares dir, tag, and bounded on
+// identical work. lineMask bounds the per-transaction footprint — the tag
+// row keeps the dir row's 256 lines (tags track no sets, footprint size is
+// free), while the bounded row uses 16 lines so both capped sets stay below
+// their entry limits and the row measures conflict testing, not overflow
+// dooms.
+func benchHTMBackendAccess(backend string, lineMask uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := htm.DefaultConfig()
+		cfg.Backend = backend
+		h := htm.New(cfg)
+		for tid := 0; tid < 8; tid++ {
+			h.Begin(tid)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tid := i & 7
+			h.Access(tid, memmodel.Addr(uint64(tid)<<20|(uint64(i)&lineMask)<<6), i&1 == 0)
+			if _, ok := h.Pending(tid); ok {
+				h.Resolve(tid)
+				h.Begin(tid)
+			}
+		}
+	}
+}
+
 // benchHTMIdle measures the non-transactional access with zero transactions
 // active — the empty-machine fast path that dominates every workload.
 func benchHTMIdle() func(b *testing.B) {

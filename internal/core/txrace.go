@@ -69,7 +69,13 @@ type Options struct {
 
 func (o Options) withDefaults() Options {
 	if o.HTM.MaxConcurrent == 0 {
+		// Preserve backend selection and its knobs when substituting the
+		// default machine geometry for an otherwise-zero HTM config.
+		be, ebits := o.HTM.Backend, o.HTM.TagEpochBits
+		rcap, wcap := o.HTM.BoundedReadCap, o.HTM.BoundedWriteCap
 		o.HTM = htm.DefaultConfig()
+		o.HTM.Backend, o.HTM.TagEpochBits = be, ebits
+		o.HTM.BoundedReadCap, o.HTM.BoundedWriteCap = rcap, wcap
 	}
 	switch {
 	case o.RetryBudget == 0:
@@ -814,8 +820,9 @@ func (r *TxRace) FaultStats() fault.Stats { return r.opts.Fault.Stats() }
 func (r *TxRace) Finish(e *sim.Engine) {
 	s := r.det.ShadowStats()
 	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
-	d := r.hw.DirStats()
+	d := r.hw.BackendStats()
 	e.Config().Obs.HTMDirStats(d.Lines, d.Checks, d.Fastpath)
+	e.Config().Obs.HTMBackendStats(r.hw.Backend(), d.TagRecycled, d.TagFalse, d.Overflows)
 	if f := r.opts.Fault; f != nil {
 		fs := f.Stats()
 		e.Config().Obs.FaultStats(

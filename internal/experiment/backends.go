@@ -1,0 +1,219 @@
+package experiment
+
+import (
+	"io"
+
+	"repro/internal/detect"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The backend matrix compares the HTM conflict backends — the line-ownership
+// directory ("dir"), HMTRace-style owner tags ("tag"), and FORTH-style
+// entry-capped sets ("bounded") — across the workload suite on the axes the
+// backends actually trade against each other: detection recall against the
+// planted ground truth, end-to-end overhead over the uninstrumented
+// baseline, how much work falls to the software slow path, and the
+// abort-cause mix that explains why.
+
+// MatrixBackends is the backend set the matrix sweeps, in report order.
+func MatrixBackends() []string { return []string{"dir", "tag", "bounded"} }
+
+// BackendsRow is one (backend, application) cell of the matrix.
+type BackendsRow struct {
+	Backend string
+	App     *workload.Workload
+
+	// Recall is detected races / planted ground-truth races, with races
+	// unioned across trials (the paper's race-set granularity).
+	Recall float64
+	// Overhead is TxRace makespan over the uninstrumented baseline.
+	Overhead float64
+	// SlowRate is the fraction of regions that executed on the software
+	// slow path: slow regions / (committed transactions + slow regions).
+	SlowRate float64
+
+	// Abort-cause mix, averaged per trial.
+	Committed  uint64
+	Conflict   uint64
+	Capacity   uint64
+	Unknown    uint64
+	Artificial uint64 // subset of Conflict caused by TxFail global aborts
+}
+
+// BackendsSummary is one backend's aggregate line.
+type BackendsSummary struct {
+	Backend     string
+	GeoOverhead float64
+	MeanRecall  float64
+	MeanSlow    float64
+}
+
+// Backends holds the full matrix, rows grouped backend-major in
+// MatrixBackends order with apps in suite order inside each group.
+type Backends struct {
+	Rows      []BackendsRow
+	Summaries []BackendsSummary
+}
+
+// RunBackends executes the backend × workload matrix: for every backend,
+// every application runs cfg.Trials TxRace trials (plus the shared memoized
+// baselines), and the reduction compares race sets against the workload's
+// planted ground truth. The plan executes on the worker pool; results are
+// byte-identical at any cfg.Jobs.
+func RunBackends(cfg Config, apps []*workload.Workload) (*Backends, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = workload.All()
+	}
+	backends := MatrixBackends()
+	plan := cfg.newPlan()
+	seeds := runner.Seeds(cfg.Seed)
+
+	type cell struct {
+		base, tx *runner.Handle
+	}
+	cells := make(map[string][][]cell, len(backends))
+	for _, backend := range backends {
+		bcfg := cfg
+		bcfg.Backend = backend
+		perApp := make([][]cell, len(apps))
+		for i, w := range apps {
+			perApp[i] = make([]cell, cfg.Trials)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := seeds.Trial(trial)
+				perApp[i][trial] = cell{
+					base: baselineJob(plan, w, cfg, trial, seed),
+					tx:   txraceJob(plan, w, bcfg, trial, seed),
+				}
+			}
+		}
+		cells[backend] = perApp
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
+
+	out := &Backends{}
+	for _, backend := range backends {
+		var ovs, recalls, slows []float64
+		for i, w := range apps {
+			row := BackendsRow{Backend: backend, App: w}
+			truth := w.Build(cfg.Threads, cfg.Scale).AllRaceKeys()
+			var base, tx float64
+			var slow, regions uint64
+			seen := map[detect.PairKey]struct{}{}
+			var keys []detect.PairKey
+			for _, c := range cells[backend][i] {
+				b, txr := baselineOf(c.base), txraceOf(c.tx)
+				base += float64(b.Makespan)
+				tx += float64(txr.Makespan)
+				for _, k := range txr.Races {
+					if _, ok := seen[k]; !ok {
+						seen[k] = struct{}{}
+						keys = append(keys, k)
+					}
+				}
+				st := txr.Stats
+				row.Committed += st.CommittedTxns
+				row.Conflict += st.ConflictAborts
+				row.Capacity += st.CapacityAborts
+				row.Unknown += st.UnknownAborts
+				row.Artificial += st.ArtificialAborts
+				for _, n := range st.SlowRegions {
+					slow += n
+				}
+				regions += st.CommittedTxns
+			}
+			n := uint64(cfg.Trials)
+			row.Committed /= n
+			row.Conflict /= n
+			row.Capacity /= n
+			row.Unknown /= n
+			row.Artificial /= n
+			row.Overhead = tx / base
+			row.Recall = stats.Recall(keys, truth)
+			if regions+slow > 0 {
+				row.SlowRate = float64(slow) / float64(regions+slow)
+			}
+			out.Rows = append(out.Rows, row)
+			ovs = append(ovs, row.Overhead)
+			recalls = append(recalls, row.Recall)
+			slows = append(slows, row.SlowRate)
+		}
+		out.Summaries = append(out.Summaries, BackendsSummary{
+			Backend:     backend,
+			GeoOverhead: stats.Geomean(ovs),
+			MeanRecall:  stats.Mean(recalls),
+			MeanSlow:    stats.Mean(slows),
+		})
+	}
+	return out, nil
+}
+
+// WriteBackends renders the matrix and the per-backend summary.
+func (b *Backends) WriteBackends(w io.Writer) {
+	report.Section(w, "Backend Matrix: HTM conflict backends x workloads")
+	tb := &report.Table{Header: []string{
+		"backend", "application", "recall", "overhead", "slow-rate",
+		"committed", "conflict", "capacity", "unknown", "artificial",
+	}}
+	for _, r := range b.Rows {
+		tb.Add(r.Backend, r.App.Name,
+			r.Recall, r.Overhead, r.SlowRate,
+			r.Committed, r.Conflict, r.Capacity, r.Unknown, r.Artificial)
+	}
+	tb.Write(w)
+
+	report.Section(w, "Backend Summary")
+	sb := &report.Table{Header: []string{
+		"backend", "geo overhead", "mean recall", "mean slow-rate",
+	}}
+	for _, s := range b.Summaries {
+		sb.Add(s.Backend, s.GeoOverhead, s.MeanRecall, s.MeanSlow)
+	}
+	sb.Write(w)
+}
+
+// JSON returns the backend matrix as plain data.
+func (b *Backends) JSON() any {
+	type row struct {
+		Backend    string  `json:"backend"`
+		App        string  `json:"app"`
+		Recall     float64 `json:"recall"`
+		Overhead   float64 `json:"overhead"`
+		SlowRate   float64 `json:"slow_rate"`
+		Committed  uint64  `json:"committed"`
+		Conflict   uint64  `json:"conflict_aborts"`
+		Capacity   uint64  `json:"capacity_aborts"`
+		Unknown    uint64  `json:"unknown_aborts"`
+		Artificial uint64  `json:"artificial_aborts"`
+	}
+	type summary struct {
+		Backend     string  `json:"backend"`
+		GeoOverhead float64 `json:"geomean_overhead"`
+		MeanRecall  float64 `json:"mean_recall"`
+		MeanSlow    float64 `json:"mean_slow_rate"`
+	}
+	out := struct {
+		Rows      []row     `json:"rows"`
+		Summaries []summary `json:"summaries"`
+	}{}
+	for _, r := range b.Rows {
+		out.Rows = append(out.Rows, row{
+			Backend: r.Backend, App: r.App.Name,
+			Recall: r.Recall, Overhead: r.Overhead, SlowRate: r.SlowRate,
+			Committed: r.Committed, Conflict: r.Conflict,
+			Capacity: r.Capacity, Unknown: r.Unknown, Artificial: r.Artificial,
+		})
+	}
+	for _, s := range b.Summaries {
+		out.Summaries = append(out.Summaries, summary{
+			Backend: s.Backend, GeoOverhead: s.GeoOverhead,
+			MeanRecall: s.MeanRecall, MeanSlow: s.MeanSlow,
+		})
+	}
+	return out
+}

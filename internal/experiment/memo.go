@@ -31,6 +31,10 @@ type memoKey struct {
 	threads  int
 	scale    int
 	seed     uint64
+	// backend separates profile entries per HTM conflict backend (the
+	// profiling pass observes backend-specific abort behavior); baselines
+	// never touch the HTM and always use "".
+	backend string
 }
 
 type memoEntry struct {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/fault"
+	"repro/internal/htm"
 	"repro/internal/instrument"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -38,6 +39,16 @@ type Config struct {
 	// threshold adaptation (§4.3) has to walk them back down. 0 means the
 	// default of 1.05; 1.0 disables the skew.
 	ProfileSkew float64
+	// Backend selects the HTM conflict backend the TxRace runs use: "" or
+	// "dir" is the line-ownership directory (the default machine,
+	// bit-identical to a zero htm.Config), "tag" the HMTRace-style owner
+	// tags, "bounded" the FORTH-style entry-capped sets. "refscan" runs the
+	// directory backend's reference resolver — accepted here for the
+	// package's differential suites, but not a CLI-valid name. The ProfCut
+	// profiling pass uses the same backend as the measured run (its
+	// capacity-abort pattern feeds the thresholds), so profile memoization
+	// is keyed by backend too. Baselines never touch the HTM.
+	Backend string
 	// Jobs bounds the worker pool the drivers execute their job plans on;
 	// 0 means GOMAXPROCS. Results are independent of the value — plans
 	// merge results and metrics in plan order.
@@ -85,6 +96,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// htmConfig translates Config.Backend into the htm.Config the runtime
+// options carry. "" and "dir" return the zero config — core substitutes
+// htm.DefaultConfig(), exactly the pre-seam behavior — so default-backend
+// runs stay bit-identical to configs that predate backend selection.
+func (c Config) htmConfig() htm.Config {
+	var hc htm.Config
+	switch c.Backend {
+	case "", "dir":
+	case "refscan":
+		hc.RefScan = true
+	default:
+		hc.Backend = c.Backend
+	}
+	return hc
+}
+
+// backendKey is the memo-key component for Config.Backend: the default
+// spellings collapse to "" so "" and "dir" share cache entries.
+func (c Config) backendKey() string {
+	if c.Backend == "dir" {
+		return ""
+	}
+	return c.Backend
+}
+
 func (c Config) engineConfig(w *workload.Workload, seed uint64) sim.Config {
 	ec := sim.DefaultConfig()
 	ec.Seed = seed
@@ -127,7 +163,7 @@ type TxRaceRun struct {
 func RunBaseline(w *workload.Workload, cfg Config, seed uint64) (*BaselineRun, error) {
 	cfg = cfg.withDefaults()
 	cfg.Obs = nil // the baseline is the measuring stick, not the measured system
-	v, err := cfg.Cache.do(memoKey{"baseline", w.Name, cfg.Threads, cfg.Scale, seed}, func() (any, error) {
+	v, err := cfg.Cache.do(memoKey{"baseline", w.Name, cfg.Threads, cfg.Scale, seed, ""}, func() (any, error) {
 		built := w.Build(cfg.Threads, cfg.Scale)
 		res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(built.Prog, &core.Baseline{})
 		if err != nil {
@@ -177,7 +213,7 @@ func RunTxRaceFault(w *workload.Workload, cfg Config, seed uint64, plan fault.Pl
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
 	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale, Obs: cfg.Obs,
-		Fault: fault.NewIfAny(plan), Governor: gov}
+		Fault: fault.NewIfAny(plan), Governor: gov, HTM: cfg.htmConfig()}
 	if cfg.LoopCut == core.ProfCut {
 		// Profile with a different seed: representative input, not the
 		// measured run. The profiling pass is unobserved so metrics and
@@ -185,8 +221,8 @@ func RunTxRaceFault(w *workload.Workload, cfg Config, seed uint64, plan fault.Pl
 		profSeed := seed ^ 0x9a0f
 		pcfg := cfg
 		pcfg.Obs = nil
-		v, err := cfg.Cache.do(memoKey{"profile", w.Name, cfg.Threads, cfg.Scale, profSeed}, func() (any, error) {
-			prof, err := instrument.Profile(built.Prog, pcfg.engineConfig(w, profSeed), core.Options{SlowScale: w.SlowScale})
+		v, err := cfg.Cache.do(memoKey{"profile", w.Name, cfg.Threads, cfg.Scale, profSeed, cfg.backendKey()}, func() (any, error) {
+			prof, err := instrument.Profile(built.Prog, pcfg.engineConfig(w, profSeed), core.Options{SlowScale: w.SlowScale, HTM: cfg.htmConfig()})
 			if err != nil {
 				return nil, fmt.Errorf("%s profile: %w", w.Name, err)
 			}

@@ -1,0 +1,134 @@
+package htm
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// ConflictBackend is the conflict-detection half of the machine: footprint
+// tracking plus the conflict test that decides which transactions an access
+// dooms. The HTM shell owns everything else — transaction lifecycle (Begin/
+// Commit/Resolve and the slot bitmasks), status words, stats, diagnostics,
+// observability, and the fault Injector — so the governor, the attribution
+// ledger, and the chaos engine work unchanged against every backend.
+//
+// The contract (DESIGN.md §10):
+//
+//   - begin(tid, slot) is called once per Begin, after the shell assigned
+//     the slot; the backend resets tid's tracking state for a fresh
+//     transaction.
+//   - access(tid, addr, isWrite) performs the full conflict resolution for
+//     one access: compute the conflicting live slots, hand the mask to
+//     h.resolveConflicts (the shared doom decision — never doom conflict
+//     victims directly, so doom order, diagnostics, stats, and trace events
+//     stay identical across backends), then track the line, dooming the
+//     requester itself with StatusCapacity via h.doom on overflow.
+//   - release(tid, slot) withdraws tid's entire tracked footprint; the
+//     shell calls it on doom and on commit while the transaction still
+//     holds the slot.
+//   - readSetSize/writeSetSize report the tracked footprint in lines (zero
+//     when the backend tracks no sets).
+//
+// Backends are sealed inside the package: the shell hands them *HTM so they
+// can reach liveMask, the per-thread transaction states, and the shared
+// doom/resolve machinery.
+type ConflictBackend interface {
+	name() string
+	begin(tid, slot int)
+	access(tid int, addr memmodel.Addr, isWrite bool)
+	release(tid, slot int)
+	readSetSize(tid int) int
+	writeSetSize(tid int) int
+	stats() BackendStats
+}
+
+// BackendNames lists the valid Config.Backend values, in presentation
+// order. "" selects the first (the directory).
+func BackendNames() []string { return []string{"dir", "tag", "bounded"} }
+
+// ValidBackend reports whether name selects a backend ("" counts: it is the
+// default directory).
+func ValidBackend(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, n := range BackendNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Default knobs for the non-directory backends; see the Config fields.
+const (
+	defaultTagEpochBits    = 8
+	defaultBoundedReadCap  = 16
+	defaultBoundedWriteCap = 8
+)
+
+// newBackend builds the backend cfg.Backend names, panicking on a name New
+// would have to guess at. Called from New after the shell validated the
+// geometry.
+func newBackend(h *HTM) ConflictBackend {
+	cfg := &h.cfg
+	switch cfg.Backend {
+	case "", "dir":
+		return newDirBackend(h, cfg.RefScan)
+	case "tag":
+		if cfg.RefScan {
+			panic("htm: RefScan applies to the dir backend only")
+		}
+		if cfg.TagEpochBits == 0 {
+			cfg.TagEpochBits = defaultTagEpochBits
+		}
+		if cfg.TagEpochBits < 1 || cfg.TagEpochBits > 32 {
+			panic(fmt.Sprintf("htm: TagEpochBits %d out of range 1..32", cfg.TagEpochBits))
+		}
+		return newTagBackend(h)
+	case "bounded":
+		if cfg.RefScan {
+			panic("htm: RefScan applies to the dir backend only")
+		}
+		if cfg.BoundedReadCap == 0 {
+			cfg.BoundedReadCap = defaultBoundedReadCap
+		}
+		if cfg.BoundedWriteCap == 0 {
+			cfg.BoundedWriteCap = defaultBoundedWriteCap
+		}
+		if cfg.BoundedReadCap < 1 || cfg.BoundedWriteCap < 1 {
+			panic("htm: bounded backend caps must be positive")
+		}
+		return newBoundedBackend(h)
+	default:
+		panic(fmt.Sprintf("htm: unknown backend %q (valid: dir, tag, bounded)", cfg.Backend))
+	}
+}
+
+// BackendStats counts backend activity, folded into the metrics registry at
+// runtime Finish. Lines, Checks and Fastpath are populated by every backend
+// (under dir semantics: distinct lines acquiring a first ownership claim,
+// conflict-test lookups, and accesses answered by the empty-machine fast
+// path); TagRecycled and TagFalse only by the tag backend; Overflows only by
+// the bounded backend.
+type BackendStats struct {
+	Lines    uint64
+	Checks   uint64
+	Fastpath uint64
+
+	// TagRecycled counts per-slot epoch wraps: once a slot's begin count
+	// passes 2^TagEpochBits, stale tags from its dead transactions can
+	// alias the live one.
+	TagRecycled uint64
+	// TagFalse counts conflicts blamed on an epoch-aliased stale tag — the
+	// tag backend's false-conflict rate. The simulator can tell (it keeps
+	// the unmasked epoch beside the tag, as real hardware could not); the
+	// doomed transaction cannot, and is re-executed on the slow path like
+	// any other conflict victim.
+	TagFalse uint64
+	// Overflows counts bounded-set cap overflows converted into
+	// StatusCapacity dooms — the real capacity pressure, as opposed to the
+	// injected bursts counted under fault.injected.capacity.
+	Overflows uint64
+}

@@ -1,0 +1,363 @@
+package htm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/prng"
+)
+
+// Tests for the non-default conflict backends: the HMTRace-style owner-tag
+// scheme (tagBackend) and the FORTH-style entry-capped sets (boundedBackend),
+// plus the backend selection seam itself.
+
+func tagConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Backend = "tag"
+	return cfg
+}
+
+func boundedConfig(rcap, wcap int) Config {
+	cfg := DefaultConfig()
+	cfg.Backend = "bounded"
+	cfg.BoundedReadCap, cfg.BoundedWriteCap = rcap, wcap
+	return cfg
+}
+
+func TestBackendNames(t *testing.T) {
+	for _, name := range append(BackendNames(), "") {
+		if !ValidBackend(name) {
+			t.Fatalf("ValidBackend(%q) = false, want true", name)
+		}
+	}
+	if ValidBackend("hashset") {
+		t.Fatal(`ValidBackend("hashset") = true, want false`)
+	}
+	for _, name := range BackendNames() {
+		cfg := DefaultConfig()
+		cfg.Backend = name
+		if got := New(cfg).Backend(); got != name {
+			t.Fatalf("Backend() = %q, want %q", got, name)
+		}
+	}
+}
+
+func TestUnknownBackendPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New with unknown backend must panic")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "hashset") || !strings.Contains(msg, "dir, tag, bounded") {
+			t.Fatalf("panic message %q must name the bad value and the valid set", msg)
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Backend = "hashset"
+	New(cfg)
+}
+
+func TestRefScanRequiresDirBackend(t *testing.T) {
+	for _, backend := range []string{"tag", "bounded"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New with RefScan under %q backend must panic", backend)
+				}
+			}()
+			cfg := DefaultConfig()
+			cfg.Backend = backend
+			cfg.RefScan = true
+			New(cfg)
+		}()
+	}
+}
+
+// TestTagConflictBasics pins the tag conflict test: between transactions,
+// ANY live-tag mismatch conflicts — write/read, read/write, and read/read
+// (the steal that would erase the owner's conflict evidence). The tag owner
+// is doomed under requester-wins.
+func TestTagConflictBasics(t *testing.T) {
+	for _, tc := range []struct {
+		name                 string
+		ownerWrite, reqWrite bool
+	}{
+		{"write/read", true, false},
+		{"read/write", false, true},
+		{"read/read", false, false},
+		{"write/write", true, true},
+	} {
+		h := New(tagConfig())
+		h.Begin(0)
+		h.Begin(1)
+		h.Access(0, 0x1000, tc.ownerWrite)
+		h.Access(1, 0x1000, tc.reqWrite)
+		if s, ok := h.Pending(0); !ok || !s.Is(StatusConflict) {
+			t.Fatalf("%s: Pending(0) = (%v, %v), want conflict", tc.name, s, ok)
+		}
+		if _, ok := h.Pending(1); ok {
+			t.Fatalf("%s: requester doomed under requester-wins", tc.name)
+		}
+	}
+
+	// Re-touching one's own tag is never a conflict.
+	h := New(tagConfig())
+	h.Begin(0)
+	h.Access(0, 0x1000, false)
+	h.Access(0, 0x1000, true)
+	h.Access(0, 0x1000, false)
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("own-tag re-touch fabricated a conflict")
+	}
+}
+
+// TestTagStaleEpoch pins epoch filtering: a tag left by a committed
+// transaction is dead once the slot's epoch moves on, even though the tag
+// bytes still name the slot.
+func TestTagStaleEpoch(t *testing.T) {
+	h := New(tagConfig())
+	h.Begin(0)
+	h.Access(0, 0x3000, true)
+	if _, ok := h.Commit(0); !ok {
+		t.Fatal("solo transaction failed to commit")
+	}
+	// Same thread begins again: same slot, bumped epoch; the 0x3000 tag is
+	// now stale and must not conflict with anyone.
+	h.Begin(0)
+	h.Begin(1)
+	h.Access(1, 0x3000, true)
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("stale-epoch tag fabricated a conflict")
+	}
+	if _, ok := h.Pending(1); ok {
+		t.Fatal("stale-epoch tag doomed the requester")
+	}
+}
+
+// TestTagNonTxStrongIsolation pins strong isolation under tags: a plain
+// access from a non-transactional thread dooms a conflicting live owner but
+// never re-tags the line.
+func TestTagNonTxStrongIsolation(t *testing.T) {
+	h := New(tagConfig())
+	h.Begin(0)
+	h.Access(0, 0x4000, true)
+	h.Access(7, 0x4000, false) // thread 7 is not in a transaction
+	if s, ok := h.Pending(0); !ok || !s.Is(StatusConflict) {
+		t.Fatalf("non-tx read vs tx write: Pending(0) = (%v, %v), want conflict", s, ok)
+	}
+	h.Resolve(0)
+	// The line must not carry thread 7's tag: a fresh writer sees no owner.
+	h.Begin(2)
+	h.Access(2, 0x4000, true)
+	if _, ok := h.Pending(2); ok {
+		t.Fatal("non-transactional access left a tag behind")
+	}
+}
+
+// TestTagNoCapacityAborts pins the scheme's headline property: with no
+// footprint tracking there are no capacity aborts, at any footprint size.
+func TestTagNoCapacityAborts(t *testing.T) {
+	h := New(tagConfig())
+	h.Begin(0)
+	for i := 0; i < 4096; i++ { // far beyond any set-associative geometry
+		h.Access(0, memmodel.Addr(uint64(i)<<memmodel.LineShift), i&1 == 0)
+	}
+	if n := h.ReadSetSize(0); n != 0 {
+		t.Fatalf("tag backend ReadSetSize = %d, want 0 (no sets)", n)
+	}
+	if n := h.WriteSetSize(0); n != 0 {
+		t.Fatalf("tag backend WriteSetSize = %d, want 0 (no sets)", n)
+	}
+	if _, ok := h.Commit(0); !ok {
+		t.Fatal("huge-footprint transaction aborted under the tag backend")
+	}
+	if st := h.BackendStats(); st.Lines == 0 || st.Checks == 0 {
+		t.Fatalf("tag stats not folding: %+v", st)
+	}
+}
+
+// TestTagEpochWrapFalseConflict manufactures the tag-reuse hazard: with a
+// 1-bit epoch, a tag from transaction N of a slot aliases transaction N+2,
+// so a long-dead write fabricates a conflict. The simulator's unmasked
+// shadow epoch must classify it as TagFalse.
+func TestTagEpochWrapFalseConflict(t *testing.T) {
+	cfg := tagConfig()
+	cfg.TagEpochBits = 1
+	h := New(cfg)
+
+	h.Begin(0) // slot epoch 1 (masked 1)
+	h.Access(0, 0x5000, true)
+	h.Commit(0)
+	h.Begin(0) // epoch 2 (masked 0: recycled)
+	h.Commit(0)
+	h.Begin(0) // epoch 3 (masked 1: aliases the 0x5000 tag)
+
+	if st := h.BackendStats(); st.TagRecycled == 0 {
+		t.Fatalf("epoch wrap not counted: %+v", st)
+	}
+	// Thread 1 writes the stale line: the tag's masked epoch matches slot
+	// 0's live epoch, so the backend must (wrongly, per ground truth) doom
+	// t0 and count the alias.
+	h.Begin(1)
+	h.Access(1, 0x5000, true)
+	if s, ok := h.Pending(0); !ok || !s.Is(StatusConflict) {
+		t.Fatalf("aliased tag did not conflict: Pending(0) = (%v, %v)", s, ok)
+	}
+	if st := h.BackendStats(); st.TagFalse != 1 {
+		t.Fatalf("TagFalse = %d, want 1 (%+v)", st.TagFalse, st)
+	}
+}
+
+// TestTagWriteTagNotDowngraded pins that a transaction re-reading its own
+// written line keeps the write tag, so a later reader still conflicts.
+func TestTagWriteTagNotDowngraded(t *testing.T) {
+	h := New(tagConfig())
+	h.Begin(0)
+	h.Access(0, 0x6000, true)
+	h.Access(0, 0x6000, false) // own read must not downgrade the write tag
+	h.Begin(1)
+	h.Access(1, 0x6000, false)
+	if s, ok := h.Pending(0); !ok || !s.Is(StatusConflict) {
+		t.Fatalf("own-read downgraded the write tag: Pending(0) = (%v, %v)", s, ok)
+	}
+}
+
+// TestBoundedOverflow pins the hard cap: entry cap+1 distinct lines on one
+// side dooms the transaction with StatusCapacity and counts one overflow,
+// and the doom releases every directory claim.
+func TestBoundedOverflow(t *testing.T) {
+	h := New(boundedConfig(4, 3))
+	h.Begin(0)
+	for i := 0; i < 3; i++ {
+		h.Access(0, memmodel.Addr(uint64(i)<<memmodel.LineShift), true)
+	}
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("doomed before the write cap was exceeded")
+	}
+	if n := h.WriteSetSize(0); n != 3 {
+		t.Fatalf("WriteSetSize = %d, want 3", n)
+	}
+	h.Access(0, memmodel.Addr(uint64(3)<<memmodel.LineShift), true)
+	if s, ok := h.Pending(0); !ok || !s.Is(StatusCapacity) {
+		t.Fatalf("cap+1 write: Pending(0) = (%v, %v), want capacity", s, ok)
+	}
+	if st := h.BackendStats(); st.Overflows != 1 {
+		t.Fatalf("Overflows = %d, want 1 (%+v)", st.Overflows, st)
+	}
+	h.Resolve(0)
+	// Every claim must be gone: a new writer sees an empty directory.
+	h.Begin(1)
+	for i := 0; i < 3; i++ {
+		h.Access(1, memmodel.Addr(uint64(i)<<memmodel.LineShift), true)
+	}
+	if _, ok := h.Pending(1); ok {
+		t.Fatal("stale claims survived the capacity doom's release")
+	}
+}
+
+// TestBoundedReadCapIndependent pins that the read and write caps are
+// separate budgets and that re-touching a tracked line costs nothing.
+func TestBoundedReadCapIndependent(t *testing.T) {
+	h := New(boundedConfig(2, 8))
+	h.Begin(0)
+	h.Access(0, 0x0<<memmodel.LineShift, false)
+	h.Access(0, 0x1<<memmodel.LineShift, false)
+	for i := 0; i < 16; i++ { // re-touches: already tracked, no overflow
+		h.Access(0, 0x1<<memmodel.LineShift, false)
+	}
+	if _, ok := h.Pending(0); ok {
+		t.Fatal("re-touching a tracked line charged the cap")
+	}
+	h.Access(0, 0x2<<memmodel.LineShift, false)
+	if s, ok := h.Pending(0); !ok || !s.Is(StatusCapacity) {
+		t.Fatalf("read cap+1: Pending(0) = (%v, %v), want capacity", s, ok)
+	}
+}
+
+// TestBoundedMatchesDirWithinCaps drives a bounded machine and a directory
+// machine with identical randomized small-footprint traces: while no
+// footprint exceeds either geometry, every observable must match.
+func TestBoundedMatchesDirWithinCaps(t *testing.T) {
+	base := Config{WriteSets: 4, WriteWays: 2, ReadSets: 8, ReadWays: 2, MaxConcurrent: 4}
+	bcfg := base
+	bcfg.Backend = "bounded"
+	bcfg.BoundedReadCap, bcfg.BoundedWriteCap = 16, 8
+
+	// Six lines: below the bounded caps and small enough that the dir
+	// backend's set-associative caches never evict either.
+	var pool []memmodel.Addr
+	for i := 0; i < 6; i++ {
+		pool = append(pool, memmodel.Addr(uint64(i)<<memmodel.LineShift))
+	}
+	const nthreads = 4
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := prng.New(seed * 2654435761)
+		dir, bnd := New(base), New(bcfg)
+		for op := 0; op < 4000; op++ {
+			tid := int(rng.Intn(nthreads))
+			ctx := fmt.Sprintf("seed %d op %d tid %d", seed, op, tid)
+			switch rng.Intn(8) {
+			case 0:
+				ds, derr := dir.Begin(tid)
+				bs, berr := bnd.Begin(tid)
+				if ds != bs || (derr == nil) != (berr == nil) {
+					t.Fatalf("%s: Begin dir=(%v,%v) bounded=(%v,%v)", ctx, ds, derr, bs, berr)
+				}
+			case 1:
+				if _, ok := dir.Pending(tid); ok {
+					if ds, bs := dir.Resolve(tid), bnd.Resolve(tid); ds != bs {
+						t.Fatalf("%s: Resolve dir=%v bounded=%v", ctx, ds, bs)
+					}
+				} else if dir.InTxn(tid) {
+					ds, dok := dir.Commit(tid)
+					bs, bok := bnd.Commit(tid)
+					if ds != bs || dok != bok {
+						t.Fatalf("%s: Commit dir=(%v,%v) bounded=(%v,%v)", ctx, ds, dok, bs, bok)
+					}
+				}
+			default:
+				a := pool[rng.Intn(int64(len(pool)))]
+				w := rng.Bool(0.5)
+				dir.Access(tid, a, w)
+				bnd.Access(tid, a, w)
+			}
+			for q := 0; q < nthreads; q++ {
+				if di, bi := dir.InTxn(q), bnd.InTxn(q); di != bi {
+					t.Fatalf("%s: InTxn(%d) dir=%v bounded=%v", ctx, q, di, bi)
+				}
+				ds, dok := dir.Pending(q)
+				bs, bok := bnd.Pending(q)
+				if ds != bs || dok != bok {
+					t.Fatalf("%s: Pending(%d) dir=(%v,%v) bounded=(%v,%v)", ctx, q, ds, dok, bs, bok)
+				}
+				if dir.InTxn(q) {
+					if dn, bn := dir.ReadSetSize(q), bnd.ReadSetSize(q); dn != bn {
+						t.Fatalf("%s: ReadSetSize(%d) dir=%d bounded=%d", ctx, q, dn, bn)
+					}
+					if dn, bn := dir.WriteSetSize(q), bnd.WriteSetSize(q); dn != bn {
+						t.Fatalf("%s: WriteSetSize(%d) dir=%d bounded=%d", ctx, q, dn, bn)
+					}
+				}
+			}
+			if dir.Stats() != bnd.Stats() {
+				t.Fatalf("%s: Stats dir=%+v bounded=%+v", ctx, dir.Stats(), bnd.Stats())
+			}
+		}
+	}
+}
+
+// TestBackendStatsZeroUnderRefScan pins that the reference scan mode keeps
+// the directory counters untouched (the before/after benchmark contract).
+func TestBackendStatsZeroUnderRefScan(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefScan = true
+	h := New(cfg)
+	h.Begin(0)
+	h.Access(0, 0x1000, true)
+	h.Access(3, 0x1000, false)
+	if st := h.BackendStats(); st != (BackendStats{}) {
+		t.Fatalf("RefScan BackendStats = %+v, want zero", st)
+	}
+}

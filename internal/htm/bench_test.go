@@ -45,10 +45,10 @@ func TestAccessFastPathAllocFree(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("idle-machine Access allocates %.1f times per run, want 0", n)
 	}
-	if h.DirStats().Fastpath == 0 {
+	if h.BackendStats().Fastpath == 0 {
 		t.Fatal("idle-machine Access did not take the fast path")
 	}
-	if h.dir.checks != 0 {
+	if h.dirbe.dir.checks != 0 {
 		t.Fatal("idle-machine Access consulted the directory")
 	}
 }

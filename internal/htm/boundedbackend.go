@@ -1,0 +1,157 @@
+package htm
+
+import (
+	"repro/internal/memmodel"
+)
+
+// boundedBackend is the FORTH-style conflict backend: directory semantics —
+// the same line-ownership word and conflict test as dirBackend — but the
+// per-transaction footprint is tracked in deliberately tiny fully-associative
+// sets with hard entry caps (Config.BoundedReadCap/BoundedWriteCap). Where
+// the real HTM's set-associative caches overflow only under conflict misses,
+// here entry cap+1 is an immediate StatusCapacity doom, counted in
+// BackendStats.Overflows — a machine whose capacity-abort pressure far
+// exceeds commodity hardware, built to exercise the runtime's degradation
+// machinery (loop cuts, governor fallback).
+type boundedBackend struct {
+	h *HTM
+
+	dir       directory
+	fastpath  uint64
+	overflows uint64
+
+	states []*boundedTxnState
+}
+
+// boundedTxnState is one thread's bounded tracking sets: line slices with
+// their backing arrays capped at the configured entry counts. Membership is
+// a linear scan — the caps are small by construction.
+type boundedTxnState struct {
+	reads  []memmodel.Line
+	writes []memmodel.Line
+}
+
+func newBoundedBackend(h *HTM) *boundedBackend {
+	return &boundedBackend{h: h}
+}
+
+func (b *boundedBackend) name() string { return "bounded" }
+
+func (b *boundedBackend) stateOf(tid int) *boundedTxnState {
+	for tid >= len(b.states) {
+		b.states = append(b.states, nil)
+	}
+	if b.states[tid] == nil {
+		b.states[tid] = &boundedTxnState{
+			reads:  make([]memmodel.Line, 0, b.h.cfg.BoundedReadCap),
+			writes: make([]memmodel.Line, 0, b.h.cfg.BoundedWriteCap),
+		}
+	}
+	return b.states[tid]
+}
+
+func (b *boundedBackend) begin(tid, slot int) {
+	st := b.stateOf(tid)
+	st.reads = st.reads[:0]
+	st.writes = st.writes[:0]
+}
+
+// release withdraws the footprint's directory claims; with at most
+// readCap+writeCap entries the walk is O(caps), the backend's whole point.
+func (b *boundedBackend) release(tid, slot int) {
+	if tid >= len(b.states) || b.states[tid] == nil {
+		return
+	}
+	st := b.states[tid]
+	for _, l := range st.reads {
+		b.dir.releaseRead(l, slot)
+	}
+	for _, l := range st.writes {
+		b.dir.releaseWrite(l, slot)
+	}
+	st.reads = st.reads[:0]
+	st.writes = st.writes[:0]
+}
+
+func (b *boundedBackend) readSetSize(tid int) int {
+	if tid >= len(b.states) || b.states[tid] == nil {
+		return 0
+	}
+	return len(b.states[tid].reads)
+}
+
+func (b *boundedBackend) writeSetSize(tid int) int {
+	if tid >= len(b.states) || b.states[tid] == nil {
+		return 0
+	}
+	return len(b.states[tid].writes)
+}
+
+func (b *boundedBackend) stats() BackendStats {
+	return BackendStats{
+		Lines: b.dir.lines, Checks: b.dir.checks, Fastpath: b.fastpath,
+		Overflows: b.overflows,
+	}
+}
+
+func lineIn(set []memmodel.Line, l memmodel.Line) bool {
+	for _, x := range set {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *boundedBackend) access(tid int, addr memmodel.Addr, isWrite bool) {
+	h := b.h
+	if h.liveMask == 0 {
+		b.fastpath++
+		return
+	}
+	line := h.lineOf(addr)
+	t := h.activeTxn(tid)
+	if t == nil {
+		if conf := b.dir.conflictors(line, isWrite); conf != 0 {
+			h.resolveConflicts(tid, line, conf, false)
+		}
+		return
+	}
+	slotBit := uint64(1) << uint(t.slot)
+	b.dir.checks++
+	ent := b.dir.pt.Get(uint64(line))
+	conf := ent.writers
+	if isWrite {
+		conf |= ent.readers
+	}
+	conf &^= slotBit
+	if conf != 0 && h.resolveConflicts(tid, line, conf, true) {
+		return
+	}
+	st := b.states[tid]
+	set := &st.reads
+	limit := h.cfg.BoundedReadCap
+	if isWrite {
+		set = &st.writes
+		limit = h.cfg.BoundedWriteCap
+	}
+	if lineIn(*set, line) {
+		return // already tracked and claimed
+	}
+	if len(*set) >= limit {
+		// Hard overflow: the incoming line is never claimed; the capacity
+		// doom's release withdraws the rest.
+		b.overflows++
+		h.doom(tid, StatusCapacity)
+		return
+	}
+	*set = append(*set, line)
+	if ent.readers|ent.writers == 0 {
+		b.dir.lines++
+	}
+	if isWrite {
+		ent.writers |= slotBit
+	} else {
+		ent.readers |= slotBit
+	}
+}

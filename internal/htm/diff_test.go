@@ -172,19 +172,20 @@ func TestDirectoryInvariant(t *testing.T) {
 		for _, a := range addrs {
 			line := h.lineOf(a)
 			var wantR, wantW uint64
-			for _, tx := range h.txns {
+			for tid, tx := range h.txns {
 				if tx == nil || !tx.active || tx.doomed {
 					continue
 				}
-				if tx.reads.Contains(line) {
+				st := h.dirbe.states[tid]
+				if st.reads.Contains(line) {
 					wantR |= 1 << uint(tx.slot)
 				}
-				if tx.writes.Contains(line) {
+				if st.writes.Contains(line) {
 					wantW |= 1 << uint(tx.slot)
 				}
 			}
 			var gotR, gotW uint64
-			if e := h.dir.pt.Peek(uint64(line)); e != nil {
+			if e := h.dirbe.dir.pt.Peek(uint64(line)); e != nil {
 				gotR, gotW = e.readers, e.writers
 			}
 			if gotR != wantR || gotW != wantW {

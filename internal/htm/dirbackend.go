@@ -1,0 +1,208 @@
+package htm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/memmodel"
+)
+
+// dirBackend is the default conflict backend: the line-ownership directory
+// of dir.go plus per-transaction set-associative tracking caches, extracted
+// verbatim from the pre-seam machine. It also retains the pre-directory
+// reference resolver (Config.RefScan): an O(active-transactions) scan
+// probing every context's caches, kept for the package's differential tests
+// and before/after benchmarks. The two are observationally identical.
+type dirBackend struct {
+	h       *HTM
+	refScan bool
+
+	dir      directory
+	fastpath uint64
+
+	// states holds per-thread tracking caches, indexed by tid in parallel
+	// with HTM.txns; every active transaction has one (created at begin).
+	states []*dirTxnState
+}
+
+// dirTxnState is one thread's footprint-tracking state. slot mirrors the
+// transaction's hardware-context slot for the eviction callbacks, which can
+// fire any time a line leaves a cache while the slot is still held.
+type dirTxnState struct {
+	slot   int
+	reads  *cache.Cache
+	writes *cache.Cache
+}
+
+func newDirBackend(h *HTM, refScan bool) *dirBackend {
+	return &dirBackend{h: h, refScan: refScan}
+}
+
+func (b *dirBackend) name() string { return "dir" }
+
+func (b *dirBackend) stateOf(tid int) *dirTxnState {
+	for tid >= len(b.states) {
+		b.states = append(b.states, nil)
+	}
+	if b.states[tid] == nil {
+		cfg := &b.h.cfg
+		st := &dirTxnState{
+			slot:   -1,
+			reads:  cache.New(cfg.ReadSets, cfg.ReadWays),
+			writes: cache.New(cfg.WriteSets, cfg.WriteWays),
+		}
+		if !b.refScan {
+			// Directory maintenance rides the tracking caches: a line
+			// leaving a set (LRU eviction or the Reset at begin, commit and
+			// abort) withdraws exactly that claim, so releasing a
+			// transaction's footprint walks its own resident lines only.
+			st.reads.SetOnEvict(func(l memmodel.Line) { b.dir.releaseRead(l, st.slot) })
+			st.writes.SetOnEvict(func(l memmodel.Line) { b.dir.releaseWrite(l, st.slot) })
+		}
+		b.states[tid] = st
+	}
+	return b.states[tid]
+}
+
+func (b *dirBackend) begin(tid, slot int) {
+	st := b.stateOf(tid)
+	st.slot = slot
+	st.reads.Reset()
+	st.writes.Reset()
+}
+
+func (b *dirBackend) release(tid, slot int) {
+	if tid >= len(b.states) || b.states[tid] == nil {
+		return
+	}
+	st := b.states[tid]
+	st.reads.Reset()
+	st.writes.Reset()
+}
+
+func (b *dirBackend) readSetSize(tid int) int {
+	if tid >= len(b.states) || b.states[tid] == nil {
+		return 0
+	}
+	return b.states[tid].reads.Len()
+}
+
+func (b *dirBackend) writeSetSize(tid int) int {
+	if tid >= len(b.states) || b.states[tid] == nil {
+		return 0
+	}
+	return b.states[tid].writes.Len()
+}
+
+func (b *dirBackend) stats() BackendStats {
+	return BackendStats{Lines: b.dir.lines, Checks: b.dir.checks, Fastpath: b.fastpath}
+}
+
+func (b *dirBackend) access(tid int, addr memmodel.Addr, isWrite bool) {
+	if b.refScan {
+		b.accessRef(tid, addr, isWrite)
+		return
+	}
+	b.accessDir(tid, addr, isWrite)
+}
+
+// accessDir resolves the access against the line-ownership directory: one
+// Peek yields the slot mask of every transaction holding a conflicting claim,
+// so the cost is O(actual conflictors), not O(active transactions). When no
+// live transaction exists the access returns before even computing the line.
+func (b *dirBackend) accessDir(tid int, addr memmodel.Addr, isWrite bool) {
+	h := b.h
+	if h.liveMask == 0 {
+		// Empty machine: no claim can conflict and the requester (not live,
+		// or it would hold a liveMask bit) tracks nothing.
+		b.fastpath++
+		return
+	}
+	line := h.lineOf(addr)
+	var t *txn
+	if tid < len(h.txns) {
+		t = h.txns[tid]
+	}
+	if t == nil || !t.active || t.doomed {
+		// Non-transactional requester: one non-allocating lookup for the
+		// conflict mask; nothing to track.
+		if conf := b.dir.conflictors(line, isWrite); conf != 0 {
+			h.resolveConflicts(tid, line, conf, false)
+		}
+		return
+	}
+	// Transactional requester: a single entry lookup serves both the
+	// conflict test and — if the line stays resident — the ownership claim.
+	slotBit := uint64(1) << uint(t.slot)
+	b.dir.checks++
+	ent := b.dir.pt.Get(uint64(line))
+	conf := ent.writers
+	if isWrite {
+		conf |= ent.readers
+	}
+	// A transaction never conflicts with its own claims (re-reading or
+	// upgrading a line it already holds).
+	conf &^= slotBit
+	if conf != 0 && h.resolveConflicts(tid, line, conf, true) {
+		return
+	}
+	st := b.states[tid]
+	set := st.reads
+	if isWrite {
+		set = st.writes
+	}
+	if _, evicted := set.Touch(line); evicted {
+		// The victim's claim was already withdrawn by the eviction callback;
+		// the incoming line was never claimed, and the capacity doom's
+		// release resets the remainder.
+		h.doom(tid, StatusCapacity)
+		return
+	}
+	// Claim in place. Dooming the conflictors above already withdrew their
+	// bits from ent via their cache Resets, so an empty word here really is
+	// the line's first live claim.
+	if ent.readers|ent.writers == 0 {
+		b.dir.lines++
+	}
+	if isWrite {
+		ent.writers |= slotBit
+	} else {
+		ent.readers |= slotBit
+	}
+}
+
+// accessRef is the reference resolver: the pre-directory
+// O(active-transactions) scan probing every context's set-associative
+// read/write sets. Kept (behind Config.RefScan) for the package's
+// differential tests and before/after benchmarks; it must stay
+// observationally identical to accessDir.
+func (b *dirBackend) accessRef(tid int, addr memmodel.Addr, isWrite bool) {
+	h := b.h
+	line := h.lineOf(addr)
+	var t *txn
+	if tid < len(h.txns) {
+		t = h.txns[tid]
+	}
+	requesterTx := t != nil && t.active && !t.doomed
+	var conf uint64
+	for otid, o := range h.txns {
+		if o == nil || otid == tid || !o.active || o.doomed {
+			continue
+		}
+		st := b.states[otid]
+		if st.writes.Contains(line) || (isWrite && st.reads.Contains(line)) {
+			conf |= 1 << uint(o.slot)
+		}
+	}
+	if conf != 0 && h.resolveConflicts(tid, line, conf, requesterTx) {
+		return
+	}
+	if requesterTx {
+		st := b.states[tid]
+		set := st.reads
+		if isWrite {
+			set = st.writes
+		}
+		if _, evicted := set.Touch(line); evicted {
+			h.doom(tid, StatusCapacity)
+		}
+	}
+}

@@ -19,6 +19,15 @@
 //   - An abort reports a status word only — never the faulting address or
 //     instruction, which is the first challenge (§2.2) TxRace works around.
 //
+// The machine is split along a seam: the HTM shell here owns the transaction
+// lifecycle (Begin/Commit/Resolve, hardware-context slots, status words,
+// stats, diagnostics, observability, fault injection), while conflict
+// detection and footprint tracking live behind the ConflictBackend interface
+// (backend.go). Three backends ship: the line-ownership directory
+// (dirbackend.go, the default, with its O(n) reference scan retained), an
+// HMTRace-style per-line owner-tag scheme (tagbackend.go), and a FORTH-style
+// bounded read/write-set machine (boundedbackend.go).
+//
 // The one deliberate departure from silicon: Diagnostics retains the last
 // conflict's line and threads so tests can assert the machinery, but it is
 // explicitly unavailable to the TxRace runtime, mirroring real hardware.
@@ -28,7 +37,6 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/cache"
 	"repro/internal/memmodel"
 	"repro/internal/obs"
 )
@@ -121,13 +129,29 @@ type Config struct {
 	// conflict-aborted transaction, letting the runtime build a cheaper,
 	// targeted slow path.
 	ExposeConflictAddress bool
-	// RefScan selects the pre-directory reference resolver: conflicts
-	// found by an O(active-transactions) scan probing every context's
-	// set-associative read/write sets. The default (false) resolves via
-	// the O(1) line-ownership directory. The two are observationally
-	// identical (pinned by the package's differential tests); the scan is
-	// kept for those tests and for before/after benchmarks.
+	// RefScan selects the dir backend's pre-directory reference resolver:
+	// conflicts found by an O(active-transactions) scan probing every
+	// context's set-associative read/write sets. The default (false)
+	// resolves via the O(1) line-ownership directory. The two are
+	// observationally identical (pinned by the package's differential
+	// tests); the scan is kept for those tests and for before/after
+	// benchmarks. Only meaningful with the dir backend.
 	RefScan bool
+
+	// Backend selects the conflict-detection backend: "dir" (the default,
+	// also chosen by ""), "tag", or "bounded". See BackendNames.
+	Backend string
+	// TagEpochBits is the width of the per-slot epoch a line tag stores
+	// (tag backend only). Real memory-tagging hardware has a handful of tag
+	// bits; recycling a slot's epoch past 2^TagEpochBits makes stale tags
+	// from long-dead transactions alias live ones — the backend's false
+	// conflicts. Zero means the default of 8; valid range 1..32.
+	TagEpochBits int
+	// BoundedReadCap and BoundedWriteCap are the hard read/write-set entry
+	// caps of the bounded backend: the FORTH-style deliberately small
+	// tracking structures. Exceeding a cap dooms the transaction with
+	// StatusCapacity. Zero means the defaults (16 read, 8 write).
+	BoundedReadCap, BoundedWriteCap int
 }
 
 // DefaultConfig mirrors the paper's quad-core Haswell i7-4790.
@@ -157,7 +181,9 @@ var ErrNoHardwareContext = fmt.Errorf("htm: no free hardware transaction context
 // to (active, doomed), which is precisely the state Pending reports and
 // Resolve requires. An injector therefore cannot trip the "Resolve without
 // pending abort" invariant no matter where in the Begin..Commit window it
-// fires; see TestInjectorPreservesResolveInvariant.
+// fires; see TestInjectorPreservesResolveInvariant. The injector hooks live
+// in the shell, above the backend seam, so injected behaviour is identical
+// under every backend.
 type Injector interface {
 	AtAccess(tid int, now int64, line memmodel.Line, write bool) (Status, bool)
 	AtCommit(tid int, now int64) (Status, bool)
@@ -168,11 +194,9 @@ type txn struct {
 	doomed bool
 	// slot is the hardware-context index (0..MaxConcurrent-1) held while
 	// the transaction occupies the machine: the bit position of its claims
-	// in the conflict directory. -1 when no context is held.
+	// in the backend's ownership structures. -1 when no context is held.
 	slot   int
 	status Status
-	reads  *cache.Cache
-	writes *cache.Cache
 
 	// conflictLine is the address unit that doomed this transaction, kept
 	// only when Config.ExposeConflictAddress is set (future-HTM mode).
@@ -185,17 +209,19 @@ type HTM struct {
 	cfg  Config
 	txns []*txn
 
-	// dir is the line-ownership conflict directory (see dir.go). slotTid
-	// maps an occupied hardware-context slot back to its thread; freeSlots
-	// and liveMask are slot bitmasks of, respectively, unoccupied contexts
-	// and contexts running an undoomed transaction. liveMask == 0 is the
+	// be is the conflict backend (footprint tracking + conflict tests);
+	// dirbe is the same object when the default directory backend is
+	// active, so the production hot path keeps a static call. slotTid maps
+	// an occupied hardware-context slot back to its thread; freeSlots and
+	// liveMask are slot bitmasks of, respectively, unoccupied contexts and
+	// contexts running an undoomed transaction. liveMask == 0 is the
 	// empty-machine fast path: no access can conflict and none is tracked.
-	dir        directory
+	be         ConflictBackend
+	dirbe      *dirBackend
 	slotTid    [64]int
 	freeSlots  uint64
 	liveMask   uint64
 	activeTxns int
-	fastpath   uint64
 
 	stats Stats
 	diag  Diagnostics
@@ -231,21 +257,32 @@ type Diagnostics struct {
 	LastConflictLoser  int
 }
 
-// New returns an HTM with the given configuration.
+// New returns an HTM with the given configuration. It panics on a
+// configuration no machine could have: a non-positive or >64 context count,
+// an unknown Backend name, or RefScan combined with a non-directory backend.
 func New(cfg Config) *HTM {
 	if cfg.MaxConcurrent <= 0 {
 		panic("htm: MaxConcurrent must be positive")
 	}
 	if cfg.MaxConcurrent > 64 {
-		// The conflict directory indexes hardware contexts as bits of a
+		// The ownership structures index hardware contexts as bits of a
 		// uint64; no real HTM comes close to 64 simultaneous contexts.
 		panic("htm: MaxConcurrent exceeds 64 hardware contexts")
 	}
 	if cfg.GranularityShift == 0 {
 		cfg.GranularityShift = memmodel.LineShift
 	}
-	return &HTM{cfg: cfg, freeSlots: ^uint64(0)}
+	h := &HTM{cfg: cfg, freeSlots: ^uint64(0)}
+	h.be = newBackend(h)
+	if d, ok := h.be.(*dirBackend); ok {
+		h.dirbe = d
+	}
+	return h
 }
+
+// Backend returns the active conflict backend's name ("dir", "tag",
+// "bounded") — runtime Finish labels the folded metrics with it.
+func (h *HTM) Backend() string { return h.be.name() }
 
 // SetObserver attaches an observability sink to the machine. clock supplies
 // the simulated time of a thread for trace timestamps; it may be nil.
@@ -278,20 +315,7 @@ func (h *HTM) txnOf(tid int) *txn {
 		h.txns = append(h.txns, nil)
 	}
 	if h.txns[tid] == nil {
-		t := &txn{
-			slot:   -1,
-			reads:  cache.New(h.cfg.ReadSets, h.cfg.ReadWays),
-			writes: cache.New(h.cfg.WriteSets, h.cfg.WriteWays),
-		}
-		if !h.cfg.RefScan {
-			// Directory maintenance rides the tracking caches: a line
-			// leaving a set (LRU eviction or the Reset at begin, commit and
-			// abort) withdraws exactly that claim, so releasing a
-			// transaction's footprint walks its own resident lines only.
-			t.reads.SetOnEvict(func(l memmodel.Line) { h.dir.releaseRead(l, t.slot) })
-			t.writes.SetOnEvict(func(l memmodel.Line) { h.dir.releaseWrite(l, t.slot) })
-		}
-		h.txns[tid] = t
+		h.txns[tid] = &txn{slot: -1}
 	}
 	return h.txns[tid]
 }
@@ -318,8 +342,7 @@ func (h *HTM) Begin(tid int) (Status, error) {
 	t.doomed = false
 	t.status = 0
 	t.hasConflictLine = false
-	t.reads.Reset()
-	t.writes.Reset()
+	h.be.begin(tid, s)
 	h.stats.Begins++
 	if h.obs != nil {
 		h.obs.HTMBegin()
@@ -335,7 +358,7 @@ func (h *HTM) InTxn(tid int) bool {
 	return h.txns[tid].active
 }
 
-// doom marks tid's transaction aborted. Its tracked lines are released at
+// doom marks tid's transaction aborted. Its tracked footprint is released at
 // once (the hardware restores cache state immediately), so a doomed
 // transaction no longer conflicts with anyone.
 func (h *HTM) doom(tid int, s Status) {
@@ -346,13 +369,12 @@ func (h *HTM) doom(tid int, s Status) {
 	t.doomed = true
 	t.status = s
 	t.hasConflictLine = false
-	// The context stops being live immediately: its directory claims are
-	// withdrawn by the Reset eviction callbacks below, and its liveMask bit
-	// clears so it neither conflicts nor reactivates the fast path check.
-	// The slot itself stays occupied until the abort is delivered (Resolve).
+	// The context stops being live immediately: its ownership claims are
+	// withdrawn by the backend release below, and its liveMask bit clears so
+	// it neither conflicts nor reactivates the fast path check. The slot
+	// itself stays occupied until the abort is delivered (Resolve).
 	h.liveMask &^= 1 << uint(t.slot)
-	t.reads.Reset()
-	t.writes.Reset()
+	h.be.release(tid, t.slot)
 	switch {
 	case s.Is(StatusConflict):
 		h.stats.ConflictAborts++
@@ -421,16 +443,17 @@ func (h *HTM) TryResolve(tid int) (Status, bool) {
 
 // Access performs a memory access by tid to the line containing addr.
 // If tid is inside a transaction the access is transactional: the line joins
-// its read or write set and an overflow dooms the transaction with a
-// capacity status, reported back immediately. Whether transactional or not,
-// conflicting transactions of *other* threads are doomed (requester wins +
-// strong isolation). The requester itself never blocks or fails here.
+// its tracked footprint and — depending on the backend — an overflow dooms
+// the transaction with a capacity status, reported back immediately. Whether
+// transactional or not, conflicting transactions of *other* threads are
+// doomed (requester wins + strong isolation). The requester itself never
+// blocks or fails here.
 func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
 	if h.inj != nil {
 		// Fault-injection opportunity: an undoomed transactional access may
 		// be fabricated into an abort before it takes effect. The hook sits
-		// above the resolver split so injected behaviour is identical under
-		// the directory and the reference scan.
+		// above the backend seam so injected behaviour is identical under
+		// every backend (and under the directory's reference scan).
 		if t := h.activeTxn(tid); t != nil {
 			if st, ok := h.inj.AtAccess(tid, h.clockOf(tid), h.lineOf(addr), isWrite); ok {
 				h.doom(tid, st)
@@ -438,11 +461,14 @@ func (h *HTM) Access(tid int, addr memmodel.Addr, isWrite bool) {
 			}
 		}
 	}
-	if h.cfg.RefScan {
-		h.accessRef(tid, addr, isWrite)
+	if h.dirbe != nil {
+		// The directory backend is the production default; keeping its
+		// dispatch static means the seam costs one predictable branch on
+		// the hot path instead of a dynamic call.
+		h.dirbe.access(tid, addr, isWrite)
 		return
 	}
-	h.accessDir(tid, addr, isWrite)
+	h.be.access(tid, addr, isWrite)
 }
 
 // activeTxn returns tid's transaction when it is open and not yet doomed,
@@ -458,110 +484,14 @@ func (h *HTM) activeTxn(tid int) *txn {
 	return t
 }
 
-// accessDir resolves the access against the line-ownership directory: one
-// Peek yields the slot mask of every transaction holding a conflicting claim,
-// so the cost is O(actual conflictors), not O(active transactions). When no
-// live transaction exists the access returns before even computing the line.
-func (h *HTM) accessDir(tid int, addr memmodel.Addr, isWrite bool) {
-	if h.liveMask == 0 {
-		// Empty machine: no claim can conflict and the requester (not live,
-		// or it would hold a liveMask bit) tracks nothing.
-		h.fastpath++
-		return
-	}
-	line := h.lineOf(addr)
-	var t *txn
-	if tid < len(h.txns) {
-		t = h.txns[tid]
-	}
-	if t == nil || !t.active || t.doomed {
-		// Non-transactional requester: one non-allocating lookup for the
-		// conflict mask; nothing to track.
-		if conf := h.dir.conflictors(line, isWrite); conf != 0 {
-			h.resolveConflicts(tid, line, conf, false)
-		}
-		return
-	}
-	// Transactional requester: a single entry lookup serves both the
-	// conflict test and — if the line stays resident — the ownership claim.
-	slotBit := uint64(1) << uint(t.slot)
-	h.dir.checks++
-	ent := h.dir.pt.Get(uint64(line))
-	conf := ent.writers
-	if isWrite {
-		conf |= ent.readers
-	}
-	// A transaction never conflicts with its own claims (re-reading or
-	// upgrading a line it already holds).
-	conf &^= slotBit
-	if conf != 0 && h.resolveConflicts(tid, line, conf, true) {
-		return
-	}
-	set := t.reads
-	if isWrite {
-		set = t.writes
-	}
-	if _, evicted := set.Touch(line); evicted {
-		// The victim's claim was already withdrawn by the eviction callback;
-		// the incoming line was never claimed, and the capacity doom's Reset
-		// releases the remainder.
-		h.doom(tid, StatusCapacity)
-		return
-	}
-	// Claim in place. Dooming the conflictors above already withdrew their
-	// bits from ent via their cache Resets, so an empty word here really is
-	// the line's first live claim.
-	if ent.readers|ent.writers == 0 {
-		h.dir.lines++
-	}
-	if isWrite {
-		ent.writers |= slotBit
-	} else {
-		ent.readers |= slotBit
-	}
-}
-
-// accessRef is the reference resolver: the pre-directory
-// O(active-transactions) scan probing every context's set-associative
-// read/write sets. Kept (behind Config.RefScan) for the package's
-// differential tests and before/after benchmarks; it must stay
-// observationally identical to accessDir.
-func (h *HTM) accessRef(tid int, addr memmodel.Addr, isWrite bool) {
-	line := h.lineOf(addr)
-	var t *txn
-	if tid < len(h.txns) {
-		t = h.txns[tid]
-	}
-	requesterTx := t != nil && t.active && !t.doomed
-	var conf uint64
-	for _, o := range h.txns {
-		if o == nil || o == t || !o.active || o.doomed {
-			continue
-		}
-		if o.writes.Contains(line) || (isWrite && o.reads.Contains(line)) {
-			conf |= 1 << uint(o.slot)
-		}
-	}
-	if conf != 0 && h.resolveConflicts(tid, line, conf, requesterTx) {
-		return
-	}
-	if requesterTx {
-		set := t.reads
-		if isWrite {
-			set = t.writes
-		}
-		if _, evicted := set.Touch(line); evicted {
-			h.doom(tid, StatusCapacity)
-		}
-	}
-}
-
 // resolveConflicts dooms the transactions named by the slot mask (requester
 // wins + strong isolation), or — under responder-wins with a transactional
 // requester — dooms the requester instead and reports true so the caller
 // skips footprint tracking. Victims are visited in ascending thread id: the
 // reference scan iterates contexts by thread, and doom order is observable
-// (stats, diagnostics, trace events), so both resolvers must match.
+// (stats, diagnostics, trace events), so every backend must match. This is
+// the doom-decision half every backend shares; backends only compute the
+// conflictor mask.
 func (h *HTM) resolveConflicts(tid int, line memmodel.Line, mask uint64, requesterTx bool) (selfDoomed bool) {
 	var victims [64]int
 	n := 0
@@ -649,10 +579,9 @@ func (h *HTM) Commit(tid int) (Status, bool) {
 		return h.Resolve(tid), false
 	}
 	t.active = false
-	// Reset before the slot is released: the eviction callbacks withdraw the
-	// directory claims under the slot the transaction still holds.
-	t.reads.Reset()
-	t.writes.Reset()
+	// Release before the slot is freed: the backend withdraws the ownership
+	// claims under the slot the transaction still holds.
+	h.be.release(tid, t.slot)
 	h.liveMask &^= 1 << uint(t.slot)
 	h.freeSlots |= 1 << uint(t.slot)
 	h.activeTxns--
@@ -676,9 +605,10 @@ func (h *HTM) ConflictLine(tid int) (memmodel.Line, bool) {
 	return t.conflictLine, t.hasConflictLine
 }
 
-// ReadSetSize and WriteSetSize expose tid's current footprint in lines.
-func (h *HTM) ReadSetSize(tid int) int  { return h.txnOf(tid).reads.Len() }
-func (h *HTM) WriteSetSize(tid int) int { return h.txnOf(tid).writes.Len() }
+// ReadSetSize and WriteSetSize expose tid's currently tracked footprint in
+// lines. The tag backend tracks no sets and always answers zero.
+func (h *HTM) ReadSetSize(tid int) int  { return h.be.readSetSize(tid) }
+func (h *HTM) WriteSetSize(tid int) int { return h.be.writeSetSize(tid) }
 
 // Stats returns machine-level counters.
 func (h *HTM) Stats() Stats { return h.stats }
@@ -686,17 +616,7 @@ func (h *HTM) Stats() Stats { return h.stats }
 // Diag returns test-only diagnostics; see the Diagnostics doc comment.
 func (h *HTM) Diag() Diagnostics { return h.diag }
 
-// DirStats counts conflict-directory activity: distinct lines acquiring a
-// first ownership claim, conflict-mask lookups, and accesses answered by the
-// empty-machine fast path. Folded into the metrics registry (htm.dir.*) at
-// runtime Finish.
-type DirStats struct {
-	Lines    uint64
-	Checks   uint64
-	Fastpath uint64
-}
-
-// DirStats returns the conflict-directory counters. All zero under RefScan.
-func (h *HTM) DirStats() DirStats {
-	return DirStats{Lines: h.dir.lines, Checks: h.dir.checks, Fastpath: h.fastpath}
-}
+// BackendStats returns the active backend's activity counters; see the
+// BackendStats type for which fields which backend populates. All zero under
+// the dir backend's RefScan reference resolver.
+func (h *HTM) BackendStats() BackendStats { return h.be.stats() }

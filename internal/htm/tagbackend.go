@@ -1,0 +1,176 @@
+package htm
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/shadow"
+)
+
+// tagBackend is the HMTRace-style conflict backend: instead of per-context
+// read/write sets, every line carries one owner tag — (slot, epoch, side) —
+// written by the last transactional access. A conflict is a tag mismatch at
+// access time: the line's tag names a different live transaction and either
+// side is a write. The trade against the directory:
+//
+//   - No footprint tracking, so no capacity aborts ever (readSetSize and
+//     writeSetSize answer zero) and commit/abort release is O(1) — stale
+//     tags simply persist.
+//   - One owner per line: there is no read sharing. A transactional
+//     requester conflicts on ANY live-tag mismatch — the fault real tag
+//     hardware raises — because proceeding would steal the tag and erase
+//     the owner's conflict evidence (a read-read steal followed by a write
+//     would race the first reader unseen). Concurrent read sharing, free
+//     under the directory, here costs conflict aborts and slow-path falls;
+//     the TxFail global-abort protocol turns each into re-execution under
+//     the software detector, trading throughput for soundness.
+//   - Tag reuse: tags carry only TagEpochBits of the owner's epoch, as real
+//     memory-tagging hardware would. Once a slot's begin count wraps past
+//     2^TagEpochBits, a stale tag from a long-dead transaction can alias
+//     the slot's live one and fabricate a conflict. The simulator keeps the
+//     unmasked epoch beside the tag (unavailable to the runtime, like
+//     Diagnostics) purely to count these as TagFalse — the false-conflict
+//     rate the precision suite measures.
+type tagBackend struct {
+	h *HTM
+
+	pt   shadow.PageTable[tagEntry]
+	mask uint64 // (1 << TagEpochBits) - 1
+
+	// epochs counts Begins per slot (unmasked); a tag is live iff its
+	// masked epoch equals the slot's current masked epoch and the slot is
+	// in liveMask.
+	epochs [64]uint64
+
+	lines    uint64 // empty→tagged transitions
+	checks   uint64 // conflict-test lookups
+	fastpath uint64 // empty-machine early returns
+	recycled uint64 // slot epoch wraps (aliasing became possible)
+	falseC   uint64 // conflicts blamed on an epoch-aliased stale tag
+}
+
+// tagEntry is one line's owner tag. state distinguishes a never-tagged line
+// (0) from read (1) and write (2) ownership. full is the simulator-only
+// unmasked epoch used to classify aliased conflicts; the conflict decision
+// itself uses only (slot, epoch, state), exactly what tag hardware stores.
+type tagEntry struct {
+	slot  uint8
+	state uint8
+	epoch uint32
+	full  uint64
+}
+
+const (
+	tagEmpty uint8 = iota
+	tagRead
+	tagWrite
+)
+
+func newTagBackend(h *HTM) *tagBackend {
+	return &tagBackend{h: h, mask: (uint64(1) << h.cfg.TagEpochBits) - 1}
+}
+
+func (b *tagBackend) name() string { return "tag" }
+
+func (b *tagBackend) begin(tid, slot int) {
+	b.epochs[slot]++
+	if b.epochs[slot]&b.mask == 0 {
+		// The masked epoch wrapped to a value older transactions of this
+		// slot have used: from here on their stale tags can alias.
+		b.recycled++
+	}
+}
+
+// release is a no-op: stale tags persist (the scheme's defining property).
+// Liveness filtering — liveMask plus the epoch match — keeps them inert
+// until the slot's epoch aliases.
+func (b *tagBackend) release(tid, slot int) {}
+
+func (b *tagBackend) readSetSize(tid int) int  { return 0 }
+func (b *tagBackend) writeSetSize(tid int) int { return 0 }
+
+func (b *tagBackend) stats() BackendStats {
+	return BackendStats{
+		Lines: b.lines, Checks: b.checks, Fastpath: b.fastpath,
+		TagRecycled: b.recycled, TagFalse: b.falseC,
+	}
+}
+
+// conflictMask decides whether e names a conflicting live transaction for a
+// requester on selfSlot (-1 when not transactional): the tag's slot must be
+// live, its masked epoch current, and it must not be the requester's own.
+// A transactional requester then conflicts on ANY mismatch — like the tag
+// fault real memory-tagging hardware raises — because proceeding would steal
+// the tag and destroy the owner's conflict evidence; in particular a
+// read-read steal must doom someone or a later writer races the first
+// reader unseen. A non-transactional requester steals nothing, so it
+// conflicts only under the usual R/W rule (at least one side writes).
+// aliased reports that the match rode an epoch wrap — a false conflict by
+// ground truth.
+func (b *tagBackend) conflictMask(e *tagEntry, selfSlot int, isWrite bool) (mask uint64, aliased bool) {
+	if e.state == tagEmpty {
+		return 0, false
+	}
+	slot := int(e.slot)
+	if slot == selfSlot {
+		return 0, false
+	}
+	if b.h.liveMask&(1<<uint(slot)) == 0 {
+		return 0, false
+	}
+	if uint64(e.epoch) != b.epochs[slot]&b.mask {
+		return 0, false
+	}
+	if selfSlot < 0 && e.state != tagWrite && !isWrite {
+		return 0, false
+	}
+	return 1 << uint(slot), e.full != b.epochs[slot]
+}
+
+func (b *tagBackend) access(tid int, addr memmodel.Addr, isWrite bool) {
+	h := b.h
+	if h.liveMask == 0 {
+		b.fastpath++
+		return
+	}
+	line := h.lineOf(addr)
+	t := h.activeTxn(tid)
+	b.checks++
+	if t == nil {
+		// Non-transactional requester: strong isolation dooms a live owner,
+		// but the line is not re-tagged (only transactions own tags).
+		if e := b.pt.Peek(uint64(line)); e != nil {
+			if conf, aliased := b.conflictMask(e, -1, isWrite); conf != 0 {
+				if aliased {
+					b.falseC++
+				}
+				h.resolveConflicts(tid, line, conf, false)
+			}
+		}
+		return
+	}
+	e := b.pt.Get(uint64(line))
+	if conf, aliased := b.conflictMask(e, t.slot, isWrite); conf != 0 {
+		if aliased {
+			b.falseC++
+		}
+		if h.resolveConflicts(tid, line, conf, true) {
+			// Responder wins: the requester was doomed and must not steal
+			// the surviving owner's tag.
+			return
+		}
+	}
+	// Tag the line: last accessor owns it. An own write tag is never
+	// downgraded by a later read of the same transaction.
+	if e.state == tagEmpty {
+		b.lines++
+	}
+	cur := b.epochs[t.slot]
+	state := tagRead
+	if isWrite ||
+		(int(e.slot) == t.slot && e.state == tagWrite && uint64(e.epoch) == cur&b.mask) {
+		state = tagWrite
+	}
+	e.slot = uint8(t.slot)
+	e.state = state
+	e.epoch = uint32(cur & b.mask)
+	e.full = cur
+}

@@ -181,6 +181,7 @@ type Observer struct {
 	cShadowPages, cShadowCellPages                    *Counter
 	cVCPoolHit, cVCPoolMiss                           *Counter
 	cDirLines, cDirChecks, cDirFastpath               *Counter
+	cTagRecycled, cTagFalse, cBoundedOverflow         *Counter
 	cDecodeInstrs                                     *Counter
 	cGovForced, cGovTrips, cGovGlobal                 *Counter
 	cFaultUnknown, cFaultRetry, cFaultCapacity        *Counter
@@ -232,6 +233,9 @@ func New(trace Sink, m *Metrics) *Observer {
 		cDirLines:        m.Counter("htm.dir.lines"),
 		cDirChecks:       m.Counter("htm.dir.checks"),
 		cDirFastpath:     m.Counter("htm.dir.fastpath"),
+		cTagRecycled:     m.Counter("htm.tag.recycled"),
+		cTagFalse:        m.Counter("htm.tag.false"),
+		cBoundedOverflow: m.Counter("htm.bounded.overflow"),
 		cDecodeInstrs:    m.Counter("sim.decode.instrs"),
 		cGovForced:       m.Counter("core.fallback.forced"),
 		cGovTrips:        m.Counter("core.governor.trips"),
@@ -475,6 +479,24 @@ func (o *Observer) HTMDirStats(lines, checks, fastpath uint64) {
 	o.cDirLines.Add(lines)
 	o.cDirChecks.Add(checks)
 	o.cDirFastpath.Add(fastpath)
+}
+
+// HTMBackendStats records which conflict backend the run used
+// (htm.backend.<name>, one increment per run) and folds in the
+// backend-specific counters: tag-epoch recycling and aliased false conflicts
+// for the tag backend, hard set-cap overflows for the bounded backend. The
+// overflow counter is deliberately distinct from fault.injected.capacity so
+// injected capacity bursts and real cap overflows stay attributable.
+func (o *Observer) HTMBackendStats(name string, tagRecycled, tagFalse, boundedOverflow uint64) {
+	if o == nil {
+		return
+	}
+	if name != "" {
+		o.metrics.Counter("htm.backend." + name).Add(1)
+	}
+	o.cTagRecycled.Add(tagRecycled)
+	o.cTagFalse.Add(tagFalse)
+	o.cBoundedOverflow.Add(boundedOverflow)
 }
 
 // SimDecodeStats folds the engine's decoded-instruction count into the
