@@ -64,10 +64,14 @@ func (c *Common) HTMConfig() htm.Config {
 }
 
 // Build resolves the named workload and builds it at the flag-selected
-// thread count and scale.
+// thread count and scale. Thread counts beyond a generator's calibrated
+// range are a one-line error naming the apps that do scale.
 func (c *Common) Build(name string) (*workload.Workload, *workload.Built, error) {
 	w, err := workload.ByName(name)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := w.CheckThreads(c.Threads); err != nil {
 		return nil, nil, err
 	}
 	return w, w.Build(c.Threads, c.Scale), nil

@@ -18,6 +18,8 @@
 //	                               # (measured Figure 6/9 phase breakdown)
 //	txbench -exp backends          # extension: HTM conflict backend matrix
 //	                               # (dir/tag/bounded x workloads)
+//	txbench -exp threads           # extension: threads-scaling curve
+//	                               # (sparse/delta clocks vs dense reference)
 //	txbench -exp all               # everything
 //
 // Use -app to restrict table1/table2/fig7/fig9 to one application, -scale to
@@ -45,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,6 +70,7 @@ func main() {
 		benchOut   = flag.String("bench-out", "", "run the micro benchmark suite, time each experiment, write BENCH JSON here")
 		benchGate  = flag.Bool("bench-gate", false, "with -bench-out: exit nonzero if the micro suite fails the allocation regression gate")
 		benchBase  = flag.String("bench-baseline", "", "with -bench-out -bench-gate: also gate htm/access rows against this committed BENCH_<n>.json trajectory")
+		threadsCts = flag.String("threads-counts", "", "comma-separated thread counts for -exp threads and the bench threads_scaling section (default 64,256,1024)")
 		linger     = flag.Duration("telemetry-linger", 0, "with -telemetry: keep serving this long after the experiments finish")
 	)
 	common := cli.AddFlags()
@@ -79,6 +83,11 @@ func main() {
 	cfg := common.ExperimentConfig()
 	cfg.Trials = *trials
 
+	counts, err := parseCounts(*threadsCts)
+	if err != nil {
+		fatal(err)
+	}
+
 	apps := workload.All()
 	if *app != "" {
 		w, err := workload.ByName(*app)
@@ -90,7 +99,7 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos", "attrib", "backends"}
+		ids = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "precision", "shadow", "detectability", "chaos", "attrib", "backends", "threads"}
 	}
 	if *chaos {
 		ids = []string{"chaos"}
@@ -117,7 +126,7 @@ func main() {
 			ob.SetTarget(metrics, ledger)
 		}
 		start := time.Now()
-		if err := run(id, rcfg, apps, *format); err != nil {
+		if err := run(id, rcfg, apps, counts, *format); err != nil {
 			ob.OnError(err)
 			fatal(err)
 		}
@@ -138,7 +147,7 @@ func main() {
 	if *benchOut != "" {
 		ecfg := cfg
 		ecfg.Obs = nil
-		if err := writeBench(*benchOut, expTimes, *benchGate, *benchBase, ecfg, apps); err != nil {
+		if err := writeBench(*benchOut, expTimes, *benchGate, *benchBase, ecfg, apps, counts); err != nil {
 			fatal(err)
 		}
 	}
@@ -162,12 +171,29 @@ type benchExperiment struct {
 // one file documents the before/after trajectory of the hot-path rebuild.
 // v2 adds per-backend htm/access/* micro rows and the table1_per_app
 // end-to-end section: one row per (application, conflict backend) from a
-// real backend-matrix run.
+// real backend-matrix run. v3 adds detect/join/{dense,sparse} scaling micro
+// rows plus the threads_scaling section: the txscale curve from a real
+// experiment.RunThreads run, with the sparse/dense cross-check recorded.
 type benchFile struct {
-	Schema       string            `json:"schema"`
-	Micro        []bench.Result    `json:"micro"`
-	Table1PerApp []benchE2E        `json:"table1_per_app"`
-	Experiments  []benchExperiment `json:"experiments"`
+	Schema         string            `json:"schema"`
+	Micro          []bench.Result    `json:"micro"`
+	Table1PerApp   []benchE2E        `json:"table1_per_app"`
+	ThreadsScaling []benchThreadsRow `json:"threads_scaling"`
+	Experiments    []benchExperiment `json:"experiments"`
+}
+
+// benchThreadsRow is one thread count of the scaling curve: deterministic
+// behaviour (races, checks, clock-representation counters, the sparse≡dense
+// cross-check) plus the normalized detection overhead.
+type benchThreadsRow struct {
+	Threads    int    `json:"threads"`
+	Races      int    `json:"races"`
+	Checks     uint64 `json:"checks"`
+	Overhead   string `json:"overhead"`
+	Promotions uint64 `json:"clock_promotions"`
+	Collapses  uint64 `json:"clock_collapses"`
+	Fallbacks  uint64 `json:"clock_fallbacks"`
+	DenseMatch bool   `json:"dense_match"`
 }
 
 // benchE2E is one end-to-end (application, backend) row: overhead over the
@@ -181,7 +207,7 @@ type benchE2E struct {
 	SlowRate string `json:"slow_rate"`
 }
 
-func writeBench(path string, exps []benchExperiment, gate bool, baselinePath string, cfg experiment.Config, apps []*workload.Workload) error {
+func writeBench(path string, exps []benchExperiment, gate bool, baselinePath string, cfg experiment.Config, apps []*workload.Workload, counts []int) error {
 	fmt.Println("running micro benchmark suite...")
 	micro := bench.RunMicro()
 	fmt.Println("running backend matrix for end-to-end rows...")
@@ -198,20 +224,34 @@ func writeBench(path string, exps []benchExperiment, gate bool, baselinePath str
 			SlowRate: report.FormatFixed(r.SlowRate, 2),
 		})
 	}
+	fmt.Println("running threads-scaling curve...")
+	th, err := experiment.RunThreads(cfg, counts)
+	if err != nil {
+		return err
+	}
+	var trows []benchThreadsRow
+	for _, r := range th.Rows {
+		trows = append(trows, benchThreadsRow{
+			Threads: r.Threads, Races: r.Races, Checks: r.Checks,
+			Overhead:   report.FormatFixed(r.Overhead, 2),
+			Promotions: r.Clock.Promotions, Collapses: r.Clock.Collapses,
+			Fallbacks: r.Clock.Fallbacks, DenseMatch: r.DenseMatch,
+		})
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	werr := enc.Encode(benchFile{Schema: "txrace-bench/v2", Micro: micro, Table1PerApp: e2e, Experiments: exps})
+	werr := enc.Encode(benchFile{Schema: "txrace-bench/v3", Micro: micro, Table1PerApp: e2e, ThreadsScaling: trows, Experiments: exps})
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
 	if werr != nil {
 		return werr
 	}
-	fmt.Printf("wrote bench %s (%d micro, %d e2e, %d experiments)\n", path, len(micro), len(e2e), len(exps))
+	fmt.Printf("wrote bench %s (%d micro, %d e2e, %d threads, %d experiments)\n", path, len(micro), len(e2e), len(trows), len(exps))
 	if gate {
 		if err := bench.Gate(micro); err != nil {
 			return err
@@ -255,7 +295,24 @@ func writeSnapshots(path string, snaps map[string]obs.Snapshot) error {
 	return enc.Encode(snaps)
 }
 
-func run(id string, cfg experiment.Config, apps []*workload.Workload, format string) error {
+// parseCounts parses the -threads-counts list; empty means the driver's
+// DefaultThreadCounts.
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -threads-counts entry %q (want integers >= 2)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(id string, cfg experiment.Config, apps []*workload.Workload, counts []int, format string) error {
 	var text func()
 	var data any
 	switch id {
@@ -339,6 +396,15 @@ func run(id string, cfg experiment.Config, apps []*workload.Workload, format str
 			return err
 		}
 		text, data = func() { f.WriteBackends(os.Stdout) }, f.JSON()
+	case "threads":
+		// The curve always runs txscale (the only workload calibrated to
+		// arbitrary thread counts); -app and -threads do not apply here,
+		// -threads-counts selects the points.
+		f, err := experiment.RunThreads(cfg, counts)
+		if err != nil {
+			return err
+		}
+		text, data = func() { f.WriteThreads(os.Stdout) }, f.JSON()
 	case "chaos":
 		// An explicit -app restriction carries through; the unrestricted
 		// default is the curated ChaosSuite, not every application.

@@ -74,6 +74,9 @@ func main() {
 		for _, name := range workload.Names() {
 			fmt.Println(name)
 		}
+		for _, name := range workload.ScalingNames() {
+			fmt.Println(name + "  (scales to arbitrary -threads)")
+		}
 		return
 	}
 	if *app == "" {

@@ -172,7 +172,7 @@ type microBench struct {
 }
 
 func microFuncs() []microBench {
-	return []microBench{
+	out := []microBench{
 		{"shadow/touch/map", benchTouch(shadow.NewMapMemory())},
 		{"shadow/touch/paged", benchTouch(shadow.NewMemory())},
 		{"shadow/revisit/map", benchRevisit(shadow.NewMapMemory())},
@@ -188,6 +188,7 @@ func microFuncs() []microBench {
 		{"sim/dispatch/tree", benchSimDispatch(true)},
 		{"sim/dispatch/decoded", benchSimDispatch(false)},
 	}
+	return append(out, joinBenches()...)
 }
 
 // RunMicro executes the fixed micro suite and returns its results in suite
@@ -271,6 +272,29 @@ func Gate(rs []Result) error {
 		return fmt.Errorf("bench: tag access %.2f ns/op, slower than directory's %.2f ns/op despite tracking no sets",
 			tag.Ns(), dir.Ns())
 	}
+	// The sparse/delta clock claim: at 1024 threads with idle skew the
+	// join path must beat the dense reference by 2x or better, and at 8
+	// threads it may cost at most 5% (plus a same-run noise allowance —
+	// the 8-thread rows are fast enough that scheduler jitter alone can
+	// exceed 5%).
+	d1024, ok1 := Find(rs, "detect/join/dense/1024")
+	s1024, ok2 := Find(rs, "detect/join/sparse/1024")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("bench: suite missing detect/join/1024 results")
+	}
+	if s1024.Ns() > d1024.Ns()*0.5 {
+		return fmt.Errorf("bench: sparse join at 1024 threads %.2f ns/op, less than 2x faster than dense's %.2f ns/op",
+			s1024.Ns(), d1024.Ns())
+	}
+	d8, ok1 := Find(rs, "detect/join/dense/8")
+	s8, ok2 := Find(rs, "detect/join/sparse/8")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("bench: suite missing detect/join/8 results")
+	}
+	if limit := d8.Ns() * 1.05 * 1.25; s8.Ns() > limit {
+		return fmt.Errorf("bench: sparse join at 8 threads %.2f ns/op exceeds dense's %.2f ns/op x 1.05 budget",
+			s8.Ns(), d8.Ns())
+	}
 	// Decoded dispatch must not lose to the tree walk it replaced.
 	tree, ok1 := Find(rs, "sim/dispatch/tree")
 	dec, ok2 := Find(rs, "sim/dispatch/decoded")
@@ -295,7 +319,8 @@ func GateBaseline(rs, baseline []Result) error {
 		seamBudget = 1.05 // the refactor's advertised ceiling
 		noise      = 1.25 // cross-machine wall-clock tolerance
 	)
-	for _, name := range []string{"htm/access/dir", "htm/access/scan", "htm/access/idle"} {
+	for _, name := range []string{"htm/access/dir", "htm/access/scan", "htm/access/idle",
+		"detect/join/sparse/8", "detect/join/sparse/1024", "clock/collapse"} {
 		cur, ok1 := Find(rs, name)
 		base, ok2 := Find(baseline, name)
 		if !ok1 || !ok2 {

@@ -25,6 +25,11 @@ func healthySuite() []Result {
 		synthetic("htm/access/bounded", 16, 0),
 		synthetic("sim/dispatch/tree", 250000, 40),
 		synthetic("sim/dispatch/decoded", 220000, 45),
+		synthetic("detect/join/dense/8", 40, 0),
+		synthetic("detect/join/sparse/8", 36, 0.02),
+		synthetic("detect/join/dense/1024", 1400, 0),
+		synthetic("detect/join/sparse/1024", 250, 0.02),
+		synthetic("clock/collapse", 37000, 5),
 	}
 }
 
@@ -54,6 +59,16 @@ func TestGateRejectsHotPathRegressions(t *testing.T) {
 	rs[4] = synthetic("htm/access/idle", 2, 0.5) // fast path allocating
 	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "htm/access/idle") {
 		t.Fatalf("Gate accepted idle-path allocations: %v", err)
+	}
+	rs[4] = synthetic("htm/access/idle", 2, 0)
+	rs[14] = synthetic("detect/join/sparse/1024", 800, 0.02) // lost the 2x scaling win
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "sparse join") {
+		t.Fatalf("Gate accepted sparse join scaling regression: %v", err)
+	}
+	rs[14] = synthetic("detect/join/sparse/1024", 250, 0.02)
+	rs[12] = synthetic("detect/join/sparse/8", 60, 0.02) // small-fleet regression
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "join at 8") {
+		t.Fatalf("Gate accepted small-fleet sparse join regression: %v", err)
 	}
 }
 

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/detect"
+	"testing"
+)
+
+// joinLive is the size of the live subset the detect/join rows rotate sync
+// operations through: fixed while the total thread count scales, the
+// idle-thread skew the sparse representation exists for.
+const joinLive = 8
+
+// liveTIDs spreads the live subset across the fleet. High tids must
+// participate or the dense path never pays O(threads): dense clocks are
+// grow-on-demand, so a live set clustered at tid 0..7 keeps every dense
+// clock at length 8 regardless of fleet size.
+func liveTIDs(threads int) []clock.TID {
+	live := make([]clock.TID, joinLive)
+	for i := range live {
+		live[i] = clock.TID(i * threads / joinLive)
+	}
+	return live
+}
+
+// benchDetectJoin measures the detector's vector-clock join path at a given
+// thread count: lock handoffs rotating through a small live subset of a
+// large fleet. On the dense path every Release/Acquire pays O(threads); on
+// the sparse path it pays O(live entries), with the periodic epoch-collapse
+// rounds amortized in.
+func benchDetectJoin(threads int, refDense bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := detect.Config{RefDense: refDense}
+		d := detect.NewWith(cfg)
+		for tid := 1; tid < threads; tid++ {
+			d.Fork(0, clock.TID(tid))
+		}
+		live := liveTIDs(threads)
+		locks := []detect.SyncID{1, 2, 3, 4}
+		// Warm the sync clocks so the timed loop is steady state.
+		for i := 0; i < 2*len(locks); i++ {
+			d.Release(live[i%joinLive], locks[i%len(locks)])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l := locks[i%len(locks)]
+			d.Release(live[i%joinLive], l)
+			d.Acquire(live[(i+1)%joinLive], l)
+		}
+	}
+}
+
+// benchClockCollapse measures one epoch-collapse round over a 1024-thread
+// fleet with idle skew: NextBase over every thread clock plus the Rebase of
+// each. This is the periodic cost the sparse join rows amortize.
+func benchClockCollapse() func(b *testing.B) {
+	return func(b *testing.B) {
+		const threads = 1024
+		d := detect.NewWith(detect.Config{CollapseEvery: -1})
+		for tid := 1; tid < threads; tid++ {
+			d.Fork(0, clock.TID(tid))
+		}
+		live := liveTIDs(threads)
+		locks := []detect.SyncID{1, 2, 3, 4}
+		for i := 0; i < 64; i++ {
+			l := locks[i%len(locks)]
+			d.Release(live[i%joinLive], l)
+			d.Acquire(live[(i+1)%joinLive], l)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Collapse()
+		}
+	}
+}
+
+// joinBenches returns the detect/join scaling rows plus the collapse-round
+// row, in suite order.
+func joinBenches() []microBench {
+	var out []microBench
+	for _, threads := range []int{8, 64, 256, 1024} {
+		out = append(out,
+			microBench{fmt.Sprintf("detect/join/dense/%d", threads), benchDetectJoin(threads, true)},
+			microBench{fmt.Sprintf("detect/join/sparse/%d", threads), benchDetectJoin(threads, false)},
+		)
+	}
+	out = append(out, microBench{"clock/collapse", benchClockCollapse()})
+	return out
+}

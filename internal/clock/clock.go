@@ -43,9 +43,20 @@ func (e Epoch) String() string {
 	return fmt.Sprintf("%d@%d", e.Time(), e.TID())
 }
 
-// VC is a grow-on-demand vector clock. The zero value is the all-zeros clock.
+// VC is a grow-on-demand vector clock. The zero value is the all-zeros clock
+// in the dense representation. NewSparse builds the sparse/delta form
+// (sparse.go): sorted tid→Time entries overriding a shared dense Base, with
+// automatic promotion back to the dense form past a density threshold. Both
+// forms answer the same API with identical semantics.
 type VC struct {
-	t []Time
+	t []Time // dense components (dense mode)
+
+	sparse  bool    // representation flag; see sparse.go
+	s       []entry // sorted explicit components, overriding base
+	scratch []entry // spare entry array recycled by merges (never aliases s)
+	base    *Base   // shared dense reference vector (nil = all-zeros bottom)
+	span    int     // upper bound on live component count, for promotion ratio
+	st      *Stats  // shared transition counters; marks sparse-capable clocks
 }
 
 // New returns a vector clock with capacity for n threads.
@@ -53,6 +64,9 @@ func New(n int) *VC { return &VC{t: make([]Time, n)} }
 
 // Get returns the component for tid (zero if beyond current length).
 func (v *VC) Get(tid TID) Time {
+	if v.sparse {
+		return v.sGet(tid)
+	}
 	if int(tid) >= len(v.t) {
 		return 0
 	}
@@ -61,6 +75,10 @@ func (v *VC) Get(tid TID) Time {
 
 // Set assigns component tid, growing the clock as needed.
 func (v *VC) Set(tid TID, t Time) {
+	if v.sparse {
+		v.sSet(tid, t)
+		return
+	}
 	v.grow(int(tid) + 1)
 	v.t[tid] = t
 }
@@ -69,6 +87,11 @@ func (v *VC) Set(tid TID, t Time) {
 // its own component at every lock release / signal / fork, opening a new
 // synchronization interval.
 func (v *VC) Tick(tid TID) Time {
+	if v.sparse {
+		nt := v.sGet(tid) + 1
+		v.sSet(tid, nt)
+		return nt
+	}
 	v.grow(int(tid) + 1)
 	v.t[tid]++
 	return v.t[tid]
@@ -93,10 +116,21 @@ func (v *VC) grow(n int) {
 	v.t = nt
 }
 
-// Clear resets v to the all-zeros clock of n components, reusing the backing
-// array when it is large enough. The shadow-memory read-vector pool uses it
-// to recycle clocks without reallocating.
+// Clear resets v to the all-zeros clock of n components, reusing backing
+// arrays when large enough. The shadow-memory read-vector pool uses it to
+// recycle clocks without reallocating. Sparse-capable clocks (created by
+// NewSparse with a Stats) reset to the empty sparse form even if they had
+// promoted to dense, so a recycled clock can never leak stale high-tid
+// entries and stays cheap to re-inflate at large thread counts.
 func (v *VC) Clear(n int) {
+	if v.sparse || v.st != nil {
+		v.sparse = true
+		v.s = v.s[:0]
+		v.base = nil
+		v.span = n
+		v.t = v.t[:0]
+		return
+	}
 	if cap(v.t) < n {
 		v.t = make([]Time, n)
 		return
@@ -107,30 +141,107 @@ func (v *VC) Clear(n int) {
 	}
 }
 
-// Len returns the number of components currently materialized.
-func (v *VC) Len() int { return len(v.t) }
+// Len returns the number of components currently materialized: the dense
+// length, or the number of explicit entries of a sparse clock — which after
+// an epoch-collapse tracks live threads, not peak TIDs.
+func (v *VC) Len() int {
+	if v.sparse {
+		return len(v.s)
+	}
+	return len(v.t)
+}
 
 // Join sets v to the component-wise maximum of v and o: the happens-before
 // transfer performed at lock acquire / wait / join.
 func (v *VC) Join(o *VC) {
-	v.grow(len(o.t))
-	for i, t := range o.t {
-		if t > v.t[i] {
-			v.t[i] = t
+	if !v.sparse && !o.sparse {
+		v.grow(len(o.t))
+		for i, t := range o.t {
+			if t > v.t[i] {
+				v.t[i] = t
+			}
 		}
+		return
 	}
+	if !v.sparse {
+		if o.base != nil && v.st != nil {
+			// dense ← based-sparse: folding o costs O(base span) via
+			// ForEach on every join, forever — a clock that promoted
+			// before the first collapse would otherwise never heal. Pay
+			// one O(span) pass to express the join result against o's
+			// base and return to sparse form.
+			v.adoptJoin(o)
+			return
+		}
+		// dense ← baseless sparse: fold o's entries in.
+		o.ForEach(func(tid TID, t Time) {
+			if t > v.Get(tid) {
+				v.Set(tid, t)
+			}
+		})
+		return
+	}
+	if !o.sparse {
+		// sparse ← dense: the dense side carries no base to merge against;
+		// fold its nonzero components in one at a time. Folding (rather
+		// than promoting v) keeps density from spreading virally through
+		// join chains — v promotes only if its own density threshold says
+		// so, via the sSet inside.
+		if v.st != nil {
+			v.st.Fallbacks++
+		}
+		if n := len(o.t); n > v.span {
+			v.span = n
+		}
+		// Get/Set dispatch on representation: sSet may promote v mid-fold
+		// once the added entries cross its density threshold.
+		o.ForEach(func(tid TID, t Time) {
+			if t > v.Get(tid) {
+				v.Set(tid, t)
+			}
+		})
+		return
+	}
+	if baseLeq(v.base, o.base) || baseLeq(o.base, v.base) {
+		v.joinSparse(o)
+		return
+	}
+	// Unrelated lineages: no order known between the bases; fold o's
+	// components in one at a time.
+	if v.st != nil {
+		v.st.Fallbacks++
+	}
+	o.ForEach(func(tid TID, t Time) {
+		if t > v.Get(tid) {
+			v.Set(tid, t)
+		}
+	})
 }
 
-// Assign copies o into v.
+// Assign copies o's value (and representation) into v.
 func (v *VC) Assign(o *VC) {
-	v.t = v.t[:0]
-	v.t = append(v.t, o.t...)
+	if o.sparse {
+		v.sparse = true
+		v.t = v.t[:0]
+		v.s = append(v.s[:0], o.s...)
+		v.base = o.base
+		v.span = o.span
+		return
+	}
+	v.sparse = false
+	v.s = v.s[:0]
+	v.base = nil
+	v.t = append(v.t[:0], o.t...)
 }
 
 // Clone returns an independent copy of v.
 func (v *VC) Clone() *VC {
-	c := &VC{t: make([]Time, len(v.t))}
-	copy(c.t, v.t)
+	c := &VC{sparse: v.sparse, base: v.base, span: v.span, st: v.st}
+	if v.sparse {
+		c.s = append([]entry(nil), v.s...)
+	} else {
+		c.t = append([]Time(nil), v.t...)
+	}
 	return c
 }
 
@@ -148,16 +259,44 @@ func (v *VC) LeqEpoch(e Epoch) bool {
 
 // Leq reports whether v ⊑ o component-wise.
 func (v *VC) Leq(o *VC) bool {
-	for i, t := range v.t {
-		if t > o.Get(TID(i)) {
-			return false
+	if !v.sparse && !o.sparse {
+		for i, t := range v.t {
+			if t > o.Get(TID(i)) {
+				return false
+			}
 		}
+		return true
 	}
-	return true
+	ok := true
+	v.ForEach(func(tid TID, t Time) {
+		if t > o.Get(tid) {
+			ok = false
+		}
+	})
+	return ok
 }
 
 // Concurrent reports whether neither clock is ordered before the other.
 func (v *VC) Concurrent(o *VC) bool { return !v.Leq(o) && !o.Leq(v) }
 
-// String renders the clock as [t0 t1 ...].
-func (v *VC) String() string { return fmt.Sprint(v.t) }
+// String renders the clock as [t0 t1 ...], materializing sparse clocks.
+func (v *VC) String() string {
+	if !v.sparse {
+		return fmt.Sprint(v.t)
+	}
+	n := v.span
+	if b := v.base.Len(); b > n {
+		n = b
+	}
+	if k := len(v.s); k > 0 && int(v.s[k-1].tid)+1 > n {
+		n = int(v.s[k-1].tid) + 1
+	}
+	out := make([]Time, n)
+	if v.base != nil {
+		copy(out, v.base.t)
+	}
+	for _, e := range v.s {
+		out[e.tid] = e.t
+	}
+	return fmt.Sprint(out)
+}

@@ -1,0 +1,682 @@
+// Sparse/delta vector clocks for many-thread scaling (DESIGN.md §11).
+//
+// At service-scale thread counts the dense VC pays O(T) per join and per
+// read-vector inflation even though most threads are idle between any two
+// synchronization events. The sparse form stores only the components that
+// differ from a shared immutable dense Base — a compression dictionary the
+// detector refreshes at epoch-collapse rounds — so the common joins cost
+// O(live entries) instead of O(peak TID).
+//
+// Invariants:
+//
+//  1. Entries override the base: the semantic value at tid is the entry's
+//     value when an entry exists, else base[tid] (0 for the nil base).
+//     Entries may sit below the base ("loose" entries, produced by Rebase
+//     fill-ins); every operation stays correct with any base.
+//  2. Entry lists are sorted by tid and never alias scratch.
+//  3. Bases within one lineage are pointwise monotone in generation:
+//     NextBase clamps each new base to its predecessor, so baseLeq can
+//     order two bases from (lineage, gen) alone — the doom-order-style
+//     bookkeeping invariant every sparse↔sparse merge relies on.
+//  4. The nil base is the universal bottom, compatible with every lineage;
+//     fresh clocks start there and adopt a lineage at their first join.
+package clock
+
+// entry is one explicit component of a sparse clock.
+type entry struct {
+	tid TID
+	t   Time
+}
+
+// Stats counts sparse-representation transitions. One Stats value is shared
+// by pointer among all clocks of a detector so the counters can be folded
+// into observability at Finish.
+type Stats struct {
+	Promotions uint64 // sparse clocks promoted to the dense representation
+	Collapses  uint64 // epoch-collapse rounds (NextBase + Rebase sweep)
+	Fallbacks  uint64 // joins that had to leave the sparse fast path
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Promotions += o.Promotions
+	s.Collapses += o.Collapses
+	s.Fallbacks += o.Fallbacks
+}
+
+// lineageTag gives each collapse protocol instance a unique identity; bases
+// from different lineages are never ordered by bookkeeping alone.
+type lineageTag struct{ _ byte }
+
+// Base is an immutable dense reference vector shared by many sparse clocks.
+// It is produced only by NextBase and never mutated afterwards.
+type Base struct {
+	t      []Time
+	gen    uint64      // collapse generation within the lineage, from 1
+	lin    *lineageTag // identity of the collapse protocol that grew it
+	prev   *Base       // base this one was collapsed from (nil for the first)
+	raised []TID       // tids where this base exceeds prev, ascending
+}
+
+// Get returns the base component for tid (zero for the nil bottom base and
+// beyond the materialized length).
+func (b *Base) Get(tid TID) Time {
+	if b == nil || int(tid) >= len(b.t) {
+		return 0
+	}
+	return b.t[tid]
+}
+
+// Len returns the number of materialized base components.
+func (b *Base) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.t)
+}
+
+// Gen returns the collapse generation (0 for the nil bottom base).
+func (b *Base) Gen() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.gen
+}
+
+// baseLeq reports a ⊑ b knowable from lineage bookkeeping alone: within one
+// lineage bases are pointwise monotone in generation (invariant 3), and the
+// nil bottom base is below everything.
+func baseLeq(a, b *Base) bool {
+	if a == nil {
+		return true
+	}
+	if b == nil {
+		return false
+	}
+	return a.lin == b.lin && a.gen <= b.gen
+}
+
+// NewSparse returns an empty sparse clock (the all-zeros value) recording
+// representation transitions in st. A non-nil st also marks the clock
+// sparse-capable: Clear returns it to the sparse form even after promotion,
+// which the shadow read-vector pool relies on.
+func NewSparse(st *Stats) *VC { return &VC{sparse: true, st: st} }
+
+// Sparse reports whether v currently uses the sparse representation.
+func (v *VC) Sparse() bool { return v.sparse }
+
+// BaseGen returns the collapse generation of the base v is currently
+// expressed against (0 for dense clocks and fresh sparse clocks).
+func (v *VC) BaseGen() uint64 { return v.base.Gen() }
+
+// Promotion policy: a sparse clock that has accumulated more than promoteMin
+// entries AND whose entries cover more than 1/promoteFrac of its span is
+// cheaper dense. The demotion threshold at Rebase is stricter (demoteFrac)
+// so clocks do not flap between representations across a collapse.
+const (
+	promoteMin  = 4
+	promoteFrac = 4
+	demoteFrac  = 8
+)
+
+// find returns the index of tid in the sorted entry list and whether it is
+// present; absent, the index is the insertion point.
+func (v *VC) find(tid TID) (int, bool) {
+	s := v.s
+	if len(s) <= 8 {
+		for i := range s {
+			if s[i].tid >= tid {
+				return i, s[i].tid == tid
+			}
+		}
+		return len(s), false
+	}
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].tid < tid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s) && s[lo].tid == tid
+}
+
+func (v *VC) sGet(tid TID) Time {
+	if i, ok := v.find(tid); ok {
+		return v.s[i].t
+	}
+	return v.base.Get(tid)
+}
+
+func (v *VC) sSet(tid TID, t Time) {
+	if n := int(tid) + 1; n > v.span {
+		v.span = n
+	}
+	i, ok := v.find(tid)
+	if t == v.base.Get(tid) {
+		// The base already says so; an entry would be redundant.
+		if ok {
+			v.s = append(v.s[:i], v.s[i+1:]...)
+		}
+		return
+	}
+	if ok {
+		v.s[i].t = t
+		return
+	}
+	v.s = append(v.s, entry{})
+	copy(v.s[i+1:], v.s[i:])
+	v.s[i] = entry{tid, t}
+	v.maybePromote()
+}
+
+func (v *VC) maybePromote() {
+	if len(v.s) > promoteMin && len(v.s)*promoteFrac > v.span {
+		v.promote()
+	}
+}
+
+// promote materializes v densely and leaves it dense (until Clear or a
+// demoting Rebase); past the density threshold the flat array is both
+// smaller and faster than the entry list.
+func (v *VC) promote() {
+	if !v.sparse {
+		return
+	}
+	n := v.span
+	if bl := v.base.Len(); bl > n {
+		n = bl
+	}
+	if k := len(v.s); k > 0 && int(v.s[k-1].tid)+1 > n {
+		n = int(v.s[k-1].tid) + 1
+	}
+	t := v.t
+	if cap(t) < n {
+		t = make([]Time, n)
+	} else {
+		t = t[:n]
+		for i := range t {
+			t[i] = 0
+		}
+	}
+	if v.base != nil {
+		copy(t, v.base.t)
+	}
+	for _, e := range v.s {
+		t[e.tid] = e.t
+	}
+	v.t = t
+	v.scratch = v.s[:0]
+	v.s = nil
+	v.base = nil
+	v.sparse = false
+	if v.st != nil {
+		v.st.Promotions++
+	}
+}
+
+// joinSparse merges o into v when both are sparse and their bases are
+// ordered by baseLeq: one walk over the union of the two entry lists,
+// re-expressed against the newer base, O(|v.s| + |o.s|).
+func (v *VC) joinSparse(o *VC) {
+	target := v.base
+	if baseLeq(v.base, o.base) {
+		target = o.base
+	}
+	out := v.scratch[:0]
+	i, j := 0, 0
+	for i < len(v.s) || j < len(o.s) {
+		var tid TID
+		var val Time
+		switch {
+		case j >= len(o.s) || (i < len(v.s) && v.s[i].tid < o.s[j].tid):
+			tid, val = v.s[i].tid, v.s[i].t
+			if ot := o.base.Get(tid); ot > val {
+				val = ot // o's value here is its base component
+			}
+			i++
+		case i >= len(v.s) || o.s[j].tid < v.s[i].tid:
+			tid, val = o.s[j].tid, o.s[j].t
+			if vt := v.base.Get(tid); vt > val {
+				val = vt
+			}
+			j++
+		default:
+			tid, val = v.s[i].tid, v.s[i].t
+			if o.s[j].t > val {
+				val = o.s[j].t
+			}
+			i++
+			j++
+		}
+		if val != target.Get(tid) {
+			out = append(out, entry{tid, val})
+		}
+	}
+	// Components with no entry on either side agree with target by
+	// invariant 3 (both bases ⊑ target pointwise), so dropping them is exact.
+	v.scratch = v.s[:0]
+	v.s = out
+	v.base = target
+	if n := target.Len(); n > v.span {
+		v.span = n
+	}
+	if o.span > v.span {
+		v.span = o.span
+	}
+	v.maybePromote()
+}
+
+// ForEach calls f for every semantically nonzero component of v in ascending
+// tid order. Detector scans use it instead of Len()-bounded index loops so
+// sparse and dense clocks visit identical components in identical order.
+func (v *VC) ForEach(f func(TID, Time)) {
+	if !v.sparse {
+		for i, t := range v.t {
+			if t != 0 {
+				f(TID(i), t)
+			}
+		}
+		return
+	}
+	i := 0
+	for tid := 0; tid < v.base.Len(); tid++ {
+		if i < len(v.s) && int(v.s[i].tid) == tid {
+			if v.s[i].t != 0 {
+				f(TID(tid), v.s[i].t)
+			}
+			i++
+			continue
+		}
+		if t := v.base.t[tid]; t != 0 {
+			f(TID(tid), t)
+		}
+	}
+	for ; i < len(v.s); i++ {
+		if v.s[i].t != 0 {
+			f(v.s[i].tid, v.s[i].t)
+		}
+	}
+}
+
+// NextBase computes the next shared base for an epoch-collapse round: the
+// component-wise minimum over the given clocks, clamped to never fall below
+// prev (keeping the lineage pointwise monotone, invariant 3). The sweep is
+// incremental for sparse clocks still on prev — O(total entries) — and pays
+// O(span) only for clocks on other bases (threads forked since the last
+// round, or clocks that promoted to dense).
+func NextBase(prev *Base, vcs []*VC) *Base {
+	span := prev.Len()
+	for _, v := range vcs {
+		if v.sparse {
+			if n := v.base.Len(); n > span {
+				span = n
+			}
+			if v.span > span {
+				span = v.span
+			}
+		} else if n := len(v.t); n > span {
+			span = n
+		}
+	}
+	const inf = ^Time(0)
+	nt := make([]Time, span)
+	cnt := make([]int32, span)
+	minE := make([]Time, span)
+	for i := range minE {
+		minE[i] = inf
+	}
+	var rest []*VC
+	ks := int32(0) // sparse clocks expressed against prev
+	for _, v := range vcs {
+		if v.sparse && v.base == prev {
+			ks++
+			for _, e := range v.s {
+				cnt[e.tid]++
+				if e.t < minE[e.tid] {
+					minE[e.tid] = e.t
+				}
+			}
+			continue
+		}
+		rest = append(rest, v)
+	}
+	for tid := range nt {
+		if ks == 0 {
+			nt[tid] = inf
+			continue
+		}
+		m := prev.Get(TID(tid)) // any prev-based clock without an entry
+		if cnt[tid] == ks {
+			m = minE[tid] // every prev-based clock overrides here
+		} else if minE[tid] < m {
+			m = minE[tid] // a loose entry sits below the base
+		}
+		nt[tid] = m
+	}
+	for _, v := range rest {
+		for tid := range nt {
+			if val := v.Get(TID(tid)); val < nt[tid] {
+				nt[tid] = val
+			}
+		}
+	}
+	var raised []TID
+	for tid := range nt {
+		p := prev.Get(TID(tid))
+		if nt[tid] == inf || nt[tid] < p {
+			nt[tid] = p
+		} else if nt[tid] > p {
+			raised = append(raised, TID(tid))
+		}
+	}
+	lin := &lineageTag{}
+	if prev != nil {
+		lin = prev.lin
+		// Sever the grandparent link: NextBase's incremental path and
+		// Rebase's fast path only ever look one generation back, so
+		// without this every collapse round would chain-retain all
+		// historical bases (span-sized arrays each).
+		prev.prev = nil
+	}
+	return &Base{t: nt, gen: prev.Gen() + 1, lin: lin, prev: prev, raised: raised}
+}
+
+// Rebase re-expresses v against nb without changing its semantic value.
+// The detector rebases thread clocks at each collapse round; sync clocks are
+// never eagerly rebased — they adopt newer bases lazily when next joined.
+// Dense clocks demote back to sparse when their diff against nb is small,
+// which is how a thread that went dense at a full barrier returns to a
+// one-entry clock once the barrier values enter the base.
+func (v *VC) Rebase(nb *Base) {
+	if nb == nil {
+		return
+	}
+	if !v.sparse {
+		v.demote(nb)
+		return
+	}
+	if v.base == nb {
+		return
+	}
+	if v.base == nb.prev {
+		// Fast path: entries re-filtered against nb, plus fill-ins at the
+		// components nb raised past its predecessor — O(|s| + |raised|).
+		out := v.scratch[:0]
+		i := 0
+		for _, r := range nb.raised {
+			for i < len(v.s) && v.s[i].tid < r {
+				if v.s[i].t != nb.Get(v.s[i].tid) {
+					out = append(out, v.s[i])
+				}
+				i++
+			}
+			if i < len(v.s) && v.s[i].tid == r {
+				if v.s[i].t != nb.Get(r) {
+					out = append(out, v.s[i])
+				}
+				i++
+			} else {
+				// v sat at the old base value here and nb moved past it; the
+				// old value becomes an explicit (loose) entry.
+				out = append(out, entry{r, v.base.Get(r)})
+			}
+		}
+		for ; i < len(v.s); i++ {
+			if v.s[i].t != nb.Get(v.s[i].tid) {
+				out = append(out, v.s[i])
+			}
+		}
+		v.scratch, v.s = v.s[:0], out
+	} else {
+		// General path: materialize semantic components against nb.
+		span := v.span
+		if n := nb.Len(); n > span {
+			span = n
+		}
+		if n := v.base.Len(); n > span {
+			span = n
+		}
+		out := v.scratch[:0]
+		for tid := TID(0); int(tid) < span; tid++ {
+			if val := v.sGet(tid); val != nb.Get(tid) {
+				out = append(out, entry{tid, val})
+			}
+		}
+		v.scratch, v.s = v.s[:0], out
+	}
+	v.base = nb
+	if n := nb.Len(); n > v.span {
+		v.span = n
+	}
+	v.maybePromote()
+}
+
+// demote re-expresses a dense clock sparsely against nb when the diff is at
+// most span/demoteFrac components; larger diffs stay dense.
+func (v *VC) demote(nb *Base) {
+	span := len(v.t)
+	if n := nb.Len(); n > span {
+		span = n
+	}
+	if span == 0 {
+		return
+	}
+	diffs := 0
+	for tid := 0; tid < span; tid++ {
+		var val Time
+		if tid < len(v.t) {
+			val = v.t[tid]
+		}
+		if val != nb.Get(TID(tid)) {
+			diffs++
+		}
+	}
+	if diffs*demoteFrac > span {
+		return
+	}
+	out := v.scratch[:0]
+	for tid := 0; tid < span; tid++ {
+		var val Time
+		if tid < len(v.t) {
+			val = v.t[tid]
+		}
+		if val != nb.Get(TID(tid)) {
+			out = append(out, entry{TID(tid), val})
+		}
+	}
+	v.s, v.scratch = out, nil
+	v.t = v.t[:0]
+	v.base = nb
+	v.span = span
+	v.sparse = true
+}
+
+// adoptJoin sets a dense sparse-capable v to max(v, o) where o is sparse
+// with a base, re-expressing the result against o's base. One O(span) pass;
+// afterwards v is sparse again (unless the result itself crosses the density
+// threshold), so a sync clock that promoted to dense early does not pin
+// every later join to an O(span) fold.
+func (v *VC) adoptJoin(o *VC) {
+	if v.st != nil {
+		v.st.Fallbacks++
+	}
+	nb := o.base
+	span := len(v.t)
+	if n := nb.Len(); n > span {
+		span = n
+	}
+	if o.span > span {
+		span = o.span
+	}
+	if k := len(o.s); k > 0 && int(o.s[k-1].tid)+1 > span {
+		span = int(o.s[k-1].tid) + 1
+	}
+	out := v.scratch[:0]
+	j := 0
+	for tid := 0; tid < span; tid++ {
+		bt := nb.Get(TID(tid))
+		ov := bt // o's value: base unless an entry overrides
+		if j < len(o.s) && int(o.s[j].tid) == tid {
+			ov = o.s[j].t
+			j++
+		}
+		val := ov
+		if tid < len(v.t) && v.t[tid] > val {
+			val = v.t[tid]
+		}
+		if val != bt {
+			out = append(out, entry{TID(tid), val})
+		}
+	}
+	v.scratch = v.s[:0]
+	v.s = out
+	v.t = v.t[:0]
+	v.base = nb
+	v.span = span
+	v.sparse = true
+	v.maybePromote()
+}
+
+// mEntry carries a merge candidate through the JoinAll tournament: the
+// running max at tid plus how many target-based participants had an
+// explicit entry there.
+type mEntry struct {
+	tid TID
+	t   Time
+	cnt int32
+}
+
+// JoinAll folds every src into dst. When dst and all srcs are sparse and
+// each base is either nil or one common target base, it runs one tournament
+// k-way merge over the sorted entry lists — O(E log k) for E total entries —
+// instead of k sequential passes. Barrier departures and fork-all/join-all
+// sync points hit exactly this case (children adopt the parent's base at
+// fork and all thread clocks rebase together at collapse). Anything else
+// falls back to sequential joins.
+func JoinAll(dst *VC, srcs []*VC) {
+	if len(srcs) == 0 {
+		return
+	}
+	target := dst.base
+	ok := dst.sparse
+	if ok {
+		for _, s := range srcs {
+			if !s.sparse {
+				ok = false
+				break
+			}
+			if s.base == nil || s.base == target {
+				continue
+			}
+			if target == nil {
+				target = s.base
+				continue
+			}
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		if dst.st != nil {
+			dst.st.Fallbacks++
+		}
+		for _, s := range srcs {
+			dst.Join(s)
+		}
+		return
+	}
+	// Seed the bracket. cnt marks entries of target-based participants: a
+	// component where some target-based clock has NO entry contributes
+	// target[tid] to the max; nil-based clocks contribute only zeros there.
+	kB := int32(0)
+	lists := make([][]mEntry, 0, len(srcs)+1)
+	span := dst.span
+	seed := func(v *VC) {
+		var c int32
+		if v.base == target && target != nil {
+			kB++
+			c = 1
+		}
+		if v.span > span {
+			span = v.span
+		}
+		if len(v.s) == 0 {
+			return
+		}
+		l := make([]mEntry, len(v.s))
+		for i, e := range v.s {
+			l[i] = mEntry{e.tid, e.t, c}
+		}
+		lists = append(lists, l)
+	}
+	seed(dst)
+	for _, s := range srcs {
+		seed(s)
+	}
+	// Tournament: pairwise merge rounds, max on duplicate tids.
+	for len(lists) > 1 {
+		next := lists[:0]
+		for i := 0; i < len(lists); i += 2 {
+			if i+1 == len(lists) {
+				next = append(next, lists[i])
+				break
+			}
+			next = append(next, mergeMax(lists[i], lists[i+1]))
+		}
+		lists = next
+	}
+	out := dst.scratch[:0]
+	if len(lists) == 1 {
+		for _, e := range lists[0] {
+			val := e.t
+			if e.cnt < kB {
+				// Some target-based participant had no entry here, so the
+				// target value itself joins the max.
+				if bt := target.Get(e.tid); bt > val {
+					val = bt
+				}
+			}
+			if val != target.Get(e.tid) {
+				out = append(out, entry{e.tid, val})
+			}
+		}
+	}
+	dst.scratch = dst.s[:0]
+	dst.s = out
+	dst.base = target
+	if n := target.Len(); n > span {
+		span = n
+	}
+	dst.span = span
+	dst.maybePromote()
+}
+
+func mergeMax(a, b []mEntry) []mEntry {
+	out := make([]mEntry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].tid < b[j].tid:
+			out = append(out, a[i])
+			i++
+		case b[j].tid < a[i].tid:
+			out = append(out, b[j])
+			j++
+		default:
+			e := a[i]
+			if b[j].t > e.t {
+				e.t = b[j].t
+			}
+			e.cnt += b[j].cnt
+			out = append(out, e)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -26,8 +26,15 @@ type TSan struct {
 	SlowScale float64
 }
 
-// NewTSan returns a TSan runtime.
-func NewTSan() *TSan { return &TSan{det: detect.New(), SlowScale: 1} }
+// NewTSan returns a TSan runtime in the default sparse-clock configuration.
+func NewTSan() *TSan { return NewTSanWith(detect.Config{}) }
+
+// NewTSanWith returns a TSan runtime over a specific detector clock
+// configuration (detect.Config.RefDense selects the retained dense
+// reference path for differential runs).
+func NewTSanWith(cfg detect.Config) *TSan {
+	return &TSan{det: detect.NewWith(cfg), SlowScale: 1}
+}
 
 // Detector exposes the underlying detector.
 func (r *TSan) Detector() *detect.Detector { return r.det }
@@ -40,6 +47,21 @@ func (r *TSan) Fork(p, c *sim.Thread) { r.det.Fork(clock.TID(p.ID), clock.TID(c.
 
 // Joined implements sim.Runtime.
 func (r *TSan) Joined(p, c *sim.Thread) { r.det.Join(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// JoinedAll implements sim.BatchJoiner: the engine's join-all point becomes
+// one tree-structured N-way clock merge instead of N sequential joins.
+func (r *TSan) JoinedAll(p *sim.Thread, cs []*sim.Thread) {
+	r.det.JoinAllChildren(clock.TID(p.ID), childTIDs(cs))
+}
+
+// childTIDs converts a thread batch to detector TIDs.
+func childTIDs(cs []*sim.Thread) []clock.TID {
+	tids := make([]clock.TID, len(cs))
+	for i, c := range cs {
+		tids[i] = clock.TID(c.ID)
+	}
+	return tids
+}
 
 // SyncAcquire implements sim.Runtime.
 func (r *TSan) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
@@ -81,7 +103,13 @@ type Sampling struct {
 
 // NewSampling returns a sampling runtime at the given rate.
 func NewSampling(rate float64, seed int64) *Sampling {
-	return &Sampling{s: detect.NewSampler(rate, seed), SlowScale: 1}
+	return NewSamplingWith(rate, seed, detect.Config{})
+}
+
+// NewSamplingWith is NewSampling over a specific detector clock
+// configuration.
+func NewSamplingWith(rate float64, seed int64, cfg detect.Config) *Sampling {
+	return &Sampling{s: detect.NewSamplerWith(rate, seed, cfg), SlowScale: 1}
 }
 
 // Sampler exposes the underlying sampler.
@@ -98,6 +126,11 @@ func (r *Sampling) Fork(p, c *sim.Thread) { r.s.Fork(clock.TID(p.ID), clock.TID(
 
 // Joined implements sim.Runtime.
 func (r *Sampling) Joined(p, c *sim.Thread) { r.s.Join(clock.TID(p.ID), clock.TID(c.ID)) }
+
+// JoinedAll implements sim.BatchJoiner.
+func (r *Sampling) JoinedAll(p *sim.Thread, cs []*sim.Thread) {
+	r.s.D.JoinAllChildren(clock.TID(p.ID), childTIDs(cs))
+}
 
 // SyncAcquire implements sim.Runtime.
 func (r *Sampling) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
@@ -131,14 +164,20 @@ func (r *Sampling) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
 	}
 }
 
-// Finish folds the detector's shadow allocation counters into the metrics.
+// Finish folds the detector's shadow allocation and clock-representation
+// counters into the metrics.
 func (r *TSan) Finish(e *sim.Engine) {
 	s := r.det.ShadowStats()
 	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+	cs := r.det.ClockStats()
+	e.Config().Obs.ClockSparseStats(cs.Promotions, cs.Collapses, cs.Fallbacks)
 }
 
-// Finish folds the detector's shadow allocation counters into the metrics.
+// Finish folds the detector's shadow allocation and clock-representation
+// counters into the metrics.
 func (r *Sampling) Finish(e *sim.Engine) {
 	s := r.s.D.ShadowStats()
 	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+	cs := r.s.D.ClockStats()
+	e.Config().Obs.ClockSparseStats(cs.Promotions, cs.Collapses, cs.Fallbacks)
 }

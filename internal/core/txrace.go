@@ -59,6 +59,10 @@ type Options struct {
 	// Governor configures the adaptive fallback governor (governor.go); the
 	// zero value disables it.
 	Governor GovernorConfig
+	// Detect selects the slow-path detector's vector-clock representation;
+	// the zero value is the default sparse/delta configuration, RefDense
+	// the retained dense reference for differential runs.
+	Detect detect.Config
 	// Obs, when non-nil, receives structured lifecycle events and metrics
 	// updates (internal/obs): transaction begin/commit/abort with the RTM
 	// status word, TxFail episodes, slow-path regions, loop-cut decisions.
@@ -186,7 +190,7 @@ func NewTxRace(opts Options) *TxRace {
 	r := &TxRace{
 		opts:       opts,
 		hw:         htm.New(opts.HTM),
-		det:        detect.New(),
+		det:        detect.NewWith(opts.Detect),
 		txFail:     txFailBase,
 		thresholds: opts.Thresholds,
 		cutActive:  make(map[sim.LoopID]bool),
@@ -261,6 +265,12 @@ func (r *TxRace) Fork(parent, child *sim.Thread) {
 // Joined implements sim.Runtime.
 func (r *TxRace) Joined(parent, child *sim.Thread) {
 	r.det.Join(clock.TID(parent.ID), clock.TID(child.ID))
+}
+
+// JoinedAll implements sim.BatchJoiner: one tree-structured N-way clock
+// merge at the engine's join-all point.
+func (r *TxRace) JoinedAll(parent *sim.Thread, children []*sim.Thread) {
+	r.det.JoinAllChildren(clock.TID(parent.ID), childTIDs(children))
 }
 
 // SyncAcquire tracks the happens-before edge on both paths (§5, Fig. 6).
@@ -820,6 +830,8 @@ func (r *TxRace) FaultStats() fault.Stats { return r.opts.Fault.Stats() }
 func (r *TxRace) Finish(e *sim.Engine) {
 	s := r.det.ShadowStats()
 	e.Config().Obs.ShadowMemStats(s.Pages, s.PoolHits, s.PoolMisses)
+	cs := r.det.ClockStats()
+	e.Config().Obs.ClockSparseStats(cs.Promotions, cs.Collapses, cs.Fallbacks)
 	d := r.hw.BackendStats()
 	e.Config().Obs.HTMDirStats(d.Lines, d.Checks, d.Fastpath)
 	e.Config().Obs.HTMBackendStats(r.hw.Backend(), d.TagRecycled, d.TagFalse, d.Overflows)

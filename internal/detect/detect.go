@@ -51,6 +51,27 @@ func (r Race) String() string {
 // PairKey is a normalized static race identity.
 type PairKey struct{ A, B shadow.SiteID }
 
+// Config selects the detector's vector-clock representation (DESIGN.md §11).
+// The zero value is the production configuration: sparse/delta clocks with
+// periodic epoch-collapsing.
+type Config struct {
+	// RefDense forces the retained dense representation everywhere: thread
+	// clocks, sync tables, read vectors, vcVars. It is the reference path
+	// for differential tests, exactly like the RefScan/RefWalk precedents.
+	RefDense bool
+	// CollapseEvery is the number of release operations between
+	// epoch-collapse rounds. 0 means DefaultCollapseEvery; negative
+	// disables collapsing (sparse clocks then never change base).
+	CollapseEvery int
+}
+
+// DefaultCollapseEvery is the release cadence of epoch-collapse rounds.
+const DefaultCollapseEvery = 256
+
+// collapseMinThreads gates collapsing: below this thread count the dense
+// representation is already near-optimal and a shared base buys nothing.
+const collapseMinThreads = 16
+
 // Detector holds the full happens-before state: one vector clock per thread,
 // one per sync object, and FastTrack shadow words.
 type Detector struct {
@@ -61,18 +82,52 @@ type Detector struct {
 	order   []PairKey // insertion order for deterministic reporting
 	onRace  func(Race)
 
+	cfg           Config
+	stats         *clock.Stats // shared by every clock this detector creates
+	base          *clock.Base  // current epoch-collapse base (nil before first round)
+	collapseEvery int
+	sinceCollapse int
+	collapseBuf   []*clock.VC
+
 	// Checks counts memory accesses actually analyzed; the cost model uses
 	// it and the sampling comparison reports it.
 	Checks uint64
 }
 
-// New returns an empty detector.
-func New() *Detector {
-	return &Detector{
+// New returns an empty detector in the default sparse-clock configuration.
+func New() *Detector { return NewWith(Config{}) }
+
+// NewWith returns an empty detector with the given clock configuration.
+func NewWith(cfg Config) *Detector {
+	d := &Detector{
 		mem:   shadow.NewMemory(),
 		races: make(map[PairKey]Race),
+		cfg:   cfg,
+		stats: new(clock.Stats),
 	}
+	d.collapseEvery = cfg.CollapseEvery
+	if d.collapseEvery == 0 {
+		d.collapseEvery = DefaultCollapseEvery
+	}
+	if !cfg.RefDense {
+		d.syncs.mk = d.newClock
+		d.mem.UseSparseClocks(d.stats)
+	}
+	return d
 }
+
+// newClock builds a thread/sync/read-vector clock in the configured
+// representation.
+func (d *Detector) newClock() *clock.VC {
+	if d.cfg.RefDense {
+		return clock.New(0)
+	}
+	return clock.NewSparse(d.stats)
+}
+
+// ClockStats returns the sparse-representation transition counters; the
+// runtimes fold them into observability at Finish.
+func (d *Detector) ClockStats() clock.Stats { return *d.stats }
 
 // OnRace registers a callback invoked once per distinct static race.
 func (d *Detector) OnRace(f func(Race)) { d.onRace = f }
@@ -89,7 +144,12 @@ func (d *Detector) thread(tid clock.TID) *clock.VC {
 		d.threads = growThreads(d.threads, tid)
 	}
 	if d.threads[tid] == nil {
-		v := clock.New(int(tid) + 1)
+		var v *clock.VC
+		if d.cfg.RefDense {
+			v = clock.New(int(tid) + 1)
+		} else {
+			v = clock.NewSparse(d.stats)
+		}
 		v.Tick(tid) // a thread's own component starts at 1
 		d.threads[tid] = v
 	}
@@ -122,6 +182,22 @@ func (d *Detector) Join(parent, child clock.TID) {
 	c.Tick(child)
 }
 
+// JoinAllChildren records parent observing the termination of every child in
+// one batched operation: with sparse clocks the N-way merge is a single
+// tournament over the sorted entry lists (clock.JoinAll) instead of N
+// sequential O(T) joins. Semantically identical to calling Join per child.
+func (d *Detector) JoinAllChildren(parent clock.TID, children []clock.TID) {
+	p := d.thread(parent)
+	d.collapseBuf = d.collapseBuf[:0]
+	for _, c := range children {
+		d.collapseBuf = append(d.collapseBuf, d.thread(c))
+	}
+	clock.JoinAll(p, d.collapseBuf)
+	for _, c := range children {
+		d.thread(c).Tick(c)
+	}
+}
+
 // Acquire records tid synchronizing-with prior releases of s (lock acquire,
 // condition wait return, barrier departure).
 func (d *Detector) Acquire(tid clock.TID, s SyncID) {
@@ -136,6 +212,47 @@ func (d *Detector) Release(tid clock.TID, s SyncID) {
 	t := d.thread(tid)
 	d.sync(s).Join(t)
 	t.Tick(tid)
+	d.maybeCollapse()
+}
+
+func (d *Detector) maybeCollapse() {
+	if d.cfg.RefDense || d.collapseEvery < 0 {
+		return
+	}
+	d.sinceCollapse++
+	if d.sinceCollapse < d.collapseEvery || len(d.threads) < collapseMinThreads {
+		return
+	}
+	d.sinceCollapse = 0
+	d.Collapse()
+}
+
+// Collapse runs one epoch-collapse round: a new shared base is computed at
+// the pointwise minimum of all thread clocks (clock.NextBase) and the thread
+// clocks are re-expressed against it, so each ends up carrying entries only
+// for components where it is ahead of the floor — idle threads' slots are
+// reclaimed and Len() tracks live threads again. Sync clocks are never
+// eagerly rebased; they adopt newer bases lazily when next joined. Runs
+// automatically every CollapseEvery releases; exported for benchmarks.
+func (d *Detector) Collapse() {
+	if d.cfg.RefDense {
+		return
+	}
+	d.collapseBuf = d.collapseBuf[:0]
+	for _, v := range d.threads {
+		if v != nil {
+			d.collapseBuf = append(d.collapseBuf, v)
+		}
+	}
+	if len(d.collapseBuf) == 0 {
+		return
+	}
+	nb := clock.NextBase(d.base, d.collapseBuf)
+	for _, v := range d.collapseBuf {
+		v.Rebase(nb)
+	}
+	d.base = nb
+	d.stats.Collapses++
 }
 
 func (d *Detector) report(r Race) {
@@ -200,13 +317,15 @@ func (d *Detector) Write(tid clock.TID, addr memmodel.Addr, site shadow.SiteID) 
 			PrevWrite: true, CurWrite: true, PrevTID: w.W.TID(), CurTID: tid})
 	}
 	if w.ReadShared() {
-		for t := clock.TID(0); int(t) < w.RVC.Len(); t++ {
-			rt := w.RVC.Get(t)
-			if rt > 0 && rt > c.Get(t) {
+		// ForEach visits nonzero components in ascending tid order — the
+		// same components, in the same order, as the dense index loop it
+		// replaced, so race reports are representation-independent.
+		w.RVC.ForEach(func(t clock.TID, rt clock.Time) {
+			if rt > c.Get(t) {
 				d.report(Race{Addr: addr, PrevSite: w.RSiteOf(t), CurSite: site,
 					PrevWrite: false, CurWrite: true, PrevTID: t, CurTID: tid})
 			}
-		}
+		})
 	} else if w.R != clock.NoEpoch && !c.LeqEpoch(w.R) {
 		d.report(Race{Addr: addr, PrevSite: w.RSite, CurSite: site,
 			PrevWrite: false, CurWrite: true, PrevTID: w.R.TID(), CurTID: tid})

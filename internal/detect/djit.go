@@ -23,6 +23,9 @@ type VCDetector struct {
 	races   map[PairKey]Race
 	order   []PairKey
 
+	cfg   Config
+	stats *clock.Stats
+
 	Checks uint64
 }
 
@@ -33,19 +36,47 @@ type vcVar struct {
 	rSites []shadow.SiteID
 }
 
-// NewVC returns an empty Djit⁺-style detector.
-func NewVC() *VCDetector {
-	return &VCDetector{
+// NewVC returns an empty Djit⁺-style detector in the default sparse-clock
+// configuration. Per-variable clocks are where sparsity pays most here: a
+// variable touched by a handful of threads carries a handful of entries
+// however many threads the program has.
+func NewVC() *VCDetector { return NewVCWith(Config{}) }
+
+// NewVCWith returns an empty Djit⁺-style detector with the given clock
+// configuration.
+func NewVCWith(cfg Config) *VCDetector {
+	d := &VCDetector{
 		races: make(map[PairKey]Race),
+		cfg:   cfg,
+		stats: new(clock.Stats),
 	}
+	if !cfg.RefDense {
+		d.syncs.mk = d.newClock
+	}
+	return d
 }
+
+func (d *VCDetector) newClock() *clock.VC {
+	if d.cfg.RefDense {
+		return clock.New(0)
+	}
+	return clock.NewSparse(d.stats)
+}
+
+// ClockStats returns the sparse-representation transition counters.
+func (d *VCDetector) ClockStats() clock.Stats { return *d.stats }
 
 func (d *VCDetector) thread(tid clock.TID) *clock.VC {
 	if int(tid) >= len(d.threads) {
 		d.threads = growThreads(d.threads, tid)
 	}
 	if d.threads[tid] == nil {
-		v := clock.New(int(tid) + 1)
+		var v *clock.VC
+		if d.cfg.RefDense {
+			v = clock.New(int(tid) + 1)
+		} else {
+			v = clock.NewSparse(d.stats)
+		}
 		v.Tick(tid)
 		d.threads[tid] = v
 	}
@@ -81,7 +112,7 @@ func (d *VCDetector) Release(tid clock.TID, s SyncID) {
 func (d *VCDetector) varOf(a memmodel.Addr) *vcVar {
 	v := d.vars.Get(memmodel.WordOf(a))
 	if v.w == nil {
-		v.w, v.r = clock.New(0), clock.New(0)
+		v.w, v.r = d.newClock(), d.newClock()
 	}
 	return v
 }
@@ -111,20 +142,22 @@ func (d *VCDetector) report(r Race) {
 	d.order = append(d.order, k)
 }
 
-// scan reports every component of prev that is not covered by cur: a full
-// O(threads) vector comparison per access — Djit⁺'s cost profile.
+// scan reports every component of prev that is not covered by cur —
+// Djit⁺'s per-access vector comparison. ForEach visits only live
+// components in ascending tid order, so a sparse per-variable clock costs
+// O(touching threads) rather than O(all threads), and reports stay in the
+// dense loop's order.
 func (d *VCDetector) scan(prev *clock.VC, sites []shadow.SiteID, prevWrite bool,
 	cur *clock.VC, tid clock.TID, isWrite bool, addr memmodel.Addr, site shadow.SiteID) {
-	for t := clock.TID(0); int(t) < prev.Len(); t++ {
+	prev.ForEach(func(t clock.TID, pt clock.Time) {
 		if t == tid {
-			continue
+			return
 		}
-		pt := prev.Get(t)
-		if pt > 0 && pt > cur.Get(t) {
+		if pt > cur.Get(t) {
 			d.report(Race{Addr: addr, PrevSite: siteOf(sites, t), CurSite: site,
 				PrevWrite: prevWrite, CurWrite: isWrite, PrevTID: t, CurTID: tid})
 		}
-	}
+	})
 }
 
 // Read analyzes a read.

@@ -24,10 +24,15 @@ type Sampler struct {
 
 // NewSampler returns a sampler at the given rate in [0,1].
 func NewSampler(rate float64, seed int64) *Sampler {
+	return NewSamplerWith(rate, seed, Config{})
+}
+
+// NewSamplerWith is NewSampler over a specific clock configuration.
+func NewSamplerWith(rate float64, seed int64, cfg Config) *Sampler {
 	if rate < 0 || rate > 1 {
 		panic("detect: sampling rate out of [0,1]")
 	}
-	return &Sampler{D: New(), Rate: rate, rng: rand.New(rand.NewSource(seed))}
+	return &Sampler{D: NewWith(cfg), Rate: rate, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Access analyzes the access with probability Rate and reports whether it

@@ -10,10 +10,20 @@ import "repro/internal/clock"
 const denseSyncLimit = 1 << 16
 
 // vcTable maps SyncIDs to their vector clocks: a direct-indexed slice for
-// dense ids, a map for the namespaced remainder. The zero value is empty.
+// dense ids, a map for the namespaced remainder. The zero value is empty
+// and builds dense clocks; a detector running sparse clocks installs its
+// constructor via mk.
 type vcTable struct {
 	dense  []*clock.VC
 	sparse map[SyncID]*clock.VC
+	mk     func() *clock.VC // clock constructor (nil = dense clock.New(0))
+}
+
+func (t *vcTable) newClock() *clock.VC {
+	if t.mk != nil {
+		return t.mk()
+	}
+	return clock.New(0)
 }
 
 // get returns the clock for s, creating an empty one on first use.
@@ -26,7 +36,7 @@ func (t *vcTable) get(s SyncID) *clock.VC {
 		}
 		v := t.dense[s]
 		if v == nil {
-			v = clock.New(0)
+			v = t.newClock()
 			t.dense[s] = v
 		}
 		return v
@@ -36,7 +46,7 @@ func (t *vcTable) get(s SyncID) *clock.VC {
 	}
 	v := t.sparse[s]
 	if v == nil {
-		v = clock.New(0)
+		v = t.newClock()
 		t.sparse[s] = v
 	}
 	return v

@@ -12,6 +12,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/fault"
@@ -49,6 +50,11 @@ type Config struct {
 	// capacity-abort pattern feeds the thresholds), so profile memoization
 	// is keyed by backend too. Baselines never touch the HTM.
 	Backend string
+	// RefDense runs the detectors on the retained dense clock path
+	// (detect.Config.RefDense) instead of the default sparse/delta
+	// representation. Results are identical either way — the threads
+	// scaling driver and the differential suites run both and assert it.
+	RefDense bool
 	// Jobs bounds the worker pool the drivers execute their job plans on;
 	// 0 means GOMAXPROCS. Results are independent of the value — plans
 	// merge results and metrics in plan order.
@@ -112,6 +118,12 @@ func (c Config) htmConfig() htm.Config {
 	return hc
 }
 
+// detectConfig translates Config.RefDense into the detector clock
+// configuration the runtimes carry.
+func (c Config) detectConfig() detect.Config {
+	return detect.Config{RefDense: c.RefDense}
+}
+
 // backendKey is the memo-key component for Config.Backend: the default
 // spellings collapse to "" so "" and "dir" share cache entries.
 func (c Config) backendKey() string {
@@ -145,6 +157,9 @@ type TSanRun struct {
 	Makespan int64
 	Races    []detect.PairKey
 	Checks   uint64
+	// Clock carries the detector's clock-representation counters
+	// (all zero on the RefDense path).
+	Clock clock.Stats
 }
 
 // TxRaceRun holds one two-phase execution.
@@ -181,7 +196,7 @@ func RunBaseline(w *workload.Workload, cfg Config, seed uint64) (*BaselineRun, e
 func RunTSan(w *workload.Workload, cfg Config, seed uint64) (*TSanRun, error) {
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
-	rt := core.NewTSan()
+	rt := core.NewTSanWith(cfg.detectConfig())
 	rt.SlowScale = w.SlowScale
 	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(instrument.ForTSan(built.Prog), rt)
 	if err != nil {
@@ -191,6 +206,7 @@ func RunTSan(w *workload.Workload, cfg Config, seed uint64) (*TSanRun, error) {
 		Makespan: res.Makespan,
 		Races:    rt.Detector().RaceKeys(),
 		Checks:   rt.Detector().Checks,
+		Clock:    rt.Detector().ClockStats(),
 	}, nil
 }
 
@@ -213,7 +229,8 @@ func RunTxRaceFault(w *workload.Workload, cfg Config, seed uint64, plan fault.Pl
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
 	opts := core.Options{LoopCut: cfg.LoopCut, SlowScale: w.SlowScale, Obs: cfg.Obs,
-		Fault: fault.NewIfAny(plan), Governor: gov, HTM: cfg.htmConfig()}
+		Fault: fault.NewIfAny(plan), Governor: gov, HTM: cfg.htmConfig(),
+		Detect: cfg.detectConfig()}
 	if cfg.LoopCut == core.ProfCut {
 		// Profile with a different seed: representative input, not the
 		// measured run. The profiling pass is unobserved so metrics and
@@ -256,7 +273,7 @@ func RunTxRaceFault(w *workload.Workload, cfg Config, seed uint64, plan fault.Pl
 func RunSampling(w *workload.Workload, cfg Config, seed uint64, rate float64) (*TSanRun, error) {
 	cfg = cfg.withDefaults()
 	built := w.Build(cfg.Threads, cfg.Scale)
-	rt := core.NewSampling(rate, int64(seed)+7)
+	rt := core.NewSamplingWith(rate, int64(seed)+7, cfg.detectConfig())
 	rt.SlowScale = w.SlowScale
 	res, err := sim.NewEngine(cfg.engineConfig(w, seed)).Run(instrument.ForTSan(built.Prog), rt)
 	if err != nil {
@@ -266,5 +283,6 @@ func RunSampling(w *workload.Workload, cfg Config, seed uint64, rate float64) (*
 		Makespan: res.Makespan,
 		Races:    rt.Detector().RaceKeys(),
 		Checks:   rt.Detector().Checks,
+		Clock:    rt.Detector().ClockStats(),
 	}, nil
 }

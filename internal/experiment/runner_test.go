@@ -36,6 +36,7 @@ func TestParallelDeterminism(t *testing.T) {
 		{"precision", func(cfg Config) (result, error) { return RunPrecision(cfg, small) }},
 		{"shadow", func(cfg Config) (result, error) { return RunShadow(cfg, small) }},
 		{"detectability", func(cfg Config) (result, error) { return RunDetectability(cfg, small, 3) }},
+		{"threads", func(cfg Config) (result, error) { return RunThreads(cfg, []int{16, 64}) }},
 	}
 	for _, e := range experiments {
 		e := e

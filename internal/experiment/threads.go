@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"io"
+
+	"repro/internal/clock"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// The threads-scaling driver measures the detector along the axis the
+// sparse/delta clock representation exists for: thread count. Each point of
+// the curve runs the txscale workload three ways — uninstrumented baseline,
+// full detection on the sparse path, and full detection on the retained
+// dense reference (Config.RefDense) — and the reduction cross-checks that
+// sparse and dense agree exactly on races and checks at every count. The
+// representation's wall-clock advantage is measured by the detect/join
+// bench rows; this driver records the deterministic behaviour of the curve
+// (races, checks, overhead, promotion/collapse/fallback counts).
+
+// DefaultThreadCounts is the scaling curve BENCH_6.json records.
+func DefaultThreadCounts() []int { return []int{64, 256, 1024} }
+
+// ThreadsRow is one thread count on the scaling curve.
+type ThreadsRow struct {
+	Threads  int
+	Baseline int64
+	Makespan int64
+	// Overhead is detection makespan over the uninstrumented baseline.
+	Overhead float64
+	Races    int
+	Checks   uint64
+	// Clock carries the sparse run's representation counters.
+	Clock clock.Stats
+	// DenseMatch reports whether the sparse run and the dense reference
+	// agreed exactly (race set, order, and check count).
+	DenseMatch bool
+}
+
+// Threads holds the scaling curve.
+type Threads struct {
+	App  *workload.Workload
+	Rows []ThreadsRow
+}
+
+// RunThreads executes the scaling curve over the given thread counts (nil
+// means DefaultThreadCounts). Per count it plans a baseline job, a sparse
+// TSan job, and a RefDense TSan job; the plan executes on the worker pool
+// and the reduction is in plan order, so output is byte-identical at any
+// cfg.Jobs.
+func RunThreads(cfg Config, counts []int) (*Threads, error) {
+	cfg = cfg.withDefaults()
+	if len(counts) == 0 {
+		counts = DefaultThreadCounts()
+	}
+	w, err := workload.ByName("txscale")
+	if err != nil {
+		return nil, err
+	}
+	plan := cfg.newPlan()
+	type cell struct {
+		base, sparse, dense *runner.Handle
+	}
+	cells := make([]cell, len(counts))
+	for i, n := range counts {
+		ncfg := cfg
+		ncfg.Threads = n
+		ncfg.RefDense = false
+		dcfg := ncfg
+		dcfg.RefDense = true
+		cells[i] = cell{
+			base:   baselineJob(plan, w, ncfg, i, cfg.Seed),
+			sparse: tsanJob(plan, w, ncfg, i, cfg.Seed),
+			dense:  tsanJob(plan, w, dcfg, i, cfg.Seed),
+		}
+	}
+	if err := plan.Run(); err != nil {
+		return nil, err
+	}
+
+	out := &Threads{App: w}
+	for i, n := range counts {
+		b := baselineOf(cells[i].base)
+		s, d := tsanOf(cells[i].sparse), tsanOf(cells[i].dense)
+		match := s.Checks == d.Checks && len(s.Races) == len(d.Races)
+		if match {
+			for j := range s.Races {
+				if s.Races[j] != d.Races[j] {
+					match = false
+					break
+				}
+			}
+		}
+		out.Rows = append(out.Rows, ThreadsRow{
+			Threads:    n,
+			Baseline:   b.Makespan,
+			Makespan:   s.Makespan,
+			Overhead:   float64(s.Makespan) / float64(b.Makespan),
+			Races:      len(s.Races),
+			Checks:     s.Checks,
+			Clock:      s.Clock,
+			DenseMatch: match,
+		})
+	}
+	return out, nil
+}
+
+// WriteThreads renders the scaling curve.
+func (t *Threads) WriteThreads(w io.Writer) {
+	report.Section(w, "Threads Scaling: sparse/delta clocks vs dense reference ("+t.App.Name+")")
+	tb := &report.Table{Header: []string{
+		"threads", "races", "checks", "overhead",
+		"promotions", "collapses", "fallbacks", "dense-match",
+	}}
+	for _, r := range t.Rows {
+		tb.Add(r.Threads, r.Races, r.Checks, r.Overhead,
+			r.Clock.Promotions, r.Clock.Collapses, r.Clock.Fallbacks,
+			denseMatchLabel(r.DenseMatch))
+	}
+	tb.Write(w)
+}
+
+func denseMatchLabel(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "DIVERGED"
+}
+
+// JSON returns the scaling curve as plain data.
+func (t *Threads) JSON() any {
+	type row struct {
+		Threads    int     `json:"threads"`
+		Races      int     `json:"races"`
+		Checks     uint64  `json:"checks"`
+		Overhead   float64 `json:"overhead"`
+		Promotions uint64  `json:"clock_promotions"`
+		Collapses  uint64  `json:"clock_collapses"`
+		Fallbacks  uint64  `json:"clock_fallbacks"`
+		DenseMatch bool    `json:"dense_match"`
+	}
+	var rows []row
+	for _, r := range t.Rows {
+		rows = append(rows, row{r.Threads, r.Races, r.Checks, r.Overhead,
+			r.Clock.Promotions, r.Clock.Collapses, r.Clock.Fallbacks, r.DenseMatch})
+	}
+	return struct {
+		App  string `json:"app"`
+		Rows []row  `json:"rows"`
+	}{t.App.Name, rows}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// Write adapts WriteThreads to the single-writer shape the determinism test
+// uses.
+func (t *Threads) Write(w io.Writer) { t.WriteThreads(w) }
+
+// TestThreadsScalingCurve runs the curve at the small end and checks the
+// behavioural invariants the BENCH file records: ground truth is found at
+// every count, the sparse run matches the dense reference exactly, and past
+// the collapse activation threshold the collapse rounds actually happen.
+func TestThreadsScalingCurve(t *testing.T) {
+	th, err := RunThreads(testCfg(), []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(th.Rows))
+	}
+	for _, r := range th.Rows {
+		if r.Races != 2 {
+			t.Errorf("threads=%d: %d races, want the 2 injected", r.Threads, r.Races)
+		}
+		if r.Checks == 0 {
+			t.Errorf("threads=%d: zero checks", r.Threads)
+		}
+		if r.Overhead < 1 {
+			t.Errorf("threads=%d: overhead %.2f, want >= 1", r.Threads, r.Overhead)
+		}
+		if !r.DenseMatch {
+			t.Errorf("threads=%d: sparse run diverged from the dense reference", r.Threads)
+		}
+		// At 16 threads the whole run fits under one collapse period; from 64
+		// up the rounds must actually fire.
+		if r.Threads >= 64 && r.Clock.Collapses == 0 {
+			t.Errorf("threads=%d: no collapse rounds recorded", r.Threads)
+		}
+	}
+}
+
+// TestRefDenseEquivalence is the representation-independence contract:
+// RefDense only changes the clock representation, so every driver renders
+// byte-identical text and JSON either way.
+func TestRefDenseEquivalence(t *testing.T) {
+	small := apps(t, "swaptions", "bodytrack")
+	one := apps(t, "swaptions")
+	type result interface {
+		Write(io.Writer)
+		JSON() any
+	}
+	experiments := []struct {
+		id  string
+		run func(cfg Config) (result, error)
+	}{
+		{"table1", func(cfg Config) (result, error) { return RunTable1(cfg, small) }},
+		{"fig7", func(cfg Config) (result, error) { return RunFig7(cfg, one) }},
+		{"fig8", func(cfg Config) (result, error) { return RunFig8(cfg, one) }},
+		{"fig11", func(cfg Config) (result, error) { return RunFig11(cfg) }},
+		{"precision", func(cfg Config) (result, error) { return RunPrecision(cfg, one) }},
+		{"shadow", func(cfg Config) (result, error) { return RunShadow(cfg, one) }},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			t.Parallel()
+			render := func(refDense bool) (string, string) {
+				cfg := testCfg()
+				cfg.RefDense = refDense
+				r, err := e.run(cfg)
+				if err != nil {
+					t.Fatalf("refDense=%v: %v", refDense, err)
+				}
+				var text bytes.Buffer
+				r.Write(&text)
+				js, err := json.Marshal(r.JSON())
+				if err != nil {
+					t.Fatalf("refDense=%v: %v", refDense, err)
+				}
+				return text.String(), string(js)
+			}
+			sText, sJSON := render(false)
+			dText, dJSON := render(true)
+			if sText != dText {
+				t.Errorf("text output differs between sparse and RefDense:\n--- sparse ---\n%s\n--- dense ---\n%s", sText, dText)
+			}
+			if sJSON != dJSON {
+				t.Errorf("JSON output differs between sparse and RefDense:\n%s\n%s", sJSON, dJSON)
+			}
+		})
+	}
+}

@@ -180,6 +180,7 @@ type Observer struct {
 	cHTMConflict, cHTMCapacity, cHTMUnknown, cHTMExpl *Counter
 	cShadowPages, cShadowCellPages                    *Counter
 	cVCPoolHit, cVCPoolMiss                           *Counter
+	cClockPromote, cClockCollapse, cClockFallback     *Counter
 	cDirLines, cDirChecks, cDirFastpath               *Counter
 	cTagRecycled, cTagFalse, cBoundedOverflow         *Counter
 	cDecodeInstrs                                     *Counter
@@ -230,6 +231,9 @@ func New(trace Sink, m *Metrics) *Observer {
 		cShadowCellPages: m.Counter("shadow.cellpages"),
 		cVCPoolHit:       m.Counter("shadow.vcpool.hit"),
 		cVCPoolMiss:      m.Counter("shadow.vcpool.miss"),
+		cClockPromote:    m.Counter("clock.sparse.promotions"),
+		cClockCollapse:   m.Counter("clock.sparse.collapses"),
+		cClockFallback:   m.Counter("clock.sparse.fallbacks"),
 		cDirLines:        m.Counter("htm.dir.lines"),
 		cDirChecks:       m.Counter("htm.dir.checks"),
 		cDirFastpath:     m.Counter("htm.dir.fastpath"),
@@ -458,6 +462,18 @@ func (o *Observer) ShadowMemStats(pages, poolHits, poolMisses uint64) {
 	o.cShadowPages.Add(pages)
 	o.cVCPoolHit.Add(poolHits)
 	o.cVCPoolMiss.Add(poolMisses)
+}
+
+// ClockSparseStats folds a detector's clock-representation counters into
+// the registry, once per run at Finish: sparse clocks promoted to dense,
+// epoch-collapse rounds run, and joins that fell off the sparse fast path.
+func (o *Observer) ClockSparseStats(promotions, collapses, fallbacks uint64) {
+	if o == nil {
+		return
+	}
+	o.cClockPromote.Add(promotions)
+	o.cClockCollapse.Add(collapses)
+	o.cClockFallback.Add(fallbacks)
 }
 
 // ShadowCellStats folds a bounded cell store's page-allocation counter into

@@ -125,10 +125,25 @@ type Memory struct {
 	freeSites [][]SiteID
 	poolHits  uint64
 	poolMiss  uint64
+
+	vcStats *clock.Stats // non-nil: Inflate hands out sparse read vectors
 }
 
 // NewMemory returns an empty shadow memory.
 func NewMemory() *Memory { return &Memory{} }
+
+// UseSparseClocks switches Inflate to sparse read vectors, recording
+// representation transitions in st (must be non-nil). Pooled clocks return
+// to the empty sparse form on Clear even if a read-shared episode promoted
+// them to dense, so recycling never leaks stale high-tid entries and a
+// fresh inflation costs O(1) instead of O(threads). Site slices stay dense:
+// they are plain arrays with no join structure to exploit.
+func (m *Memory) UseSparseClocks(st *clock.Stats) {
+	if st == nil {
+		st = new(clock.Stats)
+	}
+	m.vcStats = st
+}
 
 // Word returns the state for the granule containing a, allocating if needed.
 func (m *Memory) Word(a memmodel.Addr) *Word {
@@ -175,7 +190,12 @@ func (m *Memory) Inflate(w *Word, threads int) {
 		m.freeSites = m.freeSites[:n-1]
 	} else {
 		m.poolMiss++
-		w.RVC = clock.New(threads)
+		if m.vcStats != nil {
+			w.RVC = clock.NewSparse(m.vcStats)
+			w.RVC.Clear(threads) // records the span for the promotion ratio
+		} else {
+			w.RVC = clock.New(threads)
+		}
 		w.RSites = make([]SiteID, threads)
 	}
 	w.seedReadVector()

@@ -133,3 +133,49 @@ func TestMemoryReset(t *testing.T) {
 		t.Fatal("Reset did not clear words")
 	}
 }
+
+// TestPoolRecyclingNeverLeaksSparseEntries pins the pool/Clear contract for
+// sparse read vectors: a recycled clock that carried high-tid entries — and
+// may have promoted to dense during a wide read-shared episode — must read
+// all-zeros when Inflate hands it to the next word, even when an
+// epoch-collapse has since shrunk the live thread count.
+func TestPoolRecyclingNeverLeaksSparseEntries(t *testing.T) {
+	var st clock.Stats
+	m := NewMemory()
+	m.UseSparseClocks(&st)
+
+	// Word A goes read-shared with a long, dense tail of readers.
+	a := m.Word(0x100)
+	m.Inflate(a, 1024)
+	for tid := clock.TID(0); tid < 1024; tid += 3 {
+		a.RecordSharedRead(tid, clock.Time(tid)+1, SiteID(tid%50+1))
+	}
+	if a.RVC.Sparse() {
+		t.Fatal("setup: a wide read vector should have promoted to dense")
+	}
+	// Write-clears-reads returns the vector to the pool.
+	m.ClearReads(a)
+
+	// Word B inflates from the pool at a much smaller live-thread count.
+	b := m.Word(0x200)
+	b.R = clock.MakeEpoch(2, 7)
+	m.Inflate(b, 8)
+	if got := m.Stats().PoolHits; got != 1 {
+		t.Fatalf("expected a pool hit, stats %+v", m.Stats())
+	}
+	if !b.RVC.Sparse() {
+		t.Fatal("recycled clock must come back in sparse form")
+	}
+	for tid := clock.TID(0); tid < 1100; tid++ {
+		want := clock.Time(0)
+		if tid == 2 {
+			want = 7 // the seeded exclusive-read epoch
+		}
+		if got := b.RVC.Get(tid); got != want {
+			t.Fatalf("stale entry leaked: recycled RVC.Get(%d) = %d, want %d", tid, got, want)
+		}
+		if tid != 2 && b.RSiteOf(tid) != 0 {
+			t.Fatalf("stale site leaked at tid %d", tid)
+		}
+	}
+}

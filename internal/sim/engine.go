@@ -971,11 +971,22 @@ func (e *Engine) execSpawnAll(t *Thread) bool {
 	return true
 }
 
+// BatchJoiner is an optional Runtime extension: a runtime that can merge a
+// join-all in one batched pass (e.g. a detector's tree-structured N-way
+// vector-clock join) implements it to replace the N sequential Joined
+// callbacks. The virtual-time accounting is unaffected either way.
+type BatchJoiner interface {
+	JoinedAll(parent *Thread, children []*Thread)
+}
+
 func (e *Engine) execJoinAll(t *Thread) bool {
 	if !e.allWorkersDone() {
 		t.state = stateBlocked
 		return false
 	}
+	// Clock catch-up and per-child charges first, in the same order as the
+	// historical interleaved loop (Joined never touches clocks, so splitting
+	// the runtime callbacks out changes no virtual-time arithmetic).
 	for _, w := range e.threads[1:] {
 		if w.Clock > t.Clock {
 			if t.led != nil {
@@ -983,8 +994,14 @@ func (e *Engine) execJoinAll(t *Thread) bool {
 			}
 			t.Clock = w.Clock
 		}
-		e.rt.Joined(t, w)
 		e.charge(t, 200)
+	}
+	if bj, ok := e.rt.(BatchJoiner); ok {
+		bj.JoinedAll(t, e.threads[1:])
+		return true
+	}
+	for _, w := range e.threads[1:] {
+		e.rt.Joined(t, w)
 	}
 	return true
 }

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// ptRegion is one lock-partitioned shared region of the scaling workload.
+type ptRegion struct {
+	base memmodel.Addr
+	mu   sim.SyncID
+}
+
+// Scaling workloads are synthetic many-thread applications built for the
+// threads-scaling experiments: unlike the Table 1 stand-ins, whose event
+// mixes are calibrated to the paper's small-machine profiles, these are
+// parametric in the thread count and remain meaningful at 64/256/1024
+// simulated threads. Their defining property is idle-thread skew — at any
+// moment only a small rotating subset of threads does shared work while the
+// long tail computes privately between barriers — which is exactly the shape
+// that separates sparse/delta clocks (cost tracks the live subset) from the
+// dense representation (cost tracks peak TIDs).
+
+// scalingRegistry holds the scaling workloads; they are kept out of the
+// Table 1 registry so All()/Names() still enumerate exactly the paper's
+// applications, but ByName resolves both sets.
+var scalingRegistry = []*Workload{
+	newTxScale(),
+}
+
+// Scaling returns the threads-scaling workloads.
+func Scaling() []*Workload {
+	out := make([]*Workload, len(scalingRegistry))
+	copy(out, scalingRegistry)
+	return out
+}
+
+// ScalingNames returns the scaling workload names in registration order.
+func ScalingNames() []string {
+	out := make([]string, len(scalingRegistry))
+	for i, w := range scalingRegistry {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// liveSpan returns the size of the live subset for a thread count: most of
+// the fleet idles, but never fewer than eight threads work so small runs
+// still exercise real sharing.
+func liveSpan(threads int) int {
+	live := threads / 32
+	if live < 8 {
+		live = 8
+	}
+	if live > threads {
+		live = threads
+	}
+	return live
+}
+
+// newTxScale builds the service-scale stand-in: threads workers advance
+// through barrier-separated rounds; each round a rotating live window of
+// liveSpan(threads) workers updates lock-protected shared state and churns a
+// private buffer while everyone else runs idle compute. Two static races are
+// injected between live-window workers of round 0 — both halves run before
+// the first barrier with no synchronization between the two threads, so any
+// schedule exposes the overlap and the detection result is seed-robust.
+func newTxScale() *Workload {
+	return &Workload{
+		Name:           "txscale",
+		InterruptEvery: 500000,
+		SlowScale:      1,
+		Build: func(threads, scale int) *Built {
+			if threads < 2 {
+				threads = 2
+			}
+			b := NewB()
+			const rounds = 3
+			live := liveSpan(threads)
+			// Four lock-partitioned shared regions: a worker only touches
+			// the region its mutex guards, so the locked work is race-free.
+			const parts = 4
+			shared := make([]ptRegion, parts)
+			for i := range shared {
+				shared[i] = ptRegion{base: b.AllocLines(16), mu: b.Sync()}
+			}
+			bar := b.Sync()
+			rv0, rv1 := b.NewRacyVar(), b.NewRacyVar()
+
+			// liveIn reports whether worker w is in round r's live window
+			// [r*live, r*live+live) mod threads.
+			liveIn := func(w, r int) bool {
+				d := (w - r*live) % threads
+				if d < 0 {
+					d += threads
+				}
+				return d < live
+			}
+
+			workers := make([][]sim.Instr, threads)
+			for w := 0; w < threads; w++ {
+				local := b.Al.AllocWords(128)
+				var body []sim.Instr
+				for r := 0; r < rounds; r++ {
+					if liveIn(w, r) {
+						p := shared[w%parts]
+						hot := Locked(p.mu,
+							b.Read(sim.AddrExpr{Base: p.base, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 128}),
+							b.Write(sim.AddrExpr{Base: p.base, Mode: sim.AddrLoop, Stride: 1, Off: 3, Depth: 0, Wrap: 128}),
+						)
+						body = append(body,
+							b.LoopN(6*scale, Seq(
+								hot,
+								[]sim.Instr{
+									b.Write(sim.AddrExpr{Base: local, Mode: sim.AddrLoop, Stride: 1, Depth: 0, Wrap: 128}),
+									b.Read(sim.AddrExpr{Base: local, Mode: sim.AddrLoop, Stride: 1, Off: 1, Depth: 0, Wrap: 128}),
+									Work(30),
+								})...),
+						)
+						if r == 0 {
+							// The injected races: two live workers of the
+							// first window touch dedicated words with no
+							// common lock before the first barrier.
+							switch w {
+							case 0:
+								body = append(body, rv0.WriteA(), rv1.WriteA())
+							case 1:
+								body = append(body, rv0.WriteB())
+								if threads < 3 {
+									body = append(body, rv1.ReadB())
+								}
+							case 2:
+								body = append(body, rv1.ReadB())
+							}
+						}
+					} else {
+						// Idle tail: private compute only. These threads'
+						// clocks stay one entry from the collapse base
+						// between barriers.
+						body = append(body, Work(200), Jitter(40))
+					}
+					body = append(body, &sim.Barrier{B: bar, N: threads})
+				}
+				workers[w] = body
+			}
+			return &Built{
+				Prog:  &sim.Program{Name: "txscale", Workers: workers},
+				Races: []RacyVar{rv0, rv1},
+			}
+		},
+	}
+}

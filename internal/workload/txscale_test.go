@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+)
+
+// TestTxScaleBuildsAtServiceScale validates the scaling generator at the
+// thread counts the scaling-curve experiment drives.
+func TestTxScaleBuildsAtServiceScale(t *testing.T) {
+	w, err := ByName("txscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxThreads != 0 {
+		t.Fatalf("txscale must be unbounded, got MaxThreads=%d", w.MaxThreads)
+	}
+	for _, threads := range []int{2, 8, 64, 256, 1024} {
+		built := w.Build(threads, 1)
+		if err := built.Prog.Validate(); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if len(built.Races) != 2 {
+			t.Fatalf("threads=%d: %d injected races, want 2", threads, len(built.Races))
+		}
+	}
+}
+
+// TestTxScaleGroundTruth runs txscale under full happens-before detection
+// at a many-thread count: the races found must be exactly the two injected
+// ones, at every seed — the round-0 structure keeps them schedule-robust.
+func TestTxScaleGroundTruth(t *testing.T) {
+	w, err := ByName("txscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		built := w.Build(64, 1)
+		rt := core.NewTSan()
+		if _, err := sim.NewEngine(engCfg(w, seed)).Run(instrument.ForTSan(built.Prog), rt); err != nil {
+			t.Fatal(err)
+		}
+		got := rt.Detector().RaceKeys()
+		want := built.AllRaceKeys()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: found %d races, injected %d: got %v want %v",
+				seed, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: race %d: got %v, want %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTxScaleIdleSkewCollapses checks the workload produces the shape it
+// exists for: enough sync activity at a many-thread count that the sparse
+// detector runs epoch-collapse rounds, with promotions staying rare
+// relative to thread count (the idle tail must not densify every clock).
+func TestTxScaleIdleSkewCollapses(t *testing.T) {
+	w, err := ByName("txscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := w.Build(256, 1)
+	rt := core.NewTSan()
+	if _, err := sim.NewEngine(engCfg(w, 11)).Run(instrument.ForTSan(built.Prog), rt); err != nil {
+		t.Fatal(err)
+	}
+	cs := rt.Detector().ClockStats()
+	if cs.Collapses == 0 {
+		t.Fatal("no epoch-collapse rounds at 256 threads; workload or collapse trigger broken")
+	}
+}
+
+// TestCheckThreadsNamesScalableApps pins the one-line error for thread
+// counts past a Table 1 generator's calibrated range.
+func TestCheckThreadsNamesScalableApps(t *testing.T) {
+	dedup, err := ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dedup.CheckThreads(64); err != nil {
+		t.Fatalf("64 threads must pass: %v", err)
+	}
+	err = dedup.CheckThreads(256)
+	if err == nil {
+		t.Fatal("256 threads on dedup must be rejected")
+	}
+	for _, want := range []string{"dedup", "txscale", "256", "64"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q must mention %q", err, want)
+		}
+	}
+	sc, err := ByName("txscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.CheckThreads(4096); err != nil {
+		t.Fatalf("scaling workload must accept any count: %v", err)
+	}
+}

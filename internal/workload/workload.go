@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/detect"
 	"repro/internal/sim"
@@ -74,8 +75,23 @@ type Workload struct {
 	// Build generates the program for a worker-thread count and a scale
 	// factor (scale 1 is test-sized; benchmarks use larger scales).
 	Build func(threads, scale int) *Built
+	// MaxThreads bounds the thread counts the generator is calibrated for
+	// (0 = scalable to arbitrary counts). The Table 1 stand-ins are shaped
+	// after small-machine profiles and cap out; the scaling workloads
+	// (Scaling()) are parametric and unbounded.
+	MaxThreads int
 	// Paper carries the published numbers for comparison reports.
 	Paper Paper
+}
+
+// CheckThreads rejects thread counts beyond the generator's calibrated
+// range with a one-line error that names the scalable alternatives.
+func (w *Workload) CheckThreads(threads int) error {
+	if w.MaxThreads > 0 && threads > w.MaxThreads {
+		return fmt.Errorf("workload %q is calibrated up to %d threads (got %d); apps that scale to arbitrary -threads: %s",
+			w.Name, w.MaxThreads, threads, strings.Join(ScalingNames(), ", "))
+	}
+	return nil
 }
 
 var registry []*Workload
@@ -98,6 +114,12 @@ func init() {
 		newCanneal(),
 		newApache(),
 	}
+	// The Table 1 stand-ins mirror profiles measured on small machines;
+	// past this bound their region mixes stop meaning anything, so the
+	// commands refuse rather than report junk (see CheckThreads).
+	for _, w := range registry {
+		w.MaxThreads = 64
+	}
 }
 
 // All returns every workload in the paper's Table 1 order.
@@ -107,9 +129,15 @@ func All() []*Workload {
 	return out
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload, resolving both the Table 1 set and the
+// threads-scaling set.
 func ByName(name string) (*Workload, error) {
 	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range scalingRegistry {
 		if w.Name == name {
 			return w, nil
 		}
