@@ -393,7 +393,7 @@ func BenchmarkDetectorAlgorithms(b *testing.B) {
 			races = trace.Replay(tr).RaceCount()
 		}
 		b.ReportMetric(float64(races), "races")
-		b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	})
 	b.Run("djit-vc", func(b *testing.B) {
 		var races int
@@ -401,7 +401,7 @@ func BenchmarkDetectorAlgorithms(b *testing.B) {
 			races = trace.ReplayVC(tr).RaceCount()
 		}
 		b.ReportMetric(float64(races), "races")
-		b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	})
 	b.Run("lockset", func(b *testing.B) {
 		var v int
@@ -409,7 +409,7 @@ func BenchmarkDetectorAlgorithms(b *testing.B) {
 			v = trace.ReplayLockset(tr).ViolationCount()
 		}
 		b.ReportMetric(float64(v), "reports")
-		b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	})
 }
 

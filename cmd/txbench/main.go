@@ -71,6 +71,7 @@ func main() {
 		benchGate  = flag.Bool("bench-gate", false, "with -bench-out: exit nonzero if the micro suite fails the allocation regression gate")
 		benchBase  = flag.String("bench-baseline", "", "with -bench-out -bench-gate: also gate htm/access rows against this committed BENCH_<n>.json trajectory")
 		threadsCts = flag.String("threads-counts", "", "comma-separated thread counts for -exp threads and the bench threads_scaling section (default 64,256,1024)")
+		shardsCts  = flag.String("shards", "1,4,8", "comma-separated shard counts for the bench shard_scaling section")
 		linger     = flag.Duration("telemetry-linger", 0, "with -telemetry: keep serving this long after the experiments finish")
 	)
 	common := cli.AddFlags()
@@ -84,6 +85,10 @@ func main() {
 	cfg.Trials = *trials
 
 	counts, err := parseCounts(*threadsCts)
+	if err != nil {
+		fatal(err)
+	}
+	shardCounts, err := parseShards(*shardsCts)
 	if err != nil {
 		fatal(err)
 	}
@@ -147,7 +152,7 @@ func main() {
 	if *benchOut != "" {
 		ecfg := cfg
 		ecfg.Obs = nil
-		if err := writeBench(*benchOut, expTimes, *benchGate, *benchBase, ecfg, apps, counts); err != nil {
+		if err := writeBench(*benchOut, expTimes, *benchGate, *benchBase, ecfg, apps, counts, shardCounts); err != nil {
 			fatal(err)
 		}
 	}
@@ -174,9 +179,14 @@ type benchExperiment struct {
 // real backend-matrix run. v3 adds detect/join/{dense,sparse} scaling micro
 // rows plus the threads_scaling section: the txscale curve from a real
 // experiment.RunThreads run, with the sparse/dense cross-check recorded.
+// v4 adds detect/shard/{1,4,8} micro rows, the wire section (bytes/event
+// for both trace wire versions), and the shard_scaling section: end-to-end
+// sharded-replay events/sec per shard count.
 type benchFile struct {
 	Schema         string            `json:"schema"`
 	Micro          []bench.Result    `json:"micro"`
+	Wire           []bench.WireRow   `json:"wire"`
+	ShardScaling   []bench.ShardRow  `json:"shard_scaling"`
 	Table1PerApp   []benchE2E        `json:"table1_per_app"`
 	ThreadsScaling []benchThreadsRow `json:"threads_scaling"`
 	Experiments    []benchExperiment `json:"experiments"`
@@ -207,9 +217,18 @@ type benchE2E struct {
 	SlowRate string `json:"slow_rate"`
 }
 
-func writeBench(path string, exps []benchExperiment, gate bool, baselinePath string, cfg experiment.Config, apps []*workload.Workload, counts []int) error {
+func writeBench(path string, exps []benchExperiment, gate bool, baselinePath string, cfg experiment.Config, apps []*workload.Workload, counts, shardCounts []int) error {
 	fmt.Println("running micro benchmark suite...")
 	micro := bench.RunMicro()
+	wire, err := bench.WireRows()
+	if err != nil {
+		return err
+	}
+	fmt.Println("running shard-scaling throughput...")
+	shardRows, err := bench.ShardScaling(shardCounts)
+	if err != nil {
+		return err
+	}
 	fmt.Println("running backend matrix for end-to-end rows...")
 	matrix, err := experiment.RunBackends(cfg, apps)
 	if err != nil {
@@ -244,7 +263,7 @@ func writeBench(path string, exps []benchExperiment, gate bool, baselinePath str
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	werr := enc.Encode(benchFile{Schema: "txrace-bench/v3", Micro: micro, Table1PerApp: e2e, ThreadsScaling: trows, Experiments: exps})
+	werr := enc.Encode(benchFile{Schema: "txrace-bench/v4", Micro: micro, Wire: wire, ShardScaling: shardRows, Table1PerApp: e2e, ThreadsScaling: trows, Experiments: exps})
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
@@ -306,6 +325,19 @@ func parseCounts(s string) ([]int, error) {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 2 {
 			return nil, fmt.Errorf("bad -threads-counts entry %q (want integers >= 2)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseShards parses the -shards list (shard counts may be 1).
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want integers >= 1)", part)
 		}
 		out = append(out, n)
 	}

@@ -4,8 +4,13 @@
 //
 //	txtrace -app vips -out vips.trace            # record
 //	txtrace -in vips.trace                       # offline happens-before
+//	txtrace -in vips.trace -shards 8             # sharded parallel detection
 //	txtrace -in vips.trace -detector lockset     # offline Eraser
 //	txtrace -in vips.trace -detector both        # precision comparison
+//
+// -shards N runs the internal/server address-sharded detector on N shards
+// (bounded by -jobs workers); its race output is byte-identical to the
+// single-shard path at every shard and worker count.
 //
 // Recording supports the shared observability flags: -telemetry serves live
 // /metrics, /snapshot and /attrib while the recording run executes, and
@@ -20,6 +25,7 @@ import (
 	"repro/cmd/internal/cli"
 	"repro/internal/instrument"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -30,12 +36,16 @@ func main() {
 		out      = flag.String("out", "", "write the recorded trace here")
 		in       = flag.String("in", "", "analyze this trace offline")
 		detector = flag.String("detector", "hb", "offline detector: hb | lockset | both")
+		shards   = flag.Int("shards", 1, "address shards for parallel happens-before detection")
 	)
 	common := cli.AddFlags()
 	obsFlags := cli.AddObsFlags()
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fatal(err)
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
 	}
 
 	switch {
@@ -44,7 +54,7 @@ func main() {
 			fatal(err)
 		}
 	case *in != "":
-		if err := analyze(*in, *detector); err != nil {
+		if err := analyze(*in, *detector, *shards, common.Jobs); err != nil {
 			fatal(err)
 		}
 	default:
@@ -76,7 +86,7 @@ func recordApp(common *cli.Common, obsFlags *cli.ObsFlags, name, out string) err
 		return err
 	}
 	fmt.Printf("recorded %s: %d events from %d instructions\n",
-		name, len(rec.T.Events), res.Instructions)
+		name, rec.T.Len(), res.Instructions)
 	if out == "" {
 		return nil
 	}
@@ -93,7 +103,7 @@ func recordApp(common *cli.Common, obsFlags *cli.ObsFlags, name, out string) err
 	return nil
 }
 
-func analyze(path, detector string) error {
+func analyze(path, detector string, shards, jobs int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -103,13 +113,24 @@ func analyze(path, detector string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("trace %q: %d events\n", tr.Name, len(tr.Events))
+	fmt.Printf("trace %q: %d events\n", tr.Name, tr.Len())
 
 	if detector == "hb" || detector == "both" {
-		d := trace.Replay(tr)
-		fmt.Printf("happens-before: %d races\n", d.RaceCount())
-		for _, r := range d.Races() {
-			fmt.Printf("  %v\n", r)
+		if shards > 1 {
+			rep, err := server.ReplaySharded(tr, shards, jobs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("happens-before: %d races\n", rep.RaceCount())
+			for _, r := range rep.Races() {
+				fmt.Printf("  %v\n", r)
+			}
+		} else {
+			d := trace.Replay(tr)
+			fmt.Printf("happens-before: %d races\n", d.RaceCount())
+			for _, r := range d.Races() {
+				fmt.Printf("  %v\n", r)
+			}
 		}
 	}
 	if detector == "lockset" || detector == "both" {

@@ -187,6 +187,9 @@ func microFuncs() []microBench {
 		{"htm/access/idle", benchHTMIdle()},
 		{"sim/dispatch/tree", benchSimDispatch(true)},
 		{"sim/dispatch/decoded", benchSimDispatch(false)},
+		{"detect/shard/1", benchShardedReplay(1)},
+		{"detect/shard/4", benchShardedReplay(4)},
+		{"detect/shard/8", benchShardedReplay(8)},
 	}
 	return append(out, joinBenches()...)
 }
@@ -305,7 +308,7 @@ func Gate(rs []Result) error {
 		return fmt.Errorf("bench: decoded dispatch %.0f ns/op, slower than tree walk's %.0f ns/op",
 			dec.nsPerOp, tree.nsPerOp)
 	}
-	return nil
+	return gateShards(rs)
 }
 
 // GateBaseline checks the current run against a committed trajectory
@@ -320,7 +323,8 @@ func GateBaseline(rs, baseline []Result) error {
 		noise      = 1.25 // cross-machine wall-clock tolerance
 	)
 	for _, name := range []string{"htm/access/dir", "htm/access/scan", "htm/access/idle",
-		"detect/join/sparse/8", "detect/join/sparse/1024", "clock/collapse"} {
+		"detect/join/sparse/8", "detect/join/sparse/1024", "clock/collapse",
+		"detect/shard/1"} {
 		cur, ok1 := Find(rs, name)
 		base, ok2 := Find(baseline, name)
 		if !ok1 || !ok2 {

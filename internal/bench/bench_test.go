@@ -30,6 +30,9 @@ func healthySuite() []Result {
 		synthetic("detect/join/dense/1024", 1400, 0),
 		synthetic("detect/join/sparse/1024", 250, 0.02),
 		synthetic("clock/collapse", 37000, 5),
+		synthetic("detect/shard/1", 1000000, 100),
+		synthetic("detect/shard/4", 400000, 100),
+		synthetic("detect/shard/8", 300000, 100),
 	}
 }
 
@@ -69,6 +72,13 @@ func TestGateRejectsHotPathRegressions(t *testing.T) {
 	rs[12] = synthetic("detect/join/sparse/8", 60, 0.02) // small-fleet regression
 	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "join at 8") {
 		t.Fatalf("Gate accepted small-fleet sparse join regression: %v", err)
+	}
+	rs[12] = synthetic("detect/join/sparse/8", 36, 0.02)
+	// 8-shard replay slower than 2x the sequential one fails the shard gate
+	// on every core-count branch.
+	rs[18] = synthetic("detect/shard/8", 2100000, 100)
+	if err := Gate(rs); err == nil || !strings.Contains(err.Error(), "8-shard replay") {
+		t.Fatalf("Gate accepted sharded-detection regression: %v", err)
 	}
 }
 
@@ -115,7 +125,11 @@ func TestResultFormatting(t *testing.T) {
 // runs in CI via txbench -bench-out -bench-gate.
 func TestMicroSuiteSmoke(t *testing.T) {
 	for _, f := range microFuncs() {
-		f.fn(&testing.B{N: 2048})
+		n := 2048
+		if strings.HasPrefix(f.name, "detect/shard/") {
+			n = 1 // one op is a full 120k-event sharded replay
+		}
+		f.fn(&testing.B{N: n})
 	}
 }
 

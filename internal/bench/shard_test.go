@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestWireRows pins the v2 wire win on the bench trace: the varint+delta
+// encoding must be at least 2x smaller per event than v1's fixed records.
+func TestWireRows(t *testing.T) {
+	rows, err := WireRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Version != 1 || rows[1].Version != 2 {
+		t.Fatalf("want v1+v2 rows, got %+v", rows)
+	}
+	if rows[1].Bytes*2 >= rows[0].Bytes {
+		t.Fatalf("v2 %d bytes, not 2x smaller than v1's %d", rows[1].Bytes, rows[0].Bytes)
+	}
+}
+
+// TestShardScalingConsistent: every shard count must find the same races on
+// the bench trace (throughput may differ; answers may not).
+func TestShardScalingConsistent(t *testing.T) {
+	rows, err := ShardScaling([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Races != rows[1].Races {
+		t.Fatalf("shard counts disagree: %+v", rows)
+	}
+	if rows[0].Races == 0 {
+		t.Fatal("bench trace finds no races; throughput rows measure nothing interesting")
+	}
+}

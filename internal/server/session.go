@@ -1,0 +1,277 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// SessionConfig tunes one streaming detection session.
+type SessionConfig struct {
+	// Shards is the address-shard count (>= 1).
+	Shards int
+	// Workers bounds the detection goroutines (<= Shards is useful; more
+	// than Shards idles). 0 means Shards.
+	Workers int
+	// BatchSize is the number of accesses routed to a shard before its
+	// batch is flushed to the worker queue. 0 means DefaultBatchSize.
+	BatchSize int
+	// QueueBatches is the per-worker queue capacity in batches. 0 means
+	// DefaultQueueBatches.
+	QueueBatches int
+	// Shed enables the overload governor: when a worker queue is full,
+	// access batches are dropped (degrading to sampling-mode detection
+	// with reported coverage) instead of blocking ingestion. Off, Feed
+	// blocks until the worker catches up — lossless, used offline.
+	Shed bool
+
+	metrics *serverMetrics
+	// workerGate, when set, runs before a worker processes each batch;
+	// tests use it to hold workers and force overload deterministically.
+	workerGate func(worker int)
+}
+
+// Defaults for SessionConfig zero fields.
+const (
+	DefaultBatchSize    = 256
+	DefaultQueueBatches = 16
+)
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Workers < 1 || c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.QueueBatches < 1 {
+		c.QueueBatches = DefaultQueueBatches
+	}
+	return c
+}
+
+// workItem is one batch of routed accesses bound for a shard.
+type workItem struct {
+	shard   int
+	threads int
+	batch   []shardEvt
+}
+
+// Session is one client's streaming detection run: events arrive in trace
+// order through Feed (single-goroutine ingestion, like one connection), the
+// sync events drive the sequential clock router, and access batches fan out
+// to shard workers. Finish flushes, joins the workers, and merges per-shard
+// findings into a Report.
+//
+// With Shed disabled the result is byte-identical to the sequential
+// detector; with Shed enabled it degrades to sampling under overload and
+// the Report carries the shed count and coverage.
+type Session struct {
+	cfg      SessionConfig
+	router   *clockRouter
+	states   []*shardState
+	queues   []chan workItem
+	batches  [][]shardEvt
+	wg       sync.WaitGroup
+	events   uint64
+	shed     uint64
+	trips    uint64
+	shedding bool
+	finished bool
+}
+
+// NewSession starts a session's workers and returns it ready for Feed.
+func NewSession(cfg SessionConfig) *Session {
+	cfg = cfg.withDefaults()
+	s := &Session{
+		cfg:     cfg,
+		router:  newClockRouter(),
+		states:  make([]*shardState, cfg.Shards),
+		queues:  make([]chan workItem, cfg.Workers),
+		batches: make([][]shardEvt, cfg.Shards),
+	}
+	for i := range s.states {
+		s.states[i] = newShardState()
+	}
+	for w := range s.queues {
+		s.queues[w] = make(chan workItem, cfg.QueueBatches)
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	if m := cfg.metrics; m != nil {
+		m.sessions.Add(1)
+	}
+	return s
+}
+
+func (s *Session) worker(w int) {
+	defer s.wg.Done()
+	m := s.cfg.metrics
+	for item := range s.queues[w] {
+		if s.cfg.workerGate != nil {
+			s.cfg.workerGate(w)
+		}
+		st := s.states[item.shard]
+		for _, ev := range item.batch {
+			st.access(ev, item.threads)
+		}
+		if m != nil {
+			m.queueDepth.Add(-1)
+			m.analyzed.Add(uint64(len(item.batch)))
+		}
+	}
+}
+
+// Feed ingests one event. It must be called from a single goroutine per
+// session (the connection's ingestion goroutine), in trace order.
+func (s *Session) Feed(e trace.Event) {
+	s.events++
+	if m := s.cfg.metrics; m != nil {
+		m.events.Inc()
+	}
+	if e.Kind != trace.KAccess {
+		// Sync events are never shed: dropping one would corrupt the
+		// happens-before frontier for every later access.
+		s.router.applySync(e)
+		return
+	}
+	sh := shardOf(e.Addr, s.cfg.Shards)
+	if s.shedding {
+		if s.queuesDrained() {
+			s.shedding = false
+		} else {
+			s.dropAccess(1)
+			return
+		}
+	}
+	s.batches[sh] = append(s.batches[sh], shardEvt{
+		vc:   s.router.snapshot(clock.TID(e.TID)),
+		addr: e.Addr, idx: s.events - 1, site: e.Site,
+		tid: clock.TID(e.TID), write: e.Write,
+	})
+	if len(s.batches[sh]) >= s.cfg.BatchSize {
+		s.flush(sh, false)
+	}
+}
+
+// queuesDrained reports whether every worker queue is back under half
+// capacity — the governor's recovery condition.
+func (s *Session) queuesDrained() bool {
+	for _, q := range s.queues {
+		if len(q) > cap(q)/2 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Session) dropAccess(n int) {
+	s.shed += uint64(n)
+	if m := s.cfg.metrics; m != nil {
+		m.shed.Add(uint64(n))
+	}
+}
+
+// flush hands shard sh's pending batch to its worker. When shedding is
+// enabled and the worker queue is full, the batch is dropped and the
+// governor trips into sampling mode; blocking flushes (shed disabled, or
+// the final drain) wait instead.
+func (s *Session) flush(sh int, block bool) {
+	b := s.batches[sh]
+	if len(b) == 0 {
+		return
+	}
+	item := workItem{shard: sh, threads: s.router.numThreads(), batch: b}
+	q := s.queues[sh%s.cfg.Workers]
+	m := s.cfg.metrics
+	if s.cfg.Shed && !block {
+		select {
+		case q <- item:
+			if m != nil {
+				m.queueDepth.Add(1)
+			}
+		default:
+			s.dropAccess(len(b))
+			s.shedding = true
+			s.trips++
+			if m != nil {
+				m.trips.Inc()
+			}
+			s.batches[sh] = b[:0]
+			return
+		}
+	} else {
+		q <- item
+		if m != nil {
+			m.queueDepth.Add(1)
+		}
+	}
+	s.batches[sh] = make([]shardEvt, 0, s.cfg.BatchSize)
+}
+
+// Finish flushes every pending batch (blocking — ingestion is over, so
+// waiting no longer stalls a client), joins the workers, and merges the
+// per-shard findings into the final report.
+func (s *Session) Finish(name string) *Report {
+	if s.finished {
+		panic("server: Session.Finish called twice")
+	}
+	s.finished = true
+	for sh := range s.batches {
+		s.flush(sh, true)
+	}
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.wg.Wait()
+	races, checks := mergeShards(s.states)
+	if m := s.cfg.metrics; m != nil {
+		m.sessions.Add(-1)
+		m.races.Add(uint64(len(races)))
+	}
+	return &Report{
+		Name:   name,
+		Shards: s.cfg.Shards,
+		Events: s.events,
+		Checks: checks,
+		Shed:   s.shed, GovernorTrips: s.trips,
+		races: races,
+	}
+}
+
+// serverMetrics bundles the obs instruments the server updates; nil-safe
+// wrapper construction keeps the hot path branch-cheap.
+type serverMetrics struct {
+	events   *obs.Counter // server.events: every event ingested
+	analyzed *obs.Counter // server.analyzed: accesses actually detected on
+	shed     *obs.Counter // server.shed: accesses dropped by the governor
+	trips    *obs.Counter // server.governor.trips: overload transitions
+	races    *obs.Counter // server.races: distinct races reported
+	conns    *obs.Counter // server.conns: connections accepted
+	sessions *obs.Gauge   // server.sessions.active
+
+	queueDepth *obs.Gauge // server.queue.depth: batches in flight
+	rate       *obs.Gauge // server.events_per_sec: ingest rate, 1s window
+}
+
+func newServerMetrics(m *obs.Metrics) *serverMetrics {
+	if m == nil {
+		return nil
+	}
+	return &serverMetrics{
+		events:     m.Counter("server.events"),
+		analyzed:   m.Counter("server.analyzed"),
+		shed:       m.Counter("server.shed"),
+		trips:      m.Counter("server.governor.trips"),
+		races:      m.Counter("server.races"),
+		conns:      m.Counter("server.conns"),
+		sessions:   m.Gauge("server.sessions.active"),
+		queueDepth: m.Gauge("server.queue.depth"),
+		rate:       m.Gauge("server.events_per_sec"),
+	}
+}

@@ -7,15 +7,11 @@
 // Wester et al.'s parallelized detection): instead of paying detection cost
 // inline, record cheaply now and analyze later, or analyze the same
 // execution under several detectors without re-running it. cmd/txtrace
-// exposes the workflow.
+// exposes the workflow offline; cmd/txserved streams the same wire format
+// into a long-lived sharded detection service.
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
-	"io"
-
 	"repro/internal/clock"
 	"repro/internal/detect"
 	"repro/internal/memmodel"
@@ -33,6 +29,7 @@ const (
 	KRelease
 	KFork
 	KJoin
+	kindCount // number of valid kinds; decoders reject anything >= this
 )
 
 // Event is one recorded runtime event. For KAccess, Addr/Write/Site are
@@ -49,10 +46,61 @@ type Event struct {
 	Other    int32
 }
 
+// Event storage is chunked: long recordings append into fixed-size chunks
+// instead of one ever-doubling slice, so a multi-million-event recording
+// never re-copies (and never briefly doubles) hundreds of megabytes of
+// already-recorded events. TestAppendAllocationBounded pins the per-event
+// allocation cost.
+const (
+	chunkShift = 14 // 16384 events (~512 KiB) per chunk
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
 // Trace is a recorded execution.
 type Trace struct {
 	Name   string
-	Events []Event
+	chunks [][]Event
+}
+
+// FromEvents builds a trace from a literal event list (test helper shape).
+func FromEvents(name string, evs ...Event) *Trace {
+	t := &Trace{Name: name}
+	for _, e := range evs {
+		t.Append(e)
+	}
+	return t
+}
+
+// Append adds one event at the end of the trace.
+func (t *Trace) Append(e Event) {
+	n := len(t.chunks)
+	if n == 0 || len(t.chunks[n-1]) == chunkSize {
+		t.chunks = append(t.chunks, make([]Event, 0, chunkSize))
+		n++
+	}
+	t.chunks[n-1] = append(t.chunks[n-1], e)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	n := len(t.chunks)
+	if n == 0 {
+		return 0
+	}
+	return (n-1)*chunkSize + len(t.chunks[n-1])
+}
+
+// At returns event i (0 <= i < Len).
+func (t *Trace) At(i int) Event { return t.chunks[i>>chunkShift][i&chunkMask] }
+
+// ForEach visits every event in recording order.
+func (t *Trace) ForEach(f func(Event)) {
+	for _, c := range t.chunks {
+		for i := range c {
+			f(c[i])
+		}
+	}
 }
 
 // Recorder is a sim.Runtime that appends every detector-relevant event to a
@@ -70,39 +118,39 @@ func (r *Recorder) Access(t *sim.Thread, m *sim.MemAccess, addr memmodel.Addr) {
 	if !m.Hooked {
 		return
 	}
-	r.T.Events = append(r.T.Events, Event{
+	r.T.Append(Event{
 		Kind: KAccess, TID: int32(t.ID), Write: m.Write, Site: m.Site, Addr: addr,
 	})
 }
 
 // SyncAcquire implements sim.Runtime.
 func (r *Recorder) SyncAcquire(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.T.Events = append(r.T.Events, Event{
+	r.T.Append(Event{
 		Kind: KAcquire, TID: int32(t.ID), Sync: detect.SyncID(s), SyncKind: kind,
 	})
 }
 
 // SyncRelease implements sim.Runtime.
 func (r *Recorder) SyncRelease(t *sim.Thread, s sim.SyncID, kind sim.SyncKind) {
-	r.T.Events = append(r.T.Events, Event{
+	r.T.Append(Event{
 		Kind: KRelease, TID: int32(t.ID), Sync: detect.SyncID(s), SyncKind: kind,
 	})
 }
 
 // Fork implements sim.Runtime.
 func (r *Recorder) Fork(p, c *sim.Thread) {
-	r.T.Events = append(r.T.Events, Event{Kind: KFork, TID: int32(p.ID), Other: int32(c.ID)})
+	r.T.Append(Event{Kind: KFork, TID: int32(p.ID), Other: int32(c.ID)})
 }
 
 // Joined implements sim.Runtime.
 func (r *Recorder) Joined(p, c *sim.Thread) {
-	r.T.Events = append(r.T.Events, Event{Kind: KJoin, TID: int32(p.ID), Other: int32(c.ID)})
+	r.T.Append(Event{Kind: KJoin, TID: int32(p.ID), Other: int32(c.ID)})
 }
 
 // Replay feeds the trace to a happens-before detector and returns it.
 func Replay(t *Trace) *detect.Detector {
 	d := detect.New()
-	for _, e := range t.Events {
+	t.ForEach(func(e Event) {
 		switch e.Kind {
 		case KAccess:
 			d.Access(clock.TID(e.TID), e.Addr, e.Write, e.Site)
@@ -115,7 +163,7 @@ func Replay(t *Trace) *detect.Detector {
 		case KJoin:
 			d.Join(clock.TID(e.TID), clock.TID(e.Other))
 		}
-	}
+	})
 	return d
 }
 
@@ -123,7 +171,7 @@ func Replay(t *Trace) *detect.Detector {
 // for algorithm comparisons against FastTrack (BenchmarkDetectorAlgorithms).
 func ReplayVC(t *Trace) *detect.VCDetector {
 	d := detect.NewVC()
-	for _, e := range t.Events {
+	t.ForEach(func(e Event) {
 		switch e.Kind {
 		case KAccess:
 			d.Access(clock.TID(e.TID), e.Addr, e.Write, e.Site)
@@ -144,14 +192,14 @@ func ReplayVC(t *Trace) *detect.VCDetector {
 		case KJoin:
 			d.Join(clock.TID(e.TID), clock.TID(e.Other))
 		}
-	}
+	})
 	return d
 }
 
 // ReplayLockset feeds the trace to an Eraser-style lockset detector.
 func ReplayLockset(t *Trace) *detect.LocksetDetector {
 	d := detect.NewLockset()
-	for _, e := range t.Events {
+	t.ForEach(func(e Event) {
 		switch e.Kind {
 		case KAccess:
 			d.Access(clock.TID(e.TID), e.Addr, e.Write, e.Site)
@@ -160,120 +208,6 @@ func ReplayLockset(t *Trace) *detect.LocksetDetector {
 		case KRelease:
 			d.Release(clock.TID(e.TID), e.Sync, e.SyncKind)
 		}
-	}
+	})
 	return d
-}
-
-// Serialization: a small little-endian binary format.
-//
-//	magic "TXTR" | version u16 | name len u16 | name | event count u64
-//	then per event: kind u8 | flags u8 | synckind u8 | pad u8 |
-//	                tid i32 | other i32 | site u32 | sync u32 | addr u64
-const (
-	magic      = "TXTR"
-	version    = 1
-	recordSize = 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4 + 8
-)
-
-// WriteTo serializes the trace.
-func (t *Trace) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	n := int64(0)
-	put := func(b []byte) error {
-		m, err := bw.Write(b)
-		n += int64(m)
-		return err
-	}
-	if err := put([]byte(magic)); err != nil {
-		return n, err
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint16(hdr[0:], version)
-	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(t.Name)))
-	if err := put(hdr[:]); err != nil {
-		return n, err
-	}
-	if err := put([]byte(t.Name)); err != nil {
-		return n, err
-	}
-	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Events)))
-	if err := put(cnt[:]); err != nil {
-		return n, err
-	}
-	var rec [recordSize]byte
-	for _, e := range t.Events {
-		rec[0] = byte(e.Kind)
-		rec[1] = 0
-		if e.Write {
-			rec[1] = 1
-		}
-		rec[2] = byte(e.SyncKind)
-		rec[3] = 0
-		binary.LittleEndian.PutUint32(rec[4:], uint32(e.TID))
-		binary.LittleEndian.PutUint32(rec[8:], uint32(e.Other))
-		binary.LittleEndian.PutUint32(rec[12:], uint32(e.Site))
-		binary.LittleEndian.PutUint32(rec[16:], uint32(e.Sync))
-		binary.LittleEndian.PutUint64(rec[20:], uint64(e.Addr))
-		if err := put(rec[:]); err != nil {
-			return n, err
-		}
-	}
-	return n, bw.Flush()
-}
-
-// ReadFrom deserializes a trace written by WriteTo.
-func ReadFrom(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, 4)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
-	}
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint16(head[0:]); v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	nameLen := binary.LittleEndian.Uint16(head[2:])
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
-	}
-	n := binary.LittleEndian.Uint64(cnt[:])
-	const maxEvents = 1 << 30
-	if n > maxEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", n)
-	}
-	// Never trust the count for allocation: a truncated or hostile header
-	// must not pre-reserve gigabytes. Grow as records actually arrive.
-	prealloc := n
-	if prealloc > 1<<16 {
-		prealloc = 1 << 16
-	}
-	t := &Trace{Name: string(name), Events: make([]Event, 0, prealloc)}
-	var rec [recordSize]byte
-	for i := uint64(0); i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
-		}
-		t.Events = append(t.Events, Event{
-			Kind:     Kind(rec[0]),
-			Write:    rec[1] == 1,
-			SyncKind: sim.SyncKind(rec[2]),
-			TID:      int32(binary.LittleEndian.Uint32(rec[4:])),
-			Other:    int32(binary.LittleEndian.Uint32(rec[8:])),
-			Site:     shadow.SiteID(binary.LittleEndian.Uint32(rec[12:])),
-			Sync:     detect.SyncID(binary.LittleEndian.Uint32(rec[16:])),
-			Addr:     memmodel.Addr(binary.LittleEndian.Uint64(rec[20:])),
-		})
-	}
-	return t, nil
 }

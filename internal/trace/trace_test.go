@@ -2,10 +2,14 @@ package trace
 
 import (
 	"bytes"
+	"io"
+	"runtime"
 	"testing"
+	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/memmodel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -63,26 +67,118 @@ func TestReplayMatchesOnline(t *testing.T) {
 
 func TestSerializationRoundTrip(t *testing.T) {
 	tr := record(t, "raytrace", 3)
-	var buf bytes.Buffer
-	n, err := tr.WriteTo(&buf)
-	if err != nil {
-		t.Fatal(err)
+	writers := map[string]func(*Trace, *bytes.Buffer) (int64, error){
+		"v1": func(tr *Trace, buf *bytes.Buffer) (int64, error) { return tr.WriteToV1(buf) },
+		"v2": func(tr *Trace, buf *bytes.Buffer) (int64, error) { return tr.WriteTo(buf) },
 	}
-	if n != int64(buf.Len()) {
-		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
-	}
-	back, err := ReadFrom(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Name != tr.Name || len(back.Events) != len(tr.Events) {
-		t.Fatalf("round trip lost shape: %q/%d vs %q/%d",
-			back.Name, len(back.Events), tr.Name, len(tr.Events))
-	}
-	for i := range tr.Events {
-		if back.Events[i] != tr.Events[i] {
-			t.Fatalf("event %d differs: %+v vs %+v", i, back.Events[i], tr.Events[i])
+	for name, write := range writers {
+		var buf bytes.Buffer
+		n, err := write(tr, &buf)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("%s: WriteTo reported %d bytes, wrote %d", name, n, buf.Len())
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != tr.Name || back.Len() != tr.Len() {
+			t.Fatalf("%s: round trip lost shape: %q/%d vs %q/%d",
+				name, back.Name, back.Len(), tr.Name, tr.Len())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if back.At(i) != tr.At(i) {
+				t.Fatalf("%s: event %d differs: %+v vs %+v", name, i, back.At(i), tr.At(i))
+			}
+		}
+	}
+}
+
+// TestWireV2Compression pins the point of the varint/delta format: on a real
+// recorded workload trace it must be markedly smaller than the 28-byte
+// fixed records of v1.
+func TestWireV2Compression(t *testing.T) {
+	tr := record(t, "raytrace", 3)
+	var v1, v2 bytes.Buffer
+	if _, err := tr.WriteToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len()*2 >= v1.Len() {
+		t.Fatalf("v2 encoding %d bytes, not even 2x smaller than v1's %d (%d events)",
+			v2.Len(), v1.Len(), tr.Len())
+	}
+}
+
+// TestStreamReaderIncremental: the server-side decoder must deliver events
+// one by one with the header available up front, for both wire versions.
+func TestStreamReaderIncremental(t *testing.T) {
+	tr := FromEvents("s",
+		Event{Kind: KFork, TID: 0, Other: 1},
+		Event{Kind: KAccess, TID: 1, Write: true, Site: 3, Addr: 0x100},
+		Event{Kind: KAccess, TID: 1, Site: 4, Addr: 0x108},
+		Event{Kind: KRelease, TID: 1, Sync: 5},
+	)
+	for name, write := range map[string]func(*bytes.Buffer){
+		"v1": func(b *bytes.Buffer) { tr.WriteToV1(b) },
+		"v2": func(b *bytes.Buffer) { tr.WriteTo(b) },
+	} {
+		var buf bytes.Buffer
+		write(&buf)
+		sr, err := NewStreamReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Name() != "s" || sr.Total() != 4 {
+			t.Fatalf("%s: header %q/%d", name, sr.Name(), sr.Total())
+		}
+		for i := 0; i < tr.Len(); i++ {
+			e, err := sr.Next()
+			if err != nil {
+				t.Fatalf("%s: event %d: %v", name, i, err)
+			}
+			if e != tr.At(i) {
+				t.Fatalf("%s: event %d: %+v vs %+v", name, i, e, tr.At(i))
+			}
+		}
+		if _, err := sr.Next(); err != io.EOF {
+			t.Fatalf("%s: want io.EOF after last event, got %v", name, err)
+		}
+	}
+}
+
+// TestAppendAllocationBounded pins the chunked-storage fix: appending n
+// events must cost about n*sizeof(Event) bytes in about n/chunkSize chunk
+// allocations — not the ~2x byte churn of an ever-doubling slice re-copying
+// the whole recording as it grows.
+func TestAppendAllocationBounded(t *testing.T) {
+	const n = 4*chunkSize + 100
+	evSize := float64(unsafe.Sizeof(Event{}))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tr := &Trace{Name: "alloc"}
+	for i := 0; i < n; i++ {
+		tr.Append(Event{Kind: KAccess, TID: int32(i & 3), Addr: memmodel.Addr(i * 8)})
+	}
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(tr)
+	bytesPerEvent := float64(after.TotalAlloc-before.TotalAlloc) / n
+	if bytesPerEvent > evSize*1.3 {
+		t.Fatalf("append allocated %.1f bytes/event, want <= %.1f (copy churn is back)",
+			bytesPerEvent, evSize*1.3)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	if allocs > n/chunkSize+8 {
+		t.Fatalf("append performed %d allocations for %d events, want ~%d chunks",
+			allocs, n, n/chunkSize+1)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
 	}
 }
 
@@ -110,7 +206,7 @@ func TestReadFromRejectsGarbage(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 	// Truncated: valid header claiming more events than present.
-	tr := &Trace{Name: "t", Events: []Event{{Kind: KAccess, TID: 1}}}
+	tr := FromEvents("t", Event{Kind: KAccess, TID: 1})
 	var buf bytes.Buffer
 	tr.WriteTo(&buf)
 	cut := buf.Bytes()[:buf.Len()-4]
@@ -140,11 +236,11 @@ func TestRecorderSkipsUnhookedAccesses(t *testing.T) {
 	if _, err := sim.NewEngine(cfg).Run(p, rec); err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range rec.T.Events {
+	rec.T.ForEach(func(e Event) {
 		if e.Kind == KAccess {
 			t.Fatal("unhooked access recorded")
 		}
-	}
+	})
 }
 
 // TestReplayVCAgreesWithFastTrack: on the workloads' single-pair race
