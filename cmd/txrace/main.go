@@ -77,6 +77,9 @@ func main() {
 		for _, name := range workload.ScalingNames() {
 			fmt.Println(name + "  (scales to arbitrary -threads)")
 		}
+		for _, name := range workload.GoNames() {
+			fmt.Println(name + "  (compiled Go source; ignores -threads/-scale)")
+		}
 		return
 	}
 	if *app == "" {

@@ -1,0 +1,59 @@
+// Smoke test for the runnable examples: each must build, exit zero, and
+// print the headline counters its doc comment promises (race counts, or
+// capacity/cut counts for pipeline). The counts are pinned — the engine is
+// deterministic at a fixed seed, so a drifting count here means an example
+// (or the detector underneath it) changed behavior.
+package examples_test
+
+import (
+	"os/exec"
+	"regexp"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want []string // regexps the combined output must match
+	}{
+		{"bankledger", []string{
+			`ledger races, ground truth \(TSan\): 2`,
+			`ledger races, TxRace:\s+1`,
+			`missed by TxRace`,
+		}},
+		{"futurehtm", []string{
+			`commodity RTM \(paper\)\s+\d+\s+[\d.]+x\s+1\s+`,
+			`future HTM \+ targeted slow\s+\d+\s+[\d.]+x\s+1\s+`,
+			`same race found either way`,
+		}},
+		{"pipeline", []string{
+			`TxRace-NoOpt\s+\d+\s+[\d.]+x\s+20\s+`,
+			`TxRace-DynLoopcut\s+\d+\s+[\d.]+x\s+2\s+`,
+			`TxRace-ProfLoopcut\s+\d+\s+[\d.]+x\s+5\s+`,
+		}},
+		{"quickstart", []string{
+			`1 data race\(s\) detected:`,
+			`race @0x[0-9a-f]+: site 1 .* site 2 `,
+		}},
+		{"webserver", []string{
+			`TSan:\s+\d+ cycles \([\d.]+x\), 2 races`,
+			`TxRace:\s+\d+ cycles \([\d.]+x\), 1 races`,
+			`pinpointed the unlocked counter`,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.want {
+				if !regexp.MustCompile(want).Match(out) {
+					t.Errorf("output of %s lacks /%s/\n%s", tc.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/workload"
+)
+
+func pairKeys(rvs []workload.RacyVar) []detect.PairKey {
+	out := make([]detect.PairKey, 0, len(rvs))
+	for _, r := range rvs {
+		a, b := r.Key()
+		out = append(out, detect.PairKey{A: a, B: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func corpusApps(t *testing.T) []*workload.Workload {
+	t.Helper()
+	var apps []*workload.Workload
+	for _, name := range workload.GoNames() {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		apps = append(apps, w)
+	}
+	if len(apps) < 10 {
+		t.Fatalf("corpus has %d workloads, want >= 10", len(apps))
+	}
+	return apps
+}
+
+// TestGoCorpusTxRace is the end-to-end acceptance check for the Go frontend:
+// the two-phase detector over each compiled snippet reports exactly the
+// pinned non-deferred ground truth — every real race that overlaps inside
+// transactions is caught, every race-free twin (including the false-sharing
+// ones) comes back clean, and the deferred capture race stays TSan-only.
+func TestGoCorpusTxRace(t *testing.T) {
+	cfg := Config{Trials: 1, LoopCut: core.ProfCut}
+	for _, w := range corpusApps(t) {
+		t.Run(w.Name, func(t *testing.T) {
+			built := w.Build(0, 0)
+			tx, err := RunTxRace(w, cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := pairKeys(built.Races)
+			if !reflect.DeepEqual(tx.Races, want) && !(len(tx.Races) == 0 && len(want) == 0) {
+				t.Fatalf("TxRace races = %v, pinned %v (deferred: %v)", tx.Races, want, pairKeys(built.Deferred))
+			}
+			ts, err := RunTSan(w, cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all := built.AllRaceKeys()
+			if !reflect.DeepEqual(ts.Races, all) && !(len(ts.Races) == 0 && len(all) == 0) {
+				t.Fatalf("TSan races = %v, pinned %v", ts.Races, all)
+			}
+		})
+	}
+}
+
+// TestGoCorpusDriversDeterministic pins the acceptance requirement that the
+// corpus behaves like any other workload under the experiment drivers:
+// Table 1 and the precision comparison run over it, and the results are
+// identical at any parallelism.
+func TestGoCorpusDriversDeterministic(t *testing.T) {
+	apps := corpusApps(t)
+	base := Config{Trials: 1, LoopCut: core.ProfCut}
+
+	cfg1, cfg8 := base, base
+	cfg1.Jobs, cfg8.Jobs = 1, 8
+	t1, err := RunTable1(cfg1, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := RunTable1(cfg8, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t1, t8) {
+		t.Fatal("Table 1 over the Go corpus differs between -jobs 1 and -jobs 8")
+	}
+	for _, row := range t1.Rows {
+		built := row.App.Build(0, 0)
+		if row.TSanRaces != len(built.AllRaceKeys()) {
+			t.Errorf("%s: Table 1 TSan races = %d, pinned %d", row.App.Name, row.TSanRaces, len(built.AllRaceKeys()))
+		}
+		if row.TxRaceRaces != len(built.Races) {
+			t.Errorf("%s: Table 1 TxRace races = %d, pinned non-deferred %d", row.App.Name, row.TxRaceRaces, len(built.Races))
+		}
+	}
+
+	p1, err := RunPrecision(cfg1, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := RunPrecision(cfg8, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p8) {
+		t.Fatal("precision comparison over the Go corpus differs between -jobs 1 and -jobs 8")
+	}
+	for _, row := range p1.Rows {
+		built := row.App.Build(0, 0)
+		if row.TrueRaces != len(built.AllRaceKeys()) {
+			t.Errorf("%s: precision ground truth = %d, pinned %d", row.App.Name, row.TrueRaces, len(built.AllRaceKeys()))
+		}
+	}
+}

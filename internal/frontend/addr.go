@@ -1,0 +1,308 @@
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/memmodel"
+	"repro/internal/sim"
+)
+
+// object is one lowered data object: a package-level or function-local
+// variable with a contiguous word range in the simulated address space.
+// Objects are line-aligned so a cross-object race is never a false-sharing
+// artifact; words *within* an array or struct share lines naturally, which
+// is exactly the false-sharing behaviour the HTM fast path must tolerate.
+type object struct {
+	root  types.Object
+	key   objKey
+	name  string
+	base  memmodel.Addr
+	words int
+	isMap bool
+}
+
+// typeWords returns the word footprint of a lowered type: one word per
+// scalar, pointer, or map (whole-object granularity), element-granular for
+// arrays, recursive for structs. Slices report an error here — their extent
+// comes from the make() that creates them.
+func (lo *lowerer) typeWords(t types.Type) (int, error) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.String || u.Info()&(types.IsNumeric|types.IsBoolean) != 0 {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("unsupported basic type %s", u)
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return 1, nil
+	case *types.Array:
+		ew, err := lo.typeWords(u.Elem())
+		if err != nil {
+			return 0, err
+		}
+		return int(u.Len()) * ew, nil
+	case *types.Struct:
+		if syncTypeName(t) != "" {
+			return 0, nil // sync objects carry no data words
+		}
+		total := 0
+		for i := 0; i < u.NumFields(); i++ {
+			fw, err := lo.typeWords(u.Field(i).Type())
+			if err != nil {
+				return 0, err
+			}
+			total += fw
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("unsupported type %s", t)
+	}
+}
+
+// fieldOffset returns the word offset and footprint of field index i inside
+// struct type st.
+func (lo *lowerer) fieldOffset(st *types.Struct, i int) (off, words int, err error) {
+	for f := 0; f < i; f++ {
+		fw, err := lo.typeWords(st.Field(f).Type())
+		if err != nil {
+			return 0, 0, err
+		}
+		off += fw
+	}
+	words, err = lo.typeWords(st.Field(i).Type())
+	return off, words, err
+}
+
+// ref is a resolved lvalue: an object plus the address expression selecting
+// the accessed word(s) within it.
+type ref struct {
+	obj   *object
+	addr  sim.AddrExpr
+	words int    // >1 means an aggregate copy: one access per word
+	label string // display path for the site table
+	pos   token.Pos
+}
+
+// affine is an index expression reduced to coeff*iv + c, where iv is a
+// sim-loop induction variable (nil when the index is fully constant).
+type affine struct {
+	iv    types.Object
+	coeff int64
+	c     int64
+}
+
+// evalAffine reduces an index expression to affine form over at most one
+// enclosing sim-loop induction variable. Constants fold; anything else is
+// an unsupported-index error.
+func (lo *lowerer) evalAffine(e ast.Expr, env *env) (affine, error) {
+	if c, ok := lo.constValue(e); ok {
+		return affine{c: c}, nil
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lo.evalAffine(e.X, env)
+	case *ast.Ident:
+		obj := lo.useOf(e)
+		if v, ok := env.lookupConst(obj); ok {
+			return affine{c: v}, nil
+		}
+		if env.loopDepthOf(obj) >= 0 {
+			return affine{iv: obj, coeff: 1}, nil
+		}
+		return affine{}, fmt.Errorf("index %s is neither constant nor a loop induction variable", e.Name)
+	case *ast.BinaryExpr:
+		x, err := lo.evalAffine(e.X, env)
+		if err != nil {
+			return affine{}, err
+		}
+		y, err := lo.evalAffine(e.Y, env)
+		if err != nil {
+			return affine{}, err
+		}
+		switch e.Op {
+		case token.ADD:
+			if x.iv != nil && y.iv != nil {
+				return affine{}, fmt.Errorf("index uses two induction variables")
+			}
+			if y.iv != nil {
+				x, y = y, x
+			}
+			return affine{iv: x.iv, coeff: x.coeff, c: x.c + y.c}, nil
+		case token.SUB:
+			if y.iv != nil {
+				return affine{}, fmt.Errorf("cannot subtract an induction variable")
+			}
+			return affine{iv: x.iv, coeff: x.coeff, c: x.c - y.c}, nil
+		case token.MUL:
+			if x.iv != nil && y.iv != nil {
+				return affine{}, fmt.Errorf("index multiplies two induction variables")
+			}
+			if y.iv != nil {
+				x, y = y, x
+			}
+			if x.iv != nil {
+				return affine{iv: x.iv, coeff: x.coeff * y.c, c: x.c * y.c}, nil
+			}
+			return affine{c: x.c * y.c}, nil
+		default:
+			return affine{}, fmt.Errorf("unsupported index operator %s", e.Op)
+		}
+	default:
+		return affine{}, fmt.Errorf("unsupported index expression")
+	}
+}
+
+// constValue returns the type-checked constant value of e if it has one.
+func (lo *lowerer) constValue(e ast.Expr) (int64, bool) {
+	if tv, ok := lo.info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		return constant.Int64Val(tv.Value)
+	}
+	return 0, false
+}
+
+// loopFrameOf finds the enclosing sim-loop frame for an induction variable,
+// returning its AddrLoop depth (0 = innermost).
+func (e *env) loopFrameOf(obj types.Object) (loopFrame, int) {
+	for n := e; n != nil; n = n.parent {
+		for i, f := range n.loops {
+			if f.iv == obj {
+				return f, len(n.loops) - 1 - i
+			}
+		}
+		if len(n.loops) > 0 {
+			break
+		}
+	}
+	return loopFrame{}, -1
+}
+
+// resolveRef resolves an addressable expression (identifier, field
+// selector, or index expression) to a ref. Reads needed to compute the
+// element address are emitted by the caller via evalReads beforehand.
+func (lo *lowerer) resolveRef(e ast.Expr, env *env) (*ref, error) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lo.resolveRef(e.X, env)
+
+	case *ast.Ident:
+		obj := lo.useOf(e)
+		if obj == nil {
+			return nil, fmt.Errorf("cannot resolve %s", e.Name)
+		}
+		o, err := lo.resolveVar(obj, env)
+		if err != nil {
+			return nil, err
+		}
+		words := o.words
+		if o.isMap {
+			words = 1
+		}
+		return &ref{obj: o, addr: sim.Fixed(o.base), words: words, label: o.name, pos: e.Pos()}, nil
+
+	case *ast.SelectorExpr:
+		base, err := lo.resolveRef(unparen(e.X), env)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := lo.info.Types[e.X].Type.Underlying().(*types.Struct)
+		if !ok {
+			return nil, fmt.Errorf("field selector on non-struct %s", lo.info.Types[e.X].Type)
+		}
+		sel, ok := lo.info.Selections[e]
+		if !ok || len(sel.Index()) != 1 {
+			return nil, fmt.Errorf("unsupported selector %s", e.Sel.Name)
+		}
+		off, words, err := lo.fieldOffset(st, sel.Index()[0])
+		if err != nil {
+			return nil, err
+		}
+		r := *base
+		r.addr = addWordOffset(r.addr, int64(off))
+		r.words = words
+		r.label += "." + e.Sel.Name
+		r.pos = e.Pos()
+		return &r, nil
+
+	case *ast.IndexExpr:
+		base, err := lo.resolveRef(unparen(e.X), env)
+		if err != nil {
+			return nil, err
+		}
+		bt := lo.info.Types[e.X].Type.Underlying()
+		if _, isMap := bt.(*types.Map); isMap {
+			// Whole-object granularity: any keyed access touches the one
+			// map word, as the Go race detector's map-header check does.
+			r := *base
+			r.words = 1
+			r.label += "[...]"
+			r.pos = e.Pos()
+			return &r, nil
+		}
+		var elem types.Type
+		switch bt := bt.(type) {
+		case *types.Array:
+			elem = bt.Elem()
+		case *types.Slice:
+			elem = bt.Elem()
+		default:
+			return nil, fmt.Errorf("index of non-indexable type %s", bt)
+		}
+		ew, err := lo.typeWords(elem)
+		if err != nil {
+			return nil, err
+		}
+		af, err := lo.evalAffine(e.Index, env)
+		if err != nil {
+			return nil, err
+		}
+		r := *base
+		r.words = ew
+		r.pos = e.Pos()
+		if af.iv == nil {
+			r.addr = addWordOffset(r.addr, af.c*int64(ew))
+			r.label += "[.]"
+			return &r, nil
+		}
+		if r.addr.Mode != sim.AddrFixed {
+			return nil, fmt.Errorf("nested loop-indexed aggregates are unsupported")
+		}
+		frame, depth := env.loopFrameOf(af.iv)
+		if depth < 0 {
+			return nil, fmt.Errorf("index variable escapes its loop")
+		}
+		// The engine's iteration counter runs 0..Count-1; the source
+		// variable is start + iter*step, so fold start and step in.
+		coeff := af.coeff * frame.step
+		off := (af.coeff*frame.start + af.c) * int64(ew)
+		if coeff <= 0 {
+			return nil, fmt.Errorf("non-positive loop stride %d", coeff)
+		}
+		if off < 0 {
+			return nil, fmt.Errorf("negative element offset %d", off)
+		}
+		r.addr = sim.AddrExpr{
+			Base:   r.addr.Base,
+			Mode:   sim.AddrLoop,
+			Stride: uint64(coeff) * uint64(ew),
+			Off:    uint64(off),
+			Depth:  depth,
+		}
+		r.label += "[i]"
+		return &r, nil
+
+	case *ast.StarExpr:
+		return nil, fmt.Errorf("pointer dereference is unsupported (pointers are opaque word values)")
+
+	default:
+		return nil, fmt.Errorf("unsupported lvalue %T", e)
+	}
+}
+
+// addWordOffset shifts a fixed address expression by a word count.
+func addWordOffset(a sim.AddrExpr, words int64) sim.AddrExpr {
+	a.Base += memmodel.Addr(words * memmodel.WordSize)
+	return a
+}

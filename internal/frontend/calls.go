@@ -1,0 +1,269 @@
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/sim"
+)
+
+// lowerCallStmt lowers a call in statement position: sync-object methods,
+// supported builtins, and inlined helper calls.
+func (lo *lowerer) lowerCallStmt(call *ast.CallExpr, env *env) error {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return lo.lowerSyncCall(call, fun, env)
+	case *ast.Ident:
+		if b, ok := lo.useOf(fun).(*types.Builtin); ok {
+			return lo.lowerBuiltinStmt(call, b.Name(), env)
+		}
+		if _, ok := lo.funcs[fun.Name]; ok {
+			return lo.inlineCall(call, env)
+		}
+		return lo.errAt(call.Pos(), "unknown function %s", fun.Name)
+	default:
+		return lo.errAt(call.Pos(), "unsupported call target %T", fun)
+	}
+}
+
+func (lo *lowerer) lowerBuiltinStmt(call *ast.CallExpr, name string, env *env) error {
+	switch name {
+	case "delete":
+		if err := lo.evalReads(call.Args[1], env); err != nil {
+			return err
+		}
+		return lo.emitAccessExpr(call.Args[0], true, env) // map word write
+	case "println", "print":
+		for _, a := range call.Args {
+			if err := lo.evalReads(a, env); err != nil {
+				return err
+			}
+		}
+		// A known (non-hidden) syscall: the instrumenter cuts the
+		// transaction around it, as the paper's pass does for libc I/O.
+		lo.emit(env, &sim.Syscall{Name: name, Cycles: 400})
+		return nil
+	default:
+		return lo.errAt(call.Pos(), "builtin %s is unsupported as a statement", name)
+	}
+}
+
+// lowerSyncCall lowers mu.Lock()-style method calls on the synthetic sync
+// package's types.
+func (lo *lowerer) lowerSyncCall(call *ast.CallExpr, sel *ast.SelectorExpr, env *env) error {
+	selection, ok := lo.info.Selections[sel]
+	if !ok {
+		return lo.errAt(call.Pos(), "unsupported selector call")
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lo.errAt(call.Pos(), "method calls outside package sync are unsupported")
+	}
+	s, err := lo.resolveSyncExpr(unparen(sel.X), env)
+	if err != nil {
+		return lo.errAt(call.Pos(), "%s", err)
+	}
+	method := fn.Name()
+	switch s.kind {
+	case "mutex":
+		switch method {
+		case "Lock":
+			lo.emit(env, &sim.Lock{M: s.id})
+		case "Unlock":
+			lo.emit(env, &sim.Unlock{M: s.id})
+		default:
+			return lo.errAt(call.Pos(), "sync.Mutex has no supported method %s", method)
+		}
+	case "rwmutex":
+		switch method {
+		case "Lock":
+			lo.emit(env, &sim.WLock{M: s.id})
+		case "Unlock":
+			lo.emit(env, &sim.WUnlock{M: s.id})
+		case "RLock":
+			lo.emit(env, &sim.RLock{M: s.id})
+		case "RUnlock":
+			lo.emit(env, &sim.RUnlock{M: s.id})
+		default:
+			return lo.errAt(call.Pos(), "sync.RWMutex has no supported method %s", method)
+		}
+	case "wg":
+		switch method {
+		case "Add":
+			if _, ok := lo.constOrKnown(call.Args[0], env); !ok {
+				return lo.errAt(call.Pos(), "wg.Add needs a constant delta")
+			}
+			// Add itself emits nothing: the Wait count comes from the
+			// statically counted Done posts.
+		case "Done":
+			lo.sigCount[s.key] += env.mult
+			lo.emit(env, &sim.Signal{C: s.id})
+		case "Wait":
+			if lo.analyze {
+				return nil // pass 1 is still counting the Done posts
+			}
+			n := lo.waitN[s.key]
+			if n <= 0 {
+				return lo.errAt(call.Pos(), "wg.Wait() but no wg.Done() anywhere in the program")
+			}
+			if lo.waitEmitted[s.key] {
+				return lo.errAt(call.Pos(), "a WaitGroup may be Waited on from only one place")
+			}
+			lo.waitEmitted[s.key] = true
+			for i := 0; i < n; i++ {
+				lo.emit(env, &sim.Wait{C: s.id})
+			}
+		default:
+			return lo.errAt(call.Pos(), "sync.WaitGroup has no supported method %s", method)
+		}
+	default:
+		return lo.errAt(call.Pos(), "cannot call %s on a channel", method)
+	}
+	return nil
+}
+
+// inlineCall expands a call to a top-level helper function at the call
+// site, in the caller's thread context. The callee's locals are fresh
+// per (function, context) — two sequential calls from one thread share
+// them, which is harmless since same-thread accesses never race.
+func (lo *lowerer) inlineCall(call *ast.CallExpr, caller *env) error {
+	name := unparen(call.Fun).(*ast.Ident).Name
+	decl := lo.funcs[name]
+	for _, f := range caller.inline {
+		if f == decl {
+			return lo.errAt(call.Pos(), "recursive call to %s is unsupported", name)
+		}
+	}
+	ienv := &env{
+		ctx: caller.ctx, parent: caller,
+		locals:     map[types.Object]*object{},
+		syncLocals: map[types.Object]*syncObj{},
+		consts:     map[types.Object]int64{},
+		inline:     append(caller.inline[:len(caller.inline):len(caller.inline)], decl),
+		mult:       caller.mult,
+		out:        caller.out,
+	}
+	if err := lo.bindParams(decl.Type.Params, call.Args, caller, ienv); err != nil {
+		return err
+	}
+	return lo.lowerFuncBody(decl.Body.List, ienv, true)
+}
+
+// bindParams evaluates call arguments in the caller's environment and binds
+// the parameters in the callee's: sync objects and channels alias, whole
+// aggregates alias their object, constant scalars become unroll-time known
+// values, and anything else becomes a fresh callee-local word.
+func (lo *lowerer) bindParams(params *ast.FieldList, args []ast.Expr, cenv, fenv *env) error {
+	objs := paramObjects(lo.info, params)
+	if len(objs) != len(args) {
+		return fmt.Errorf("frontend: call has %d args for %d params", len(args), len(objs))
+	}
+	for i, p := range objs {
+		arg := args[i]
+		t := p.Type()
+		if isChan(t) || syncTypeName(t) != "" {
+			s, err := lo.resolveSyncExpr(unparen(arg), cenv)
+			if err != nil {
+				return lo.errAt(arg.Pos(), "%s", err)
+			}
+			fenv.syncLocals[p] = s
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Array, *types.Struct:
+			id, ok := unparen(arg).(*ast.Ident)
+			if !ok {
+				return lo.errAt(arg.Pos(), "aggregate arguments must be plain variables")
+			}
+			o, err := lo.resolveVar(lo.useOf(id), cenv)
+			if err != nil {
+				return lo.errAt(arg.Pos(), "%s", err)
+			}
+			fenv.locals[p] = o // the param aliases the caller's object
+			continue
+		}
+		// Scalars: the caller reads the argument now; a constant-known
+		// value flows into the callee for element addressing.
+		if err := lo.evalReads(arg, cenv); err != nil {
+			return err
+		}
+		if v, ok := lo.constOrKnown(arg, cenv); ok {
+			fenv.consts[p] = v
+		}
+		if err := lo.wrapAt(arg.Pos(), lo.defineLocal(fenv, p, 0)); err != nil {
+			return err
+		}
+		// The parameter's initial store is invisible thread-local setup.
+	}
+	return nil
+}
+
+func paramObjects(info *types.Info, params *ast.FieldList) []types.Object {
+	var out []types.Object
+	if params == nil {
+		return out
+	}
+	for _, f := range params.List {
+		for _, n := range f.Names {
+			out = append(out, info.Defs[n])
+		}
+	}
+	return out
+}
+
+// lowerGo lowers one go statement into a new worker thread. The body is
+// lowered fresh per spawn (so constant-bound addressing like buf[id] with a
+// per-instance id parameter resolves per worker), while position-keyed
+// sites keep static identity shared across the instances.
+func (lo *lowerer) lowerGo(g *ast.GoStmt, menv *env) error {
+	if !menv.inMain {
+		return lo.errAt(g.Pos(), "go statements are supported only in main (no nested spawns)")
+	}
+	call := g.Call
+	var body []sim.Instr
+	wenv := &env{
+		ctx: lo.nextCtx, parent: menv,
+		locals:     map[types.Object]*object{},
+		syncLocals: map[types.Object]*syncObj{},
+		consts:     map[types.Object]int64{},
+		mult:       1,
+		out:        &body,
+	}
+	lo.nextCtx++
+
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		if err := lo.bindParams(fun.Type.Params, call.Args, menv, wenv); err != nil {
+			return err
+		}
+		if err := lo.lowerFuncBody(fun.Body.List, wenv, true); err != nil {
+			return err
+		}
+	case *ast.Ident:
+		decl, ok := lo.funcs[fun.Name]
+		if !ok {
+			return lo.errAt(g.Pos(), "go target %s is not a top-level function", fun.Name)
+		}
+		wenv.parent = nil // named functions capture nothing
+		wenv.inline = []*ast.FuncDecl{decl}
+		if err := lo.bindParams(decl.Type.Params, call.Args, menv, wenv); err != nil {
+			return err
+		}
+		if err := lo.lowerFuncBody(decl.Body.List, wenv, true); err != nil {
+			return err
+		}
+	default:
+		return lo.errAt(g.Pos(), "unsupported go target %T", fun)
+	}
+
+	lo.workers = append(lo.workers, body)
+	if !lo.spawned {
+		// Everything lowered so far ran before the first spawn: it is the
+		// single-threaded Setup, ordered before every worker by the fork
+		// edge. Main's remaining statements become the continuation worker.
+		lo.spawned = true
+		lo.cur = &lo.cont
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/instrument"
+	"repro/internal/sim"
+)
+
+// TestCorpusRegistryComplete pins that the registry and the embedded files
+// agree: every snippet has a source file, every file has a registry entry.
+func TestCorpusRegistryComplete(t *testing.T) {
+	entries, err := corpusFS.ReadDir("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		onDisk[strings.TrimSuffix(e.Name(), ".go")] = true
+	}
+	for _, name := range CorpusNames() {
+		if !onDisk[name] {
+			t.Errorf("snippet %q has no embedded source file", name)
+		}
+		delete(onDisk, name)
+	}
+	for name := range onDisk {
+		t.Errorf("embedded file %q.go has no registry entry", name)
+	}
+}
+
+// TestCorpusCompiles pins that every snippet compiles and its pinned race
+// specs resolve unambiguously, and that racy snippets come with race-free
+// twins that pin zero races.
+func TestCorpusCompiles(t *testing.T) {
+	racy, twins := 0, 0
+	for _, name := range CorpusNames() {
+		p, err := CompileCorpus(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		snip, _ := CorpusSnippet(name)
+		truth, err := snip.GroundTruth(p)
+		if err != nil {
+			t.Fatalf("%s: ground truth: %v", name, err)
+		}
+		if len(truth) != len(snip.Races) {
+			t.Fatalf("%s: resolved %d of %d pinned races", name, len(truth), len(snip.Races))
+		}
+		for _, r := range truth {
+			if r.B < r.A {
+				t.Fatalf("%s: unnormalized pair (%d, %d)", name, r.A, r.B)
+			}
+		}
+		if len(truth) > 0 {
+			racy++
+		} else {
+			twins++
+		}
+	}
+	if racy < 5 || twins < 5 {
+		t.Fatalf("corpus shape: %d racy + %d race-free snippets, want >=5 of each", racy, twins)
+	}
+}
+
+// TestCorpusGroundTruthTSan is the oracle check behind the pinned specs:
+// a full happens-before detector over each snippet must report exactly the
+// pinned race set (deferred races included — deferral is a statement about
+// the HTM fast path, not about happens-before).
+func TestCorpusGroundTruthTSan(t *testing.T) {
+	for _, name := range CorpusNames() {
+		t.Run(name, func(t *testing.T) {
+			p, err := CompileCorpus(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snip, _ := CorpusSnippet(name)
+			truth, err := snip.GroundTruth(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]detect.PairKey, len(truth))
+			for i, r := range truth {
+				want[i] = detect.PairKey{A: r.A, B: r.B}
+			}
+
+			rt := core.NewTSan()
+			sim.NewEngine(sim.DefaultConfig()).Run(instrument.ForTSan(p.Prog), rt)
+			got := rt.Detector().RaceKeys()
+			if len(got) != len(want) {
+				t.Fatalf("TSan found %d races, pinned %d:\n got %v\nwant %v", len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("race %d: got %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusSiteTablesResolve pins that every reported race maps back to
+// source: each site id the detector can emit has a line/col record.
+func TestCorpusSiteTablesResolve(t *testing.T) {
+	for _, name := range CorpusNames() {
+		p, err := CompileCorpus(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range p.Sites {
+			got, ok := p.Site(s.ID)
+			if !ok || got != s {
+				t.Fatalf("%s: site %d does not round-trip: %+v vs %+v", name, s.ID, s, got)
+			}
+			if s.Line <= 0 || s.Col <= 0 || s.Object == "" {
+				t.Fatalf("%s: site %d missing source info: %+v", name, s.ID, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/sim"
+)
+
+// bounds describes a constant-trip-count loop: iv runs start, start+step, …
+// for trips iterations.
+type bounds struct {
+	iv     types.Object
+	ivName *ast.Ident
+	start  int64
+	step   int64
+	trips  int64
+	// source positions for the unrolled induction-variable accesses
+	initPos, condPos, postPos token.Pos
+}
+
+// parseBounds extracts constant bounds from a three-clause for statement.
+func (lo *lowerer) parseBounds(s *ast.ForStmt, env *env) (*bounds, error) {
+	if s.Init == nil || s.Cond == nil || s.Post == nil {
+		return nil, fmt.Errorf("only counted for loops (init; cond; post) are supported")
+	}
+	init, ok := s.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return nil, fmt.Errorf("loop init must be i := <const>")
+	}
+	ivIdent, ok := unparen(init.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return nil, fmt.Errorf("loop init must define a plain variable")
+	}
+	start, ok := lo.constOrKnown(init.Rhs[0], env)
+	if !ok {
+		return nil, fmt.Errorf("loop start must be a constant")
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return nil, fmt.Errorf("loop condition must be i < N or i <= N")
+	}
+	condIv, ok := unparen(cond.X).(*ast.Ident)
+	if !ok || lo.useOf(condIv) != lo.info.Defs[ivIdent] {
+		return nil, fmt.Errorf("loop condition must test the induction variable")
+	}
+	limit, ok := lo.constOrKnown(cond.Y, env)
+	if !ok {
+		return nil, fmt.Errorf("loop bound must be a constant")
+	}
+	if cond.Op == token.LEQ {
+		limit++
+	}
+	step := int64(0)
+	switch post := s.Post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := unparen(post.X).(*ast.Ident); !ok || lo.useOf(id) != lo.info.Defs[ivIdent] {
+			return nil, fmt.Errorf("loop post must step the induction variable")
+		}
+		if post.Tok != token.INC {
+			return nil, fmt.Errorf("only incrementing loops are supported")
+		}
+		step = 1
+	case *ast.AssignStmt:
+		if post.Tok != token.ADD_ASSIGN || len(post.Lhs) != 1 {
+			return nil, fmt.Errorf("loop post must be i++ or i += <const>")
+		}
+		if id, ok := unparen(post.Lhs[0]).(*ast.Ident); !ok || lo.useOf(id) != lo.info.Defs[ivIdent] {
+			return nil, fmt.Errorf("loop post must step the induction variable")
+		}
+		step, ok = lo.constOrKnown(post.Rhs[0], env)
+		if !ok || step <= 0 {
+			return nil, fmt.Errorf("loop step must be a positive constant")
+		}
+	default:
+		return nil, fmt.Errorf("unsupported loop post statement")
+	}
+	trips := int64(0)
+	if limit > start {
+		trips = (limit - start + step - 1) / step
+	}
+	const maxTrips = 1 << 20
+	if trips > maxTrips {
+		return nil, fmt.Errorf("loop runs %d iterations (max %d)", trips, maxTrips)
+	}
+	return &bounds{
+		iv: lo.info.Defs[ivIdent], ivName: ivIdent,
+		start: start, step: step, trips: trips,
+		initPos: init.Pos(), condPos: cond.Pos(), postPos: s.Post.Pos(),
+	}, nil
+}
+
+// containsGo reports whether any statement in the subtree spawns a
+// goroutine (function literals included — their go target is the subtree).
+func containsGo(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (lo *lowerer) lowerFor(s *ast.ForStmt, env *env) error {
+	b, err := lo.parseBounds(s, env)
+	if err != nil {
+		return lo.errAt(s.Pos(), "%s", err)
+	}
+	if containsGo(s.Body) {
+		if !env.inMain {
+			return lo.errAt(s.Pos(), "go statements are supported only in main (no nested spawns)")
+		}
+		return lo.unrollSpawnLoop(s.Body.List, b, env)
+	}
+	return lo.lowerCountedLoop(s.Body.List, b, env)
+}
+
+func (lo *lowerer) lowerRange(s *ast.RangeStmt, env *env) error {
+	if s.Tok == token.ASSIGN {
+		return lo.errAt(s.Pos(), "range with = assignment is unsupported")
+	}
+	rt := lo.info.Types[s.X].Type
+	var b *bounds
+	var elemRead bool
+	switch u := rt.Underlying().(type) {
+	case *types.Basic: // for i := range N (range over int)
+		n, ok := lo.constOrKnown(s.X, env)
+		if !ok || n < 0 {
+			return lo.errAt(s.Pos(), "range over int needs a constant bound")
+		}
+		b = &bounds{start: 0, step: 1, trips: n, initPos: s.Pos(), condPos: s.Pos(), postPos: s.Pos()}
+	case *types.Array:
+		b = &bounds{start: 0, step: 1, trips: u.Len(), initPos: s.Pos(), condPos: s.Pos(), postPos: s.Pos()}
+		elemRead = s.Value != nil
+	case *types.Slice:
+		id, ok := unparen(s.X).(*ast.Ident)
+		if !ok {
+			return lo.errAt(s.Pos(), "range over a slice expression is unsupported")
+		}
+		o, err := lo.resolveVar(lo.useOf(id), env)
+		if err != nil {
+			return lo.errAt(s.Pos(), "%s", err)
+		}
+		ew, err := lo.typeWords(u.Elem())
+		if err != nil {
+			return lo.errAt(s.Pos(), "%s", err)
+		}
+		b = &bounds{start: 0, step: 1, trips: int64(o.words / ew), initPos: s.Pos(), condPos: s.Pos(), postPos: s.Pos()}
+		elemRead = s.Value != nil
+	default:
+		return lo.errAt(s.Pos(), "range over %s is unsupported", rt)
+	}
+	if key, ok := unparen(orNil(s.Key)).(*ast.Ident); ok && key.Name != "_" {
+		b.iv = lo.info.Defs[key]
+		b.ivName = key
+	}
+	if containsGo(s.Body) {
+		if !env.inMain {
+			return lo.errAt(s.Pos(), "go statements are supported only in main (no nested spawns)")
+		}
+		return lo.unrollSpawnLoop(s.Body.List, b, env)
+	}
+	// The value variable becomes a per-iteration element read plus a
+	// local write inside the loop body.
+	var prologue []ast.Stmt
+	if elemRead {
+		val, ok := unparen(s.Value).(*ast.Ident)
+		if !ok {
+			return lo.errAt(s.Pos(), "unsupported range value target")
+		}
+		if val.Name != "_" {
+			if b.iv == nil {
+				return lo.errAt(s.Pos(), "range value without an index variable is unsupported")
+			}
+			prologue = append(prologue, &ast.AssignStmt{
+				Lhs: []ast.Expr{val},
+				Tok: token.DEFINE,
+				Rhs: []ast.Expr{&ast.IndexExpr{X: s.X, Index: b.ivName}},
+			})
+		}
+	}
+	return lo.lowerCountedLoop(append(prologue, s.Body.List...), b, env)
+}
+
+func orNil(e ast.Expr) ast.Expr {
+	if e == nil {
+		return &ast.Ident{Name: "_"}
+	}
+	return e
+}
+
+// lowerCountedLoop lowers a constant-trip loop to a sim.Loop. The induction
+// variable lives in the engine's loop counter — never in memory — so it
+// must not be shared (a shared counter would need unrolling; rejected).
+func (lo *lowerer) lowerCountedLoop(body []ast.Stmt, b *bounds, env *env) error {
+	if b.trips == 0 {
+		return nil
+	}
+	var instrs []sim.Instr
+	benv := *env
+	benv.out = &instrs
+	benv.mult = env.mult * int(b.trips)
+	if b.iv != nil {
+		benv.loops = append(append([]loopFrame{}, env.loops...), loopFrame{iv: b.iv, start: b.start, step: b.step})
+	}
+	if err := lo.lowerBody(body, &benv); err != nil {
+		return err
+	}
+	id := lo.nextLoop
+	lo.nextLoop++
+	lo.emit(env, &sim.Loop{ID: id, Count: int(b.trips), Body: instrs})
+	return nil
+}
+
+// unrollSpawnLoop expands a goroutine-spawning loop in main: each iteration
+// re-lowers the body with the induction variable's value known, so go
+// statements inside spawn one worker per iteration. The induction
+// variable's own reads and writes are emitted — when a closure captures it,
+// those are the classic loop-variable-capture race (pre-Go-1.22 shared
+// loop variable semantics, the bug this corpus exists to catch).
+func (lo *lowerer) unrollSpawnLoop(body []ast.Stmt, b *bounds, env *env) error {
+	const maxUnroll = 256
+	if b.trips > maxUnroll {
+		return lo.errAt(b.initPos, "spawn loop runs %d iterations (max %d workers)", b.trips, maxUnroll)
+	}
+	touchIv := func(pos token.Pos, write bool) error {
+		if b.iv == nil {
+			return nil
+		}
+		return lo.emitAccessObj(pos, b.iv, write, env)
+	}
+	if b.iv != nil {
+		if err := lo.wrapAt(b.initPos, lo.defineLocal(env, b.iv, 0)); err != nil {
+			return err
+		}
+		if err := touchIv(b.initPos, true); err != nil { // i := start
+			return err
+		}
+	}
+	val := b.start
+	for k := int64(0); k < b.trips; k++ {
+		if b.iv != nil {
+			env.consts[b.iv] = val
+			if err := touchIv(b.condPos, false); err != nil { // i < N
+				return err
+			}
+		}
+		if err := lo.lowerBody(body, env); err != nil {
+			return err
+		}
+		if b.iv != nil {
+			if err := touchIv(b.postPos, false); err != nil { // i++ reads…
+				return err
+			}
+			if err := touchIv(b.postPos, true); err != nil { // …then writes
+				return err
+			}
+		}
+		val += b.step
+	}
+	if b.iv != nil {
+		env.consts[b.iv] = val
+		if err := touchIv(b.condPos, false); err != nil { // final failing test
+			return err
+		}
+		delete(env.consts, b.iv)
+	}
+	return nil
+}
+
+// emitAccessObj emits one access to a plain variable object at an explicit
+// position — used for the unrolled induction-variable bookkeeping.
+func (lo *lowerer) emitAccessObj(pos token.Pos, obj types.Object, write bool, env *env) error {
+	o, err := lo.resolveVar(obj, env)
+	if err != nil {
+		return lo.errAt(pos, "%s", err)
+	}
+	return lo.emitRef(&ref{obj: o, addr: sim.Fixed(o.base), words: 1, label: o.name, pos: pos}, write, env)
+}

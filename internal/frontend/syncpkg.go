@@ -1,0 +1,79 @@
+package frontend
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// syntheticImporter resolves the single import the subset permits: a
+// hand-built "sync" package containing just Mutex, RWMutex, and WaitGroup
+// with their method sets. Building it from the go/types API keeps the
+// frontend hermetic — no GOROOT source walk, no export data, and the type
+// identities are stable for the lowerer's package-path checks.
+type syntheticImporter struct{}
+
+func (syntheticImporter) Import(path string) (*types.Package, error) {
+	if path == "sync" {
+		return syncPkg, nil
+	}
+	return nil, fmt.Errorf("import %q not supported (the Go subset permits only \"sync\")", path)
+}
+
+var syncPkg = buildSyncPackage()
+
+func buildSyncPackage() *types.Package {
+	pkg := types.NewPackage("sync", "sync")
+	newType := func(name string) *types.Named {
+		tn := types.NewTypeName(token.NoPos, pkg, name, nil)
+		n := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+		pkg.Scope().Insert(tn)
+		return n
+	}
+	method := func(n *types.Named, name string, params ...*types.Var) {
+		recv := types.NewVar(token.NoPos, pkg, "", types.NewPointer(n))
+		sig := types.NewSignatureType(recv, nil, nil, types.NewTuple(params...), nil, false)
+		n.AddMethod(types.NewFunc(token.NoPos, pkg, name, sig))
+	}
+
+	mutex := newType("Mutex")
+	method(mutex, "Lock")
+	method(mutex, "Unlock")
+
+	rw := newType("RWMutex")
+	method(rw, "Lock")
+	method(rw, "Unlock")
+	method(rw, "RLock")
+	method(rw, "RUnlock")
+
+	wg := newType("WaitGroup")
+	method(wg, "Add", types.NewVar(token.NoPos, pkg, "delta", types.Typ[types.Int]))
+	method(wg, "Done")
+	method(wg, "Wait")
+
+	pkg.MarkComplete()
+	return pkg
+}
+
+// syncTypeName returns the sync package type name ("Mutex", "RWMutex",
+// "WaitGroup") behind t, unwrapping one level of pointer, or "" if t is not
+// one of the synthetic sync types.
+func syncTypeName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+// isChan reports whether t is a channel type.
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,25 @@
+// Four goroutines hammer a shared counter with unprotected read-modify-write
+// increments: the load races with the store, and the stores race with each
+// other.
+package main
+
+import "sync"
+
+var (
+	counter int
+	wg      sync.WaitGroup
+)
+
+func main() {
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				counter++
+			}
+		}()
+	}
+	wg.Wait()
+	_ = counter
+}

@@ -1,0 +1,27 @@
+// Race-free twin of counter: the same four-way increment storm with every
+// read-modify-write guarded by a mutex.
+package main
+
+import "sync"
+
+var (
+	mu      sync.Mutex
+	counter int
+	wg      sync.WaitGroup
+)
+
+func main() {
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	_ = counter
+}

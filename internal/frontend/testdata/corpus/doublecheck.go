@@ -1,0 +1,39 @@
+// Classic broken double-checked lazy initialization: the unsynchronized
+// fast-path read of instance races with the store published under the lock.
+package main
+
+import "sync"
+
+type config struct {
+	value int
+}
+
+var (
+	mu       sync.Mutex
+	instance *config
+	done     chan bool
+)
+
+func getInstance() *config {
+	if instance == nil {
+		mu.Lock()
+		if instance == nil {
+			instance = &config{value: 42}
+		}
+		mu.Unlock()
+	}
+	return instance
+}
+
+func main() {
+	done = make(chan bool)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_ = getInstance()
+			done <- true
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}

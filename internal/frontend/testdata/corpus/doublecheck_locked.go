@@ -1,0 +1,38 @@
+// Race-free twin of doublecheck: every access to instance, including the
+// fast-path check and the returned copy, happens under the mutex.
+package main
+
+import "sync"
+
+type config struct {
+	value int
+}
+
+var (
+	mu       sync.Mutex
+	instance *config
+	done     chan bool
+)
+
+func getInstance() *config {
+	mu.Lock()
+	if instance == nil {
+		instance = &config{value: 42}
+	}
+	out := instance
+	mu.Unlock()
+	return out
+}
+
+func main() {
+	done = make(chan bool)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_ = getInstance()
+			done <- true
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+}

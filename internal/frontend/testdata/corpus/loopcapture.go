@@ -1,0 +1,23 @@
+// The pre-Go-1.22 loop-variable capture bug: all three goroutines read the
+// single shared loop variable while main keeps incrementing it, and their
+// unsynchronized updates of sum race with each other too.
+package main
+
+import "sync"
+
+var (
+	wg  sync.WaitGroup
+	sum int
+)
+
+func main() {
+	wg.Add(3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			defer wg.Done()
+			sum += i
+		}()
+	}
+	wg.Wait()
+	_ = sum
+}

@@ -1,0 +1,28 @@
+// Two goroutines write the same map with no synchronization — the classic
+// "concurrent map writes" crash, seen here as a write-write race on the map
+// object.
+package main
+
+var (
+	stats map[string]int
+	done  chan bool
+)
+
+func main() {
+	stats = make(map[string]int)
+	done = make(chan bool)
+	go func() {
+		for i := 0; i < 5000; i++ {
+			stats["a"] = i
+		}
+		done <- true
+	}()
+	go func() {
+		for i := 0; i < 5000; i++ {
+			stats["b"] = i
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+}

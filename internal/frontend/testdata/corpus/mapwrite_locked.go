@@ -1,0 +1,35 @@
+// Race-free twin of mapwrite: a writer updates the map under the write lock
+// while a reader polls its size under the read lock.
+package main
+
+import "sync"
+
+var (
+	mu    sync.RWMutex
+	stats map[string]int
+	done  chan bool
+)
+
+func main() {
+	stats = make(map[string]int)
+	done = make(chan bool)
+	go func() {
+		for i := 0; i < 50; i++ {
+			mu.Lock()
+			stats["a"] = i
+			mu.Unlock()
+		}
+		done <- true
+	}()
+	go func() {
+		for i := 0; i < 50; i++ {
+			mu.RLock()
+			n := len(stats)
+			_ = n
+			mu.RUnlock()
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,34 @@
+// Race-free partitioned fill: each worker owns a disjoint four-element
+// stripe of the slice, selected by its id parameter, and main only reads the
+// results after every worker has signalled completion. Adjacent stripes share
+// cache lines, so the HTM fast path sees false-sharing conflicts that the
+// happens-before slow path must exonerate.
+package main
+
+var (
+	results []int
+	done    chan bool
+)
+
+func fill(id int) {
+	for j := 0; j < 4; j++ {
+		results[id*4+j] = id + j
+	}
+	done <- true
+}
+
+func main() {
+	results = make([]int, 16)
+	done = make(chan bool)
+	for i := 0; i < 4; i++ {
+		go fill(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	total := 0
+	for k := 0; k < 16; k++ {
+		total += results[k]
+	}
+	_ = total
+}

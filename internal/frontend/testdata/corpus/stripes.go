@@ -1,0 +1,26 @@
+// Two workers sweep overlapping ranges of a shared buffer: words 1024
+// through 3071 are written by both, a write-write race on the overlap.
+package main
+
+var (
+	buf  [4096]int
+	done chan bool
+)
+
+func main() {
+	done = make(chan bool)
+	go func() {
+		for i := 0; i < 3072; i++ {
+			buf[i] = i
+		}
+		done <- true
+	}()
+	go func() {
+		for i := 0; i < 3072; i++ {
+			buf[i+1024] = i
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,27 @@
+// Race-free twin of stripes: the two sweeps cover disjoint halves of the
+// buffer. The split lands mid cache line, so the HTM fast path conflicts on
+// the boundary line (false sharing) and the slow path must exonerate it.
+package main
+
+var (
+	buf  [4090]int
+	done chan bool
+)
+
+func main() {
+	done = make(chan bool)
+	go func() {
+		for i := 0; i < 2045; i++ {
+			buf[i] = i
+		}
+		done <- true
+	}()
+	go func() {
+		for i := 0; i < 2045; i++ {
+			buf[i+2045] = i
+		}
+		done <- true
+	}()
+	<-done
+	<-done
+}

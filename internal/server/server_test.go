@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -111,6 +113,43 @@ func TestServerManyClients(t *testing.T) {
 	}
 }
 
+// TestSessionFinishIdempotent pins the Finish bugfix: a second Finish —
+// what a retrying or misbehaving client amounts to — returns the first
+// call's cached report instead of panicking on the already-closed worker
+// queues, and the report keeps the name it was finished under. The
+// end-to-end half runs the retry over a real listener: the same trace
+// streamed twice must produce two identical reports from a live server.
+func TestSessionFinishIdempotent(t *testing.T) {
+	tr := recordTrace(t, "raytrace", 7)
+	sess := NewSession(SessionConfig{Shards: 4, Workers: 2, BatchSize: 64})
+	tr.ForEach(sess.Feed)
+	r1 := sess.Finish(tr.Name)
+	r2 := sess.Finish("retry-after-finish")
+	if r2 != r1 {
+		t.Fatalf("second Finish returned a new report: %p vs %p", r2, r1)
+	}
+	if r2.Name != tr.Name {
+		t.Fatalf("cached report renamed to %q, want %q", r2.Name, tr.Name)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Shards: 4, Workers: 2, NoShed: true})
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	first := streamTrace(t, ln.Addr().String(), tr)
+	retry := streamTrace(t, ln.Addr().String(), tr)
+	if first.Error != "" || retry.Error != "" {
+		t.Fatalf("server errors: %q / %q", first.Error, retry.Error)
+	}
+	if !reflect.DeepEqual(first, retry) {
+		t.Fatalf("retried stream got a different report:\n first %+v\n retry %+v", first, retry)
+	}
+}
+
 // TestServerRejectsGarbage: malformed streams get a JSON error, not a hang
 // or a crash.
 func TestServerRejectsGarbage(t *testing.T) {
@@ -134,6 +173,32 @@ func TestServerRejectsGarbage(t *testing.T) {
 	}
 	if resp.Error == "" {
 		t.Fatal("garbage stream accepted without error")
+	}
+
+	// A truncated stream — valid header, events cut mid-record — must come
+	// back as a structured error naming the wire version and byte offset.
+	tr := recordTrace(t, "raytrace", 7)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.Write(buf.Bytes()[:buf.Len()/2])
+	if tc, ok := c2.(*net.TCPConn); ok {
+		tc.CloseWrite() // end of stream mid-record, like a dying client
+	}
+	var trunc Response
+	if err := json.NewDecoder(c2).Decode(&trunc); err != nil {
+		t.Fatalf("no JSON error response for truncated stream: %v", err)
+	}
+	for _, want := range []string{"wire v2", "offset", "unexpected EOF"} {
+		if !strings.Contains(trunc.Error, want) {
+			t.Fatalf("truncation error %q lacks %q", trunc.Error, want)
+		}
 	}
 }
 

@@ -83,6 +83,7 @@ type Session struct {
 	trips    uint64
 	shedding bool
 	finished bool
+	report   *Report
 }
 
 // NewSession starts a session's workers and returns it ready for Feed.
@@ -217,9 +218,14 @@ func (s *Session) flush(sh int, block bool) {
 // Finish flushes every pending batch (blocking — ingestion is over, so
 // waiting no longer stalls a client), joins the workers, and merges the
 // per-shard findings into the final report.
+//
+// Finish is idempotent: a second call returns the first call's report (with
+// the name it was finished under) instead of tearing down twice. Retrying or
+// misbehaving clients can send a duplicate end-of-stream, and a panic here
+// would take down the whole server.
 func (s *Session) Finish(name string) *Report {
 	if s.finished {
-		panic("server: Session.Finish called twice")
+		return s.report
 	}
 	s.finished = true
 	for sh := range s.batches {
@@ -234,7 +240,7 @@ func (s *Session) Finish(name string) *Report {
 		m.sessions.Add(-1)
 		m.races.Add(uint64(len(races)))
 	}
-	return &Report{
+	s.report = &Report{
 		Name:   name,
 		Shards: s.cfg.Shards,
 		Events: s.events,
@@ -242,6 +248,7 @@ func (s *Session) Finish(name string) *Report {
 		Shed:   s.shed, GovernorTrips: s.trips,
 		races: races,
 	}
+	return s.report
 }
 
 // serverMetrics bundles the obs instruments the server updates; nil-safe

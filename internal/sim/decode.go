@@ -233,6 +233,9 @@ func execAccess(e *Engine, t *Thread, d *dinstr) bool {
 	case AddrFixed:
 		addr = d.addr.Base
 	case AddrRandom:
+		if d.addr.Range == 0 {
+			e.programError(t, "access", 0, "random address with zero range")
+		}
 		addr = d.addr.Base + memmodel.Addr(t.RNG.Uint64n(d.addr.Range)*memmodel.WordSize)
 	default:
 		addr = t.Eval(d.addr)
@@ -247,6 +250,9 @@ func execAccess(e *Engine, t *Thread, d *dinstr) bool {
 }
 
 func execAtomic(e *Engine, t *Thread, d *dinstr) bool {
+	if d.addr.Mode == AddrRandom && d.addr.Range == 0 {
+		e.programError(t, "atomic", 0, "random address with zero range")
+	}
 	addr := t.Eval(d.addr)
 	e.charge(t, e.cfg.Cost.LockOp/2+1)
 	e.res.Accesses++
@@ -448,6 +454,9 @@ func execCondBroadcast(e *Engine, t *Thread, d *dinstr) bool {
 }
 
 func execBarrier(e *Engine, t *Thread, d *dinstr) bool {
+	if d.n <= 0 {
+		e.programError(t, "barrier", d.id, fmt.Sprintf("has non-positive width %d", d.n))
+	}
 	b := d.br
 	if !t.barrierArrived {
 		t.barrierArrived = true

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cost"
 	"repro/internal/memmodel"
@@ -571,14 +570,18 @@ func (e *Engine) allDone() bool {
 }
 
 func (e *Engine) deadlockError() error {
-	var blocked []string
+	de := &DeadlockError{}
 	for _, t := range e.threads {
-		if t.state == stateBlocked {
-			blocked = append(blocked, fmt.Sprintf("t%d", t.ID))
+		if t.state != stateBlocked {
+			continue
 		}
+		pc := -1
+		if len(t.frames) > 0 {
+			pc = t.frames[len(t.frames)-1].pc
+		}
+		de.Blocked = append(de.Blocked, BlockedThread{Thread: t.ID, PC: pc})
 	}
-	sort.Strings(blocked)
-	return fmt.Errorf("sim: deadlock, blocked threads: %v", blocked)
+	return de
 }
 
 func (e *Engine) charge(t *Thread, c int64) { e.Charge(t, c) }
@@ -677,6 +680,9 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 	c := e.cfg.Cost
 	switch in := in.(type) {
 	case *MemAccess:
+		if in.Addr.Mode == AddrRandom && in.Addr.Range == 0 {
+			e.programError(t, "access", 0, "random address with zero range")
+		}
 		addr := t.Eval(in.Addr)
 		e.charge(t, c.Access)
 		e.res.Accesses++
@@ -687,6 +693,9 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 		return true
 
 	case *AtomicRMW:
+		if in.Addr.Mode == AddrRandom && in.Addr.Range == 0 {
+			e.programError(t, "atomic", 0, "random address with zero range")
+		}
 		addr := t.Eval(in.Addr)
 		e.charge(t, c.LockOp/2+1) // a locked RMW: pricier than a load, cheaper than a mutex
 		e.res.Accesses++
@@ -878,6 +887,9 @@ func (e *Engine) exec(t *Thread, in Instr) bool {
 		return true
 
 	case *Barrier:
+		if in.N <= 0 {
+			e.programError(t, "barrier", in.B, fmt.Sprintf("has non-positive width %d", in.N))
+		}
 		b := e.barrierOf(in.B)
 		if !t.barrierArrived {
 			t.barrierArrived = true

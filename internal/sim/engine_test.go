@@ -408,7 +408,6 @@ func TestInterruptScaleRisesWithOversubscription(t *testing.T) {
 func TestValidateRejectsBadPrograms(t *testing.T) {
 	bad := []*Program{
 		{Workers: [][]Instr{{&Loop{ID: 1, Count: -1}}}},
-		{Workers: [][]Instr{{&Barrier{B: 1, N: 0}}}},
 		{Workers: [][]Instr{{&Compute{Cycles: -5}}}},
 	}
 	for i, p := range bad {

@@ -247,8 +247,11 @@ type Program struct {
 // Threads returns the total thread count including main.
 func (p *Program) Threads() int { return len(p.Workers) + 1 }
 
-// Validate performs structural checks: loop counts non-negative, barrier
-// widths positive, no nested identical loop ids on one path.
+// Validate performs structural checks: loop counts non-negative, no nested
+// identical loop ids on one path. Conditions that need execution context to
+// report well (non-positive barrier widths, zero-range random addresses,
+// unlocks without the hold) are left to the interpreters, which surface them
+// as *ProgramError with the offending thread, pc, and object.
 func (p *Program) Validate() error {
 	check := func(body []Instr, where string) error {
 		var walk func([]Instr, []LoopID) error
@@ -266,10 +269,6 @@ func (p *Program) Validate() error {
 					}
 					if err := walk(in.Body, append(stack, in.ID)); err != nil {
 						return err
-					}
-				case *Barrier:
-					if in.N <= 0 {
-						return fmt.Errorf("%s: barrier %d has non-positive width", where, in.B)
 					}
 				case *Compute:
 					if in.Cycles < 0 {

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // ProgramError reports a malformed IR program detected during execution:
 // an unlock of an unowned mutex, a read- or write-unlock without the hold,
@@ -25,6 +28,31 @@ type ProgramError struct {
 func (e *ProgramError) Error() string {
 	return fmt.Sprintf("sim: malformed program: t%d pc=%d %s(%d): %s",
 		e.Thread, e.PC, e.Op, e.Object, e.Detail)
+}
+
+// BlockedThread identifies one thread stuck when the scheduler found no
+// runnable thread: its id and the program counter of the blocking
+// instruction in its innermost frame (-1 if the thread had no frame).
+type BlockedThread struct {
+	Thread int
+	PC     int
+}
+
+// DeadlockError reports that every live thread is blocked — the runtime
+// shape of an unmatched join or wait (a Wait or WaitGroup join whose signal
+// can never arrive). Like ProgramError it is a structured, ordinary error:
+// callers get the offending threads and pcs instead of a crash, and the
+// rendering is identical in decoded and RefWalk modes.
+type DeadlockError struct {
+	Blocked []BlockedThread // in thread-id order
+}
+
+func (e *DeadlockError) Error() string {
+	parts := make([]string, len(e.Blocked))
+	for i, b := range e.Blocked {
+		parts[i] = fmt.Sprintf("t%d@pc=%d", b.Thread, b.PC)
+	}
+	return fmt.Sprintf("sim: deadlock, blocked threads: [%s]", strings.Join(parts, " "))
 }
 
 // programError aborts execution with a ProgramError; Engine.Run recovers it

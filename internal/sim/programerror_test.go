@@ -29,6 +29,10 @@ func TestProgramErrorIdenticalBothModes(t *testing.T) {
 		"runlock-no-hold":   {Workers: [][]Instr{{&Compute{Cycles: 5}, &RUnlock{M: 3}}}},
 		"wunlock-no-hold":   {Workers: [][]Instr{{&Compute{Cycles: 5}, &WUnlock{M: 4}}}},
 		"condwait-no-mutex": {Workers: [][]Instr{{&Compute{Cycles: 5}, &CondWait{C: 9, M: 2}}}},
+		"barrier-zero-n":    {Workers: [][]Instr{{&Compute{Cycles: 5}, &Barrier{B: 6, N: 0}}}},
+		"barrier-negative":  {Workers: [][]Instr{{&Compute{Cycles: 5}, &Barrier{B: 6, N: -3}}}},
+		"random-zero-range": {Workers: [][]Instr{{&Compute{Cycles: 5}, &MemAccess{Addr: AddrExpr{Mode: AddrRandom}, Site: 1}}}},
+		"atomic-zero-range": {Workers: [][]Instr{{&Compute{Cycles: 5}, &AtomicRMW{Addr: AddrExpr{Mode: AddrRandom}, Site: 1}}}},
 	}
 	for name, p := range progs {
 		t.Run(name, func(t *testing.T) {
@@ -57,6 +61,41 @@ func TestProgramErrorIdenticalBothModes(t *testing.T) {
 				t.Fatalf("pc = %d, want 1 (second instruction)", dec.PC)
 			}
 		})
+	}
+}
+
+// TestUnmatchedJoinIsStructuredDeadlock pins the runtime shape of a join of
+// a thread that never signals back (the frontend's lowering of `<-done` and
+// wg.Wait is a semaphore Wait): a structured DeadlockError naming every
+// blocked thread and pc, identical in both interpreter modes — not a panic,
+// not an opaque string.
+func TestUnmatchedJoinIsStructuredDeadlock(t *testing.T) {
+	p := &Program{Workers: [][]Instr{
+		{&Compute{Cycles: 5}},
+		{&Compute{Cycles: 5}, &Wait{C: 1}}, // no one ever signals
+	}}
+	cfg := quiet()
+	_, errDec := NewEngine(cfg).Run(p, &NopRuntime{})
+	cfg.RefWalk = true
+	_, errRef := NewEngine(cfg).Run(p, &NopRuntime{})
+
+	var dec, ref *DeadlockError
+	if !errors.As(errDec, &dec) {
+		t.Fatalf("decoded: err = %v, want *DeadlockError", errDec)
+	}
+	if !errors.As(errRef, &ref) {
+		t.Fatalf("RefWalk: err = %v, want *DeadlockError", errRef)
+	}
+	// Main (t0) is blocked at its implicit join, the waiter (t2) at the Wait.
+	want := []BlockedThread{{Thread: 0, PC: 1}, {Thread: 2, PC: 1}}
+	if len(dec.Blocked) != 2 || dec.Blocked[0] != want[0] || dec.Blocked[1] != want[1] {
+		t.Fatalf("blocked = %+v, want %+v", dec.Blocked, want)
+	}
+	if dec.Error() != ref.Error() {
+		t.Fatalf("modes disagree: %q vs %q", dec.Error(), ref.Error())
+	}
+	if !strings.Contains(dec.Error(), "deadlock") {
+		t.Fatalf("message %q lacks the deadlock marker", dec.Error())
 	}
 }
 

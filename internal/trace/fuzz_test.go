@@ -54,6 +54,14 @@ func FuzzReadFrom(f *testing.F) {
 	f.Add([]byte("TXTR"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Truncation seeds: both versions cut mid-record, plus headers cut
+	// mid-name and mid-count. All must be rejected, never short-read.
+	f.Add(v1.Bytes()[:v1.Len()-13])
+	f.Add(v2.Bytes()[:v2.Len()-2])
+	f.Add(v1.Bytes()[:6])                  // header cut before name length is honored
+	f.Add(v2.Bytes()[:8+len(tr.Name)-2])   // cut mid-name
+	f.Add(v1.Bytes()[:8+len(tr.Name)+3])   // cut mid-count
+	f.Add(v2.Bytes()[:8+len(tr.Name)+8+1]) // exactly one payload byte
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadFrom(bytes.NewReader(data))

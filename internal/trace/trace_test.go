@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"runtime"
+	"strings"
 	"testing"
 	"unsafe"
 
@@ -212,6 +214,94 @@ func TestReadFromRejectsGarbage(t *testing.T) {
 	cut := buf.Bytes()[:buf.Len()-4]
 	if _, err := ReadFrom(bytes.NewReader(cut)); err == nil {
 		t.Fatal("truncated trace accepted")
+	}
+}
+
+// TestTruncatedStreamNamesOffsetAndVersion pins the hardening contract:
+// truncated or corrupt streams fail with one structured error that names the
+// wire version and the byte offset of the failure, truncation surfaces as
+// io.ErrUnexpectedEOF (never a silent short read), and invalid v1 record
+// bytes are rejected rather than smuggled into the event stream.
+func TestTruncatedStreamNamesOffsetAndVersion(t *testing.T) {
+	tr := FromEvents("np",
+		Event{Kind: KFork, TID: 0, Other: 1},
+		Event{Kind: KAccess, TID: 1, Write: true, Site: 3, Addr: 0x100},
+	)
+	var v1, v2 bytes.Buffer
+	if _, err := tr.WriteToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := 4 + 4 + len(tr.Name) + 8
+
+	// corruptV1 returns the v1 bytes with record 0's byte at off replaced.
+	corruptV1 := func(off int, b byte) []byte {
+		raw := append([]byte(nil), v1.Bytes()...)
+		raw[headerLen+off] = b
+		return raw
+	}
+
+	cases := []struct {
+		name      string
+		data      []byte
+		want      []string // substrings the one-line error must carry
+		truncated bool     // must unwrap to io.ErrUnexpectedEOF
+	}{
+		{"empty", nil, []string{"trace: reading magic at offset 0"}, false},
+		{"garbage-magic", []byte("not a trace at all"), []string{"trace: bad magic"}, false},
+		// The offset reported is the truncation point — where the stream
+		// actually ran dry — not the start of the field being read.
+		{"cut-mid-header", v1.Bytes()[:6], []string{"reading header at offset 6"}, false},
+		{"cut-mid-name", v2.Bytes()[:9], []string{"wire v2", "reading name at offset 9"}, false},
+		{"cut-mid-count", v1.Bytes()[:headerLen-3], []string{"wire v1", "reading count at offset"}, false},
+		{"v1-cut-mid-record", v1.Bytes()[:headerLen+recordSizeV1+5],
+			[]string{"wire v1", "event 1 at offset", "truncated record"}, true},
+		{"v1-missing-last-record", v1.Bytes()[:headerLen+recordSizeV1],
+			[]string{"wire v1", "event 1 at offset"}, true},
+		{"v2-cut-mid-record", v2.Bytes()[:v2.Len()-2],
+			[]string{"wire v2", "event 1 at offset"}, true},
+		{"v2-payload-empty", v2.Bytes()[:headerLen],
+			[]string{"wire v2", "event 0 at offset", "truncated record"}, true},
+		{"v1-invalid-kind", corruptV1(0, 250), []string{"wire v1", "invalid event kind 250"}, false},
+		{"v1-invalid-write-flag", corruptV1(1, 7), []string{"wire v1", "invalid write flag 7"}, false},
+		{"v1-invalid-sync-kind", corruptV1(2, 99), []string{"wire v1", "invalid sync kind 99"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrom(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("malformed stream accepted")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q lacks %q", err, want)
+				}
+			}
+			if tc.truncated && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("truncation error %q does not unwrap to io.ErrUnexpectedEOF", err)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+
+	// Offset() tracks the decode frontier precisely: header end, then one
+	// fixed-size record per Next.
+	sr, err := NewStreamReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.Offset(); got != int64(headerLen) {
+		t.Fatalf("Offset after header = %d, want %d", got, headerLen)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.Offset(); got != int64(headerLen+recordSizeV1) {
+		t.Fatalf("Offset after one event = %d, want %d", got, headerLen+recordSizeV1)
 	}
 }
 

@@ -200,12 +200,26 @@ func (t *Trace) writeEventsV2(w io.Writer) error {
 	return werr
 }
 
+// countingReader counts bytes drained from the underlying source so the
+// stream reader can name the byte offset of a decode failure.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	m, err := cr.r.Read(p)
+	cr.n += int64(m)
+	return m, err
+}
+
 // StreamReader decodes a serialized trace event by event — the server's
 // ingestion path, which must not buffer a whole multi-gigabyte trace to
 // start detecting. It reads the header eagerly (so Name and Version are
 // available immediately) and then yields events until the declared count is
 // exhausted.
 type StreamReader struct {
+	cr        *countingReader
 	br        *bufio.Reader
 	name      string
 	version   int
@@ -217,19 +231,18 @@ type StreamReader struct {
 // NewStreamReader reads the trace header from r and returns a reader
 // positioned at the first event. Both wire versions are accepted.
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReader(r)
-	}
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
+	offset := func() int64 { return cr.n - int64(br.Buffered()) }
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic at offset %d: %w", offset(), err)
 	}
 	if string(head) != magic {
 		return nil, fmt.Errorf("trace: bad magic %q", head)
 	}
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+		return nil, fmt.Errorf("trace: reading header at offset %d: %w", offset(), err)
 	}
 	v := int(binary.LittleEndian.Uint16(head[0:]))
 	if v != version1 && v != version2 {
@@ -238,17 +251,17 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	nameLen := binary.LittleEndian.Uint16(head[2:])
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+		return nil, fmt.Errorf("trace: wire v%d: reading name at offset %d: %w", v, offset(), err)
 	}
 	var cnt [8]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, fmt.Errorf("trace: wire v%d: reading count at offset %d: %w", v, offset(), err)
 	}
 	n := binary.LittleEndian.Uint64(cnt[:])
 	if n > maxEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", n)
+		return nil, fmt.Errorf("trace: wire v%d: implausible event count %d", v, n)
 	}
-	return &StreamReader{br: br, name: string(name), version: v, total: n, remaining: n}, nil
+	return &StreamReader{cr: cr, br: br, name: string(name), version: v, total: n, remaining: n}, nil
 }
 
 // Name returns the recorded trace's name.
@@ -260,12 +273,18 @@ func (sr *StreamReader) Version() int { return sr.version }
 // Total returns the event count the header declared.
 func (sr *StreamReader) Total() uint64 { return sr.total }
 
+// Offset returns the byte offset of the next undecoded byte — on a decode
+// error, where in the stream the malformation sits.
+func (sr *StreamReader) Offset() int64 { return sr.cr.n - int64(sr.br.Buffered()) }
+
 // Next returns the next event, or io.EOF once the declared count has been
-// delivered. Any other error means a malformed or truncated stream.
+// delivered. Any other error means a malformed or truncated stream; the
+// error names the wire version and the byte offset of the failure.
 func (sr *StreamReader) Next() (Event, error) {
 	if sr.remaining == 0 {
 		return Event{}, io.EOF
 	}
+	start := sr.Offset()
 	var e Event
 	var err error
 	if sr.version == version1 {
@@ -274,7 +293,8 @@ func (sr *StreamReader) Next() (Event, error) {
 		e, err = sr.nextV2()
 	}
 	if err != nil {
-		return Event{}, err
+		return Event{}, fmt.Errorf("trace: wire v%d: event %d at offset %d: %w",
+			sr.version, sr.total-sr.remaining, start, err)
 	}
 	sr.remaining--
 	return e, nil
@@ -283,7 +303,16 @@ func (sr *StreamReader) Next() (Event, error) {
 func (sr *StreamReader) nextV1() (Event, error) {
 	var rec [recordSizeV1]byte
 	if _, err := io.ReadFull(sr.br, rec[:]); err != nil {
-		return Event{}, fmt.Errorf("trace: reading event: %w", noEOF(err))
+		return Event{}, fmt.Errorf("truncated record: %w", noEOF(err))
+	}
+	if Kind(rec[0]) >= kindCount {
+		return Event{}, fmt.Errorf("invalid event kind %d", rec[0])
+	}
+	if rec[1] > 1 {
+		return Event{}, fmt.Errorf("invalid write flag %d", rec[1])
+	}
+	if rec[2] > 7 {
+		return Event{}, fmt.Errorf("invalid sync kind %d", rec[2])
 	}
 	return Event{
 		Kind:     Kind(rec[0]),
@@ -300,11 +329,11 @@ func (sr *StreamReader) nextV1() (Event, error) {
 func (sr *StreamReader) nextV2() (Event, error) {
 	b0, err := sr.br.ReadByte()
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading event: %w", noEOF(err))
+		return Event{}, fmt.Errorf("truncated record: %w", noEOF(err))
 	}
 	kind := Kind(b0 & 7)
 	if kind >= kindCount {
-		return Event{}, fmt.Errorf("trace: invalid event kind %d", kind)
+		return Event{}, fmt.Errorf("invalid event kind %d", kind)
 	}
 	e := Event{
 		Kind:     kind,
@@ -316,7 +345,7 @@ func (sr *StreamReader) nextV2() (Event, error) {
 		return Event{}, err
 	}
 	if tid > maxTID {
-		return Event{}, fmt.Errorf("trace: implausible tid %d", tid)
+		return Event{}, fmt.Errorf("implausible tid %d", tid)
 	}
 	e.TID = int32(tid)
 	switch kind {
@@ -346,7 +375,7 @@ func (sr *StreamReader) nextV2() (Event, error) {
 			return Event{}, err
 		}
 		if o > maxTID {
-			return Event{}, fmt.Errorf("trace: implausible thread id %d", o)
+			return Event{}, fmt.Errorf("implausible thread id %d", o)
 		}
 		e.Other = int32(o)
 	}
@@ -356,7 +385,7 @@ func (sr *StreamReader) nextV2() (Event, error) {
 func (sr *StreamReader) uvarint() (uint64, error) {
 	v, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return 0, fmt.Errorf("trace: reading varint: %w", noEOF(err))
+		return 0, fmt.Errorf("truncated varint: %w", noEOF(err))
 	}
 	return v, nil
 }
@@ -384,7 +413,8 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 			return t, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", t.Len(), err)
+			// Next already names the wire version, event index, and offset.
+			return nil, err
 		}
 		t.Append(e)
 	}

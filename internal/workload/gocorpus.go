@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/frontend"
+)
+
+// GoCorpusPrefix names the real-Go corpus workloads: `go:<snippet>` compiles
+// an embedded Go source file through internal/frontend instead of running a
+// calibrated synthetic generator.
+const GoCorpusPrefix = "go:"
+
+var goRegistry []*Workload
+
+func init() {
+	for _, name := range frontend.CorpusNames() {
+		goRegistry = append(goRegistry, newGoWorkload(name))
+	}
+}
+
+// newGoWorkload wraps one corpus snippet. The program is a direct lowering
+// of the Go source: -threads and -scale do not apply (thread count is the
+// source's goroutine structure, there is nothing to scale), so Build ignores
+// both and MaxThreads stays 0.
+func newGoWorkload(name string) *Workload {
+	return &Workload{
+		Name: GoCorpusPrefix + name,
+		// Hook costs are the detector's own: no per-application
+		// slow-path pathology is being modeled. (0 would zero the hook
+		// cost entirely — see core.TSan.SlowScale.)
+		SlowScale: 1,
+		Build: func(threads, scale int) *Built {
+			b, err := BuildGo(name)
+			if err != nil {
+				// Corpus snippets are compile-tested; failing here means
+				// the embedded source or the frontend regressed.
+				panic(fmt.Sprintf("workload %s%s: %v", GoCorpusPrefix, name, err))
+			}
+			return b
+		},
+	}
+}
+
+// BuildGo compiles the named corpus snippet (cached in internal/frontend)
+// and resolves its pinned ground-truth race specs into the Built race list.
+func BuildGo(name string) (*Built, error) {
+	snip, ok := frontend.CorpusSnippet(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown corpus snippet %q (have: %v)", name, frontend.CorpusNames())
+	}
+	p, err := frontend.CompileCorpus(name)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := snip.GroundTruth(p)
+	if err != nil {
+		return nil, err
+	}
+	b := &Built{Prog: p.Prog}
+	for _, r := range truth {
+		rv := RacyVar{SiteA: r.A, SiteB: r.B}
+		if r.Deferred {
+			b.Deferred = append(b.Deferred, rv)
+		} else {
+			b.Races = append(b.Races, rv)
+		}
+	}
+	return b, nil
+}
+
+// GoNames returns the corpus workload names (with prefix) in corpus order.
+func GoNames() []string {
+	out := make([]string, len(goRegistry))
+	for i, w := range goRegistry {
+		out[i] = w.Name
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoWorkloadRegistration pins the go: namespace: every corpus snippet
+// resolves through ByName, and an unknown snippet errors with the available
+// names rather than falling through to the synthetic-app error.
+func TestGoWorkloadRegistration(t *testing.T) {
+	names := GoNames()
+	if len(names) < 10 {
+		t.Fatalf("GoNames = %v, want >= 10 snippets", names)
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, GoCorpusPrefix) {
+			t.Fatalf("corpus workload %q missing %q prefix", name, GoCorpusPrefix)
+		}
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if w.Name != name {
+			t.Fatalf("ByName(%q) returned %q", name, w.Name)
+		}
+		if w.SlowScale != 1 {
+			t.Fatalf("%s: SlowScale = %v, want 1 (0 would zero the hook cost)", name, w.SlowScale)
+		}
+	}
+	_, err := ByName("go:nosuchsnippet")
+	if err == nil {
+		t.Fatal("unknown go: name resolved")
+	}
+	if !strings.Contains(err.Error(), "go:doublecheck") {
+		t.Fatalf("unknown go: error should list the corpus, got: %v", err)
+	}
+}
+
+// TestBuildGoSplitsDeferred pins the Races/Deferred routing: loopcapture's
+// capture race is structurally invisible to the HTM fast path and must land
+// in Deferred, while its sum races stay in Races; AllRaceKeys sees both.
+func TestBuildGoSplitsDeferred(t *testing.T) {
+	b, err := BuildGo("loopcapture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Races) != 2 || len(b.Deferred) != 1 {
+		t.Fatalf("loopcapture split = %d races + %d deferred, want 2 + 1", len(b.Races), len(b.Deferred))
+	}
+	if n := len(b.AllRaceKeys()); n != 3 {
+		t.Fatalf("AllRaceKeys = %d, want 3", n)
+	}
+	if b.Prog == nil {
+		t.Fatal("BuildGo returned no program")
+	}
+
+	// The common case: everything detectable on the fast path.
+	b, err = BuildGo("doublecheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Races) != 2 || len(b.Deferred) != 0 {
+		t.Fatalf("doublecheck split = %d races + %d deferred, want 2 + 0", len(b.Races), len(b.Deferred))
+	}
+
+	if _, err := BuildGo("nosuchsnippet"); err == nil {
+		t.Fatal("BuildGo accepted an unknown snippet")
+	}
+}

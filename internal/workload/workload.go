@@ -129,8 +129,8 @@ func All() []*Workload {
 	return out
 }
 
-// ByName returns the named workload, resolving both the Table 1 set and the
-// threads-scaling set.
+// ByName returns the named workload, resolving the Table 1 set, the
+// threads-scaling set, and the real-Go corpus (`go:<snippet>`).
 func ByName(name string) (*Workload, error) {
 	for _, w := range registry {
 		if w.Name == name {
@@ -141,6 +141,14 @@ func ByName(name string) (*Workload, error) {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	for _, w := range goRegistry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	if strings.HasPrefix(name, GoCorpusPrefix) {
+		return nil, fmt.Errorf("workload: unknown corpus snippet %q (have: %s)", name, strings.Join(GoNames(), ", "))
 	}
 	return nil, fmt.Errorf("workload: unknown application %q", name)
 }
